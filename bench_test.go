@@ -1,0 +1,373 @@
+package saphyra
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section V), plus ablations of the design choices DESIGN.md
+// calls out. Each benchmark iteration runs the full experiment pipeline at
+// a small scale (environments are built once and cached); custom metrics
+// (rho, samples, false-zero fractions) are attached via b.ReportMetric so
+// `go test -bench=. -benchmem` prints the figures' quality series next to
+// the timing series.
+//
+// Shapes to look for (not absolute numbers — see EXPERIMENTS.md):
+//
+//	Fig 3: time(SaPHyRa) < time(SaPHyRa-full) < time(KADABRA) << time(ABRA)
+//	Fig 4: rho(SaPHyRa) > rho(baselines)
+//	Fig 5: baselines' rho spread widens as subsets shrink
+//	Fig 6: false-zeros: SaPHyRa = 0, baselines > 0
+//	Fig 7: SaPHyRa beats KADABRA on both time and deviation per area
+//	Table I: dim(Riondato) >= dim(SaPHyRa-full) >= dim(SaPHyRa-subset)
+
+import (
+	"sync"
+	"testing"
+
+	"saphyra/internal/bicomp"
+	"saphyra/internal/core"
+	"saphyra/internal/datasets"
+	"saphyra/internal/exact"
+	"saphyra/internal/graph"
+	"saphyra/internal/shortestpath"
+	"saphyra/internal/workload"
+)
+
+// benchScale keeps every benchmark iteration in the tens-of-milliseconds
+// range; raise it (and -benchtime) to approach the paper's regime.
+const benchScale = 0.06
+
+var (
+	envOnce  sync.Once
+	benchEnv map[string]*workload.Env
+	roadEnv  *workload.Env
+	roadSide int
+)
+
+func envs(b *testing.B) map[string]*workload.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		benchEnv = map[string]*workload.Env{}
+		for _, net := range []datasets.Network{datasets.Flickr, datasets.LiveJournal, datasets.Orkut} {
+			benchEnv[net.Name] = workload.NewEnv(net, benchScale, 0)
+		}
+		roadSide = datasets.RoadSide(benchScale)
+		roadEnv = workload.NewEnv(datasets.USARoad, benchScale, 0)
+		benchEnv[datasets.USARoad.Name] = roadEnv
+	})
+	return benchEnv
+}
+
+func benchCfg(eps float64) workload.Config {
+	return workload.Config{Epsilon: eps, Delta: 0.01, Seed: 7}
+}
+
+// --- Table II -------------------------------------------------------------
+
+// BenchmarkTable2NetworksSummary times building a stand-in network and its
+// structural summary (Table II row).
+func BenchmarkTable2NetworksSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := workload.NewEnvFromGraph("flickr", datasets.Flickr.Build(benchScale), 0)
+		_ = workload.Table2(e, datasets.Flickr)
+	}
+}
+
+// --- Table I ---------------------------------------------------------------
+
+// BenchmarkTable1VCBounds computes the three VC-dimension bounds per
+// network and reports them as metrics.
+func BenchmarkTable1VCBounds(b *testing.B) {
+	es := envs(b)
+	e := es[datasets.USARoad.Name] // road: where the bounds differ most
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 100, 1, 7)[0]
+	var row workload.Table1Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row = workload.Table1(e, subset, 2)
+	}
+	b.ReportMetric(float64(row.RiondatoFull), "dim-riondato")
+	b.ReportMetric(float64(row.SaPHyRaFull), "dim-full")
+	b.ReportMetric(float64(row.SaPHyRaSubset), "dim-subset")
+}
+
+// --- Table III --------------------------------------------------------------
+
+// BenchmarkTable3RoadAreas extracts the four coordinate areas.
+func BenchmarkTable3RoadAreas(b *testing.B) {
+	envs(b)
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, a := range datasets.Areas(roadSide) {
+			total += len(a.Nodes)
+		}
+	}
+	b.ReportMetric(float64(total), "area-nodes")
+}
+
+// --- Fig 3: running time vs epsilon ----------------------------------------
+
+func benchFig3(b *testing.B, algo workload.Algo, eps float64) {
+	e := envs(b)[datasets.LiveJournal.Name]
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 100, 1, 3)[0]
+	var rho float64
+	var samples int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(eps)
+		cfg.Seed += int64(i)
+		res, err := e.RunOne(algo, subset, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rho += res.Rho
+		samples += res.Samples
+	}
+	b.ReportMetric(rho/float64(b.N), "rho")
+	b.ReportMetric(float64(samples)/float64(b.N), "samples")
+}
+
+func BenchmarkFig3Time_ABRA_eps05(b *testing.B)        { benchFig3(b, workload.AlgoABRA, 0.05) }
+func BenchmarkFig3Time_KADABRA_eps05(b *testing.B)     { benchFig3(b, workload.AlgoKADABRA, 0.05) }
+func BenchmarkFig3Time_SaPHyRaFull_eps05(b *testing.B) { benchFig3(b, workload.AlgoSaPHyRaFull, 0.05) }
+func BenchmarkFig3Time_SaPHyRa_eps05(b *testing.B)     { benchFig3(b, workload.AlgoSaPHyRa, 0.05) }
+func BenchmarkFig3Time_SaPHyRa_eps20(b *testing.B)     { benchFig3(b, workload.AlgoSaPHyRa, 0.2) }
+func BenchmarkFig3Time_SaPHyRa_eps01(b *testing.B)     { benchFig3(b, workload.AlgoSaPHyRa, 0.01) }
+func BenchmarkFig3Time_KADABRA_eps01(b *testing.B)     { benchFig3(b, workload.AlgoKADABRA, 0.01) }
+
+// --- Fig 4: rank correlation vs epsilon ------------------------------------
+
+// BenchmarkFig4RankCorrelation runs the full epsilon sweep once per
+// iteration on the Flickr stand-in and reports the mean rho per algorithm.
+func BenchmarkFig4RankCorrelation(b *testing.B) {
+	e := envs(b)[datasets.Flickr.Name]
+	subsets := datasets.RandomSubsets(e.G.NumNodes(), 100, 2, 5)
+	var last []workload.Fig3And4Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := workload.Fig3And4(e, []float64{0.05}, subsets, benchCfg(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		switch r.Algo {
+		case workload.AlgoSaPHyRa:
+			b.ReportMetric(r.MeanRho, "rho-saphyra")
+		case workload.AlgoKADABRA:
+			b.ReportMetric(r.MeanRho, "rho-kadabra")
+		case workload.AlgoABRA:
+			b.ReportMetric(r.MeanRho, "rho-abra")
+		}
+	}
+}
+
+// --- Fig 5: rank correlation vs subset size --------------------------------
+
+func benchFig5(b *testing.B, size int) {
+	e := envs(b)[datasets.Orkut.Name]
+	var rows []workload.Fig5Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = workload.Fig5(e, []int{size}, 2, benchCfg(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Algo == workload.AlgoSaPHyRa {
+			b.ReportMetric(r.MeanRho, "rho-saphyra")
+		}
+		if r.Algo == workload.AlgoKADABRA {
+			b.ReportMetric(r.HiRho-r.LoRho, "kadabra-rho-spread")
+		}
+	}
+}
+
+func BenchmarkFig5SubsetSize10(b *testing.B)  { benchFig5(b, 10) }
+func BenchmarkFig5SubsetSize100(b *testing.B) { benchFig5(b, 100) }
+
+// --- Fig 6: signed relative error -------------------------------------------
+
+// BenchmarkFig6RelativeError reports the true-zero and false-zero fractions
+// per algorithm (the paper's headline Fig 6 statistic).
+func BenchmarkFig6RelativeError(b *testing.B) {
+	e := envs(b)[datasets.LiveJournal.Name]
+	subsets := datasets.RandomSubsets(e.G.NumNodes(), 100, 2, 9)
+	var rows []workload.Fig6Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = workload.Fig6(e, subsets, benchCfg(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Algo {
+		case workload.AlgoSaPHyRa:
+			b.ReportMetric(100*r.Summary.FractionFalseZeros(), "falsezero%-saphyra")
+		case workload.AlgoKADABRA:
+			b.ReportMetric(100*r.Summary.FractionFalseZeros(), "falsezero%-kadabra")
+			b.ReportMetric(100*r.Summary.FractionTrueZeros(), "truezero%")
+		}
+	}
+}
+
+// --- Fig 7: USA-road case study ----------------------------------------------
+
+func BenchmarkFig7RoadAreas(b *testing.B) {
+	envs(b)
+	areas := datasets.Areas(roadSide)
+	var rows []workload.Fig7Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = workload.Fig7(roadEnv, areas, benchCfg(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var devSaphyra, devKadabra float64
+	for _, r := range rows {
+		switch r.Algo {
+		case workload.AlgoSaPHyRa:
+			devSaphyra += r.Deviation
+		case workload.AlgoKADABRA:
+			devKadabra += r.Deviation
+		}
+	}
+	b.ReportMetric(100*devSaphyra/4, "deviation%-saphyra")
+	b.ReportMetric(100*devKadabra/4, "deviation%-kadabra")
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationExactSubspace measures rank quality with and without the
+// 2-hop exact subspace (DESIGN.md ablation: sample-space partitioning).
+func benchAblationExact(b *testing.B, disable bool) {
+	e := envs(b)[datasets.Flickr.Name]
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 100, 1, 11)[0]
+	truth := make([]float64, len(subset))
+	ids := make([]int32, len(subset))
+	for i, v := range subset {
+		truth[i] = e.Truth[v]
+		ids[i] = int32(v)
+	}
+	var rho float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Prep.EstimateBC(subset, core.BCOptions{
+			Epsilon: 0.05, Delta: 0.01, Seed: int64(i),
+			DisableExactSubspace: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rho += Spearman(truth, res.BC, ids)
+	}
+	b.ReportMetric(rho/float64(b.N), "rho")
+}
+
+func BenchmarkAblationExactSubspaceOn(b *testing.B)  { benchAblationExact(b, false) }
+func BenchmarkAblationExactSubspaceOff(b *testing.B) { benchAblationExact(b, true) }
+
+// BenchmarkAblationAdaptive measures the sample budget with and without
+// empirical-Bernstein early stopping.
+func benchAblationAdaptive(b *testing.B, disable bool) {
+	e := envs(b)[datasets.Orkut.Name]
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 100, 1, 13)[0]
+	var samples int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Prep.EstimateBC(subset, core.BCOptions{
+			Epsilon: 0.05, Delta: 0.01, Seed: 3, DisableAdaptive: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Est != nil {
+			samples += res.Est.Samples
+		}
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples")
+}
+
+func BenchmarkAblationAdaptiveOn(b *testing.B)  { benchAblationAdaptive(b, false) }
+func BenchmarkAblationAdaptiveOff(b *testing.B) { benchAblationAdaptive(b, true) }
+
+// BenchmarkAblationVCBound compares the sample ceilings induced by the three
+// VC bounds of Table I on the road network (where diameters diverge).
+func benchAblationVC(b *testing.B, kind core.VCBoundKind) {
+	envs(b)
+	subset := datasets.RandomSubsets(roadEnv.G.NumNodes(), 100, 1, 17)[0]
+	var nmax, samples int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := roadEnv.Prep.EstimateBC(subset, core.BCOptions{
+			Epsilon: 0.05, Delta: 0.01, Seed: 5, VCBound: kind,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Est != nil {
+			nmax = res.Est.NMax
+			samples += res.Est.Samples
+		}
+	}
+	b.ReportMetric(float64(nmax), "nmax")
+	b.ReportMetric(float64(samples)/float64(b.N), "samples")
+}
+
+func BenchmarkAblationVCBoundSubset(b *testing.B)   { benchAblationVC(b, core.VCSubset) }
+func BenchmarkAblationVCBoundBicomp(b *testing.B)   { benchAblationVC(b, core.VCBicomp) }
+func BenchmarkAblationVCBoundRiondato(b *testing.B) { benchAblationVC(b, core.VCRiondato) }
+
+// --- Substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkSubstrateBrandesExact(b *testing.B) {
+	g := graph.BarabasiAlbert(1000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = exact.BCParallel(g, 0)
+	}
+}
+
+func BenchmarkSubstrateDecompose(b *testing.B) {
+	g := datasets.Flickr.Build(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := bicomp.Decompose(g)
+		_ = bicomp.NewOutReach(d)
+	}
+}
+
+func BenchmarkSubstrateBiBFSQuery(b *testing.B) {
+	g := graph.BarabasiAlbert(20000, 4, 2)
+	bfs := shortestpath.NewBiBFS(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := graph.Node(i % g.NumNodes())
+		t := graph.Node((i*7919 + 13) % g.NumNodes())
+		if s != t {
+			bfs.Query(g, s, t)
+		}
+	}
+}
+
+func BenchmarkSubstrateGenBCSample(b *testing.B) {
+	e := envs(b)[datasets.LiveJournal.Name]
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 100, 1, 19)[0]
+	res, err := e.Prep.EstimateBC(subset, core.BCOptions{Epsilon: 0.2, Delta: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	b.ResetTimer()
+	// measure end-to-end estimation at fixed epsilon as the sampling proxy
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Prep.EstimateBC(subset, core.BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the synthetic network stand-ins, printing the
+// same rows/series the paper reports. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -exp all -scale 0.25 -subsets 10
+//	experiments -exp fig3 -networks flickr-sim,orkut-sim
+//	experiments -exp fig7 -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"saphyra/internal/datasets"
+	"saphyra/internal/workload"
+)
+
+type runCfg struct {
+	scale    float64
+	subsets  int
+	size     int
+	workers  int
+	seed     int64
+	delta    float64
+	epsilons []float64
+	networks []datasets.Network
+	maxSamp  int64
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "table1 | table2 | table3 | fig3 | fig4 | fig5 | fig6 | fig7 | all")
+		scale   = flag.Float64("scale", 0.25, "network scale (1.0 ~ 10k-node networks)")
+		subsets = flag.Int("subsets", 5, "number of random subsets per configuration (paper: 1000)")
+		size    = flag.Int("size", 100, "subset size (paper: 100)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		seed    = flag.Int64("seed", 1, "base seed")
+		delta   = flag.Float64("delta", 0.01, "failure probability")
+		epsStr  = flag.String("eps", "0.2,0.1,0.05,0.02,0.01", "epsilon sweep for fig3/fig4")
+		netsStr = flag.String("networks", "", "comma-separated stand-in names (default: all four)")
+		maxSamp = flag.Int64("max-samples", 0, "optional per-run sample cap (0 = faithful budgets)")
+	)
+	flag.Parse()
+
+	cfg := runCfg{
+		scale: *scale, subsets: *subsets, size: *size,
+		workers: *workers, seed: *seed, delta: *delta, maxSamp: *maxSamp,
+	}
+	for _, tok := range strings.Split(*epsStr, ",") {
+		var e float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &e); err != nil {
+			fatal(fmt.Errorf("bad epsilon %q", tok))
+		}
+		cfg.epsilons = append(cfg.epsilons, e)
+	}
+	if *netsStr == "" {
+		cfg.networks = datasets.All
+	} else {
+		for _, name := range strings.Split(*netsStr, ",") {
+			n, err := datasets.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.networks = append(cfg.networks, n)
+		}
+	}
+
+	runs := map[string]func(runCfg){
+		"table1": table1, "table2": table2, "table3": table3,
+		"fig3": fig3and4, "fig4": fig3and4, "fig5": fig5, "fig6": fig6, "fig7": fig7,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table2", "table1", "table3", "fig3", "fig5", "fig6", "fig7"} {
+			runs[name](cfg)
+		}
+		return
+	}
+	f, ok := runs[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	f(cfg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func envs(cfg runCfg) []*workload.Env {
+	out := make([]*workload.Env, 0, len(cfg.networks))
+	for _, n := range cfg.networks {
+		start := time.Now()
+		e := workload.NewEnv(n, cfg.scale, cfg.workers)
+		fmt.Fprintf(os.Stderr, "prepared %s: %d nodes, %d edges (ground truth in %v)\n",
+			e.Name, e.G.NumNodes(), e.G.NumEdges(), time.Since(start).Round(time.Millisecond))
+		out = append(out, e)
+	}
+	return out
+}
+
+func wcfg(cfg runCfg, eps float64) workload.Config {
+	return workload.Config{
+		Epsilon: eps, Delta: cfg.delta, Workers: cfg.workers,
+		Seed: cfg.seed, MaxSamples: cfg.maxSamp,
+	}
+}
+
+// table2 prints the networks summary (Table II) with paper-vs-stand-in
+// statistics.
+func table2(cfg runCfg) {
+	fmt.Println("\n== Table II: networks summary (stand-ins vs paper) ==")
+	var rows [][]string
+	for _, n := range cfg.networks {
+		e := workload.NewEnv(n, cfg.scale, cfg.workers)
+		r := workload.Table2(e, n)
+		rows = append(rows, []string{
+			r.Network, fmt.Sprint(r.Nodes), fmt.Sprint(r.Edges), fmt.Sprint(r.DiameterLB),
+			r.PaperNodes, r.PaperEdges, fmt.Sprint(r.PaperDiam),
+			fmt.Sprint(r.Blocks), fmt.Sprint(r.Cutpoints),
+		})
+	}
+	workload.WriteTSV(os.Stdout,
+		[]string{"network", "nodes", "edges", "diam(lb)", "paper-nodes", "paper-edges", "paper-diam", "blocks", "cutpoints"},
+		rows)
+}
+
+// table1 prints the VC-dimension bound comparison (Table I).
+func table1(cfg runCfg) {
+	fmt.Println("\n== Table I: VC-dimension bounds ==")
+	var rows [][]string
+	for _, e := range envs(cfg) {
+		subset := datasets.RandomSubsets(e.G.NumNodes(), cfg.size, 1, cfg.seed)[0]
+		r := workload.Table1(e, subset, 2)
+		rows = append(rows, []string{
+			r.Network, fmt.Sprint(r.RiondatoFull), fmt.Sprint(r.SaPHyRaFull),
+			fmt.Sprint(r.SaPHyRaSubset), fmt.Sprintf("%d (l=%d)", r.SaPHyRaLHop, r.L),
+		})
+	}
+	workload.WriteTSV(os.Stdout,
+		[]string{"network", "riondato[45]", "saphyra-full", "saphyra-subset", "saphyra-lhop"},
+		rows)
+}
+
+// table3 prints the road-area summary (Table III).
+func table3(cfg runCfg) {
+	fmt.Println("\n== Table III: USA-road areas (stand-in vs paper) ==")
+	side := datasets.RoadSide(cfg.scale)
+	g := datasets.USARoad.Build(cfg.scale)
+	var rows [][]string
+	for _, a := range datasets.Areas(side) {
+		edges := 0
+		inArea := map[int32]bool{}
+		for _, v := range a.Nodes {
+			inArea[int32(v)] = true
+		}
+		for _, v := range a.Nodes {
+			for _, u := range g.Neighbors(v) {
+				if inArea[int32(u)] && v < u {
+					edges++
+				}
+			}
+		}
+		rows = append(rows, []string{
+			a.Name, fmt.Sprint(len(a.Nodes)), fmt.Sprint(edges),
+			a.Paper.PaperNodes, a.Paper.PaperEdges,
+		})
+	}
+	workload.WriteTSV(os.Stdout,
+		[]string{"area", "nodes", "edges", "paper-nodes", "paper-edges"}, rows)
+}
+
+// fig3and4 prints the epsilon sweep: running time (Fig 3) and rank
+// correlation with min/max bands (Fig 4).
+func fig3and4(cfg runCfg) {
+	fmt.Println("\n== Fig 3 + Fig 4: running time and rank correlation vs epsilon ==")
+	for _, e := range envs(cfg) {
+		subsets := datasets.RandomSubsets(e.G.NumNodes(), cfg.size, cfg.subsets, cfg.seed)
+		rows, err := workload.Fig3And4(e, cfg.epsilons, subsets, wcfg(cfg, 0))
+		if err != nil {
+			fatal(err)
+		}
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{
+				r.Network, fmt.Sprintf("%g", r.Epsilon), string(r.Algo),
+				fmt.Sprintf("%.3f", r.MeanTime.Seconds()),
+				fmt.Sprintf("%.3f", r.MeanRho),
+				fmt.Sprintf("%.3f", r.LoRho), fmt.Sprintf("%.3f", r.HiRho),
+				fmt.Sprint(r.MeanSamples),
+			})
+		}
+		workload.WriteTSV(os.Stdout,
+			[]string{"network", "eps", "algo", "time(s)", "rho", "rho-min", "rho-max", "samples"}, out)
+		fmt.Println()
+	}
+}
+
+// fig5 prints rank correlation for varying subset sizes at eps = 0.05.
+func fig5(cfg runCfg) {
+	fmt.Println("\n== Fig 5: rank correlation vs subset size (eps=0.05) ==")
+	sizes := []int{10, 20, 40, 60, 80, 100}
+	for _, e := range envs(cfg) {
+		rows, err := workload.Fig5(e, sizes, cfg.subsets, wcfg(cfg, 0.05))
+		if err != nil {
+			fatal(err)
+		}
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{
+				r.Network, fmt.Sprint(r.Size), string(r.Algo),
+				fmt.Sprintf("%.3f", r.MeanRho),
+				fmt.Sprintf("%.3f", r.LoRho), fmt.Sprintf("%.3f", r.HiRho),
+			})
+		}
+		workload.WriteTSV(os.Stdout,
+			[]string{"network", "size", "algo", "rho", "rho-min", "rho-max"}, out)
+		fmt.Println()
+	}
+}
+
+// fig6 prints the signed relative-error summaries (true/false zeros and the
+// histogram) at eps = 0.05.
+func fig6(cfg runCfg) {
+	fmt.Println("\n== Fig 6: signed relative error (eps=0.05, subset size 100) ==")
+	for _, e := range envs(cfg) {
+		subsets := datasets.RandomSubsets(e.G.NumNodes(), cfg.size, cfg.subsets, cfg.seed)
+		rows, err := workload.Fig6(e, subsets, wcfg(cfg, 0.05))
+		if err != nil {
+			fatal(err)
+		}
+		var out [][]string
+		for _, r := range rows {
+			s := r.Summary
+			hist := make([]string, len(s.Buckets))
+			for i, c := range s.Buckets {
+				hist[i] = fmt.Sprint(c)
+			}
+			out = append(out, []string{
+				r.Network, string(r.Algo),
+				fmt.Sprintf("%.1f%%", 100*s.FractionTrueZeros()),
+				fmt.Sprintf("%.1f%%", 100*s.FractionFalseZeros()),
+				strings.Join(hist, ","),
+			})
+		}
+		workload.WriteTSV(os.Stdout,
+			[]string{"network", "algo", "true-zeros", "false-zeros", "hist(-100..150+,w=25)"}, out)
+		fmt.Println()
+	}
+}
+
+// fig7 prints the USA-road case study: per-area running time, rank
+// correlation, and rank deviation for KADABRA / SaPHyRa-full / SaPHyRa.
+func fig7(cfg runCfg) {
+	fmt.Println("\n== Fig 7: USA-road case study ==")
+	side := datasets.RoadSide(cfg.scale)
+	e := workload.NewEnv(datasets.USARoad, cfg.scale, cfg.workers)
+	fmt.Fprintf(os.Stderr, "road %dx%d: %d nodes, %d edges\n", side, side, e.G.NumNodes(), e.G.NumEdges())
+	rows, err := workload.Fig7(e, datasets.Areas(side), wcfg(cfg, 0.05))
+	if err != nil {
+		fatal(err)
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Area, fmt.Sprint(r.AreaSize), string(r.Algo),
+			fmt.Sprintf("%.3f", r.Duration.Seconds()),
+			fmt.Sprintf("%.3f", r.Rho),
+			fmt.Sprintf("%.1f%%", 100*r.Deviation),
+		})
+	}
+	workload.WriteTSV(os.Stdout,
+		[]string{"area", "nodes", "algo", "time(s)", "rho", "rank-deviation"}, out)
+}

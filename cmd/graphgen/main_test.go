@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestBuildStandIns(t *testing.T) {
+	for _, name := range []string{"flickr-sim", "livejournal-sim", "usaroad-sim", "orkut-sim"} {
+		g, err := build(name, 0.02, "", 0, 0, 0, 0, 0, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestBuildRawGenerators(t *testing.T) {
+	cases := []struct {
+		gen  string
+		n    int
+		rows int
+	}{
+		{"ba", 100, 0}, {"plc", 100, 0}, {"er", 100, 0},
+		{"ws", 100, 0}, {"road", 0, 10}, {"grid", 0, 10}, {"tree", 100, 0},
+	}
+	for _, c := range cases {
+		g, err := build("", 1, c.gen, c.n, 0, 3, 0.2, c.rows, c.rows, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.gen, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Errorf("%s: empty graph", c.gen)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", 1, "", 10, 0, 2, 0.1, 5, 5, 1); err == nil {
+		t.Error("neither -net nor -gen: want error")
+	}
+	if _, err := build("", 1, "nope", 10, 0, 2, 0.1, 5, 5, 1); err == nil {
+		t.Error("unknown generator: want error")
+	}
+	if _, err := build("bogus-net", 1, "", 10, 0, 2, 0.1, 5, 5, 1); err == nil {
+		t.Error("unknown network: want error")
+	}
+}
+
+func TestBuildERDefaultEdges(t *testing.T) {
+	g, err := build("", 1, "er", 50, 0, 0, 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 200 { // m defaults to 4n
+		t.Errorf("er default edges = %d, want 200", g.NumEdges())
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: generate a small social-style network, rank a handful of
+// nodes by betweenness centrality with an (epsilon, delta) guarantee, and
+// compare against the exact values.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saphyra"
+)
+
+func main() {
+	// A scale-free network of 2,000 nodes (Barabasi-Albert, 3 edges per new
+	// node). Any undirected graph works; see saphyra.LoadEdgeList for files.
+	g := saphyra.Generate.BarabasiAlbert(2000, 3, 42)
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// The nodes we care about: a few arbitrary ids.
+	targets := []saphyra.Node{7, 100, 500, 1000, 1500, 1999}
+
+	// Rank them with a 0.01 additive-error guarantee at 99% confidence.
+	res, err := saphyra.RankSubset(g, targets, saphyra.Options{
+		Epsilon: 0.01,
+		Delta:   0.01,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("estimated in %v using %d samples\n\n", res.Duration, res.Samples)
+	fmt.Println("rank\tnode\tbetweenness")
+	for i, v := range res.Nodes {
+		fmt.Printf("%d\t%d\t%.6f\n", res.Rank[i], v, res.Scores[i])
+	}
+
+	// Exact ground truth for comparison (feasible at this scale).
+	truth := saphyra.ExactBC(g, 0)
+	truthA := make([]float64, len(res.Nodes))
+	ids := make([]int32, len(res.Nodes))
+	for i, v := range res.Nodes {
+		truthA[i] = truth[v]
+		ids[i] = int32(v)
+	}
+	fmt.Printf("\nSpearman rank correlation vs exact: %.3f\n",
+		saphyra.Spearman(truthA, res.Scores, ids))
+}

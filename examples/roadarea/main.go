@@ -1,0 +1,50 @@
+// Roadarea: the Fig 7 case study at laptop scale — rank all intersections
+// of a city-sized area of a road network without analyzing the area as a
+// cut-off subnetwork (which the paper shows misestimates centrality).
+//
+// A perturbed-grid road network stands in for the DIMACS USA-road graph;
+// rectangular coordinate windows stand in for the NYC/BAY/CO/FL areas.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saphyra"
+	"saphyra/internal/datasets"
+	"saphyra/internal/rank"
+)
+
+func main() {
+	const scale = 0.15
+	side := datasets.RoadSide(scale)
+	g := datasets.USARoad.Build(scale)
+	fmt.Printf("road network: %dx%d grid, %d nodes, %d edges\n",
+		side, side, g.NumNodes(), g.NumEdges())
+
+	truth := saphyra.ExactBC(g, 0)
+	prep := saphyra.Preprocess(g)
+
+	fmt.Println("\narea\tnodes\ttime\tspearman-rho\trank-deviation")
+	for _, area := range datasets.Areas(side) {
+		res, err := prep.RankSubset(area.Nodes, saphyra.Options{
+			Epsilon: 0.05, Delta: 0.01, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		truthA := make([]float64, len(res.Nodes))
+		ids := make([]int32, len(res.Nodes))
+		for i, v := range res.Nodes {
+			truthA[i] = truth[v]
+			ids[i] = int32(v)
+		}
+		rho := saphyra.Spearman(truthA, res.Scores, ids)
+		dev := rank.Deviation(truthA, res.Scores, ids)
+		fmt.Printf("%s\t%d\t%v\t%.3f\t%.1f%%\n",
+			area.Name, len(area.Nodes), res.Duration, rho, 100*dev)
+	}
+	fmt.Println("\nEach area is ranked against the FULL network's shortest")
+	fmt.Println("paths — no subnetwork cut-off — yet the work is confined to")
+	fmt.Println("the area's bi-components (personalized sample space).")
+}

@@ -1,0 +1,90 @@
+// Socialrank: the paper's motivating scenario — rank a small set of
+// "search result" nodes (mostly low-centrality) in a large social network,
+// where whole-network estimators produce meaningless orderings.
+//
+// The example builds a Flickr-like graph (scale-free core plus many leaf
+// accounts), picks 50 random nodes, and ranks them three ways: SaPHyRa
+// (subset-personalized), KADABRA, and ABRA. It prints each method's rank
+// correlation against the exact ranking and its running time, reproducing
+// the Fig 4 phenomenon at laptop scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"saphyra"
+)
+
+func main() {
+	// Flickr-like: 1,500-node scale-free core + 1,500 leaf accounts.
+	core := saphyra.Generate.PowerLawCluster(1500, 6, 0.3, 7)
+	b := saphyra.NewBuilder(3000)
+	for _, e := range core.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1500; i++ {
+		b.AddEdge(saphyra.Node(1500+i), saphyra.Node(rng.Intn(1500)))
+	}
+	g := b.Build()
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// 50 random LOW-DEGREE targets: the "less-known websites" whose ranking
+	// the paper shows is noisy under whole-network estimators (hubs are easy
+	// for everyone; the periphery is where methods differ).
+	// Target the network's periphery: the half of the non-leaf nodes with
+	// the smallest degrees. These have tiny positive centrality — the
+	// "less-known websites" whose relative order sampling alone cannot
+	// resolve (leaves are excluded: their betweenness is exactly 0 and every
+	// method gets them right).
+	var periphery []saphyra.Node
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(saphyra.Node(v)) >= 2 {
+			periphery = append(periphery, saphyra.Node(v))
+		}
+	}
+	sort.Slice(periphery, func(i, j int) bool {
+		if d1, d2 := g.Degree(periphery[i]), g.Degree(periphery[j]); d1 != d2 {
+			return d1 < d2
+		}
+		return periphery[i] < periphery[j]
+	})
+	periphery = periphery[:len(periphery)/2]
+	var targets []saphyra.Node
+	seen := map[saphyra.Node]bool{}
+	for len(targets) < 50 && len(targets) < len(periphery) {
+		v := periphery[rng.Intn(len(periphery))]
+		if !seen[v] {
+			seen[v] = true
+			targets = append(targets, v)
+		}
+	}
+
+	truth := saphyra.ExactBC(g, 0)
+	score := func(res *saphyra.Result) float64 {
+		truthA := make([]float64, len(res.Nodes))
+		ids := make([]int32, len(res.Nodes))
+		for i, v := range res.Nodes {
+			truthA[i] = truth[v]
+			ids[i] = int32(v)
+		}
+		return saphyra.Spearman(truthA, res.Scores, ids)
+	}
+
+	fmt.Println("\nmethod\ttime\tsamples\tspearman-rho")
+	for _, m := range []saphyra.Method{saphyra.MethodSaPHyRa, saphyra.MethodKADABRA, saphyra.MethodABRA} {
+		res, err := saphyra.RankSubset(g, targets, saphyra.Options{
+			Epsilon: 0.05, Delta: 0.01, Seed: 99, Method: m,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\t%v\t%d\t%.3f\n", m, res.Duration, res.Samples, score(res))
+	}
+	fmt.Println("\nSaPHyRa keeps the subset's ordering because its exact 2-hop")
+	fmt.Println("subspace gives every target a non-zero estimate (Lemma 19);")
+	fmt.Println("the baselines estimate most low-centrality targets as 0.")
+}

@@ -1,0 +1,73 @@
+// Subnetwork: the paper's motivating warning made concrete. A common
+// practice for ranking nodes of a region is to cut the region out of the
+// network and analyze it in isolation; the paper's intro points out this
+// "risks inaccurate assessment of nodes' centrality in the complete
+// network". This example quantifies that: it ranks a road-network area
+//
+//	(a) by exact betweenness computed inside the cut-out subgraph, and
+//	(b) by SaPHyRa against the full network,
+//
+// and scores both against the exact full-network ranking. The cut-out is
+// exact arithmetic — and still ranks worse than SaPHyRa's sampling,
+// because through-traffic does not stop at the region boundary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saphyra"
+	"saphyra/internal/datasets"
+	"saphyra/internal/exact"
+	"saphyra/internal/graph"
+)
+
+func main() {
+	const scale = 0.15
+	side := datasets.RoadSide(scale)
+	g := datasets.USARoad.Build(scale)
+	fmt.Printf("road network: %d nodes, %d edges (grid side %d)\n",
+		g.NumNodes(), g.NumEdges(), side)
+
+	truth := exact.BCParallel(g, 0)
+	prep := saphyra.Preprocess(g)
+
+	fmt.Println("\narea\tcut-out exact rho\tsaphyra (full-network) rho")
+	for _, area := range datasets.Areas(side) {
+		// ground truth for the area, from the full network
+		truthA := make([]float64, len(area.Nodes))
+		ids := make([]int32, len(area.Nodes))
+		for i, v := range area.Nodes {
+			truthA[i] = truth[v]
+			ids[i] = int32(v)
+		}
+
+		// (a) the cut-out: induced subgraph, exact Brandes inside it
+		sub, subIDs := graph.Subgraph(g, area.Nodes)
+		subBC := exact.BCParallel(sub, 0)
+		cutout := make([]float64, len(area.Nodes))
+		pos := make(map[graph.Node]int, len(subIDs))
+		for i, old := range subIDs {
+			pos[old] = i
+		}
+		for i, v := range area.Nodes {
+			cutout[i] = subBC[pos[v]]
+		}
+		rhoCut := saphyra.Spearman(truthA, cutout, ids)
+
+		// (b) SaPHyRa against the complete network
+		res, err := prep.RankSubset(area.Nodes, saphyra.Options{
+			Epsilon: 0.05, Delta: 0.01, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rhoSaphyra := saphyra.Spearman(truthA, res.Scores, ids)
+
+		fmt.Printf("%s\t%.3f\t%.3f\n", area.Name, rhoCut, rhoSaphyra)
+	}
+	fmt.Println("\nCutting the area out discards every shortest path that")
+	fmt.Println("crosses its boundary, so even EXACT centrality inside the")
+	fmt.Println("cut-out misranks the area; SaPHyRa samples the full network")
+	fmt.Println("while confining its work to the area's bi-components.")
+}

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"saphyra/internal/exact"
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+func checkWithinEps(t *testing.T, name string, got, want []float64, eps float64) {
+	t.Helper()
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > eps {
+			t.Errorf("%s: node %d est %g truth %g (> eps %g)", name, v, got[v], want[v], eps)
+		}
+	}
+}
+
+func TestABRAWithinEpsilon(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := testutil.RandomConnectedGraph(40, 50, seed)
+		truth := exact.BC(g)
+		res, err := ABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWithinEps(t, "abra", res.BC, truth, 0.05)
+	}
+}
+
+func TestKADABRAWithinEpsilon(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := testutil.RandomConnectedGraph(40, 50, seed)
+		truth := exact.BC(g)
+		res, err := KADABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWithinEps(t, "kadabra", res.BC, truth, 0.05)
+	}
+}
+
+func TestABRAStar(t *testing.T) {
+	g := graph.Star(15)
+	truth := exact.BC(g)
+	res, err := ABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BC[0]-truth[0]) > 0.05 {
+		t.Errorf("center est %g truth %g", res.BC[0], truth[0])
+	}
+	for v := 1; v < 15; v++ {
+		if res.BC[v] != 0 {
+			t.Errorf("leaf %d est %g, want 0", v, res.BC[v])
+		}
+	}
+}
+
+func TestKADABRADisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	g := b.Build()
+	truth := exact.BC(g)
+	res, err := KADABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithinEps(t, "kadabra", res.BC, truth, 0.05)
+}
+
+func TestABRADisconnected(t *testing.T) {
+	b := graph.NewBuilder(8)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	truth := exact.BC(g)
+	res, err := ABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithinEps(t, "abra", res.BC, truth, 0.05)
+}
+
+func TestBaselinesRejectBadOptions(t *testing.T) {
+	g := graph.Cycle(5)
+	for _, opt := range []Options{
+		{Epsilon: -0.1, Delta: 0.1},
+		{Epsilon: 0.1, Delta: 2},
+	} {
+		if _, err := ABRA(g, opt); err == nil {
+			t.Errorf("ABRA %+v: want error", opt)
+		}
+		if _, err := KADABRA(g, opt); err == nil {
+			t.Errorf("KADABRA %+v: want error", opt)
+		}
+	}
+}
+
+func TestBaselinesTinyGraph(t *testing.T) {
+	g := graph.Path(2)
+	for name, f := range map[string]func(*graph.Graph, Options) (*Result, error){"abra": ABRA, "kadabra": KADABRA} {
+		res, err := f(g, Options{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.BC[0] != 0 || res.BC[1] != 0 {
+			t.Errorf("%s: P2 bc = %v, want zeros", name, res.BC)
+		}
+	}
+	empty := graph.NewBuilder(1).Build()
+	if res, err := ABRA(empty, Options{Epsilon: 0.1, Delta: 0.1}); err != nil || len(res.BC) != 1 {
+		t.Errorf("single-node graph: res=%v err=%v", res, err)
+	}
+}
+
+func TestKADABRADeterministic(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, 2)
+	opt := Options{Epsilon: 0.1, Delta: 0.1, Seed: 42, Workers: 3}
+	a, err := KADABRA(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KADABRA(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.BC {
+		if a.BC[v] != b.BC[v] {
+			t.Fatalf("nondeterministic at node %d", v)
+		}
+	}
+	if a.Samples != b.Samples {
+		t.Fatalf("sample counts differ: %d vs %d", a.Samples, b.Samples)
+	}
+}
+
+func TestABRAMaxSamplesCap(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 3, 1)
+	res, err := ABRA(g, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1, MaxSamples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples > 200 {
+		t.Errorf("samples = %d exceeds cap", res.Samples)
+	}
+}
+
+// The false-zero phenomenon (Fig 6): on a low-centrality-heavy graph at
+// coarse epsilon, the baselines must estimate many positive-bc nodes as
+// exactly zero. This is the behaviour SaPHyRa eliminates; the test pins it
+// so the Fig 6 reproduction stays meaningful.
+func TestKADABRAProducesFalseZeros(t *testing.T) {
+	g := graph.RoadNetwork(20, 20, 0.3, 4)
+	truth := exact.BC(g)
+	res, err := KADABRA(g, Options{Epsilon: 0.1, Delta: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	falseZeros := 0
+	positives := 0
+	for v := range truth {
+		if truth[v] > 0 {
+			positives++
+			if res.BC[v] == 0 {
+				falseZeros++
+			}
+		}
+	}
+	if positives == 0 {
+		t.Fatal("fixture degenerate")
+	}
+	if falseZeros == 0 {
+		t.Error("expected some false zeros from KADABRA at coarse epsilon")
+	}
+}

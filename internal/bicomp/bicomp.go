@@ -1,0 +1,382 @@
+// Package bicomp computes biconnected components (bi-components), cutpoints,
+// the block-cut tree, and the out-reach quantities of SaPHyRa_bc (Section IV
+// of the paper): r_i(v), gamma, eta, and the cutpoint term bca(v).
+//
+// Terminology follows the paper: a "block" is a maximal biconnected
+// subgraph; a "cutpoint" (articulation point) is a node belonging to more
+// than one block; the block-cut tree has one node per block and per cutpoint
+// with an edge for each (block, cutpoint-in-block) pair.
+package bicomp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saphyra/internal/graph"
+)
+
+// Decomposition is the result of biconnected-component decomposition of a
+// graph. Every edge belongs to exactly one block; every non-isolated node
+// belongs to at least one block; cutpoints belong to several.
+type Decomposition struct {
+	G         *graph.Graph
+	NumBlocks int
+	// EdgeBlock maps each directed-edge CSR index (see graph.EdgeIndex) to
+	// the id of the block containing that edge.
+	EdgeBlock []int32
+	// Blocks[b] is the sorted list of nodes of block b.
+	Blocks [][]graph.Node
+	// NodeBlocks[v] is the sorted list of block ids containing node v.
+	// Isolated nodes have an empty list; cutpoints have two or more entries.
+	NodeBlocks [][]int32
+	// IsCut[v] reports whether v is a cutpoint.
+	IsCut []bool
+	// CompLabel and CompSize describe connected components (graph package
+	// labeling); the out-reach machinery needs per-component sizes.
+	CompLabel []int32
+	CompSize  []int64
+
+	// memoized per-block diameter upper bounds (see BlockDiameterUpperBound)
+	diamMu sync.Mutex
+	diamUB []int32
+}
+
+type dfsFrame struct {
+	u, parent graph.Node
+	idx       int
+}
+
+type halfEdge struct {
+	u, v graph.Node
+}
+
+// Decompose runs an iterative Hopcroft–Tarjan biconnected-component
+// decomposition. Time O(n + m), no recursion (safe for long paths such as
+// road networks).
+func Decompose(g *graph.Graph) *Decomposition {
+	n := g.NumNodes()
+	d := &Decomposition{
+		G:          g,
+		EdgeBlock:  make([]int32, 2*g.NumEdges()),
+		NodeBlocks: make([][]int32, n),
+		IsCut:      make([]bool, n),
+	}
+	for i := range d.EdgeBlock {
+		d.EdgeBlock[i] = -1
+	}
+	d.CompLabel, d.CompSize, _ = graph.ConnectedComponents(g)
+
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var time int32
+	var stack []dfsFrame
+	var edgeStack []halfEdge
+	// scratch for per-block node dedup
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+
+	popBlock := func(u, v graph.Node) {
+		bid := int32(d.NumBlocks)
+		d.NumBlocks++
+		var members []graph.Node
+		addMember := func(x graph.Node) {
+			if stamp[x] != bid {
+				stamp[x] = bid
+				members = append(members, x)
+				d.NodeBlocks[x] = append(d.NodeBlocks[x], bid)
+			}
+		}
+		for {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			d.EdgeBlock[g.EdgeIndex(e.u, e.v)] = bid
+			d.EdgeBlock[g.EdgeIndex(e.v, e.u)] = bid
+			addMember(e.u)
+			addMember(e.v)
+			if e.u == u && e.v == v {
+				break
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		d.Blocks = append(d.Blocks, members)
+	}
+
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		disc[start] = time
+		low[start] = time
+		time++
+		stack = append(stack, dfsFrame{u: graph.Node(start), parent: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := g.Neighbors(f.u)
+			advanced := false
+			for f.idx < len(nbrs) {
+				v := nbrs[f.idx]
+				f.idx++
+				if v == f.parent {
+					continue
+				}
+				if disc[v] == -1 {
+					edgeStack = append(edgeStack, halfEdge{f.u, v})
+					disc[v] = time
+					low[v] = time
+					time++
+					stack = append(stack, dfsFrame{u: v, parent: f.u})
+					advanced = true
+					break
+				}
+				if disc[v] < disc[f.u] { // back edge to an ancestor
+					edgeStack = append(edgeStack, halfEdge{f.u, v})
+					if disc[v] < low[f.u] {
+						low[f.u] = disc[v]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.u is finished; fold into parent.
+			u := f.u
+			parent := f.parent
+			stack = stack[:len(stack)-1]
+			if parent < 0 {
+				continue
+			}
+			if low[u] < low[parent] {
+				low[parent] = low[u]
+			}
+			if low[u] >= disc[parent] {
+				popBlock(parent, u)
+			}
+		}
+	}
+
+	// Cutpoints are exactly the nodes in >= 2 blocks.
+	for v := 0; v < n; v++ {
+		d.IsCut[v] = len(d.NodeBlocks[v]) >= 2
+	}
+	return d
+}
+
+// Cutpoints returns the sorted list of cutpoints.
+func (d *Decomposition) Cutpoints() []graph.Node {
+	var cuts []graph.Node
+	for v, is := range d.IsCut {
+		if is {
+			cuts = append(cuts, graph.Node(v))
+		}
+	}
+	return cuts
+}
+
+// CommonBlock returns the id of the (unique) block containing both s and t,
+// or -1 if none exists. Two distinct blocks share at most one node, so the
+// common block is unique for s != t.
+func (d *Decomposition) CommonBlock(s, t graph.Node) int32 {
+	a, b := d.NodeBlocks[s], d.NodeBlocks[t]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return a[i]
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return -1
+}
+
+// BlockOfEdge returns the block id of the undirected edge {u, v}, or -1 if
+// the edge is absent.
+func (d *Decomposition) BlockOfEdge(u, v graph.Node) int32 {
+	idx := d.G.EdgeIndex(u, v)
+	if idx < 0 {
+		return -1
+	}
+	return d.EdgeBlock[idx]
+}
+
+// BlockSize returns the number of nodes of block b.
+func (d *Decomposition) BlockSize(b int32) int { return len(d.Blocks[b]) }
+
+// blockBFS is a reusable, epoch-stamped workspace for BFS restricted to the
+// edges of one block.
+type blockBFS struct {
+	dist  []int32
+	stamp []int32
+	epoch int32
+	queue []graph.Node
+}
+
+func (d *Decomposition) newBlockBFS() *blockBFS {
+	n := d.G.NumNodes()
+	w := &blockBFS{dist: make([]int32, n), stamp: make([]int32, n)}
+	for i := range w.stamp {
+		w.stamp[i] = -1
+	}
+	return w
+}
+
+// run executes a BFS from source using only block-b edges and returns the
+// eccentricity of source and the farthest node found.
+func (w *blockBFS) run(d *Decomposition, b int32, source graph.Node) (ecc int32, far graph.Node) {
+	w.epoch++
+	e := w.epoch
+	w.queue = w.queue[:0]
+	w.queue = append(w.queue, source)
+	w.stamp[source] = e
+	w.dist[source] = 0
+	far = source
+	for head := 0; head < len(w.queue); head++ {
+		u := w.queue[head]
+		du := w.dist[u]
+		base := d.G.AdjOffset(u)
+		for i, v := range d.G.Neighbors(u) {
+			if d.EdgeBlock[base+int64(i)] != b {
+				continue
+			}
+			if w.stamp[v] != e {
+				w.stamp[v] = e
+				w.dist[v] = du + 1
+				if du+1 > ecc {
+					ecc = du + 1
+					far = v
+				}
+				w.queue = append(w.queue, v)
+			}
+		}
+	}
+	return ecc, far
+}
+
+// BlockDiameter returns the exact diameter of block b (BFS from every block
+// node, restricted to block edges). Intended for small blocks and tests.
+func (d *Decomposition) BlockDiameter(b int32) int32 {
+	w := d.newBlockBFS()
+	var diam int32
+	for _, s := range d.Blocks[b] {
+		if e, _ := w.run(d, b, s); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// BlockDiameterBounds returns a (lower, upper) bound pair for the diameter of
+// block b using a double sweep: lower = eccentricity found by two BFS
+// passes, upper = 2 * eccentricity of the second source. upper >= true
+// diameter >= lower always.
+func (d *Decomposition) BlockDiameterBounds(b int32) (lo, hi int32) {
+	nodes := d.Blocks[b]
+	if len(nodes) <= 1 {
+		return 0, 0
+	}
+	w := d.newBlockBFS()
+	_, far := w.run(d, b, nodes[0])
+	ecc2, _ := w.run(d, b, far)
+	return ecc2, 2 * ecc2
+}
+
+// BlockDiameterUpperBound returns a memoized upper bound on the diameter of
+// block b: exact for blocks of at most exactThreshold nodes (size-2 blocks
+// are free), double-sweep 2*ecc otherwise. Safe for concurrent use.
+func (d *Decomposition) BlockDiameterUpperBound(b int32, exactThreshold int) int32 {
+	d.diamMu.Lock()
+	if d.diamUB == nil {
+		d.diamUB = make([]int32, d.NumBlocks)
+		for i := range d.diamUB {
+			d.diamUB[i] = -1
+		}
+	}
+	if v := d.diamUB[b]; v >= 0 {
+		d.diamMu.Unlock()
+		return v
+	}
+	d.diamMu.Unlock()
+	var v int32
+	switch {
+	case len(d.Blocks[b]) == 2:
+		v = 1
+	case len(d.Blocks[b]) <= exactThreshold:
+		v = d.BlockDiameter(b)
+	default:
+		_, v = d.BlockDiameterBounds(b)
+	}
+	d.diamMu.Lock()
+	d.diamUB[b] = v
+	d.diamMu.Unlock()
+	return v
+}
+
+// MaxBlockDiameterUpperBound returns an upper bound on BD(V) = max block
+// diameter (Eq 35), used by the VC-dimension machinery. Exact diameters are
+// used for blocks of at most exactThreshold nodes; larger blocks use the
+// double-sweep 2*ecc upper bound. Memoized after the first call.
+func (d *Decomposition) MaxBlockDiameterUpperBound(exactThreshold int) int32 {
+	var bd int32
+	for b := int32(0); int(b) < d.NumBlocks; b++ {
+		if v := d.BlockDiameterUpperBound(b, exactThreshold); v > bd {
+			bd = v
+		}
+	}
+	return bd
+}
+
+// Validate checks decomposition invariants (every edge in exactly one block,
+// node block lists sorted and consistent). For tests and debugging.
+func (d *Decomposition) Validate() error {
+	g := d.G
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		base := g.AdjOffset(u)
+		for i, v := range g.Neighbors(u) {
+			b := d.EdgeBlock[base+int64(i)]
+			if b < 0 || int(b) >= d.NumBlocks {
+				return fmt.Errorf("bicomp: edge (%d,%d) has invalid block %d", u, v, b)
+			}
+			if rb := d.EdgeBlock[g.EdgeIndex(v, u)]; rb != b {
+				return fmt.Errorf("bicomp: edge (%d,%d) block %d != reverse %d", u, v, b, rb)
+			}
+		}
+	}
+	for v, bs := range d.NodeBlocks {
+		for i := 1; i < len(bs); i++ {
+			if bs[i-1] >= bs[i] {
+				return fmt.Errorf("bicomp: NodeBlocks[%d] not sorted", v)
+			}
+		}
+		if d.IsCut[v] != (len(bs) >= 2) {
+			return fmt.Errorf("bicomp: IsCut[%d]=%v inconsistent with %d blocks", v, d.IsCut[v], len(bs))
+		}
+	}
+	var total int
+	for b, members := range d.Blocks {
+		if len(members) < 2 {
+			return fmt.Errorf("bicomp: block %d has %d nodes", b, len(members))
+		}
+		total += len(members)
+		for _, u := range members {
+			found := false
+			for _, bb := range d.NodeBlocks[u] {
+				if bb == int32(b) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("bicomp: node %d missing block %d in NodeBlocks", u, b)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package bicomp
+
+import (
+	"sync"
+	"testing"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+func TestBlockDiameterUpperBoundMemoized(t *testing.T) {
+	g := testutil.RandomConnectedGraph(60, 80, 2)
+	d := Decompose(g)
+	first := make([]int32, d.NumBlocks)
+	for b := int32(0); int(b) < d.NumBlocks; b++ {
+		first[b] = d.BlockDiameterUpperBound(b, 16)
+	}
+	// second pass must return identical values (served from the memo)
+	for b := int32(0); int(b) < d.NumBlocks; b++ {
+		if got := d.BlockDiameterUpperBound(b, 16); got != first[b] {
+			t.Fatalf("block %d: memoized %d != first %d", b, got, first[b])
+		}
+	}
+}
+
+func TestBlockDiameterUpperBoundIsUpperBound(t *testing.T) {
+	g := testutil.RandomConnectedGraph(40, 50, 9)
+	d := Decompose(g)
+	for b := int32(0); int(b) < d.NumBlocks; b++ {
+		exact := d.BlockDiameter(b)
+		// threshold 0 forces the double-sweep path for all blocks > 2 nodes
+		if ub := d.BlockDiameterUpperBound(b, 0); ub < exact {
+			t.Errorf("block %d: upper bound %d < exact %d", b, ub, exact)
+		}
+	}
+}
+
+func TestBlockDiameterUpperBoundSizeTwoBlocks(t *testing.T) {
+	g := graph.Path(5) // all blocks are single edges
+	d := Decompose(g)
+	for b := int32(0); int(b) < d.NumBlocks; b++ {
+		if ub := d.BlockDiameterUpperBound(b, 64); ub != 1 {
+			t.Errorf("edge block %d: bound %d, want 1", b, ub)
+		}
+	}
+}
+
+func TestBlockDiameterUpperBoundConcurrent(t *testing.T) {
+	g := testutil.RandomConnectedGraph(80, 120, 4)
+	d := Decompose(g)
+	var wg sync.WaitGroup
+	results := make([][]int32, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]int32, d.NumBlocks)
+			for b := int32(0); int(b) < d.NumBlocks; b++ {
+				out[b] = d.BlockDiameterUpperBound(b, 16)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for b := range results[0] {
+			if results[w][b] != results[0][b] {
+				t.Fatalf("worker %d block %d: %d != %d", w, b, results[w][b], results[0][b])
+			}
+		}
+	}
+}

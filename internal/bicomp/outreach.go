@@ -1,0 +1,268 @@
+package bicomp
+
+import (
+	"fmt"
+
+	"saphyra/internal/graph"
+)
+
+// OutReach holds the out-reach quantities of Section IV-A: for every block
+// C_i and node v in C_i, r_i(v) = |R_i(v)| is the number of nodes reachable
+// from v without passing through any other node of C_i (Claim 9: the r_i(v)
+// of a block partition v's connected component).
+//
+// From the r values it derives, per block i,
+//
+//	S_i = sum_{v in C_i} r_i(v)            (= size of the component, Eq 18)
+//	Q_i = sum_{v in C_i} r_i(v)^2
+//	w_i = S_i^2 - Q_i                      (unnormalized pair mass of C_i)
+//
+// so that gamma = (sum_i w_i) / (n(n-1)) (Eq 19) and, for a target set A,
+// eta = (sum_{i in I(A)} w_i) / (sum_i w_i) (Eq 23). The cutpoint correction
+// bca(v) (Eq 21, generalized to any number of blocks per Lemma 14) is
+//
+//	bca(v) = sum_{C_i contains v} (S_i - r_i(v)) (r_i(v) - 1) / (n(n-1)).
+type OutReach struct {
+	D *Decomposition
+	// R[b][j] = r_b(v) for v = D.Blocks[b][j].
+	R [][]int64
+	// S[b], Q[b], W[b] as defined above. W[b] = S[b]^2 - Q[b].
+	S, Q, W []int64
+	// WTotal = sum_b W[b] as float64 (can exceed int64 for path-like graphs
+	// at extreme scale).
+	WTotal float64
+	// cut maps (block<<32 | node) -> r for cutpoints only; non-cutpoints
+	// always have r = 1.
+	cut map[int64]int64
+}
+
+// NewOutReach computes all out-reach quantities in O(n + total block size)
+// using a weighted DP over the block-cut tree.
+func NewOutReach(d *Decomposition) *OutReach {
+	o := &OutReach{
+		D:   d,
+		R:   make([][]int64, d.NumBlocks),
+		S:   make([]int64, d.NumBlocks),
+		Q:   make([]int64, d.NumBlocks),
+		W:   make([]int64, d.NumBlocks),
+		cut: make(map[int64]int64),
+	}
+
+	// Build the block-cut tree. Tree nodes: blocks [0, L), then cutpoints
+	// [L, L+C). Each tree node carries a vertex weight: a block's weight is
+	// the number of its non-cutpoint vertices; a cutpoint's weight is 1.
+	// Subtree weight sums then count distinct graph vertices exactly once.
+	L := d.NumBlocks
+	cutIndex := make(map[graph.Node]int32)
+	var cuts []graph.Node
+	for v, is := range d.IsCut {
+		if is {
+			cutIndex[graph.Node(v)] = int32(L + len(cuts))
+			cuts = append(cuts, graph.Node(v))
+		}
+	}
+	T := L + len(cuts)
+	weight := make([]int64, T)
+	treeAdj := make([][]int32, T)
+	for b := 0; b < L; b++ {
+		w := int64(len(d.Blocks[b]))
+		for _, v := range d.Blocks[b] {
+			if d.IsCut[v] {
+				w--
+				c := cutIndex[v]
+				treeAdj[b] = append(treeAdj[b], c)
+				treeAdj[c] = append(treeAdj[c], int32(b))
+			}
+		}
+		weight[b] = w
+	}
+	for i, v := range cuts {
+		weight[L+i] = 1
+		_ = v
+	}
+
+	// Iterative rooted DP: subtree weights and parent pointers per tree
+	// component.
+	parent := make([]int32, T)
+	sub := make([]int64, T)
+	order := make([]int32, 0, T)
+	visited := make([]bool, T)
+	for root := 0; root < T; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		parent[root] = -1
+		order = order[:0]
+		order = append(order, int32(root))
+		for head := 0; head < len(order); head++ {
+			x := order[head]
+			for _, y := range treeAdj[x] {
+				if !visited[y] {
+					visited[y] = true
+					parent[y] = x
+					order = append(order, y)
+				}
+			}
+		}
+		// accumulate subtree weights bottom-up (reverse BFS order)
+		for i := len(order) - 1; i >= 0; i-- {
+			x := order[i]
+			sub[x] = weight[x]
+			for _, y := range treeAdj[x] {
+				if y != parent[x] {
+					sub[x] += sub[y]
+				}
+			}
+		}
+	}
+
+	// r_b(v): 1 for non-cutpoints. For cutpoint c in block b, removing the
+	// tree edge (c, b) splits the component; r is the weight of the side
+	// containing c.
+	for b := 0; b < L; b++ {
+		members := d.Blocks[b]
+		rs := make([]int64, len(members))
+		var compSize int64
+		if len(members) > 0 {
+			compSize = d.CompSize[d.CompLabel[members[0]]]
+		}
+		var S, Q int64
+		for j, v := range members {
+			r := int64(1)
+			if d.IsCut[v] {
+				c := cutIndex[v]
+				var down int64
+				if parent[c] == int32(b) {
+					down = compSize - sub[c]
+				} else {
+					// parent of block b must be c (tree edge orientation)
+					down = sub[int32(b)]
+				}
+				r = compSize - down
+				o.cut[outReachKey(int32(b), v)] = r
+			}
+			rs[j] = r
+			S += r
+			Q += r * r
+		}
+		o.R[b] = rs
+		o.S[b] = S
+		o.Q[b] = Q
+		o.W[b] = S*S - Q
+		o.WTotal += float64(o.W[b])
+	}
+	return o
+}
+
+func outReachKey(b int32, v graph.Node) int64 {
+	return int64(b)<<32 | int64(uint32(v))
+}
+
+// Of returns r_b(v) for node v in block b. It is O(1): non-cutpoints always
+// have r = 1 and cutpoint values are stored in a map. Calling it for a node
+// outside the block returns 1 (callers must ensure membership).
+func (o *OutReach) Of(b int32, v graph.Node) int64 {
+	if !o.D.IsCut[v] {
+		return 1
+	}
+	if r, ok := o.cut[outReachKey(b, v)]; ok {
+		return r
+	}
+	return 1
+}
+
+// Gamma returns gamma (Eq 19): the probability that a random shortest path
+// of the SP space survives into the ISP space, i.e. (sum_i w_i) / (n(n-1)).
+func (o *OutReach) Gamma() float64 {
+	n := float64(o.D.G.NumNodes())
+	if n < 2 {
+		return 0
+	}
+	return o.WTotal / (n * (n - 1))
+}
+
+// WeightOfBlocks returns sum_{i in I} w_i for the given block set as float64.
+func (o *OutReach) WeightOfBlocks(blocks []int32) float64 {
+	var s float64
+	for _, b := range blocks {
+		s += float64(o.W[b])
+	}
+	return s
+}
+
+// Eta returns eta for a target set A (Eq 23): the fraction of ISP mass in
+// blocks touching A. blocksOfA must be the de-duplicated I(A).
+func (o *OutReach) Eta(blocksOfA []int32) float64 {
+	if o.WTotal == 0 {
+		return 0
+	}
+	return o.WeightOfBlocks(blocksOfA) / o.WTotal
+}
+
+// BlocksOf returns I(A): the sorted, de-duplicated ids of blocks containing
+// at least one node of A (Eq 22).
+func (o *OutReach) BlocksOf(a []graph.Node) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, v := range a {
+		for _, b := range o.D.NodeBlocks[v] {
+			if _, ok := seen[b]; !ok {
+				seen[b] = struct{}{}
+				out = append(out, b)
+			}
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+// BCA returns bca(v) (Eq 21): the probability that v is a break point of a
+// random shortest path of the SP space. Zero for non-cutpoints.
+func (o *OutReach) BCA(v graph.Node) float64 {
+	if !o.D.IsCut[v] {
+		return 0
+	}
+	n := float64(o.D.G.NumNodes())
+	if n < 2 {
+		return 0
+	}
+	var acc float64
+	for _, b := range o.D.NodeBlocks[v] {
+		r := float64(o.Of(b, v))
+		S := float64(o.S[b])
+		acc += (S - r) * (r - 1)
+	}
+	return acc / (n * (n - 1))
+}
+
+// PairMass returns the unnormalized pair mass q'_{st} = r_b(s) * r_b(t) for
+// a pair of distinct nodes of block b. The SP-space probability of any
+// single shortest path between them is q'_{st} / (sigma_st * n(n-1)).
+func (o *OutReach) PairMass(b int32, s, t graph.Node) float64 {
+	return float64(o.Of(b, s)) * float64(o.Of(b, t))
+}
+
+// CheckClaim9 verifies sum_{v in C_i} r_i(v) = |component| for every block
+// (Claim 9 / Eq 18). For tests.
+func (o *OutReach) CheckClaim9() error {
+	for b := 0; b < o.D.NumBlocks; b++ {
+		members := o.D.Blocks[b]
+		if len(members) == 0 {
+			continue
+		}
+		comp := o.D.CompSize[o.D.CompLabel[members[0]]]
+		if o.S[b] != comp {
+			return fmt.Errorf("bicomp: block %d: sum r = %d, component size = %d", b, o.S[b], comp)
+		}
+	}
+	return nil
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package closeness implements subset ranking by harmonic closeness
+// centrality, the first of the paper's stated future-work extensions of the
+// SaPHyRa framework (Section VI).
+//
+// Harmonic closeness of v is c(v) = (1/(n-1)) * sum_{u != v} 1/d(u, v)
+// (terms with unreachable u are 0). A sample is a uniform source u; the
+// per-hypothesis loss for target v is 1/d(u, v) in [0, 1] -- a bounded but
+// non-binary loss, so this package runs its own progressive estimator with
+// empirical Bernstein stopping (per-target variance) instead of the 0/1
+// framework plumbing. One BFS per sample prices all targets at once, which
+// is what makes subset ranking cheap.
+package closeness
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/stats"
+)
+
+// Options configures the estimator.
+type Options struct {
+	Epsilon    float64 // additive error; default 0.05
+	Delta      float64 // failure probability; default 0.01
+	Workers    int
+	Seed       int64
+	MaxSamples int64 // optional cap; default 64/eps^2 * ln-scaled ceiling
+}
+
+func (o *Options) setDefaults() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Result holds harmonic closeness estimates for the target set.
+type Result struct {
+	Nodes        []graph.Node
+	Closeness    []float64
+	Samples      int64
+	Rounds       int
+	StoppedEarly bool
+}
+
+// Estimate computes (eps, delta)-estimates of harmonic closeness for the
+// targets by source sampling.
+func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+	opt.setDefaults()
+	if len(a) == 0 {
+		return nil, errors.New("closeness: empty target set")
+	}
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, errors.New("closeness: graph too small")
+	}
+	nodes := dedupSorted(a)
+	k := len(nodes)
+	eps, delta := opt.Epsilon, opt.Delta
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return nil, errors.New("closeness: epsilon and delta must be in (0,1)")
+	}
+
+	n0 := int64(math.Ceil(stats.VCConstant / (eps * eps) * math.Log(1/delta)))
+	if n0 < 1 {
+		n0 = 1
+	}
+	nmax := stats.UnionSampleSize(eps, delta, k) * 4
+	if nmax < n0 {
+		nmax = n0
+	}
+	if opt.MaxSamples > 0 {
+		if nmax > opt.MaxSamples {
+			nmax = opt.MaxSamples
+		}
+		if n0 > nmax {
+			n0 = nmax
+		}
+	}
+	rounds := int64(1)
+	if nmax > n0 {
+		rounds = int64(math.Ceil(math.Log2(float64(nmax) / float64(n0))))
+	}
+	deltaI := delta / (2 * float64(rounds) * float64(k))
+
+	res := &Result{Nodes: nodes}
+	accs := make([]stats.MeanVar, k)
+	var drawn int64
+	target := n0
+	workers := opt.Workers
+	rngs := make([]*rand.Rand, workers)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(opt.Seed + int64(w+1)*612_361))
+	}
+	for {
+		res.Rounds++
+		batchParallel(g, nodes, rngs, target-drawn, accs)
+		drawn = target
+		worst := 0.0
+		for i := range accs {
+			if e := stats.EpsilonBernstein(drawn, deltaI, accs[i].Variance()); e > worst {
+				worst = e
+			}
+		}
+		if worst <= eps {
+			res.StoppedEarly = true
+			break
+		}
+		if drawn >= nmax {
+			break
+		}
+		target = drawn * 2
+		if target > nmax {
+			target = nmax
+		}
+	}
+	res.Samples = drawn
+	res.Closeness = make([]float64, k)
+	for i := range accs {
+		res.Closeness[i] = accs[i].Mean()
+	}
+	return res, nil
+}
+
+func batchParallel(g *graph.Graph, nodes []graph.Node, rngs []*rand.Rand, count int64, accs []stats.MeanVar) {
+	if count <= 0 {
+		return
+	}
+	workers := len(rngs)
+	n := g.NumNodes()
+	locals := make([][]stats.MeanVar, workers)
+	var wg sync.WaitGroup
+	base := count / int64(workers)
+	rem := count % int64(workers)
+	for w := 0; w < workers; w++ {
+		quota := base
+		if int64(w) < rem {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, quota int64) {
+			defer wg.Done()
+			local := make([]stats.MeanVar, len(nodes))
+			dist := make([]int32, n)
+			for j := int64(0); j < quota; j++ {
+				u := graph.Node(rngs[w].Intn(n))
+				dist = graph.BFSDistances(g, u, dist)
+				for i, v := range nodes {
+					x := 0.0
+					if v != u && dist[v] > 0 {
+						x = 1 / float64(dist[v])
+					}
+					local[i].Add(x)
+				}
+			}
+			locals[w] = local
+		}(w, quota)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		for i := range accs {
+			accs[i].Merge(&local[i])
+		}
+	}
+}
+
+// Exact computes exact harmonic closeness for every node: c(v) =
+// sum_{u != v} (1/d(u,v)) / (n-1), one BFS per node. O(n*m).
+func Exact(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	dist := make([]int32, n)
+	for u := 0; u < n; u++ {
+		dist = graph.BFSDistances(g, graph.Node(u), dist)
+		for v, d := range dist {
+			if v != u && d > 0 {
+				out[v] += 1 / float64(d)
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(n - 1)
+	}
+	return out
+}
+
+func dedupSorted(a []graph.Node) []graph.Node {
+	out := make([]graph.Node, len(a))
+	copy(out, a)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}

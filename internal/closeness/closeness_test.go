@@ -1,0 +1,121 @@
+package closeness
+
+import (
+	"math"
+	"testing"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/rank"
+	"saphyra/internal/testutil"
+)
+
+func TestExactPath(t *testing.T) {
+	// P3: ends have (1 + 1/2)/2 = 0.75, middle has (1+1)/2 = 1.
+	g := graph.Path(3)
+	c := Exact(g)
+	if math.Abs(c[0]-0.75) > 1e-12 || math.Abs(c[2]-0.75) > 1e-12 {
+		t.Errorf("ends = %g, %g, want 0.75", c[0], c[2])
+	}
+	if math.Abs(c[1]-1) > 1e-12 {
+		t.Errorf("middle = %g, want 1", c[1])
+	}
+}
+
+func TestExactDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	c := Exact(g)
+	// each of {0,1} reaches only the other: 1/(n-1) = 1/3
+	if math.Abs(c[0]-1.0/3) > 1e-12 {
+		t.Errorf("c[0] = %g, want 1/3", c[0])
+	}
+	if c[2] != 0 || c[3] != 0 {
+		t.Error("isolated nodes should have closeness 0")
+	}
+}
+
+func TestEstimateWithinEpsilon(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := testutil.RandomConnectedGraph(40, 40, seed)
+		truth := Exact(g)
+		var a []graph.Node
+		for v := 0; v < 40; v += 4 {
+			a = append(a, graph.Node(v))
+		}
+		res, err := Estimate(g, a, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Nodes {
+			if math.Abs(res.Closeness[i]-truth[v]) > 0.05 {
+				t.Errorf("seed %d node %d: est %g truth %g", seed, v, res.Closeness[i], truth[v])
+			}
+		}
+	}
+}
+
+func TestEstimateRankQuality(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, 6)
+	truth := Exact(g)
+	var a []graph.Node
+	var truthA []float64
+	var ids []int32
+	for v := 0; v < 200; v += 5 {
+		a = append(a, graph.Node(v))
+		truthA = append(truthA, truth[v])
+		ids = append(ids, int32(v))
+	}
+	res, err := Estimate(g, a, Options{Epsilon: 0.02, Delta: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := rank.Spearman(truthA, res.Closeness, ids)
+	if rho < 0.9 {
+		t.Errorf("closeness rank correlation = %g, want >= 0.9", rho)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, err := Estimate(g, nil, Options{}); err == nil {
+		t.Error("empty targets: want error")
+	}
+	if _, err := Estimate(g, []graph.Node{0}, Options{Epsilon: 2}); err == nil {
+		t.Error("bad epsilon: want error")
+	}
+	tiny := graph.NewBuilder(1).Build()
+	if _, err := Estimate(tiny, []graph.Node{0}, Options{}); err == nil {
+		t.Error("tiny graph: want error")
+	}
+}
+
+func TestEstimateMaxSamplesCap(t *testing.T) {
+	g := graph.Cycle(30)
+	res, err := Estimate(g, []graph.Node{0, 7, 15}, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1, MaxSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples > 100 {
+		t.Errorf("samples = %d exceeds cap", res.Samples)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 4)
+	opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 21, Workers: 2}
+	a := []graph.Node{1, 2, 3}
+	r1, err := Estimate(g, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Estimate(g, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Closeness {
+		if r1.Closeness[i] != r2.Closeness[i] {
+			t.Error("nondeterministic closeness estimate")
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"saphyra/internal/bicomp"
+	"saphyra/internal/graph"
+	"saphyra/internal/shortestpath"
+	"saphyra/internal/vc"
+)
+
+// VCBoundKind selects which VC-dimension upper bound feeds the Lemma 4
+// sample ceiling (ablation of Table I).
+type VCBoundKind int
+
+const (
+	// VCSubset uses the paper's personalized bound log(BS(A)) + 1 (default).
+	VCSubset VCBoundKind = iota
+	// VCBicomp uses the full-network bi-component bound log(BD(V)-1) + 1.
+	VCBicomp
+	// VCRiondato uses the [45] bound log(VD(V)-1) + 1 from the graph
+	// diameter.
+	VCRiondato
+)
+
+// BCOptions configures SaPHyRa_bc.
+type BCOptions struct {
+	Epsilon float64 // additive error on betweenness (Eq 2); default 0.05
+	Delta   float64 // failure probability; default 0.01
+	Workers int     // sampling goroutines; <= 0 means GOMAXPROCS
+	Seed    int64
+
+	VCBound VCBoundKind
+	// DisableExactSubspace ablates the 2-hop exact subspace: everything is
+	// estimated by sampling (plain bi-component sampling).
+	DisableExactSubspace bool
+	// DisableAdaptive ablates Bernstein early stopping (always draw the
+	// full VC budget).
+	DisableAdaptive bool
+	// MaxSamples optionally caps sampling (guarantee void when binding).
+	MaxSamples int64
+}
+
+func (o *BCOptions) setDefaults() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
+}
+
+// BCResult is the output of SaPHyRa_bc for a target set A.
+type BCResult struct {
+	// Nodes is the sorted, de-duplicated target set.
+	Nodes []graph.Node
+	// BC[i] is the betweenness estimate of Nodes[i] (Eq 3 normalization).
+	BC []float64
+	// BCA[i] is the exactly-computed cutpoint term bca(Nodes[i]).
+	BCA []float64
+
+	Gamma, Eta float64 // ISP survival mass and personalized fraction
+	EpsStar    float64 // tolerance passed to the framework (eps / (gamma*eta))
+	Est        *Estimate
+}
+
+// BCPreprocessed caches the target-independent preprocessing (bi-component
+// decomposition and out-reach tables) so several target sets can be ranked
+// on the same graph without redoing the O(n + m) setup.
+type BCPreprocessed struct {
+	G *graph.Graph
+	D *bicomp.Decomposition
+	O *bicomp.OutReach
+}
+
+// PreprocessBC decomposes the graph and computes out-reach tables.
+func PreprocessBC(g *graph.Graph) *BCPreprocessed {
+	d := bicomp.Decompose(g)
+	return &BCPreprocessed{G: g, D: d, O: bicomp.NewOutReach(d)}
+}
+
+// EstimateBC runs the full SaPHyRa_bc pipeline on graph g for target set a.
+func EstimateBC(g *graph.Graph, a []graph.Node, opt BCOptions) (*BCResult, error) {
+	return PreprocessBC(g).EstimateBC(a, opt)
+}
+
+// EstimateBC runs SaPHyRa_bc for one target set on the preprocessed graph.
+func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, error) {
+	opt.setDefaults()
+	if len(a) == 0 {
+		return nil, errors.New("core: empty target set")
+	}
+	g, o := p.G, p.O
+	n := g.NumNodes()
+	for _, v := range a {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("core: target node %d out of range [0,%d)", v, n)
+		}
+	}
+	nodes := dedupSorted(a)
+	k := len(nodes)
+
+	res := &BCResult{
+		Nodes: nodes,
+		BC:    make([]float64, k),
+		BCA:   make([]float64, k),
+	}
+	for i, v := range nodes {
+		res.BCA[i] = o.BCA(v)
+	}
+
+	blocksA := o.BlocksOf(nodes)
+	wA := o.WeightOfBlocks(blocksA)
+	res.Gamma = o.Gamma()
+	if o.WTotal > 0 {
+		res.Eta = wA / o.WTotal
+	}
+	gammaEta := 0.0
+	if n >= 2 {
+		gammaEta = wA / (float64(n) * float64(n-1))
+	}
+	if gammaEta <= 0 {
+		// No intra-block pair mass touches A (e.g. isolated nodes): the
+		// estimate is just the exact cutpoint term.
+		copy(res.BC, res.BCA)
+		return res, nil
+	}
+	// bc = gammaEta * R + bca, so an eps target on bc allows a tolerance of
+	// eps / gammaEta on R. (Section IV-D writes eps* = eps*gamma*eta; with
+	// that literal choice Theorem 24 would not follow, so we use the
+	// division — see DESIGN.md.)
+	epsStar := opt.Epsilon / gammaEta
+	res.EpsStar = epsStar
+
+	space, err := newBCSpace(p, nodes, blocksA, wA, opt)
+	if err != nil {
+		return nil, err
+	}
+	if epsStar >= 1 {
+		// Any estimate in [0,1] is within eps of the truth after scaling by
+		// gammaEta < eps; skip sampling and return the exact part alone.
+		lambdaHat, exact := space.ExactPhase()
+		for i := range res.BC {
+			res.BC[i] = res.BCA[i] + gammaEta*exact[i]
+		}
+		res.Est = &Estimate{
+			Risks:      exact,
+			ExactRisks: exact,
+			LambdaHat:  lambdaHat,
+			EpsPrime:   math.Inf(1),
+			VCDim:      space.VCDim(),
+		}
+		return res, nil
+	}
+	est, err := Run(space, Options{
+		Epsilon:         epsStar,
+		Delta:           opt.Delta,
+		Workers:         opt.Workers,
+		Seed:            opt.Seed,
+		DisableAdaptive: opt.DisableAdaptive,
+		MaxSamples:      opt.MaxSamples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Est = est
+	for i := range res.BC {
+		res.BC[i] = res.BCA[i] + gammaEta*est.Risks[i]
+	}
+	return res, nil
+}
+
+func dedupSorted(a []graph.Node) []graph.Node {
+	out := make([]graph.Node, len(a))
+	copy(out, a)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// bcSpace implements Space for RSP_bc (Section IV-B): the sample space is
+// the personalized ISP space X_c^(A); the exact subspace is the set of
+// 2-hop intra-block shortest paths whose middle node is in A (Eq 29).
+type bcSpace struct {
+	p       *BCPreprocessed
+	nodes   []graph.Node
+	aIndex  []int32 // node -> index in nodes, or -1
+	blocksA []int32
+	wA      float64
+
+	// multistage sampling tables (Algorithm 2)
+	blockCum []float64           // cumulative w_i over blocksA
+	sCum     map[int32][]float64 // per block: cumulative r(s)*(S-r(s))
+	tCum     map[int32][]float64 // per block: cumulative r(t)
+	members  map[int32][]graph.Node
+
+	lambdaHat float64
+	exact     []float64
+	vcdim     int
+
+	disableExact bool
+}
+
+func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float64, opt BCOptions) (*bcSpace, error) {
+	g, d, o := p.G, p.D, p.O
+	n := g.NumNodes()
+	sp := &bcSpace{
+		p:            p,
+		nodes:        nodes,
+		aIndex:       make([]int32, n),
+		blocksA:      blocksA,
+		wA:           wA,
+		sCum:         make(map[int32][]float64, len(blocksA)),
+		tCum:         make(map[int32][]float64, len(blocksA)),
+		members:      make(map[int32][]graph.Node, len(blocksA)),
+		disableExact: opt.DisableExactSubspace,
+	}
+	for i := range sp.aIndex {
+		sp.aIndex[i] = -1
+	}
+	for i, v := range nodes {
+		sp.aIndex[v] = int32(i)
+	}
+
+	// Multistage tables.
+	sp.blockCum = make([]float64, len(blocksA))
+	var acc float64
+	for j, b := range blocksA {
+		acc += float64(o.W[b])
+		sp.blockCum[j] = acc
+		ms := d.Blocks[b]
+		sp.members[b] = ms
+		sc := make([]float64, len(ms))
+		tc := make([]float64, len(ms))
+		var sAcc, tAcc float64
+		S := float64(o.S[b])
+		for i, v := range ms {
+			r := float64(o.Of(b, v))
+			sAcc += r * (S - r)
+			tAcc += r
+			sc[i] = sAcc
+			tc[i] = tAcc
+		}
+		sp.sCum[b] = sc
+		sp.tCum[b] = tc
+	}
+
+	// VC dimension (Corollary 22 / Table I).
+	switch opt.VCBound {
+	case VCRiondato:
+		diamUB := int32(0)
+		if n > 0 {
+			// 2 * eccentricity of an arbitrary node upper-bounds the
+			// diameter of its component; take the max over components via
+			// the block bound fallback for safety.
+			diamUB = 2 * graph.Eccentricity(g, maxDegreeNode(g))
+			if bd := d.MaxBlockDiameterUpperBound(64); bd > diamUB {
+				diamUB = bd
+			}
+		}
+		sp.vcdim = vc.Riondato(diamUB)
+	case VCBicomp:
+		sp.vcdim = vc.FullNetwork(d.MaxBlockDiameterUpperBound(64))
+	default:
+		sp.vcdim = vc.Subset(d, nodes, 64)
+		if full := vc.FullNetwork(d.MaxBlockDiameterUpperBound(64)); sp.vcdim > full {
+			sp.vcdim = full
+		}
+	}
+	if sp.vcdim < 1 {
+		sp.vcdim = 1
+	}
+
+	if sp.disableExact {
+		sp.lambdaHat = 0
+		sp.exact = make([]float64, len(nodes))
+	} else {
+		sp.lambdaHat, sp.exact = exactBC(p, nodes, sp.aIndex, sp.wA, opt.Workers)
+	}
+	return sp, nil
+}
+
+func maxDegreeNode(g *graph.Graph) graph.Node {
+	var best graph.Node
+	bd := -1
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > bd {
+			bd = d
+			best = u
+		}
+	}
+	return best
+}
+
+// NumHypotheses implements Space.
+func (sp *bcSpace) NumHypotheses() int { return len(sp.nodes) }
+
+// VCDim implements Space.
+func (sp *bcSpace) VCDim() int { return sp.vcdim }
+
+// ExactPhase implements Space.
+func (sp *bcSpace) ExactPhase() (float64, []float64) { return sp.lambdaHat, sp.exact }
+
+// exactBC is Algorithm Exact_bc (Section IV-B): it enumerates, for every
+// endpoint s adjacent to A, the 2-hop shortest paths s-v-t with both edges
+// in the same block, and accumulates
+//
+//	lhat_v     += q'_st / (sigma_st * W_A)   for qualifying middles v in A
+//	lambdaHat  += the same mass (summed over all A-middles)
+//
+// over ordered endpoint pairs. Runs in O(sum_{v in B} deg(v)^2) like
+// Lemma 18, parallelized over endpoints with a static split (so the output
+// is deterministic: per-worker partials are merged in worker order).
+func exactBC(p *BCPreprocessed, nodes []graph.Node, aIndex []int32, wA float64, workers int) (float64, []float64) {
+	g := p.G
+	n := g.NumNodes()
+
+	// endpoint candidates: neighbors of A
+	endpoint := make([]bool, n)
+	var endpoints []graph.Node
+	for _, v := range nodes {
+		for _, s := range g.Neighbors(v) {
+			if !endpoint[s] {
+				endpoint[s] = true
+				endpoints = append(endpoints, s)
+			}
+		}
+	}
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(endpoints) {
+		workers = len(endpoints)
+	}
+	if workers <= 1 {
+		return exactBCRange(p, endpoints, aIndex, wA, len(nodes))
+	}
+	lambdas := make([]float64, workers)
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(endpoints) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(endpoints) {
+			hi = len(endpoints)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lambdas[w], partials[w] = exactBCRange(p, endpoints[lo:hi], aIndex, wA, len(nodes))
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	exact := make([]float64, len(nodes))
+	var lambdaHat float64
+	for w := 0; w < workers; w++ {
+		if partials[w] == nil {
+			continue
+		}
+		lambdaHat += lambdas[w]
+		for i, x := range partials[w] {
+			exact[i] += x
+		}
+	}
+	return lambdaHat, exact
+}
+
+// exactBCRange processes one contiguous endpoint range with private scratch
+// arrays.
+func exactBCRange(p *BCPreprocessed, endpoints []graph.Node, aIndex []int32, wA float64, k int) (float64, []float64) {
+	g, d, o := p.G, p.D, p.O
+	n := g.NumNodes()
+	exact := make([]float64, k)
+	var lambdaHat float64
+
+	// scratch arrays with epoch stamps
+	sigma := make([]int32, n)
+	stamp := make([]int32, n)
+	isNbr := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+		isNbr[i] = -1
+	}
+
+	for epoch, s := range endpoints {
+		e := int32(epoch)
+		// mark neighbors of s
+		for _, v := range g.Neighbors(s) {
+			isNbr[v] = e
+		}
+		// phase 1: sigma_st for all t at distance 2 (common-neighbor counts)
+		for _, v := range g.Neighbors(s) {
+			for _, t := range g.Neighbors(v) {
+				if t == s || isNbr[t] == e {
+					continue
+				}
+				if stamp[t] != e {
+					stamp[t] = e
+					sigma[t] = 0
+				}
+				sigma[t]++
+			}
+		}
+		// phase 2: contributions of middles in A with the intra-block
+		// condition eb(s,v) == eb(v,t)
+		sBase := g.AdjOffset(s)
+		for i, v := range g.Neighbors(s) {
+			ai := aIndex[v]
+			if ai < 0 {
+				continue
+			}
+			bSV := d.EdgeBlock[sBase+int64(i)]
+			rS := float64(o.Of(bSV, s))
+			vBase := g.AdjOffset(v)
+			for j, t := range g.Neighbors(v) {
+				if t == s || isNbr[t] == e {
+					continue
+				}
+				if d.EdgeBlock[vBase+int64(j)] != bSV {
+					continue
+				}
+				// ordered pair (s, t), block bSV, sigma from phase 1
+				mass := rS * float64(o.Of(bSV, t)) / (float64(sigma[t]) * wA)
+				exact[ai] += mass
+				lambdaHat += mass
+			}
+		}
+	}
+	return lambdaHat, exact
+}
+
+// NewSampler implements Space: Algorithm Gen_bc (Algorithm 2), multistage
+// sampling with rejection of exact-subspace paths.
+func (sp *bcSpace) NewSampler(seed int64) Sampler {
+	return &bcSampler{
+		sp:  sp,
+		rng: rand.New(rand.NewSource(seed)),
+		bfs: shortestpath.NewBiBFS(sp.p.G.NumNodes()),
+	}
+}
+
+type bcSampler struct {
+	sp   *bcSpace
+	rng  *rand.Rand
+	bfs  *shortestpath.BiBFS
+	hits []int32
+}
+
+// Draw implements Sampler.
+func (s *bcSampler) Draw() []int32 {
+	sp := s.sp
+	g := sp.p.G
+	for {
+		// stage 1: block proportional to w_i
+		total := sp.blockCum[len(sp.blockCum)-1]
+		j := sort.SearchFloat64s(sp.blockCum, s.rng.Float64()*total)
+		if j >= len(sp.blockCum) {
+			j = len(sp.blockCum) - 1
+		}
+		b := sp.blocksA[j]
+		members := sp.members[b]
+		sc, tc := sp.sCum[b], sp.tCum[b]
+
+		// stage 2: source proportional to r(s)(S - r(s))
+		si := sort.SearchFloat64s(sc, s.rng.Float64()*sc[len(sc)-1])
+		if si >= len(members) {
+			si = len(members) - 1
+		}
+		src := members[si]
+
+		// stage 3: target proportional to r(t) over members \ {src}: draw a
+		// point in the cumulative mass with src's interval excised.
+		rs := tc[si]
+		if si > 0 {
+			rs -= tc[si-1]
+		}
+		pos := s.rng.Float64() * (tc[len(tc)-1] - rs)
+		var before float64
+		if si > 0 {
+			before = tc[si-1]
+		}
+		if pos >= before {
+			pos += rs
+		}
+		ti := sort.SearchFloat64s(tc, pos)
+		if ti >= len(members) {
+			ti = len(members) - 1
+		}
+		if ti == si { // float boundary: nudge deterministically
+			if ti+1 < len(members) {
+				ti++
+			} else {
+				ti--
+			}
+		}
+		dst := members[ti]
+
+		// stage 4: uniform shortest path between src and dst
+		dist, _, ok := s.bfs.Query(g, src, dst)
+		if !ok {
+			continue // defensive: members of one block are always connected
+		}
+		path := s.bfs.SamplePath(g, s.rng)
+		// rejection: exact-subspace paths (length 2 with middle in A)
+		if !sp.disableExact && dist == 2 && sp.aIndex[path[1]] >= 0 {
+			continue
+		}
+		s.hits = s.hits[:0]
+		for _, v := range path[1 : len(path)-1] {
+			if ai := sp.aIndex[v]; ai >= 0 {
+				s.hits = append(s.hits, ai)
+			}
+		}
+		return s.hits
+	}
+}
+
+var _ Space = (*bcSpace)(nil)

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"saphyra/internal/exact"
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+// When the target's personalized pair mass gamma*eta falls below epsilon,
+// any risk value is within tolerance after rescaling, so the estimator must
+// skip sampling entirely and stay correct.
+func TestEstimateBCTrivialToleranceSkipsSampling(t *testing.T) {
+	// A big clique with a small pendant path: target only the pendant
+	// nodes, whose blocks carry a vanishing fraction of the pair mass.
+	b := graph.NewBuilder(0)
+	const k = 60
+	for i := graph.Node(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	b.AddEdge(0, k)   // pendant path k - k+1
+	b.AddEdge(k, k+1) // second pendant edge
+	g := b.Build()
+	truth := exact.BC(g)
+	res, err := EstimateBC(g, []graph.Node{k, k + 1}, BCOptions{Epsilon: 0.2, Delta: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsStar < 1 {
+		t.Skipf("fixture not trivial enough: epsStar = %g", res.EpsStar)
+	}
+	if res.Est.Samples != 0 {
+		t.Errorf("samples = %d, want 0 when epsStar >= 1", res.Est.Samples)
+	}
+	for i, v := range res.Nodes {
+		if math.Abs(res.BC[i]-truth[v]) > 0.2 {
+			t.Errorf("node %d: est %g truth %g", v, res.BC[i], truth[v])
+		}
+	}
+}
+
+// A single-hypothesis target set exercises the k=1 paths of the delta
+// allocation and the Bernstein loop.
+func TestEstimateBCSingleTarget(t *testing.T) {
+	g := testutil.RandomConnectedGraph(60, 90, 12)
+	truth := exact.BC(g)
+	for _, v := range []graph.Node{0, 13, 59} {
+		res, err := EstimateBC(g, []graph.Node{v}, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.BC[0]-truth[v]) > 0.05 {
+			t.Errorf("node %d: est %g truth %g", v, res.BC[0], truth[v])
+		}
+	}
+}
+
+// Workers exceeding the sample budget must not deadlock or change
+// correctness.
+func TestEstimateBCManyWorkers(t *testing.T) {
+	g := testutil.RandomConnectedGraph(40, 60, 7)
+	truth := exact.BC(g)
+	res, err := EstimateBC(g, []graph.Node{1, 2, 3}, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 2, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Nodes {
+		if math.Abs(res.BC[i]-truth[v]) > 0.1 {
+			t.Errorf("node %d: est %g truth %g", v, res.BC[i], truth[v])
+		}
+	}
+}
+
+// The BCA vector returned in the result must match the out-reach module's
+// values and be exact for cutpoints.
+func TestEstimateBCReportsBCA(t *testing.T) {
+	g := graph.Barbell(5, 4)
+	p := PreprocessBC(g)
+	var a []graph.Node
+	for v := 0; v < g.NumNodes(); v++ {
+		a = append(a, graph.Node(v))
+	}
+	res, err := p.EstimateBC(a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Nodes {
+		if want := p.O.BCA(v); res.BCA[i] != want {
+			t.Errorf("bca(%d) = %g, want %g", v, res.BCA[i], want)
+		}
+	}
+}
+
+// MaxSamples below the initial budget must clamp cleanly.
+func TestEstimateBCMaxSamplesBelowN0(t *testing.T) {
+	g := testutil.RandomConnectedGraph(50, 120, 9)
+	res, err := EstimateBC(g, []graph.Node{5, 10, 15}, BCOptions{
+		Epsilon: 0.01, Delta: 0.01, Seed: 4, MaxSamples: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Est != nil && res.Est.Samples > 50 {
+		t.Errorf("samples = %d exceeds cap 50", res.Est.Samples)
+	}
+}
+
+// Gamma and Eta reported by the estimator must match the out-reach module.
+func TestEstimateBCReportsGammaEta(t *testing.T) {
+	g := testutil.RandomConnectedGraph(80, 100, 10)
+	p := PreprocessBC(g)
+	a := []graph.Node{2, 40, 79}
+	res, err := p.EstimateBC(a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Gamma-p.O.Gamma()) > 1e-12 {
+		t.Errorf("gamma = %g, want %g", res.Gamma, p.O.Gamma())
+	}
+	wantEta := p.O.Eta(p.O.BlocksOf(res.Nodes))
+	if math.Abs(res.Eta-wantEta) > 1e-12 {
+		t.Errorf("eta = %g, want %g", res.Eta, wantEta)
+	}
+}
+
+// Estimates must always be valid betweenness values: in [0, 1] and zero for
+// degree-<2 nodes.
+func TestEstimateBCRangeInvariants(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := testutil.RandomConnectedGraph(40, 30, seed)
+		var a []graph.Node
+		for v := 0; v < 40; v += 2 {
+			a = append(a, graph.Node(v))
+		}
+		res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Nodes {
+			if res.BC[i] < 0 || res.BC[i] > 1 {
+				t.Errorf("seed %d: bc(%d) = %g outside [0,1]", seed, v, res.BC[i])
+			}
+			if g.Degree(v) < 2 && res.BC[i] != 0 {
+				t.Errorf("seed %d: leaf %d has bc %g, want 0", seed, v, res.BC[i])
+			}
+		}
+	}
+}

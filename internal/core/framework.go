@@ -1,0 +1,320 @@
+// Package core implements the paper's two contributions: the generic
+// SaPHyRa sample-space-partitioning framework for hypothesis ranking
+// (Algorithm 1, Section III) and its betweenness-centrality instantiation
+// SaPHyRa_bc (Section IV).
+//
+// The framework estimates the expected risks of k hypotheses with 0/1
+// losses. The sample space is split into an exact subspace (risks computed
+// exactly by the Space implementation) and an approximate subspace (risks
+// estimated by adaptive sampling with empirical Bernstein stopping and a VC
+// sample-size ceiling). The combined estimate
+//
+//	l_i = lhat_i + lambda * ltilde_i,   lambda = 1 - lambdaHat,
+//
+// is an (eps, delta)-estimation of the true risks (Theorem 6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"saphyra/internal/stats"
+)
+
+// Space describes a partitioned hypothesis-ranking problem with 0/1 losses.
+// Implementations must be safe for concurrent use of independent Samplers.
+type Space interface {
+	// NumHypotheses returns k.
+	NumHypotheses() int
+	// ExactPhase returns lambdaHat (the probability mass of the exact
+	// subspace) and the exact risks of every hypothesis on it (Eq 9).
+	ExactPhase() (lambdaHat float64, exact []float64)
+	// VCDim upper-bounds the VC dimension of the hypothesis class on the
+	// approximate subspace (used for the Lemma 4 sample ceiling).
+	VCDim() int
+	// NewSampler returns an independent sampler of the approximate
+	// distribution (Eq 10) seeded deterministically.
+	NewSampler(seed int64) Sampler
+}
+
+// Sampler draws samples from the approximate subspace. Draw returns the
+// indices of the hypotheses whose loss is 1 on the drawn sample; the slice
+// is only valid until the next Draw.
+type Sampler interface {
+	Draw() []int32
+}
+
+// Options configures Algorithm 1.
+type Options struct {
+	Epsilon float64 // additive error target (on the combined risks)
+	Delta   float64 // failure probability
+	Workers int     // sampling goroutines; <= 0 means GOMAXPROCS
+	Seed    int64   // base RNG seed; fixed seed + fixed Workers => deterministic output
+
+	// DisableAdaptive skips the empirical-Bernstein early-stopping checks
+	// and always draws the full VC budget (ablation of Section III-C).
+	DisableAdaptive bool
+	// MaxSamples optionally caps the number of samples (0 = no cap). When
+	// the cap binds, the (eps, delta) guarantee is void; intended for
+	// time-boxed experiments.
+	MaxSamples int64
+}
+
+// Estimate is the result of Algorithm 1.
+type Estimate struct {
+	Risks        []float64 // combined estimates l_i
+	ExactRisks   []float64 // lhat_i
+	ApproxRisks  []float64 // ltilde_i (empirical means on the approximate subspace)
+	LambdaHat    float64   // exact-subspace mass
+	EpsPrime     float64   // eps / (1 - lambdaHat): per-sample tolerance
+	VCDim        int
+	N0, NMax     int64 // initial and ceiling sample counts
+	Samples      int64 // samples actually drawn (excluding the pilot)
+	PilotN       int64 // pilot samples used for the delta allocation
+	Rounds       int   // doubling rounds executed
+	StoppedEarly bool  // true if Bernstein certified eps' before NMax
+}
+
+// Run executes Algorithm 1 on the given space.
+func Run(space Space, opt Options) (*Estimate, error) {
+	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
+		return nil, fmt.Errorf("core: epsilon must be in (0,1), got %g", opt.Epsilon)
+	}
+	if opt.Delta <= 0 || opt.Delta >= 1 {
+		return nil, fmt.Errorf("core: delta must be in (0,1), got %g", opt.Delta)
+	}
+	k := space.NumHypotheses()
+	if k == 0 {
+		return nil, errors.New("core: no hypotheses")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	lambdaHat, exact := space.ExactPhase()
+	if lambdaHat < 0 {
+		lambdaHat = 0
+	}
+	if lambdaHat > 1 {
+		lambdaHat = 1
+	}
+	lambda := 1 - lambdaHat
+	est := &Estimate{
+		Risks:       make([]float64, k),
+		ExactRisks:  exact,
+		ApproxRisks: make([]float64, k),
+		LambdaHat:   lambdaHat,
+		VCDim:       space.VCDim(),
+	}
+	if lambda < 1e-12 {
+		// The exact subspace carries all the mass: no sampling needed.
+		copy(est.Risks, exact)
+		est.EpsPrime = math.Inf(1)
+		return est, nil
+	}
+	epsPrime := opt.Epsilon / lambda
+	est.EpsPrime = epsPrime
+
+	n0 := int64(math.Ceil(stats.VCConstant / (epsPrime * epsPrime) * math.Log(1/opt.Delta)))
+	if n0 < 1 {
+		n0 = 1
+	}
+	nmax := stats.VCSampleSize(epsPrime, opt.Delta, est.VCDim)
+	if nmax < n0 {
+		nmax = n0
+	}
+	if opt.MaxSamples > 0 {
+		if n0 > opt.MaxSamples {
+			n0 = opt.MaxSamples
+		}
+		if nmax > opt.MaxSamples {
+			nmax = opt.MaxSamples
+		}
+	}
+	est.N0, est.NMax = n0, nmax
+	rounds := int64(1)
+	if nmax > n0 {
+		rounds = int64(math.Ceil(math.Log2(float64(nmax) / float64(n0))))
+	}
+
+	// Pilot phase (Section III-C): draw n0 independent samples to estimate
+	// per-hypothesis variances, derive the per-hypothesis error-probability
+	// allocation delta_i (Eq 13), rescaled so sum_i 2 delta_i = delta/rounds.
+	pilotHits := make([]int64, k)
+	drawParallel(space, opt.Seed+7_777_777, workers, n0, pilotHits)
+	est.PilotN = n0
+	deltaBudget := opt.Delta / (2 * float64(rounds))
+	deltas := allocateDeltas(pilotHits, n0, nmax, epsPrime, deltaBudget)
+
+	// Main adaptive loop: double until Bernstein certifies eps' for every
+	// hypothesis or the VC ceiling is reached.
+	hits := make([]int64, k)
+	samplers := makeSamplers(space, opt.Seed, workers)
+	var n int64
+	target := n0
+	for {
+		est.Rounds++
+		drawParallelWith(samplers, target-n, hits)
+		n = target
+		if !opt.DisableAdaptive {
+			worst := 0.0
+			for i := range hits {
+				v := stats.BernoulliSampleVariance(hits[i], n)
+				if e := stats.EpsilonBernstein(n, deltas[i], v); e > worst {
+					worst = e
+				}
+			}
+			if worst <= epsPrime {
+				est.StoppedEarly = true
+				break
+			}
+		}
+		if n >= nmax {
+			break
+		}
+		target = n * 2
+		if target > nmax {
+			target = nmax
+		}
+	}
+	est.Samples = n
+	for i := range hits {
+		est.ApproxRisks[i] = float64(hits[i]) / float64(n)
+		est.Risks[i] = exact[i] + lambda*est.ApproxRisks[i]
+	}
+	return est, nil
+}
+
+// allocateDeltas implements the Eq 13-15 allocation: each hypothesis gets
+// delta_i proportional to the largest failure probability under which its
+// pilot variance already meets epsPrime at the sample ceiling, rescaled to
+// sum to budget. Falls back to a uniform split when the pilot is degenerate.
+func allocateDeltas(pilotHits []int64, pilotN, nmax int64, epsPrime, budget float64) []float64 {
+	k := len(pilotHits)
+	deltas := make([]float64, k)
+	var sum float64
+	for i, h := range pilotHits {
+		v := stats.BernoulliSampleVariance(h, pilotN)
+		d := stats.DeltaForEpsilon(nmax, v, epsPrime)
+		deltas[i] = d
+		sum += d
+	}
+	if sum <= 0 {
+		for i := range deltas {
+			deltas[i] = budget / float64(k)
+		}
+		return deltas
+	}
+	scale := budget / sum
+	for i := range deltas {
+		deltas[i] *= scale
+		if deltas[i] >= 1 {
+			deltas[i] = 0.999999
+		}
+	}
+	return deltas
+}
+
+func makeSamplers(space Space, seed int64, workers int) []Sampler {
+	ss := make([]Sampler, workers)
+	for w := range ss {
+		ss[w] = space.NewSampler(seed + int64(w+1)*1_000_003)
+	}
+	return ss
+}
+
+// drawParallel draws total samples with fresh samplers and accumulates hit
+// counts (used for the pilot).
+func drawParallel(space Space, seed int64, workers int, total int64, hits []int64) {
+	drawParallelWith(makeSamplers(space, seed, workers), total, hits)
+}
+
+// drawParallelWith draws `total` samples across the samplers with a static,
+// deterministic quota split, merging per-worker hit counts into hits.
+// Batches smaller than smallBatch stay on the caller's goroutine: for the
+// tiny budgets typical of subset ranking, goroutine wakeups would dominate
+// the sampling itself.
+func drawParallelWith(samplers []Sampler, total int64, hits []int64) {
+	if total <= 0 {
+		return
+	}
+	const smallBatch = 2048
+	if total < smallBatch {
+		s := samplers[0]
+		for j := int64(0); j < total; j++ {
+			for _, idx := range s.Draw() {
+				hits[idx]++
+			}
+		}
+		return
+	}
+	workers := len(samplers)
+	var wg sync.WaitGroup
+	locals := make([][]int64, workers)
+	base := total / int64(workers)
+	rem := total % int64(workers)
+	for w := 0; w < workers; w++ {
+		quota := base
+		if int64(w) < rem {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, quota int64) {
+			defer wg.Done()
+			local := make([]int64, len(hits))
+			s := samplers[w]
+			for j := int64(0); j < quota; j++ {
+				for _, idx := range s.Draw() {
+					local[idx]++
+				}
+			}
+			locals[w] = local
+		}(w, quota)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		for i, c := range local {
+			hits[i] += c
+		}
+	}
+}
+
+// DirectSpace adapts a plain sampling problem (no partition) to the Space
+// interface: lambdaHat = 0 and exact risks are all zero. Used by baselines
+// and as the "no exact subspace" ablation.
+type DirectSpace struct {
+	K    int
+	Dim  int
+	Make func(seed int64) Sampler
+}
+
+// NumHypotheses implements Space.
+func (d *DirectSpace) NumHypotheses() int { return d.K }
+
+// ExactPhase implements Space with an empty exact subspace.
+func (d *DirectSpace) ExactPhase() (float64, []float64) {
+	return 0, make([]float64, d.K)
+}
+
+// VCDim implements Space.
+func (d *DirectSpace) VCDim() int { return d.Dim }
+
+// NewSampler implements Space.
+func (d *DirectSpace) NewSampler(seed int64) Sampler { return d.Make(seed) }
+
+var _ Space = (*DirectSpace)(nil)
+
+// SamplerFunc adapts a function to the Sampler interface.
+type SamplerFunc func() []int32
+
+// Draw implements Sampler.
+func (f SamplerFunc) Draw() []int32 { return f() }
+
+var _ Sampler = SamplerFunc(nil)

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// coinSpace is a synthetic Space: hypothesis i has loss 1 with probability
+// approxRisk[i] on an approximate-subspace sample (independent coins), and
+// an exact subspace of mass lambdaHat carrying exact risks.
+type coinSpace struct {
+	lambdaHat  float64
+	exactRisk  []float64
+	approxRisk []float64
+	dim        int
+}
+
+func (c *coinSpace) NumHypotheses() int { return len(c.approxRisk) }
+func (c *coinSpace) VCDim() int         { return c.dim }
+func (c *coinSpace) ExactPhase() (float64, []float64) {
+	e := make([]float64, len(c.exactRisk))
+	copy(e, c.exactRisk)
+	return c.lambdaHat, e
+}
+func (c *coinSpace) NewSampler(seed int64) Sampler {
+	rng := rand.New(rand.NewSource(seed))
+	hits := make([]int32, 0, len(c.approxRisk))
+	return SamplerFunc(func() []int32 {
+		hits = hits[:0]
+		for i, p := range c.approxRisk {
+			if rng.Float64() < p {
+				hits = append(hits, int32(i))
+			}
+		}
+		return hits
+	})
+}
+
+// trueRisk returns the combined risk of hypothesis i.
+func (c *coinSpace) trueRisk(i int) float64 {
+	return c.exactRisk[i] + (1-c.lambdaHat)*c.approxRisk[i]
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	sp := &coinSpace{approxRisk: []float64{0.1}, exactRisk: []float64{0}, dim: 1}
+	for _, opt := range []Options{
+		{Epsilon: 0, Delta: 0.1},
+		{Epsilon: 1.5, Delta: 0.1},
+		{Epsilon: 0.1, Delta: 0},
+		{Epsilon: 0.1, Delta: 1},
+	} {
+		if _, err := Run(sp, opt); err == nil {
+			t.Errorf("opt %+v: want error", opt)
+		}
+	}
+	empty := &coinSpace{dim: 1}
+	if _, err := Run(empty, Options{Epsilon: 0.1, Delta: 0.1}); err == nil {
+		t.Error("empty hypothesis class: want error")
+	}
+}
+
+func TestRunEstimatesWithinEpsilon(t *testing.T) {
+	sp := &coinSpace{
+		lambdaHat:  0.3,
+		exactRisk:  []float64{0.02, 0, 0.1, 0.25},
+		approxRisk: []float64{0.5, 0.03, 0.2, 0.4},
+		dim:        3,
+	}
+	const eps = 0.05
+	est, err := Run(sp, Options{Epsilon: eps, Delta: 0.01, Workers: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sp.approxRisk {
+		if diff := math.Abs(est.Risks[i] - sp.trueRisk(i)); diff > eps {
+			t.Errorf("hypothesis %d: |est-true| = %g > eps", i, diff)
+		}
+	}
+	if est.Samples <= 0 || est.Samples > est.NMax {
+		t.Errorf("samples = %d, nmax = %d", est.Samples, est.NMax)
+	}
+	if est.LambdaHat != 0.3 {
+		t.Errorf("lambdaHat = %g", est.LambdaHat)
+	}
+}
+
+func TestRunRepeatedCoverage(t *testing.T) {
+	// Across many independent runs, the fraction violating eps must stay
+	// well under delta (here delta = 0.1, and in practice bounds are loose).
+	sp := &coinSpace{
+		lambdaHat:  0,
+		exactRisk:  []float64{0, 0},
+		approxRisk: []float64{0.3, 0.05},
+		dim:        2,
+	}
+	const eps, delta = 0.08, 0.1
+	bad := 0
+	const runs = 60
+	for r := 0; r < runs; r++ {
+		est, err := Run(sp, Options{Epsilon: eps, Delta: delta, Workers: 2, Seed: int64(1000 + r)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sp.approxRisk {
+			if math.Abs(est.Risks[i]-sp.trueRisk(i)) > eps {
+				bad++
+				break
+			}
+		}
+	}
+	if frac := float64(bad) / runs; frac > delta {
+		t.Errorf("violations in %g of runs, budget %g", frac, delta)
+	}
+}
+
+func TestRunAllMassExact(t *testing.T) {
+	sp := &coinSpace{
+		lambdaHat:  1,
+		exactRisk:  []float64{0.7, 0.1},
+		approxRisk: []float64{0.9, 0.9}, // must be ignored
+		dim:        5,
+	}
+	est, err := Run(sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 0 {
+		t.Errorf("samples = %d, want 0", est.Samples)
+	}
+	for i, want := range sp.exactRisk {
+		if est.Risks[i] != want {
+			t.Errorf("risk[%d] = %g, want %g", i, est.Risks[i], want)
+		}
+	}
+}
+
+func TestRunEarlyStoppingOnLowVariance(t *testing.T) {
+	// All-zero risks: variance 0, Bernstein certifies immediately, so the
+	// adaptive run must stop far below the VC ceiling.
+	sp := &coinSpace{
+		lambdaHat:  0,
+		exactRisk:  make([]float64, 3),
+		approxRisk: make([]float64, 3),
+		dim:        10, // large ceiling
+	}
+	est, err := Run(sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.StoppedEarly {
+		t.Error("expected early stopping with zero variance")
+	}
+	if est.Samples >= est.NMax {
+		t.Errorf("samples = %d should be < nmax = %d", est.Samples, est.NMax)
+	}
+}
+
+func TestRunDisableAdaptiveDrawsFullBudget(t *testing.T) {
+	sp := &coinSpace{
+		lambdaHat:  0,
+		exactRisk:  make([]float64, 2),
+		approxRisk: []float64{0, 0},
+		dim:        4,
+	}
+	est, err := Run(sp, Options{Epsilon: 0.05, Delta: 0.05, Seed: 2, DisableAdaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.StoppedEarly {
+		t.Error("adaptive disabled but StoppedEarly set")
+	}
+	if est.Samples != est.NMax {
+		t.Errorf("samples = %d, want nmax = %d", est.Samples, est.NMax)
+	}
+}
+
+func TestRunMaxSamplesCap(t *testing.T) {
+	sp := &coinSpace{
+		lambdaHat:  0,
+		exactRisk:  make([]float64, 2),
+		approxRisk: []float64{0.5, 0.5},
+		dim:        8,
+	}
+	est, err := Run(sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 3, MaxSamples: 500, DisableAdaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples > 500 {
+		t.Errorf("samples = %d exceeds cap", est.Samples)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	sp := &coinSpace{
+		lambdaHat:  0.2,
+		exactRisk:  []float64{0.01, 0.05},
+		approxRisk: []float64{0.3, 0.6},
+		dim:        3,
+	}
+	opt := Options{Epsilon: 0.05, Delta: 0.05, Workers: 3, Seed: 77}
+	a, err := Run(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Risks {
+		if a.Risks[i] != b.Risks[i] {
+			t.Errorf("risk[%d]: %g vs %g (nondeterministic)", i, a.Risks[i], b.Risks[i])
+		}
+	}
+	if a.Samples != b.Samples {
+		t.Errorf("samples differ: %d vs %d", a.Samples, b.Samples)
+	}
+}
+
+func TestAllocateDeltasSumsToBudget(t *testing.T) {
+	pilot := []int64{0, 5, 50, 100}
+	deltas := allocateDeltas(pilot, 100, 10000, 0.05, 0.01)
+	var sum float64
+	for _, d := range deltas {
+		if d <= 0 || d >= 1 {
+			t.Errorf("delta out of range: %g", d)
+		}
+		sum += d
+	}
+	if math.Abs(sum-0.01) > 1e-12 {
+		t.Errorf("sum = %g, want 0.01", sum)
+	}
+}
+
+func TestAllocateDeltasDegeneratePilot(t *testing.T) {
+	// When DeltaForEpsilon returns ~0 everywhere the allocation must fall
+	// back to a uniform split rather than dividing by zero.
+	pilot := []int64{50, 50}
+	deltas := allocateDeltas(pilot, 100, 10, 1e-9, 0.02) // eps' unreachably small
+	var sum float64
+	for _, d := range deltas {
+		sum += d
+	}
+	if sum <= 0 || sum > 0.02+1e-12 {
+		t.Errorf("fallback sum = %g", sum)
+	}
+}
+
+func TestDirectSpace(t *testing.T) {
+	ds := &DirectSpace{
+		K:   2,
+		Dim: 1,
+		Make: func(seed int64) Sampler {
+			rng := rand.New(rand.NewSource(seed))
+			return SamplerFunc(func() []int32 {
+				if rng.Float64() < 0.25 {
+					return []int32{0}
+				}
+				return nil
+			})
+		},
+	}
+	est, err := Run(ds, Options{Epsilon: 0.05, Delta: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Risks[0]-0.25) > 0.05 {
+		t.Errorf("risk[0] = %g, want ~0.25", est.Risks[0])
+	}
+	if math.Abs(est.Risks[1]) > 0.05 {
+		t.Errorf("risk[1] = %g, want ~0", est.Risks[1])
+	}
+}

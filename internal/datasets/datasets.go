@@ -1,0 +1,232 @@
+// Package datasets provides the seeded synthetic stand-ins for the paper's
+// evaluation networks (Table II) and the USA-road areas (Table III).
+//
+// The paper uses SNAP crawls (Flickr, LiveJournal, Orkut) and the DIMACS
+// challenge-9 USA road network, none of which are available offline, so each
+// is substituted by a generator tuned to echo the structural features the
+// experiments actually exercise (see DESIGN.md):
+//
+//   - social graphs: heavy-tailed degrees, small diameter, and a controlled
+//     fraction of degree-1 "leaf" nodes. Leaves have betweenness exactly 0,
+//     which drives the paper's true-zero fractions (Fig 6: Flickr 59%,
+//     LiveJournal 29%, Orkut 4%);
+//   - road graph: bounded degree, very large diameter (stressing the
+//     VD-based VC bound that SaPHyRa's bi-component bound improves on), and
+//     coordinate-addressable areas for the Fig 7 case study.
+//
+// All generators are deterministic in (name, scale).
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"saphyra/internal/graph"
+)
+
+// Network is a named synthetic stand-in.
+type Network struct {
+	Name string
+	// PaperNodes / PaperEdges / PaperDiam record the original network's
+	// statistics from Table II for the EXPERIMENTS.md comparison.
+	PaperNodes, PaperEdges string
+	PaperDiam              int
+	build                  func(scale float64) *graph.Graph
+}
+
+// Build materializes the network at the given scale (1.0 = default
+// laptop-size experiment; node counts grow linearly with scale).
+func (n Network) Build(scale float64) *graph.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	return n.build(scale)
+}
+
+// withLeaves attaches extra degree-1 nodes to an existing core graph,
+// degree-proportionally (hubs attract more leaves, as in real crawls).
+func withLeaves(core *graph.Graph, leaves int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := core.NumNodes()
+	b := graph.NewBuilder(n + leaves)
+	// degree-proportional endpoint pool
+	pool := make([]graph.Node, 0, 2*core.NumEdges())
+	for u := graph.Node(0); int(u) < n; u++ {
+		for _, v := range core.Neighbors(u) {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+			pool = append(pool, u)
+		}
+	}
+	for i := 0; i < leaves; i++ {
+		b.AddEdge(graph.Node(n+i), pool[rng.Intn(len(pool))])
+	}
+	return b.Build()
+}
+
+func scaled(base int, scale float64) int {
+	v := int(math.Round(float64(base) * scale))
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Flickr is the Flickr stand-in: scale-free core with ~50% leaf nodes
+// (Table II: 1.6M nodes, 15.5M edges, diameter 24; Fig 6: 59% true zeros).
+var Flickr = Network{
+	Name:       "flickr-sim",
+	PaperNodes: "1.6M", PaperEdges: "15.5M", PaperDiam: 24,
+	build: func(scale float64) *graph.Graph {
+		core := graph.PowerLawCluster(scaled(3000, scale), 6, 0.3, 101)
+		return withLeaves(core, scaled(3000, scale), 102)
+	},
+}
+
+// LiveJournal is the LiveJournal stand-in: larger core, ~33% leaves
+// (Table II: 5.2M nodes, 49.2M edges, diameter 23; Fig 6: 29% true zeros).
+var LiveJournal = Network{
+	Name:       "livejournal-sim",
+	PaperNodes: "5.2M", PaperEdges: "49.2M", PaperDiam: 23,
+	build: func(scale float64) *graph.Graph {
+		core := graph.PowerLawCluster(scaled(6000, scale), 8, 0.2, 201)
+		return withLeaves(core, scaled(3000, scale), 202)
+	},
+}
+
+// Orkut is the Orkut stand-in: dense core, very few leaves (Table II: 3.1M
+// nodes, 117.2M edges, diameter 10; Fig 6: 4% true zeros).
+var Orkut = Network{
+	Name:       "orkut-sim",
+	PaperNodes: "3.1M", PaperEdges: "117.2M", PaperDiam: 10,
+	build: func(scale float64) *graph.Graph {
+		core := graph.PowerLawCluster(scaled(8000, scale), 12, 0.1, 301)
+		return withLeaves(core, scaled(400, scale), 302)
+	},
+}
+
+// USARoad is the USA-road stand-in: a perturbed grid with embedded
+// coordinates (Table II: 23.9M nodes, 58.3M edges, diameter 1524), plus
+// ~18% dead-end spur roads appended after the grid ids (real road networks
+// are full of cul-de-sacs; they are the road graph's true-zero nodes in
+// Fig 6c). Grid node ids stay 0..side*side-1, so Areas remain valid.
+var USARoad = Network{
+	Name:       "usaroad-sim",
+	PaperNodes: "23.9M", PaperEdges: "58.3M", PaperDiam: 1524,
+	build: func(scale float64) *graph.Graph {
+		side := RoadSide(scale)
+		grid := graph.RoadNetwork(side, side, 0.35, 401)
+		return withLeaves(grid, side*side/6, 402)
+	},
+}
+
+// RoadSide returns the grid side length USARoad uses at the given scale
+// (needed to map node ids to coordinates).
+func RoadSide(scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	side := int(math.Round(110 * math.Sqrt(scale)))
+	if side < 8 {
+		side = 8
+	}
+	return side
+}
+
+// All lists the four Table II stand-ins in the paper's order.
+var All = []Network{Flickr, LiveJournal, USARoad, Orkut}
+
+// ByName returns the stand-in with the given name.
+func ByName(name string) (Network, error) {
+	for _, n := range All {
+		if n.Name == name || n.Name == name+"-sim" {
+			return n, nil
+		}
+	}
+	return Network{}, fmt.Errorf("datasets: unknown network %q (have flickr-sim, livejournal-sim, usaroad-sim, orkut-sim)", name)
+}
+
+// Area is a named coordinate-rectangle subset of the road network (the
+// Table III analogue: NYC, BAY, CO, FL).
+type Area struct {
+	Name                   string
+	PaperNodes, PaperEdges string
+	// fractions of the grid side occupied by the rectangle
+	r0, c0, r1, c1 float64
+}
+
+// roadAreas mirrors Table III's relative sizes: FL is the largest area,
+// NYC the smallest, placed in distinct corners of the map.
+var roadAreas = []Area{
+	{Name: "NYC", PaperNodes: "264K", PaperEdges: "734K", r0: 0.02, c0: 0.70, r1: 0.13, c1: 0.80},
+	{Name: "BAY", PaperNodes: "321K", PaperEdges: "800K", r0: 0.30, c0: 0.02, r1: 0.42, c1: 0.13},
+	{Name: "CO", PaperNodes: "435K", PaperEdges: "1,057K", r0: 0.40, c0: 0.40, r1: 0.54, c1: 0.54},
+	{Name: "FL", PaperNodes: "1,070K", PaperEdges: "2,713K", r0: 0.75, c0: 0.70, r1: 0.97, c1: 0.92},
+}
+
+// Areas returns the four Table III areas as node subsets of a road network
+// with the given grid side length.
+func Areas(side int) []NamedSubset {
+	out := make([]NamedSubset, 0, len(roadAreas))
+	for _, a := range roadAreas {
+		var nodes []graph.Node
+		r0 := int(a.r0 * float64(side))
+		r1 := int(a.r1 * float64(side))
+		c0 := int(a.c0 * float64(side))
+		c1 := int(a.c1 * float64(side))
+		for r := r0; r < r1; r++ {
+			for c := c0; c < c1; c++ {
+				nodes = append(nodes, graph.Node(r*side+c))
+			}
+		}
+		out = append(out, NamedSubset{Name: a.Name, Paper: a, Nodes: nodes})
+	}
+	return out
+}
+
+// NamedSubset is a labeled target set.
+type NamedSubset struct {
+	Name  string
+	Paper Area
+	Nodes []graph.Node
+}
+
+// RandomSubsets draws `count` subsets of `size` distinct random nodes each,
+// deterministically from the seed (the paper's 1000 x 100-node workload).
+func RandomSubsets(n, size, count int, seed int64) [][]graph.Node {
+	rng := rand.New(rand.NewSource(seed))
+	if size > n {
+		size = n
+	}
+	out := make([][]graph.Node, count)
+	for i := range out {
+		seen := make(map[graph.Node]struct{}, size)
+		subset := make([]graph.Node, 0, size)
+		for len(subset) < size {
+			v := graph.Node(rng.Intn(n))
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				subset = append(subset, v)
+			}
+		}
+		sort.Slice(subset, func(a, b int) bool { return subset[a] < subset[b] })
+		out[i] = subset
+	}
+	return out
+}
+
+// LHopSubset returns the nodes within l hops of center (including center),
+// the subset shape of Table I's third column.
+func LHopSubset(g *graph.Graph, center graph.Node, l int) []graph.Node {
+	dist := graph.BFSDistances(g, center, nil)
+	var out []graph.Node
+	for v, d := range dist {
+		if d >= 0 && d <= int32(l) {
+			out = append(out, graph.Node(v))
+		}
+	}
+	return out
+}

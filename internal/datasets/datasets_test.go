@@ -1,0 +1,182 @@
+package datasets
+
+import (
+	"testing"
+
+	"saphyra/internal/exact"
+	"saphyra/internal/graph"
+)
+
+func TestAllNetworksBuildSmall(t *testing.T) {
+	for _, net := range All {
+		g := net.Build(0.05)
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", net.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", net.Name, err)
+		}
+	}
+}
+
+func TestNetworksDeterministic(t *testing.T) {
+	a := Flickr.Build(0.05)
+	b := Flickr.Build(0.05)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same scale produced different graph sizes")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatalf("edge sets differ at %v", e)
+		}
+	}
+}
+
+func TestScaleGrowsNetworks(t *testing.T) {
+	small := Orkut.Build(0.05)
+	large := Orkut.Build(0.1)
+	if large.NumNodes() <= small.NumNodes() {
+		t.Errorf("scale 0.1 (%d nodes) not larger than 0.05 (%d nodes)",
+			large.NumNodes(), small.NumNodes())
+	}
+}
+
+func TestSocialStandInsHaveLeaves(t *testing.T) {
+	// The leaf fractions drive the Fig 6 true-zero ordering:
+	// flickr > livejournal > orkut.
+	frac := func(n Network) float64 {
+		g := n.Build(0.1)
+		leaves := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Degree(graph.Node(v)) == 1 {
+				leaves++
+			}
+		}
+		return float64(leaves) / float64(g.NumNodes())
+	}
+	f, l, o := frac(Flickr), frac(LiveJournal), frac(Orkut)
+	if !(f > l && l > o) {
+		t.Errorf("leaf fractions: flickr %g, livejournal %g, orkut %g; want decreasing", f, l, o)
+	}
+	if f < 0.3 {
+		t.Errorf("flickr-sim leaf fraction %g too low to reproduce true-zero dominance", f)
+	}
+}
+
+func TestLeavesAreTrueZeros(t *testing.T) {
+	g := Flickr.Build(0.03)
+	bc := exact.BC(g)
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.Node(v)) == 1 && bc[v] != 0 {
+			t.Fatalf("leaf %d has bc %g, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestRoadStandInDiameter(t *testing.T) {
+	g := USARoad.Build(0.05)
+	side := RoadSide(0.05)
+	if g.NumNodes() != side*side+side*side/6 {
+		t.Fatalf("nodes = %d, want %d grid + %d spurs", g.NumNodes(), side*side, side*side/6)
+	}
+	if d := graph.ApproxDiameter(g, 3, 1); d < int32(side)-1 {
+		t.Errorf("road diameter %d too small for a road-like graph (side %d)", d, side)
+	}
+	// the spur roads are the road graph's true-zero nodes (Fig 6c)
+	leaves := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.Node(v)) == 1 {
+			leaves++
+		}
+	}
+	if frac := float64(leaves) / float64(g.NumNodes()); frac < 0.1 {
+		t.Errorf("leaf fraction %g too low for Fig 6c true zeros", frac)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"flickr-sim", "flickr", "usaroad", "orkut-sim"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestAreasInsideGridAndDisjoint(t *testing.T) {
+	side := RoadSide(0.2)
+	areas := Areas(side)
+	if len(areas) != 4 {
+		t.Fatalf("areas = %d, want 4", len(areas))
+	}
+	seen := map[graph.Node]string{}
+	for _, a := range areas {
+		if len(a.Nodes) == 0 {
+			t.Errorf("area %s empty", a.Name)
+		}
+		for _, v := range a.Nodes {
+			if int(v) < 0 || int(v) >= side*side {
+				t.Fatalf("area %s node %d outside grid", a.Name, v)
+			}
+			if other, dup := seen[v]; dup {
+				t.Fatalf("areas %s and %s overlap at node %d", a.Name, other, v)
+			}
+			seen[v] = a.Name
+		}
+	}
+	// FL must be the largest, NYC the smallest (Table III ordering)
+	sizes := map[string]int{}
+	for _, a := range areas {
+		sizes[a.Name] = len(a.Nodes)
+	}
+	if !(sizes["FL"] > sizes["CO"] && sizes["CO"] > sizes["BAY"] && sizes["BAY"] >= sizes["NYC"]) {
+		t.Errorf("area sizes %v do not follow Table III ordering", sizes)
+	}
+}
+
+func TestRandomSubsets(t *testing.T) {
+	subs := RandomSubsets(50, 10, 5, 3)
+	if len(subs) != 5 {
+		t.Fatalf("count = %d", len(subs))
+	}
+	for _, s := range subs {
+		if len(s) != 10 {
+			t.Fatalf("size = %d", len(s))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				t.Fatal("subset not sorted/distinct")
+			}
+		}
+	}
+	again := RandomSubsets(50, 10, 5, 3)
+	for i := range subs {
+		for j := range subs[i] {
+			if subs[i][j] != again[i][j] {
+				t.Fatal("subsets not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomSubsetsClampsSize(t *testing.T) {
+	subs := RandomSubsets(5, 10, 1, 1)
+	if len(subs[0]) != 5 {
+		t.Errorf("size = %d, want clamped to 5", len(subs[0]))
+	}
+}
+
+func TestLHopSubset(t *testing.T) {
+	g := graph.Path(9)
+	sub := LHopSubset(g, 4, 2)
+	if len(sub) != 5 { // nodes 2..6
+		t.Fatalf("len = %d, want 5", len(sub))
+	}
+	for _, v := range sub {
+		if v < 2 || v > 6 {
+			t.Errorf("node %d outside 2-hop ball of 4", v)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBCStar(t *testing.T) {
+	// Star K_{1,4}: center lies on all paths between the 4 leaves:
+	// bc(center) = 4*3 / (5*4) = 0.6; leaves 0.
+	g := graph.Star(5)
+	bc := BC(g)
+	if math.Abs(bc[0]-0.6) > 1e-12 {
+		t.Errorf("bc(center) = %g, want 0.6", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if bc[v] != 0 {
+			t.Errorf("bc(leaf %d) = %g, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestBCPath(t *testing.T) {
+	// Path 0-1-2-3: bc(1) counts ordered pairs {0}x{2,3} and back = 4,
+	// normalized by 12.
+	g := graph.Path(4)
+	bc := BC(g)
+	want := []float64{0, 4.0 / 12, 4.0 / 12, 0}
+	if !almostEqual(bc, want, 1e-12) {
+		t.Errorf("bc = %v, want %v", bc, want)
+	}
+}
+
+func TestBCCycle(t *testing.T) {
+	// On C_5 all nodes are symmetric; each inner-node count: for each node v,
+	// pairs (s,t) whose unique shortest path passes v: distance-2 pairs
+	// through v: 2 ordered pairs... just check symmetry and positivity.
+	g := graph.Cycle(5)
+	bc := BC(g)
+	for v := 1; v < 5; v++ {
+		if math.Abs(bc[v]-bc[0]) > 1e-12 {
+			t.Errorf("cycle bc not symmetric: bc[%d]=%g bc[0]=%g", v, bc[v], bc[0])
+		}
+	}
+	if bc[0] <= 0 {
+		t.Error("cycle bc should be positive")
+	}
+}
+
+func TestBCCompleteIsZero(t *testing.T) {
+	g := graph.Complete(6)
+	for v, x := range BC(g) {
+		if x != 0 {
+			t.Errorf("bc(%d) = %g, want 0 in a clique", v, x)
+		}
+	}
+}
+
+func TestBCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(16)
+		g := testutil.RandomConnectedGraph(n, rng.Intn(2*n), seed)
+		got := BC(g)
+		want := testutil.BruteBC(g)
+		if !almostEqual(got, want, 1e-9) {
+			t.Logf("seed %d: bc mismatch\n got %v\nwant %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2) // path in component 1
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5) // path in component 2
+	g := b.Build()
+	bc := BC(g)
+	// node 1 is inner for ordered pairs (0,2) and (2,0): 2/30
+	if math.Abs(bc[1]-2.0/30) > 1e-12 {
+		t.Errorf("bc(1) = %g, want %g", bc[1], 2.0/30)
+	}
+	if math.Abs(bc[4]-2.0/30) > 1e-12 {
+		t.Errorf("bc(4) = %g, want %g", bc[4], 2.0/30)
+	}
+}
+
+func TestBCParallelMatchesSequential(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 9)
+	seq := BC(g)
+	for _, workers := range []int{1, 2, 4, 7} {
+		par := BCParallel(g, workers)
+		if !almostEqual(seq, par, 1e-9) {
+			t.Errorf("workers=%d: parallel differs from sequential", workers)
+		}
+	}
+}
+
+func TestBCParallelDefaultWorkers(t *testing.T) {
+	g := graph.Cycle(50)
+	if !almostEqual(BC(g), BCParallel(g, 0), 1e-12) {
+		t.Error("default worker count differs from sequential")
+	}
+}
+
+func TestBCTinyGraphs(t *testing.T) {
+	if got := BC(graph.NewBuilder(0).Build()); len(got) != 0 {
+		t.Error("empty graph should give empty bc")
+	}
+	one := graph.NewBuilder(1).Build()
+	if got := BC(one); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single node bc = %v", got)
+	}
+	two := graph.Path(2)
+	bc := BC(two)
+	if bc[0] != 0 || bc[1] != 0 {
+		t.Errorf("P2 bc = %v, want zeros", bc)
+	}
+}

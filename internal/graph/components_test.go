@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponentsSingle(t *testing.T) {
+	g := Cycle(5)
+	labels, sizes, count := ConnectedComponents(g)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if sizes[0] != 5 {
+		t.Errorf("size = %d, want 5", sizes[0])
+	}
+	for u, l := range labels {
+		if l != 0 {
+			t.Errorf("label[%d] = %d, want 0", u, l)
+		}
+	}
+}
+
+func TestConnectedComponentsMultiple(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Build()
+	labels, sizes, count := ConnectedComponents(g)
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] {
+		t.Error("component {3,4} split")
+	}
+	if labels[5] == labels[6] {
+		t.Error("isolated nodes merged")
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 7 {
+		t.Errorf("sizes sum = %d, want 7", total)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(10)
+	// component A: 0..5 path (6 nodes), component B: 6..9 cycle (4 nodes)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(Node(i), Node(i+1))
+	}
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	b.AddEdge(8, 9)
+	b.AddEdge(9, 6)
+	g := b.Build()
+	lcc, ids := LargestComponent(g)
+	if lcc.NumNodes() != 6 {
+		t.Fatalf("lcc n = %d, want 6", lcc.NumNodes())
+	}
+	if lcc.NumEdges() != 5 {
+		t.Fatalf("lcc m = %d, want 5", lcc.NumEdges())
+	}
+	for i, old := range ids {
+		if old != Node(i) {
+			t.Errorf("ids[%d] = %d, want %d", i, old, i)
+		}
+	}
+}
+
+func TestLargestComponentAlreadyConnected(t *testing.T) {
+	g := Cycle(8)
+	lcc, ids := LargestComponent(g)
+	if lcc != g {
+		t.Error("connected graph should be returned as-is")
+	}
+	if len(ids) != 8 || ids[3] != 3 {
+		t.Error("identity mapping expected")
+	}
+}
+
+func TestSubgraphInduced(t *testing.T) {
+	g := Complete(5)
+	sub, ids := Subgraph(g, []Node{4, 1, 3, 1}) // unsorted, with duplicate
+	if sub.NumNodes() != 3 {
+		t.Fatalf("n = %d, want 3", sub.NumNodes())
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3 (triangle)", sub.NumEdges())
+	}
+	want := []Node{1, 3, 4}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Errorf("ids[%d] = %d, want %d", i, ids[i], w)
+		}
+	}
+}
+
+func TestSubgraphDropsCrossEdges(t *testing.T) {
+	g := Path(6)
+	sub, _ := Subgraph(g, []Node{0, 1, 4, 5})
+	if sub.NumEdges() != 2 {
+		t.Errorf("m = %d, want 2 ({0,1} and {4,5})", sub.NumEdges())
+	}
+}
+
+// Property: component sizes always sum to n, and nodes in the same component
+// are mutually reachable via BFS.
+func TestComponentsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := ErdosRenyi(n, int64(rng.Intn(2*n)), seed)
+		labels, sizes, count := ConnectedComponents(g)
+		var total int64
+		for _, s := range sizes {
+			total += s
+		}
+		if total != int64(n) || count != len(sizes) {
+			return false
+		}
+		dist := BFSDistances(g, 0, nil)
+		for v := 0; v < n; v++ {
+			reachable := dist[v] >= 0
+			sameComp := labels[v] == labels[0]
+			if reachable != sameComp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

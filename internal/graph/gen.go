@@ -1,0 +1,319 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// Deterministic synthetic generators. Every generator takes an explicit seed
+// so experiments and tests are reproducible. All generators return simple
+// undirected graphs (Builder drops duplicates and self-loops).
+
+// Path returns the path graph 0-1-...-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(Node(i), Node(i+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n nodes (n >= 3 for a proper cycle).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(Node(i), Node(i+1))
+	}
+	if n >= 3 {
+		b.AddEdge(Node(n-1), 0)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(Node(i), Node(j))
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, Node(i))
+	}
+	return b.Build()
+}
+
+// Barbell returns two K_k cliques joined by a path of pathLen edges. It is a
+// classic high-betweenness stress shape: every inter-clique shortest path
+// crosses the bridge nodes, and each clique is a separate bi-component.
+func Barbell(k, pathLen int) *Graph {
+	b := NewBuilder(2*k + pathLen - 1)
+	addClique := func(start int) {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.AddEdge(Node(start+i), Node(start+j))
+			}
+		}
+	}
+	addClique(0)
+	// Path from node k-1 through fresh nodes to the second clique's node 0.
+	prev := Node(k - 1)
+	next := Node(2 * k) // first fresh path node
+	for i := 0; i < pathLen-1; i++ {
+		b.AddEdge(prev, next)
+		prev = next
+		next++
+	}
+	b.AddEdge(prev, Node(k)) // attach to second clique
+	addClique(k)
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes via a random
+// attachment process (each new node attaches to a uniform earlier node).
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(Node(i), Node(rng.Intn(i)))
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns a G(n, m)-style random graph with approximately m
+// distinct edges, sampled uniformly with rejection.
+func ErdosRenyi(n int, m int64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int64]struct{}, m)
+	b := NewBuilder(n)
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for int64(len(seen)) < m {
+		u := Node(rng.Intn(n))
+		v := Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	b.SetNumNodes(n)
+	return b.Build()
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique of k+1 nodes, each new node attaches to k existing nodes
+// chosen proportionally to degree (by uniform sampling of edge endpoints).
+// The result is a connected scale-free graph with roughly n*k edges.
+func BarabasiAlbert(n, k int, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	// endpoint pool: each edge contributes both endpoints, so sampling a
+	// uniform pool element is degree-proportional sampling.
+	pool := make([]Node, 0, 2*int(n)*k)
+	seedN := k + 1
+	if seedN > n {
+		seedN = n
+	}
+	for i := 0; i < seedN; i++ {
+		for j := i + 1; j < seedN; j++ {
+			b.AddEdge(Node(i), Node(j))
+			pool = append(pool, Node(i), Node(j))
+		}
+	}
+	targets := make([]Node, 0, k)
+	for v := seedN; v < n; v++ {
+		targets = targets[:0]
+		for len(targets) < k {
+			cand := pool[rng.Intn(len(pool))]
+			dup := false
+			for _, t := range targets {
+				if t == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, cand)
+			}
+		}
+		for _, t := range targets {
+			b.AddEdge(Node(v), t)
+			pool = append(pool, Node(v), t)
+		}
+	}
+	b.SetNumNodes(n)
+	return b.Build()
+}
+
+// PowerLawCluster returns a Holme–Kim style graph: preferential attachment
+// with probability p of closing a triangle after each attachment, yielding a
+// scale-free graph with high clustering (a closer proxy for social networks
+// such as Flickr/Orkut than plain BA).
+func PowerLawCluster(n, k int, p float64, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	pool := make([]Node, 0, 2*int(n)*k)
+	seen := make(map[int64]struct{})
+	adj := make([][]Node, n)
+	key := func(u, v Node) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)*int64(n) + int64(v)
+	}
+	link := func(u, v Node) {
+		if u == v {
+			return
+		}
+		if _, dup := seen[key(u, v)]; dup {
+			return
+		}
+		seen[key(u, v)] = struct{}{}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		b.AddEdge(u, v)
+		pool = append(pool, u, v)
+	}
+	seedN := k + 1
+	if seedN > n {
+		seedN = n
+	}
+	for i := 0; i < seedN; i++ {
+		for j := i + 1; j < seedN; j++ {
+			link(Node(i), Node(j))
+		}
+	}
+	for v := seedN; v < n; v++ {
+		var last Node = -1
+		added := 0
+		for added < k {
+			var t Node
+			if last >= 0 && rng.Float64() < p && len(adj[last]) > 0 {
+				// triad formation: pick a random neighbor of the last target
+				t = adj[last][rng.Intn(len(adj[last]))]
+			} else {
+				t = pool[rng.Intn(len(pool))]
+			}
+			if t == Node(v) {
+				continue
+			}
+			if _, dup := seen[key(Node(v), t)]; dup {
+				continue
+			}
+			link(Node(v), t)
+			last = t
+			added++
+		}
+	}
+	b.SetNumNodes(n)
+	return b.Build()
+}
+
+// WattsStrogatz returns a small-world ring lattice on n nodes where each node
+// connects to its k nearest ring neighbors on each side and each edge is
+// rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			v := (i + j) % n
+			if rng.Float64() < beta {
+				v = rng.Intn(n)
+				for v == i {
+					v = rng.Intn(n)
+				}
+			}
+			b.AddEdge(Node(i), Node(v))
+		}
+	}
+	b.SetNumNodes(n)
+	return b.Build()
+}
+
+// Grid2D returns the rows x cols grid graph. Node (r, c) has id r*cols + c.
+func Grid2D(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) Node { return Node(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RoadNetwork returns a perturbed grid that mimics a road network: a rows x
+// cols lattice with a fraction drop of its edges removed and a few diagonal
+// shortcuts added, then restricted to remain connected (removed edges whose
+// deletion would disconnect the endpoints' neighborhoods are kept with high
+// probability by construction of the spanning grid skeleton). The embedded
+// coordinate of node id is (id/cols, id%cols); see Coordinates.
+//
+// Road networks have very large diameter and an abundance of low-betweenness
+// nodes, the regime where the paper's USA-road experiments live.
+func RoadNetwork(rows, cols int, drop float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) Node { return Node(r*cols + c) }
+	// Spanning skeleton: all horizontal edges of row 0 and all vertical
+	// edges, guaranteeing connectivity regardless of drops.
+	for c := 0; c+1 < cols; c++ {
+		b.AddEdge(id(0, c), id(0, c+1))
+	}
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r+1, c))
+		}
+	}
+	// Remaining horizontal edges are dropped with probability drop.
+	for r := 1; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			if rng.Float64() >= drop {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	// Sparse diagonal shortcuts (~1% of cells) mimic highways/bridges.
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			if rng.Float64() < 0.01 {
+				b.AddEdge(id(r, c), id(r+1, c+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GridCoord returns the (row, col) coordinate of node id in a grid or road
+// network generated with the given number of columns.
+func GridCoord(id Node, cols int) (row, col int) {
+	return int(id) / cols, int(id) % cols
+}

@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"testing"
+)
+
+func isConnected(g *Graph) bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, sizes, count := ConnectedComponents(g)
+	return count == 1 && sizes[0] == int64(g.NumNodes())
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("Path(5): n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Error("Path degrees wrong")
+	}
+	if Diameter(g) != 4 {
+		t.Errorf("Path(5) diameter = %d, want 4", Diameter(g))
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.NumNodes() != 6 || g.NumEdges() != 6 {
+		t.Fatalf("Cycle(6): n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	for u := Node(0); u < 6; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("Cycle degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	if Diameter(g) != 3 {
+		t.Errorf("Cycle(6) diameter = %d, want 3", Diameter(g))
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(7)
+	if g.NumEdges() != 21 {
+		t.Errorf("K7 edges = %d, want 21", g.NumEdges())
+	}
+	if Diameter(g) != 1 {
+		t.Errorf("K7 diameter = %d, want 1", Diameter(g))
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(8)
+	if g.NumEdges() != 7 {
+		t.Errorf("Star(8) edges = %d, want 7", g.NumEdges())
+	}
+	if g.Degree(0) != 7 {
+		t.Errorf("Star center degree = %d, want 7", g.Degree(0))
+	}
+	if Diameter(g) != 2 {
+		t.Errorf("Star diameter = %d, want 2", Diameter(g))
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 3)
+	// 2 cliques of 5 (10 edges each) + path of 3 edges
+	if g.NumEdges() != 23 {
+		t.Errorf("Barbell(5,3) edges = %d, want 23", g.NumEdges())
+	}
+	if !isConnected(g) {
+		t.Error("Barbell not connected")
+	}
+}
+
+func TestBarbellPathLenOne(t *testing.T) {
+	g := Barbell(3, 1)
+	// two triangles joined by a single edge, no fresh path nodes
+	if g.NumNodes() != 6 {
+		t.Errorf("nodes = %d, want 6", g.NumNodes())
+	}
+	if g.NumEdges() != 7 {
+		t.Errorf("edges = %d, want 7", g.NumEdges())
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("bridge edge missing")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(50, 7)
+	if g.NumEdges() != 49 {
+		t.Errorf("tree edges = %d, want 49", g.NumEdges())
+	}
+	if !isConnected(g) {
+		t.Error("tree not connected")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 250, 1)
+	if g.NumNodes() != 100 {
+		t.Errorf("n = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 250 {
+		t.Errorf("m = %d, want 250 (exact-m sampling)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErdosRenyiClampsEdgeCount(t *testing.T) {
+	g := ErdosRenyi(5, 1000, 1)
+	if g.NumEdges() != 10 {
+		t.Errorf("m = %d, want 10 (clamped to complete graph)", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(500, 4, 11)
+	if g.NumNodes() != 500 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if !isConnected(g) {
+		t.Error("BA graph should be connected")
+	}
+	// m is close to n*k: seed clique contributes k(k+1)/2, others k each.
+	want := int64((500-5)*4 + 10)
+	if g.NumEdges() > want || g.NumEdges() < want-int64(500) {
+		t.Errorf("m = %d, want close to %d", g.NumEdges(), want)
+	}
+	// Scale-free: max degree should be much larger than k.
+	if g.MaxDegree() < 15 {
+		t.Errorf("max degree = %d, expected a hub", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(200, 3, 5)
+	b := BarabasiAlbert(200, 3, 5)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatalf("same seed produced different edge sets at %v", e)
+		}
+	}
+	c := BarabasiAlbert(200, 3, 6)
+	same := true
+	for _, e := range a.Edges() {
+		if !c.HasEdge(e.U, e.V) {
+			same = false
+			break
+		}
+	}
+	if same && a.NumEdges() == c.NumEdges() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawCluster(t *testing.T) {
+	g := PowerLawCluster(400, 4, 0.5, 3)
+	if g.NumNodes() != 400 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if !isConnected(g) {
+		t.Error("PLC graph should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(300, 3, 0.1, 9)
+	if g.NumNodes() != 300 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// Each node initiates 3 edges; after dedup m <= 900 and >= 600.
+	if g.NumEdges() > 900 || g.NumEdges() < 600 {
+		t.Errorf("m = %d out of expected range", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(4, 6)
+	if g.NumNodes() != 24 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	want := int64(4*5 + 3*6) // horizontal + vertical
+	if g.NumEdges() != want {
+		t.Errorf("m = %d, want %d", g.NumEdges(), want)
+	}
+	if Diameter(g) != 8 {
+		t.Errorf("diameter = %d, want 8", Diameter(g))
+	}
+}
+
+func TestRoadNetworkConnectedAndLargeDiameter(t *testing.T) {
+	g := RoadNetwork(30, 30, 0.4, 13)
+	if !isConnected(g) {
+		t.Fatal("road network must stay connected")
+	}
+	if d := Diameter(g); d < 29 {
+		t.Errorf("diameter = %d, expected road-like (>= 29)", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCoord(t *testing.T) {
+	r, c := GridCoord(17, 5)
+	if r != 3 || c != 2 {
+		t.Errorf("GridCoord(17,5) = (%d,%d), want (3,2)", r, c)
+	}
+}

@@ -1,0 +1,227 @@
+// Package graph provides a compact in-memory representation of undirected,
+// unweighted graphs together with loaders, synthetic generators, and basic
+// traversal utilities. It is the storage substrate for every algorithm in
+// this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single offsets
+// array of length n+1 and a single adjacency array of length 2m. Node
+// identifiers are dense int32 values in [0, n). Adjacency lists are sorted,
+// deduplicated, and free of self-loops, which lets membership queries use
+// binary search and makes iteration cache-friendly.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a graph vertex identifier. Valid nodes are in [0, Graph.NumNodes()).
+type Node = int32
+
+// Edge is an undirected edge between two nodes.
+type Edge struct {
+	U, V Node
+}
+
+// Graph is an immutable undirected, unweighted graph in CSR form.
+// The zero value is an empty graph with no nodes.
+type Graph struct {
+	offsets []int64 // len n+1; adjacency of u is adj[offsets[u]:offsets[u+1]]
+	adj     []Node  // concatenated sorted adjacency lists, len 2m
+	m       int64   // number of undirected edges
+}
+
+// NumNodes returns the number of nodes n.
+func (g *Graph) NumNodes() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u Node) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(u Node) []Node {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v Node) bool {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// EdgeIndex returns the position of neighbor v within u's adjacency slice in
+// the underlying CSR arrays (a stable per-directed-edge index usable for
+// per-edge side tables), or -1 if the edge is absent.
+func (g *Graph) EdgeIndex(u, v Node) int64 {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	if i < len(nbrs) && nbrs[i] == v {
+		return g.offsets[u] + int64(i)
+	}
+	return -1
+}
+
+// AdjOffset returns the start offset of u's adjacency list in the CSR arrays.
+// Together with EdgeIndex it allows callers to maintain per-directed-edge
+// side tables of length 2m.
+func (g *Graph) AdjOffset(u Node) int64 { return g.offsets[u] }
+
+// Edges returns all undirected edges with U < V, in CSR order.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := Node(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// MaxDegree returns the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := Node(0); int(u) < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are silently dropped at Build time. The zero value is ready
+// to use.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with at least n nodes.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// AddEdge records the undirected edge {u, v}. Nodes beyond the current node
+// count grow the graph. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v Node) {
+	if u == v {
+		return
+	}
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// SetNumNodes raises the node count to at least n (isolated nodes allowed).
+func (b *Builder) SetNumNodes(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumPendingEdges returns the number of edges recorded so far, before
+// deduplication.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build constructs the CSR graph. The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	deg := make([]int64, n+1)
+	for _, e := range b.edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	offsets := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i+1]
+	}
+	adj := make([]Node, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range b.edges {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	// Sort each adjacency list and remove duplicates in place.
+	outOff := make([]int64, n+1)
+	w := int64(0)
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		list := adj[lo:hi]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		outOff[u] = w
+		var prev Node = -1
+		for _, v := range list {
+			if v != prev {
+				adj[w] = v
+				w++
+				prev = v
+			}
+		}
+	}
+	outOff[n] = w
+	return &Graph{offsets: outOff, adj: adj[:w:w], m: w / 2}
+}
+
+// FromEdges builds a graph with n nodes from the given edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	b.SetNumNodes(n)
+	return b.Build()
+}
+
+// Validate checks structural invariants of the CSR representation. It is
+// intended for tests and debugging; a graph produced by Builder always
+// validates.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.offsets) != 0 && g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	var total int64
+	for u := 0; u < n; u++ {
+		if g.offsets[u] > g.offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", u)
+		}
+		nbrs := g.Neighbors(Node(u))
+		for i, v := range nbrs {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
+			}
+			if v == Node(u) {
+				return fmt.Errorf("graph: node %d has a self-loop", u)
+			}
+			if i > 0 && nbrs[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of node %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, Node(u)) {
+				return fmt.Errorf("graph: edge (%d,%d) present but reverse missing", u, v)
+			}
+		}
+		total += int64(len(nbrs))
+	}
+	if total != 2*g.m {
+		return fmt.Errorf("graph: degree sum %d != 2m = %d", total, 2*g.m)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list. Lines starting with
+// '#' or '%' and blank lines are ignored. Each remaining line must contain at
+// least two integer fields "u v"; additional fields (weights, timestamps) are
+// ignored. Node ids may be arbitrary non-negative integers and are compacted
+// to a dense [0, n) range preserving first-seen order; the mapping is
+// returned so callers can translate back to original ids.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	remap := make(map[int64]Node)
+	var original []int64
+	intern := func(raw int64) Node {
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := Node(len(original))
+		remap[raw] = id
+		original = append(original, raw)
+		return id
+	}
+	b := &Builder{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source id: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target id: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		b.AddEdge(intern(u), intern(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b.SetNumNodes(len(original))
+	return b.Build(), original, nil
+}
+
+// LoadEdgeList reads an edge-list file from disk. See ReadEdgeList.
+func LoadEdgeList(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes the graph as "u v" lines (each undirected edge once,
+// with u < v), preceded by a comment header with node and edge counts.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := Node(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeList writes the graph to a file. See WriteEdgeList.
+func SaveEdgeList(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

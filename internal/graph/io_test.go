@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+
+0 1
+1 2
+2 0 17.5 extra fields ignored
+`
+	g, orig, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d, want 3,3", g.NumNodes(), g.NumEdges())
+	}
+	if len(orig) != 3 {
+		t.Fatalf("len(orig) = %d", len(orig))
+	}
+}
+
+func TestReadEdgeListRemapsSparseIDs(t *testing.T) {
+	in := "1000 7\n7 99999\n"
+	g, orig, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("n = %d, want 3 (compacted)", g.NumNodes())
+	}
+	want := []int64{1000, 7, 99999}
+	for i, w := range want {
+		if orig[i] != w {
+			t.Errorf("orig[%d] = %d, want %d", i, orig[i], w)
+		}
+	}
+	// node 1 is raw id 7, which connects to both others
+	if g.Degree(1) != 2 {
+		t.Errorf("degree of raw id 7 = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"one field", "42\n"},
+		{"bad source", "x 1\n"},
+		{"bad target", "1 y\n"},
+		{"negative", "-1 2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := ReadEdgeList(strings.NewReader(c.in)); err == nil {
+				t.Errorf("want error for %q", c.in)
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := BarabasiAlbert(80, 3, 21)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: (%d,%d) vs (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := Cycle(10)
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 10 {
+		t.Errorf("m = %d, want 10", g2.NumEdges())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := LoadEdgeList("/does/not/exist"); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,99 @@
+package kpath
+
+import (
+	"math"
+	"testing"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+func TestExactStarK1(t *testing.T) {
+	// Star(5), k=1: walks of length 1 from a uniform start. From center,
+	// always lands on a leaf (prob 1/5 * 1/4 each). From each leaf, always
+	// lands on the center: Pr(center visited) = 4/5... per-start: start leaf
+	// (prob 1/5 each of 4): visit center w.p. 1 -> center = 4/5.
+	g := graph.Star(5)
+	kp := Exact(g, 1)
+	if math.Abs(kp[0]-0.8) > 1e-12 {
+		t.Errorf("center = %g, want 0.8", kp[0])
+	}
+	for v := 1; v < 5; v++ {
+		if math.Abs(kp[v]-0.05) > 1e-12 {
+			t.Errorf("leaf %d = %g, want 0.05", v, kp[v])
+		}
+	}
+}
+
+func TestExactSymmetryOnCycle(t *testing.T) {
+	g := graph.Cycle(6)
+	kp := Exact(g, 3)
+	for v := 1; v < 6; v++ {
+		if math.Abs(kp[v]-kp[0]) > 1e-12 {
+			t.Errorf("cycle kpath not symmetric: %g vs %g", kp[v], kp[0])
+		}
+	}
+	if kp[0] <= 0 || kp[0] >= 1 {
+		t.Errorf("kp[0] = %g out of (0,1)", kp[0])
+	}
+}
+
+func TestEstimateMatchesExact(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := testutil.RandomConnectedGraph(15, 10, seed)
+		truth := Exact(g, 3)
+		var a []graph.Node
+		for v := 0; v < 15; v += 2 {
+			a = append(a, graph.Node(v))
+		}
+		res, err := Estimate(g, a, Options{K: 3, Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Nodes {
+			if math.Abs(res.KPath[i]-truth[v]) > 0.05 {
+				t.Errorf("seed %d node %d: est %g truth %g", seed, v, res.KPath[i], truth[v])
+			}
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, err := Estimate(g, nil, Options{}); err == nil {
+		t.Error("empty target set: want error")
+	}
+	if _, err := Estimate(g, []graph.Node{0}, Options{K: -1}); err == nil {
+		t.Error("negative k: want error")
+	}
+	empty := graph.NewBuilder(0).Build()
+	if _, err := Estimate(empty, []graph.Node{0}, Options{}); err == nil {
+		t.Error("empty graph: want error")
+	}
+}
+
+func TestEstimateDeadEnds(t *testing.T) {
+	// path with an isolated node: walks from the isolated node go nowhere
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	res, err := Estimate(g, []graph.Node{3}, Options{K: 2, Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KPath[0] != 0 {
+		t.Errorf("isolated node kpath = %g, want 0", res.KPath[0])
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	g := graph.Cycle(8)
+	res, err := Estimate(g, []graph.Node{1, 3}, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KPath) != 2 {
+		t.Fatalf("len = %d", len(res.KPath))
+	}
+}

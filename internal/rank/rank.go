@@ -1,0 +1,211 @@
+// Package rank implements the rank-quality metrics of the paper's
+// evaluation: Spearman's rank correlation (Eq 1), Kendall's tau, average
+// rank deviation (Fig 7a), and the signed relative-error summary with
+// true-zero / false-zero accounting (Fig 6).
+//
+// All ranking follows the paper's convention: nodes are ranked by descending
+// value, ties broken by ascending node id, so ranks are the distinct
+// integers 1..k.
+package rank
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the rank (1 = largest value) of every entry of values, with
+// ties broken by ascending id. ids must be the per-entry tie-break keys
+// (typically node ids) and have the same length as values.
+func Ranks(values []float64, ids []int32) []int {
+	k := len(values)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if values[ia] != values[ib] {
+			return values[ia] > values[ib]
+		}
+		return ids[ia] < ids[ib]
+	})
+	ranks := make([]int, k)
+	for r, i := range idx {
+		ranks[i] = r + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation between two value vectors
+// over the same entries (Eq 1): 1 - 6 sum d_i^2 / (k(k^2-1)). Returns 1 for
+// fewer than two entries. ids supplies the paper's node-id tie-break.
+func Spearman(truth, estimate []float64, ids []int32) float64 {
+	k := len(truth)
+	if k < 2 {
+		return 1
+	}
+	rt := Ranks(truth, ids)
+	re := Ranks(estimate, ids)
+	var sum float64
+	for i := range rt {
+		d := float64(rt[i] - re[i])
+		sum += d * d
+	}
+	kk := float64(k)
+	return 1 - 6*sum/(kk*(kk*kk-1))
+}
+
+// KendallTau returns Kendall's rank correlation tau between two value
+// vectors with the same tie-break convention. With all-distinct ranks,
+// tau = 1 - 4*inversions/(k(k-1)), computed in O(k log k) by counting
+// inversions with merge sort.
+func KendallTau(truth, estimate []float64, ids []int32) float64 {
+	k := len(truth)
+	if k < 2 {
+		return 1
+	}
+	rt := Ranks(truth, ids)
+	re := Ranks(estimate, ids)
+	// order entries by truth rank, then count inversions of estimate ranks
+	seq := make([]int, k)
+	for i, r := range rt {
+		seq[r-1] = re[i]
+	}
+	inv := countInversions(seq)
+	kk := float64(k)
+	return 1 - 4*float64(inv)/(kk*(kk-1))
+}
+
+func countInversions(a []int) int64 {
+	buf := make([]int, len(a))
+	return mergeCount(a, buf)
+}
+
+func mergeCount(a, buf []int) int64 {
+	if len(a) < 2 {
+		return 0
+	}
+	mid := len(a) / 2
+	inv := mergeCount(a[:mid], buf) + mergeCount(a[mid:], buf)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(a) {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:len(a)])
+	return inv
+}
+
+// Deviation returns the average absolute rank displacement between truth and
+// estimate, normalized by k (the paper reports it as a percentage in
+// Fig 7a): mean_i |rank_t(i) - rank_e(i)| / k.
+func Deviation(truth, estimate []float64, ids []int32) float64 {
+	k := len(truth)
+	if k < 2 {
+		return 0
+	}
+	rt := Ranks(truth, ids)
+	re := Ranks(estimate, ids)
+	var sum float64
+	for i := range rt {
+		sum += math.Abs(float64(rt[i] - re[i]))
+	}
+	return sum / (float64(k) * float64(k))
+}
+
+// ErrorSummary aggregates the paper's Fig 6 statistics for a set of nodes:
+// the signed relative error histogram plus true-zero / false-zero counts.
+type ErrorSummary struct {
+	// TrueZeros counts nodes with bc = 0 estimated as exactly 0 (the "easy"
+	// cases: relative error defined as 0).
+	TrueZeros int
+	// FalseZeros counts nodes with bc > 0 estimated as 0 (relative error
+	// -100%; the failure mode Lemma 19 eliminates for SaPHyRa).
+	FalseZeros int
+	// InfErrors counts nodes with bc = 0 but a nonzero estimate (relative
+	// error undefined/infinite).
+	InfErrors int
+	// Buckets[i] counts finite relative errors in
+	// [BucketLow + i*BucketWidth, BucketLow + (i+1)*BucketWidth), expressed
+	// in percent; errors >= the top edge land in the last bucket.
+	Buckets     []int
+	BucketLow   float64
+	BucketWidth float64
+	Total       int
+}
+
+// NewErrorSummary builds the Fig 6 histogram: buckets of width `width`
+// percent from -100% to +150% (errors beyond +150% are grouped into the top
+// bucket, matching the paper's ">150%" bucket).
+func NewErrorSummary(width float64) *ErrorSummary {
+	if width <= 0 {
+		width = 25
+	}
+	nb := int(math.Ceil(250/width)) + 1
+	return &ErrorSummary{
+		Buckets:     make([]int, nb),
+		BucketLow:   -100,
+		BucketWidth: width,
+	}
+}
+
+// Add records one node's (truth, estimate) pair.
+func (e *ErrorSummary) Add(truth, estimate float64) {
+	e.Total++
+	switch {
+	case truth == 0 && estimate == 0:
+		e.TrueZeros++
+		e.bucket(0)
+	case truth == 0:
+		e.InfErrors++
+	case estimate == 0:
+		e.FalseZeros++
+		e.bucket(-100)
+	default:
+		e.bucket((estimate/truth - 1) * 100)
+	}
+}
+
+func (e *ErrorSummary) bucket(pct float64) {
+	i := int(math.Floor((pct - e.BucketLow) / e.BucketWidth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.Buckets) {
+		i = len(e.Buckets) - 1
+	}
+	e.Buckets[i]++
+}
+
+// FractionTrueZeros returns TrueZeros/Total (0 when empty).
+func (e *ErrorSummary) FractionTrueZeros() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.TrueZeros) / float64(e.Total)
+}
+
+// FractionFalseZeros returns FalseZeros/Total (0 when empty).
+func (e *ErrorSummary) FractionFalseZeros() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.FalseZeros) / float64(e.Total)
+}

@@ -1,0 +1,216 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqIDs(k int) []int32 {
+	ids := make([]int32, k)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+func TestRanksDescendingWithTies(t *testing.T) {
+	values := []float64{0.5, 0.9, 0.5, 0.1}
+	ranks := Ranks(values, seqIDs(4))
+	// 0.9 -> 1; the two 0.5 broken by id: index0 -> 2, index2 -> 3; 0.1 -> 4
+	want := []int{2, 1, 3, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("ranks[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+}
+
+func TestRanksArePermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(50)
+		values := make([]float64, k)
+		for i := range values {
+			values[i] = math.Floor(rng.Float64()*5) / 5 // force ties
+		}
+		ranks := Ranks(values, seqIDs(k))
+		seen := make([]bool, k+1)
+		for _, r := range ranks {
+			if r < 1 || r > k || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	truth := []float64{5, 3, 8, 1}
+	if rs := Spearman(truth, truth, seqIDs(4)); math.Abs(rs-1) > 1e-15 {
+		t.Errorf("self correlation = %g, want 1", rs)
+	}
+	// any monotone transform preserves ranks
+	est := []float64{50, 30, 80, 10}
+	if rs := Spearman(truth, est, seqIDs(4)); math.Abs(rs-1) > 1e-15 {
+		t.Errorf("monotone transform correlation = %g, want 1", rs)
+	}
+}
+
+func TestSpearmanReversed(t *testing.T) {
+	truth := []float64{4, 3, 2, 1}
+	est := []float64{1, 2, 3, 4}
+	if rs := Spearman(truth, est, seqIDs(4)); math.Abs(rs+1) > 1e-15 {
+		t.Errorf("reversed correlation = %g, want -1", rs)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// truth ranks 1,2,3,4,5 ; estimate ranks 2,1,4,3,5 -> sum d^2 = 4
+	// rs = 1 - 24/(5*24) = 0.8
+	truth := []float64{50, 40, 30, 20, 10}
+	est := []float64{40, 50, 20, 30, 10}
+	if rs := Spearman(truth, est, seqIDs(5)); math.Abs(rs-0.8) > 1e-12 {
+		t.Errorf("rs = %g, want 0.8", rs)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if Spearman([]float64{1}, []float64{2}, []int32{0}) != 1 {
+		t.Error("k=1 should return 1")
+	}
+	if Spearman(nil, nil, nil) != 1 {
+		t.Error("k=0 should return 1")
+	}
+}
+
+func TestSpearmanRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(60)
+		a := make([]float64, k)
+		b := make([]float64, k)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		rs := Spearman(a, b, seqIDs(k))
+		return rs >= -1-1e-12 && rs <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallTauPerfectAndReversed(t *testing.T) {
+	truth := []float64{9, 7, 5, 3, 1}
+	if tau := KendallTau(truth, truth, seqIDs(5)); math.Abs(tau-1) > 1e-15 {
+		t.Errorf("tau = %g, want 1", tau)
+	}
+	rev := []float64{1, 3, 5, 7, 9}
+	if tau := KendallTau(truth, rev, seqIDs(5)); math.Abs(tau+1) > 1e-15 {
+		t.Errorf("tau = %g, want -1", tau)
+	}
+}
+
+func TestKendallTauMatchesNaive(t *testing.T) {
+	naive := func(truth, est []float64, ids []int32) float64 {
+		rt := Ranks(truth, ids)
+		re := Ranks(est, ids)
+		k := len(rt)
+		var conc, disc int
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				a := rt[i] - rt[j]
+				b := re[i] - re[j]
+				if a*b > 0 {
+					conc++
+				} else {
+					disc++
+				}
+			}
+		}
+		return float64(conc-disc) / float64(k*(k-1)/2)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(40)
+		a := make([]float64, k)
+		b := make([]float64, k)
+		for i := range a {
+			a[i] = math.Floor(rng.Float64()*8) / 8
+			b[i] = math.Floor(rng.Float64()*8) / 8
+		}
+		ids := seqIDs(k)
+		return math.Abs(KendallTau(a, b, ids)-naive(a, b, ids)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	truth := []float64{4, 3, 2, 1}
+	if d := Deviation(truth, truth, seqIDs(4)); d != 0 {
+		t.Errorf("self deviation = %g, want 0", d)
+	}
+	// swap top two: displacement 1+1 over k^2=16
+	est := []float64{3, 4, 2, 1}
+	if d := Deviation(truth, est, seqIDs(4)); math.Abs(d-2.0/16) > 1e-15 {
+		t.Errorf("deviation = %g, want %g", d, 2.0/16)
+	}
+}
+
+func TestErrorSummaryBuckets(t *testing.T) {
+	e := NewErrorSummary(25)
+	e.Add(0, 0)     // true zero
+	e.Add(0.5, 0)   // false zero (-100%)
+	e.Add(0, 0.1)   // infinite error
+	e.Add(0.5, 0.5) // 0%
+	e.Add(0.5, 1.5) // +200% -> top bucket
+	e.Add(0.4, 0.5) // +25%
+	if e.TrueZeros != 1 || e.FalseZeros != 1 || e.InfErrors != 1 {
+		t.Errorf("zeros: true=%d false=%d inf=%d", e.TrueZeros, e.FalseZeros, e.InfErrors)
+	}
+	if e.Total != 6 {
+		t.Errorf("total = %d", e.Total)
+	}
+	if math.Abs(e.FractionTrueZeros()-1.0/6) > 1e-15 {
+		t.Errorf("frac true zeros = %g", e.FractionTrueZeros())
+	}
+	if math.Abs(e.FractionFalseZeros()-1.0/6) > 1e-15 {
+		t.Errorf("frac false zeros = %g", e.FractionFalseZeros())
+	}
+	var total int
+	for _, b := range e.Buckets {
+		total += b
+	}
+	if total != 5 { // all but the infinite error land in buckets
+		t.Errorf("bucketed = %d, want 5", total)
+	}
+	if e.Buckets[len(e.Buckets)-1] != 1 {
+		t.Error("+200% should land in the top bucket")
+	}
+	if e.Buckets[0] != 1 {
+		t.Error("-100% should land in the bottom bucket")
+	}
+}
+
+func TestErrorSummaryDefaultWidth(t *testing.T) {
+	e := NewErrorSummary(0)
+	if e.BucketWidth != 25 {
+		t.Errorf("default width = %g, want 25", e.BucketWidth)
+	}
+}
+
+func TestErrorSummaryEmpty(t *testing.T) {
+	e := NewErrorSummary(25)
+	if e.FractionTrueZeros() != 0 || e.FractionFalseZeros() != 0 {
+		t.Error("empty summary fractions should be 0")
+	}
+}

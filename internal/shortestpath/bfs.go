@@ -1,0 +1,100 @@
+// Package shortestpath provides shortest-path machinery for unweighted
+// graphs: single-source BFS DAGs with path counts (sigma), balanced
+// bidirectional BFS (the sample generator of KADABRA [12] and of the
+// paper's Gen_bc), and uniform random shortest-path sampling.
+//
+// Path counts use float64 throughout: sigma grows exponentially on grid-like
+// graphs (binomial in the grid dimensions) and overflows int64 long before
+// graphs become interesting. This matches standard practice in Brandes
+// implementations.
+package shortestpath
+
+import (
+	"math/rand"
+
+	"saphyra/internal/graph"
+)
+
+// DAG is a reusable single-source BFS workspace holding, after a call to
+// Run, the distance and path-count arrays plus the BFS visit order.
+type DAG struct {
+	Dist   []int32
+	Sigma  []float64
+	Order  []graph.Node // nodes in BFS (non-decreasing distance) order
+	Source graph.Node
+}
+
+// NewDAG returns a workspace for graphs of n nodes.
+func NewDAG(n int) *DAG {
+	return &DAG{
+		Dist:  make([]int32, n),
+		Sigma: make([]float64, n),
+		Order: make([]graph.Node, 0, n),
+	}
+}
+
+// Run executes a full BFS from source, filling Dist (-1 when unreachable),
+// Sigma (number of shortest paths from source) and Order.
+func (d *DAG) Run(g *graph.Graph, source graph.Node) {
+	for i := range d.Dist {
+		d.Dist[i] = -1
+		d.Sigma[i] = 0
+	}
+	d.Order = d.Order[:0]
+	d.Source = source
+	d.Dist[source] = 0
+	d.Sigma[source] = 1
+	d.Order = append(d.Order, source)
+	for head := 0; head < len(d.Order); head++ {
+		u := d.Order[head]
+		du := d.Dist[u]
+		su := d.Sigma[u]
+		for _, v := range g.Neighbors(u) {
+			switch {
+			case d.Dist[v] == -1:
+				d.Dist[v] = du + 1
+				d.Sigma[v] = su
+				d.Order = append(d.Order, v)
+			case d.Dist[v] == du+1:
+				d.Sigma[v] += su
+			}
+		}
+	}
+}
+
+// SamplePathTo draws a uniform random shortest path from the DAG's source to
+// t, as a node sequence source..t. Returns nil if t is unreachable. The DAG
+// must have been Run for the same graph.
+func (d *DAG) SamplePathTo(g *graph.Graph, t graph.Node, rng *rand.Rand) []graph.Node {
+	if d.Dist[t] < 0 {
+		return nil
+	}
+	path := make([]graph.Node, d.Dist[t]+1)
+	path[d.Dist[t]] = t
+	u := t
+	for d.Dist[u] > 0 {
+		// choose a predecessor w with probability sigma(w)/sum(sigma)
+		target := rng.Float64() * d.Sigma[u]
+		var acc float64
+		var chosen graph.Node = -1
+		for _, w := range g.Neighbors(u) {
+			if d.Dist[w] == d.Dist[u]-1 {
+				acc += d.Sigma[w]
+				if acc >= target {
+					chosen = w
+					break
+				}
+			}
+		}
+		if chosen < 0 { // float round-off: fall back to last valid predecessor
+			for _, w := range g.Neighbors(u) {
+				if d.Dist[w] == d.Dist[u]-1 {
+					chosen = w
+				}
+			}
+		}
+		u = chosen
+		path[d.Dist[u]] = u
+	}
+	return path
+}

@@ -1,0 +1,154 @@
+package shortestpath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+func TestDAGPathCounts(t *testing.T) {
+	// 4-cycle: two shortest paths between opposite corners.
+	g := graph.Cycle(4)
+	d := NewDAG(4)
+	d.Run(g, 0)
+	if d.Sigma[2] != 2 {
+		t.Errorf("sigma(0->2) = %g, want 2", d.Sigma[2])
+	}
+	if d.Sigma[1] != 1 || d.Sigma[3] != 1 {
+		t.Errorf("sigma to neighbors = %g, %g, want 1, 1", d.Sigma[1], d.Sigma[3])
+	}
+	if d.Dist[2] != 2 {
+		t.Errorf("dist(0->2) = %d, want 2", d.Dist[2])
+	}
+}
+
+func TestDAGUnreachable(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	d := NewDAG(3)
+	d.Run(g, 0)
+	if d.Dist[2] != -1 || d.Sigma[2] != 0 {
+		t.Errorf("unreachable node: dist=%d sigma=%g", d.Dist[2], d.Sigma[2])
+	}
+	if d.SamplePathTo(g, 2, rand.New(rand.NewSource(1))) != nil {
+		t.Error("SamplePathTo unreachable should return nil")
+	}
+}
+
+func TestDAGSigmaMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := testutil.RandomConnectedGraph(n, rng.Intn(2*n), seed)
+		d := NewDAG(n)
+		s := graph.Node(rng.Intn(n))
+		d.Run(g, s)
+		for v := graph.Node(0); int(v) < n; v++ {
+			if v == s {
+				continue
+			}
+			want := testutil.CountShortestPaths(g, s, v)
+			if math.Abs(d.Sigma[v]-want) > 1e-9 {
+				t.Logf("seed %d: sigma(%d->%d) = %g, want %g", seed, s, v, d.Sigma[v], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDAGOrderNonDecreasing(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, 4)
+	d := NewDAG(200)
+	d.Run(g, 0)
+	for i := 1; i < len(d.Order); i++ {
+		if d.Dist[d.Order[i]] < d.Dist[d.Order[i-1]] {
+			t.Fatal("BFS order not sorted by distance")
+		}
+	}
+	if len(d.Order) != 200 {
+		t.Errorf("order covers %d nodes, want 200 (connected)", len(d.Order))
+	}
+}
+
+func TestSamplePathToIsValidShortestPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomConnectedGraph(25, 30, 99)
+	d := NewDAG(25)
+	d.Run(g, 3)
+	for trial := 0; trial < 200; trial++ {
+		tgt := graph.Node(rng.Intn(25))
+		if tgt == 3 {
+			continue
+		}
+		p := d.SamplePathTo(g, tgt, rng)
+		if int32(len(p)-1) != d.Dist[tgt] {
+			t.Fatalf("path length %d != dist %d", len(p)-1, d.Dist[tgt])
+		}
+		if p[0] != 3 || p[len(p)-1] != tgt {
+			t.Fatalf("endpoints %d..%d, want 3..%d", p[0], p[len(p)-1], tgt)
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("non-edge in path: %d-%d", p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestSamplePathToUniform(t *testing.T) {
+	// 4-cycle, sample paths 0 -> 2: both 0-1-2 and 0-3-2 should appear with
+	// frequency ~1/2.
+	g := graph.Cycle(4)
+	d := NewDAG(4)
+	d.Run(g, 0)
+	rng := rand.New(rand.NewSource(11))
+	const N = 20000
+	via1 := 0
+	for i := 0; i < N; i++ {
+		p := d.SamplePathTo(g, 2, rng)
+		if p[1] == 1 {
+			via1++
+		}
+	}
+	frac := float64(via1) / N
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("path via node 1 frequency = %g, want ~0.5", frac)
+	}
+}
+
+func TestSamplePathToUniformUnbalanced(t *testing.T) {
+	// Diamond with one extra route: s=0; 0-1-3, 0-2-3 and 0-4-3 are the three
+	// shortest paths; each should appear w.p. 1/3.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 4)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 3)
+	g := b.Build()
+	d := NewDAG(5)
+	d.Run(g, 0)
+	rng := rand.New(rand.NewSource(5))
+	counts := map[graph.Node]int{}
+	const N = 30000
+	for i := 0; i < N; i++ {
+		p := d.SamplePathTo(g, 3, rng)
+		counts[p[1]]++
+	}
+	for mid, c := range counts {
+		frac := float64(c) / N
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("middle %d frequency = %g, want ~1/3", mid, frac)
+		}
+	}
+}

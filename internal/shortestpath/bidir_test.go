@@ -1,0 +1,193 @@
+package shortestpath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+func TestBiBFSMatchesUnidirectional(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		g := testutil.RandomConnectedGraph(n, rng.Intn(2*n), seed)
+		bi := NewBiBFS(n)
+		d := NewDAG(n)
+		for trial := 0; trial < 20; trial++ {
+			s := graph.Node(rng.Intn(n))
+			u := graph.Node(rng.Intn(n))
+			if s == u {
+				continue
+			}
+			d.Run(g, s)
+			dist, sigma, ok := bi.Query(g, s, u)
+			if !ok {
+				t.Logf("seed %d: (%d,%d) not ok on connected graph", seed, s, u)
+				return false
+			}
+			if dist != d.Dist[u] {
+				t.Logf("seed %d: dist(%d,%d) = %d, want %d", seed, s, u, dist, d.Dist[u])
+				return false
+			}
+			if math.Abs(sigma-d.Sigma[u]) > 1e-9*math.Max(1, d.Sigma[u]) {
+				t.Logf("seed %d: sigma(%d,%d) = %g, want %g", seed, s, u, sigma, d.Sigma[u])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiBFSAdjacentPair(t *testing.T) {
+	g := graph.Path(2)
+	bi := NewBiBFS(2)
+	dist, sigma, ok := bi.Query(g, 0, 1)
+	if !ok || dist != 1 || sigma != 1 {
+		t.Errorf("adjacent pair: dist=%d sigma=%g ok=%v", dist, sigma, ok)
+	}
+	p := bi.SamplePath(g, rand.New(rand.NewSource(1)))
+	if len(p) != 2 || p[0] != 0 || p[1] != 1 {
+		t.Errorf("path = %v, want [0 1]", p)
+	}
+}
+
+func TestBiBFSSamePair(t *testing.T) {
+	g := graph.Path(3)
+	bi := NewBiBFS(3)
+	if _, _, ok := bi.Query(g, 1, 1); ok {
+		t.Error("s == t should not be ok")
+	}
+}
+
+func TestBiBFSDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	bi := NewBiBFS(4)
+	if _, _, ok := bi.Query(g, 0, 3); ok {
+		t.Error("disconnected pair should not be ok")
+	}
+	// and a subsequent connected query still works (epoch reuse)
+	if dist, _, ok := bi.Query(g, 0, 1); !ok || dist != 1 {
+		t.Errorf("follow-up query broken: dist=%d ok=%v", dist, ok)
+	}
+}
+
+func TestBiBFSSamplePathValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomConnectedGraph(40, 60, 17)
+	bi := NewBiBFS(40)
+	for trial := 0; trial < 300; trial++ {
+		s := graph.Node(rng.Intn(40))
+		u := graph.Node(rng.Intn(40))
+		if s == u {
+			continue
+		}
+		dist, _, ok := bi.Query(g, s, u)
+		if !ok {
+			t.Fatal("connected pair not ok")
+		}
+		p := bi.SamplePath(g, rng)
+		if int32(len(p)-1) != dist {
+			t.Fatalf("path length %d != dist %d (pair %d,%d)", len(p)-1, dist, s, u)
+		}
+		if p[0] != s || p[len(p)-1] != u {
+			t.Fatalf("endpoints %v, want %d..%d", p, s, u)
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("non-edge %d-%d in path", p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestBiBFSSamplePathUniform(t *testing.T) {
+	// 6-cycle: two shortest paths between opposite nodes 0 and 3.
+	g := graph.Cycle(6)
+	bi := NewBiBFS(6)
+	rng := rand.New(rand.NewSource(23))
+	const N = 20000
+	via1 := 0
+	for i := 0; i < N; i++ {
+		if _, _, ok := bi.Query(g, 0, 3); !ok {
+			t.Fatal("query failed")
+		}
+		p := bi.SamplePath(g, rng)
+		if p[1] == 1 {
+			via1++
+		}
+	}
+	frac := float64(via1) / N
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("clockwise frequency = %g, want ~0.5", frac)
+	}
+}
+
+func TestBiBFSSamplePathUniformOverAllPaths(t *testing.T) {
+	// Verify per-path uniformity on a random graph by comparing empirical
+	// frequencies of complete paths with 1/sigma.
+	g := testutil.RandomConnectedGraph(12, 14, 5)
+	bi := NewBiBFS(12)
+	rng := rand.New(rand.NewSource(71))
+	var s, u graph.Node
+	var want [][]graph.Node
+	// find a pair with at least 3 shortest paths
+	for a := graph.Node(0); int(a) < 12 && len(want) < 3; a++ {
+		for b := graph.Node(0); int(b) < 12; b++ {
+			if a == b {
+				continue
+			}
+			ps := testutil.AllShortestPaths(g, a, b)
+			if len(ps) >= 3 {
+				s, u, want = a, b, ps
+				break
+			}
+		}
+	}
+	if len(want) < 3 {
+		t.Skip("fixture has no pair with >= 3 shortest paths")
+	}
+	key := func(p []graph.Node) string {
+		out := make([]byte, 0, len(p))
+		for _, v := range p {
+			out = append(out, byte(v))
+		}
+		return string(out)
+	}
+	counts := map[string]int{}
+	const N = 30000
+	for i := 0; i < N; i++ {
+		bi.Query(g, s, u)
+		counts[key(bi.SamplePath(g, rng))]++
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("observed %d distinct paths, want %d", len(counts), len(want))
+	}
+	exp := 1.0 / float64(len(want))
+	for k, c := range counts {
+		frac := float64(c) / N
+		if math.Abs(frac-exp) > 0.025 {
+			t.Errorf("path %q frequency %g, want ~%g", k, frac, exp)
+		}
+	}
+}
+
+func TestBiBFSEpochWraparound(t *testing.T) {
+	g := graph.Cycle(5)
+	bi := NewBiBFS(5)
+	bi.epoch = ^uint32(0) - 1 // force wrap soon
+	for i := 0; i < 5; i++ {
+		if dist, _, ok := bi.Query(g, 0, 2); !ok || dist != 2 {
+			t.Fatalf("query %d after wrap: dist=%d ok=%v", i, dist, ok)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package shortestpath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"saphyra/internal/graph"
+)
+
+// Grid path counts grow binomially; float64 sigma must track them exactly
+// while int64 would already be in overflow territory on modest grids.
+func TestGridSigmaBinomial(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	d := NewDAG(g.NumNodes())
+	d.Run(g, 0)
+	// sigma(corner -> corner) = C(22, 11) = 705432
+	corner := graph.Node(12*12 - 1)
+	if d.Sigma[corner] != 705432 {
+		t.Errorf("sigma = %g, want 705432 = C(22,11)", d.Sigma[corner])
+	}
+	bi := NewBiBFS(g.NumNodes())
+	_, sigma, ok := bi.Query(g, 0, corner)
+	if !ok || math.Abs(sigma-705432) > 1e-6 {
+		t.Errorf("bidirectional sigma = %g, want 705432", sigma)
+	}
+}
+
+func TestGridSigmaLarge(t *testing.T) {
+	// 26x26 grid: C(50,25) ~ 1.26e14 -- still exactly representable in
+	// float64 (`< 2^53`), and must match between both engines.
+	g := graph.Grid2D(26, 26)
+	d := NewDAG(g.NumNodes())
+	d.Run(g, 0)
+	corner := graph.Node(26*26 - 1)
+	want := 126410606437752.0 // C(50,25)
+	if d.Sigma[corner] != want {
+		t.Errorf("sigma = %g, want %g", d.Sigma[corner], want)
+	}
+	bi := NewBiBFS(g.NumNodes())
+	_, sigma, ok := bi.Query(g, 0, corner)
+	if !ok || math.Abs(sigma/want-1) > 1e-12 {
+		t.Errorf("bidirectional sigma = %g, want %g", sigma, want)
+	}
+}
+
+// Many interleaved queries on one workspace must not leak state across
+// epochs.
+func TestBiBFSInterleavedQueries(t *testing.T) {
+	gs := []*graph.Graph{graph.Cycle(9), graph.Star(9), graph.Grid2D(3, 3)}
+	bis := make([]*BiBFS, len(gs))
+	dags := make([]*DAG, len(gs))
+	for i, g := range gs {
+		bis[i] = NewBiBFS(g.NumNodes())
+		dags[i] = NewDAG(g.NumNodes())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		i := rng.Intn(len(gs))
+		g := gs[i]
+		s := graph.Node(rng.Intn(g.NumNodes()))
+		u := graph.Node(rng.Intn(g.NumNodes()))
+		if s == u {
+			continue
+		}
+		dags[i].Run(g, s)
+		dist, sigma, ok := bis[i].Query(g, s, u)
+		if !ok {
+			t.Fatalf("graph %d pair (%d,%d): not ok", i, s, u)
+		}
+		if dist != dags[i].Dist[u] || math.Abs(sigma-dags[i].Sigma[u]) > 1e-9 {
+			t.Fatalf("graph %d pair (%d,%d): (%d,%g) vs (%d,%g)",
+				i, s, u, dist, sigma, dags[i].Dist[u], dags[i].Sigma[u])
+		}
+	}
+}
+
+// Long path graphs: the bidirectional search must only explore ~half the
+// graph from each side, and still be exact.
+func TestBiBFSLongPath(t *testing.T) {
+	g := graph.Path(10001)
+	bi := NewBiBFS(g.NumNodes())
+	dist, sigma, ok := bi.Query(g, 0, 10000)
+	if !ok || dist != 10000 || sigma != 1 {
+		t.Errorf("dist=%d sigma=%g ok=%v", dist, sigma, ok)
+	}
+	p := bi.SamplePath(g, rand.New(rand.NewSource(1)))
+	if len(p) != 10001 {
+		t.Errorf("path length %d, want 10001", len(p))
+	}
+}
+
+// Star graph: leaf-to-leaf queries always route through the center.
+func TestBiBFSStar(t *testing.T) {
+	g := graph.Star(50)
+	bi := NewBiBFS(50)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		a := graph.Node(1 + rng.Intn(49))
+		b := graph.Node(1 + rng.Intn(49))
+		if a == b {
+			continue
+		}
+		dist, sigma, ok := bi.Query(g, a, b)
+		if !ok || dist != 2 || sigma != 1 {
+			t.Fatalf("leaf pair: dist=%d sigma=%g", dist, sigma)
+		}
+		p := bi.SamplePath(g, rng)
+		if len(p) != 3 || p[1] != 0 {
+			t.Fatalf("path %v should route through center", p)
+		}
+	}
+}

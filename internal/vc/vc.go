@@ -1,0 +1,156 @@
+// Package vc implements the VC-dimension bounds of the paper (Lemma 5,
+// Corollary 22, Lemma 23, Table I) for betweenness-centrality hypothesis
+// classes.
+//
+// The generic bound (Lemma 5) is VC(H) <= floor(log2(pi_max)) + 1, where
+// pi_max is the maximum number of hypotheses that evaluate to 1 on a single
+// sample. For RSP_bc, pi_max is the maximum number of target nodes that can
+// be inner nodes of one shortest path, which Table I instantiates as:
+//
+//	full network:  BD(V) - 1        (max bi-component diameter, Eq 35)
+//	any subset A:  BS(A)            (Lemma 23 upper bound)
+//	l-hop ball:    2l + 1
+//
+// versus Riondato et al. [45]'s VD(V) - 1 (graph diameter). All bounds here
+// are safe upper bounds (they only ever increase the sample budget).
+package vc
+
+import (
+	"math"
+
+	"saphyra/internal/bicomp"
+	"saphyra/internal/graph"
+)
+
+// DimFromMaxInner applies Lemma 5: given an upper bound piMax on the number
+// of hypotheses simultaneously positive on one sample, the VC dimension is
+// at most floor(log2(piMax)) + 1 (and 0 when no hypothesis is ever
+// positive).
+func DimFromMaxInner(piMax int64) int {
+	if piMax <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(float64(piMax)))) + 1
+}
+
+// Riondato returns the [45] bound floor(log2(VD-1)) + 1 from the graph
+// diameter VD (in edges): at most VD-1 inner nodes on any shortest path.
+func Riondato(diameter int32) int {
+	return DimFromMaxInner(int64(diameter) - 1)
+}
+
+// FullNetwork returns the SaPHyRa_bc bound for A = V: with bi-component
+// sampling a path has at most BD(V)-1 inner nodes, BD(V) the maximum
+// bi-component diameter. blockDiameterUB must upper-bound BD(V) (e.g.
+// Decomposition.MaxBlockDiameterUpperBound).
+func FullNetwork(blockDiameterUB int32) int {
+	return DimFromMaxInner(int64(blockDiameterUB) - 1)
+}
+
+// LHop returns the Table I bound for A = the l-hop neighborhood of a node:
+// floor(log2(2l+1)) + 1.
+func LHop(l int) int {
+	return DimFromMaxInner(int64(2*l + 1))
+}
+
+// SubsetBound computes the Lemma 23 upper bound on BS(A), the maximum
+// number of A-nodes that are inner nodes of one intra-component shortest
+// path:
+//
+//	BS(A) <= max_i min( VD(C_i)-1, VD(A ∩ C_i)+1, |A ∩ C_i| )
+//
+// over blocks i in I(A). Block and subset diameters are themselves upper
+// bounds: blocks of at most exactThreshold nodes use exact BFS diameters,
+// larger blocks use the double-sweep 2*ecc bound; subset diameters use the
+// 2*max-distance bound of Section IV-C.
+func SubsetBound(d *bicomp.Decomposition, a []graph.Node, exactThreshold int) int64 {
+	if len(a) == 0 {
+		return 0
+	}
+	inA := make(map[graph.Node]struct{}, len(a))
+	for _, v := range a {
+		inA[v] = struct{}{}
+	}
+	// group A by block
+	byBlock := make(map[int32][]graph.Node)
+	for v := range inA {
+		for _, b := range d.NodeBlocks[v] {
+			byBlock[b] = append(byBlock[b], v)
+		}
+	}
+	var bs int64
+	for b, members := range byBlock {
+		// Cheap terms first; the per-block BFS work only runs when it could
+		// still lower the running minimum.
+		cand := int64(len(members))
+		if v := int64(d.BlockDiameterUpperBound(b, exactThreshold)) - 1; v < cand {
+			cand = v
+		}
+		// subVD+1 >= 2 whenever |members| >= 2, so the subset-diameter BFS
+		// can only tighten candidates above 2.
+		if cand > 2 && len(members) >= 2 {
+			if v := int64(subsetDiameterUB(d.G, members)) + 1; v < cand {
+				cand = v
+			}
+		}
+		if cand < 0 {
+			cand = 0
+		}
+		if cand > bs {
+			bs = cand
+		}
+	}
+	return bs
+}
+
+// Subset returns the SaPHyRa_bc VC bound for an arbitrary target set A
+// (Corollary 22 with Lemma 23): floor(log2(BS(A))) + 1.
+func Subset(d *bicomp.Decomposition, a []graph.Node, exactThreshold int) int {
+	return DimFromMaxInner(SubsetBound(d, a, exactThreshold))
+}
+
+// subsetDiameterUB bounds the pairwise distance among nodes (all in one
+// block, so graph distances equal block distances) by 2*max distance from
+// the first member.
+func subsetDiameterUB(g *graph.Graph, members []graph.Node) int32 {
+	if len(members) < 2 {
+		return 0
+	}
+	dist := graph.BFSDistances(g, members[0], nil)
+	var far int32
+	for _, t := range members {
+		if d := dist[t]; d > far {
+			far = d
+		}
+	}
+	return 2 * far
+}
+
+// TableIRow bundles the three Table I bounds for one network/subset pair so
+// experiment drivers can print the comparison.
+type TableIRow struct {
+	RiondatoFull  int // [45], uses graph diameter
+	SaPHyRaFull   int // BD(V) bound
+	SaPHyRaSubset int // BS(A) bound
+}
+
+// TableI computes a Table I comparison row. diameterUB must upper-bound the
+// graph diameter (e.g. 2 * eccentricity of any node). Because all three
+// quantities are safe upper bounds on the same VC dimension, each tighter
+// bound is additionally capped by the looser ones (min of valid upper bounds
+// is a valid upper bound); this preserves the Table I ordering even when the
+// heuristic diameter estimates would invert it.
+func TableI(d *bicomp.Decomposition, a []graph.Node, diameterUB int32, exactThreshold int) TableIRow {
+	row := TableIRow{
+		RiondatoFull:  Riondato(diameterUB),
+		SaPHyRaFull:   FullNetwork(d.MaxBlockDiameterUpperBound(exactThreshold)),
+		SaPHyRaSubset: Subset(d, a, exactThreshold),
+	}
+	if row.SaPHyRaFull > row.RiondatoFull {
+		row.SaPHyRaFull = row.RiondatoFull
+	}
+	if row.SaPHyRaSubset > row.SaPHyRaFull {
+		row.SaPHyRaSubset = row.SaPHyRaFull
+	}
+	return row
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"saphyra/internal/datasets"
+	"saphyra/internal/graph"
+	"saphyra/internal/testutil"
+)
+
+// tinyEnv returns a small but structurally interesting environment (leaves,
+// blocks, cutpoints) that keeps driver tests fast.
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	g := testutil.RandomConnectedGraph(120, 150, 7)
+	return NewEnvFromGraph("tiny", g, 2)
+}
+
+func smallCfg() Config {
+	return Config{Epsilon: 0.1, Delta: 0.1, Workers: 2, Seed: 5, MaxSamples: 3000}
+}
+
+func TestRunOneAllAlgorithms(t *testing.T) {
+	e := tinyEnv(t)
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 15, 1, 3)[0]
+	for _, algo := range []Algo{AlgoABRA, AlgoKADABRA, AlgoSaPHyRaFull, AlgoSaPHyRa} {
+		b, err := e.RunOne(algo, subset, smallCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(b.Est) != len(subset) {
+			t.Errorf("%s: est length %d", algo, len(b.Est))
+		}
+		if b.Rho < -1 || b.Rho > 1 {
+			t.Errorf("%s: rho = %g", algo, b.Rho)
+		}
+		if b.Duration <= 0 {
+			t.Errorf("%s: duration not recorded", algo)
+		}
+	}
+}
+
+func TestRunOneUnknownAlgo(t *testing.T) {
+	e := tinyEnv(t)
+	if _, err := e.RunOne(Algo("nope"), []graph.Node{1}, smallCfg()); err == nil {
+		t.Error("unknown algo should error")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	bs := []Bench{
+		{Rho: 0.5, Duration: time.Second, Samples: 100},
+		{Rho: 0.9, Duration: 3 * time.Second, Samples: 300},
+	}
+	s := Aggregate(bs)
+	if s.MeanRho != 0.7 {
+		t.Errorf("mean rho = %g", s.MeanRho)
+	}
+	if s.LoRho != 0.5 || s.HiRho != 0.9 {
+		t.Errorf("bounds = (%g, %g)", s.LoRho, s.HiRho)
+	}
+	if s.MeanTime != 2*time.Second {
+		t.Errorf("mean time = %v", s.MeanTime)
+	}
+	if s.MeanSamples != 200 {
+		t.Errorf("mean samples = %d", s.MeanSamples)
+	}
+	if z := Aggregate(nil); z.MeanRho != 0 {
+		t.Error("empty aggregate should be zero")
+	}
+}
+
+func TestFig3And4Driver(t *testing.T) {
+	e := tinyEnv(t)
+	subsets := datasets.RandomSubsets(e.G.NumNodes(), 12, 2, 9)
+	rows, err := Fig3And4(e, []float64{0.2, 0.1}, subsets, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 epsilons x 4 algorithms
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	seen := map[Algo]bool{}
+	for _, r := range rows {
+		seen[r.Algo] = true
+		if r.MeanRho < -1 || r.MeanRho > 1 {
+			t.Errorf("%s/%g: rho %g", r.Algo, r.Epsilon, r.MeanRho)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("algorithms seen: %v", seen)
+	}
+}
+
+func TestFig5Driver(t *testing.T) {
+	e := tinyEnv(t)
+	rows, err := Fig5(e, []int{5, 10}, 2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 sizes x 4 algorithms
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Size != 5 && r.Size != 10 {
+			t.Errorf("unexpected size %d", r.Size)
+		}
+	}
+}
+
+func TestFig6Driver(t *testing.T) {
+	e := tinyEnv(t)
+	subsets := datasets.RandomSubsets(e.G.NumNodes(), 10, 2, 4)
+	rows, err := Fig6(e, subsets, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.Total != 20 {
+			t.Errorf("%s: total = %d, want 20", r.Algo, r.Summary.Total)
+		}
+	}
+	// SaPHyRa must have zero false zeros (Lemma 19), baselines may not.
+	for _, r := range rows {
+		if r.Algo == AlgoSaPHyRa && r.Summary.FalseZeros != 0 {
+			t.Errorf("SaPHyRa false zeros = %d, want 0", r.Summary.FalseZeros)
+		}
+	}
+}
+
+func TestFig7Driver(t *testing.T) {
+	side := 20
+	g := graph.RoadNetwork(side, side, 0.35, 3)
+	e := NewEnvFromGraph("road", g, 2)
+	areas := datasets.Areas(side)
+	rows, err := Fig7(e, areas[:2], smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 areas x 3 algorithms
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Deviation < 0 || r.Deviation > 1 {
+			t.Errorf("%s/%s: deviation %g", r.Area, r.Algo, r.Deviation)
+		}
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	e := tinyEnv(t)
+	subset := datasets.RandomSubsets(e.G.NumNodes(), 10, 1, 2)[0]
+	row := Table1(e, subset, 2)
+	if row.SaPHyRaFull > row.RiondatoFull {
+		t.Errorf("SaPHyRa full %d > Riondato %d", row.SaPHyRaFull, row.RiondatoFull)
+	}
+	if row.SaPHyRaSubset > row.SaPHyRaFull {
+		t.Errorf("subset %d > full %d", row.SaPHyRaSubset, row.SaPHyRaFull)
+	}
+	if row.L != 2 {
+		t.Errorf("l = %d", row.L)
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	e := NewEnv(datasets.Flickr, 0.03, 2)
+	row := Table2(e, datasets.Flickr)
+	if row.Nodes != e.G.NumNodes() || row.Edges != e.G.NumEdges() {
+		t.Error("size mismatch")
+	}
+	if row.Blocks == 0 || row.Cutpoints == 0 {
+		t.Error("expected blocks and cutpoints in a leafy social graph")
+	}
+	if row.PaperNodes != "1.6M" {
+		t.Errorf("paper nodes = %q", row.PaperNodes)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n1\t2\n3\t4\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+	if !strings.Contains(buf.String(), "\t") {
+		t.Error("no tabs in TSV output")
+	}
+}
+
+// The headline qualitative claims of the paper, pinned as tests on a small
+// instance: SaPHyRa's subset rank quality beats the baselines', and its
+// subset runtime does not exceed the full-network variant's.
+func TestHeadlineShapeSmall(t *testing.T) {
+	g := datasets.Flickr.Build(0.05)
+	e := NewEnvFromGraph("flickr-small", g, 4)
+	subsets := datasets.RandomSubsets(e.G.NumNodes(), 50, 3, 11)
+	cfg := Config{Epsilon: 0.05, Delta: 0.1, Workers: 4, Seed: 13}
+	var saphyra, kadabra []Bench
+	for i, sub := range subsets {
+		c := cfg
+		c.Seed += int64(i)
+		b1, err := e.RunOne(AlgoSaPHyRa, sub, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := e.RunOne(AlgoKADABRA, sub, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saphyra = append(saphyra, b1)
+		kadabra = append(kadabra, b2)
+	}
+	sa, ka := Aggregate(saphyra), Aggregate(kadabra)
+	if sa.MeanRho <= ka.MeanRho {
+		t.Errorf("SaPHyRa rho %g should beat KADABRA rho %g on random subsets", sa.MeanRho, ka.MeanRho)
+	}
+	if sa.MeanRho < 0.5 {
+		t.Errorf("SaPHyRa rho %g unexpectedly low", sa.MeanRho)
+	}
+}
