@@ -1,0 +1,3 @@
+module saphyra
+
+go 1.24

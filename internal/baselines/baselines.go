@@ -23,7 +23,7 @@ package baselines
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 
@@ -75,11 +75,14 @@ type Result struct {
 	StoppedEarly bool
 }
 
-// pairSampler produces per-sample contributions. Implementations add their
+// pairSampler produces per-sample contributions. sampleOne adds the
 // contribution for one sampled pair into acc (sum) and accSq (sum of
-// squares, for the Bernstein variance).
+// squares, for the Bernstein variance); sampleBatch draws count pairs in one
+// call — the batched engine's unit of work, mirroring core.BatchSampler —
+// letting implementations keep scratch hot and allocation-free.
 type pairSampler interface {
 	sampleOne(rng *rand.Rand, acc, accSq []float64)
+	sampleBatch(rng *rand.Rand, count int64, acc, accSq []float64)
 }
 
 // progressive runs the shared doubling loop.
@@ -128,7 +131,7 @@ func progressive(g *graph.Graph, opt Options, mk func(seed int64) pairSampler) (
 	rngs := make([]*rand.Rand, workers)
 	for w := 0; w < workers; w++ {
 		samplers[w] = mk(opt.Seed + int64(w+1)*999_983)
-		rngs[w] = rand.New(rand.NewSource(opt.Seed + int64(w+1)*7_368_787))
+		rngs[w] = rand.New(rand.NewPCG(uint64(opt.Seed+int64(w+1)*7_368_787), 0x3c6ef372fe94f82b))
 	}
 	var drawn int64
 	target := n0
@@ -179,9 +182,7 @@ func drawBatch(samplers []pairSampler, rngs []*rand.Rand, count int64, n int, su
 	}
 	const smallBatch = 1024
 	if count < smallBatch {
-		for j := int64(0); j < count; j++ {
-			samplers[0].sampleOne(rngs[0], sum, sumSq)
-		}
+		samplers[0].sampleBatch(rngs[0], count, sum, sumSq)
 		return
 	}
 	workers := len(samplers)
@@ -203,9 +204,7 @@ func drawBatch(samplers []pairSampler, rngs []*rand.Rand, count int64, n int, su
 			defer wg.Done()
 			ls := make([]float64, n)
 			lq := make([]float64, n)
-			for j := int64(0); j < quota; j++ {
-				samplers[w].sampleOne(rngs[w], ls, lq)
-			}
+			samplers[w].sampleBatch(rngs[w], quota, ls, lq)
 			localSum[w] = ls
 			localSq[w] = lq
 		}(w, quota)
@@ -252,10 +251,18 @@ func newABRASampler(g *graph.Graph) *abraSampler {
 	return a
 }
 
+// sampleBatch draws count pairs back to back; the DAG, tau, and level
+// buckets stay hot across the whole batch.
+func (a *abraSampler) sampleBatch(rng *rand.Rand, count int64, acc, accSq []float64) {
+	for j := int64(0); j < count; j++ {
+		a.sampleOne(rng, acc, accSq)
+	}
+}
+
 func (a *abraSampler) sampleOne(rng *rand.Rand, acc, accSq []float64) {
 	n := a.g.NumNodes()
-	s := graph.Node(rng.Intn(n))
-	t := graph.Node(rng.Intn(n - 1))
+	s := graph.Node(rng.IntN(n))
+	t := graph.Node(rng.IntN(n - 1))
 	if t >= s {
 		t++
 	}
@@ -323,22 +330,30 @@ func KADABRA(g *graph.Graph, opt Options) (*Result, error) {
 }
 
 type kadabraSampler struct {
-	g   *graph.Graph
-	bfs *shortestpath.BiBFS
+	g       *graph.Graph
+	bfs     *shortestpath.BiBFS
+	pathBuf []graph.Node // reused across samples: the batch loop is allocation-free
+}
+
+// sampleBatch draws count pairs back to back with the shared path buffer.
+func (k *kadabraSampler) sampleBatch(rng *rand.Rand, count int64, acc, accSq []float64) {
+	for j := int64(0); j < count; j++ {
+		k.sampleOne(rng, acc, accSq)
+	}
 }
 
 func (k *kadabraSampler) sampleOne(rng *rand.Rand, acc, accSq []float64) {
 	n := k.g.NumNodes()
-	s := graph.Node(rng.Intn(n))
-	t := graph.Node(rng.Intn(n - 1))
+	s := graph.Node(rng.IntN(n))
+	t := graph.Node(rng.IntN(n - 1))
 	if t >= s {
 		t++
 	}
 	if _, _, ok := k.bfs.Query(k.g, s, t); !ok {
 		return // disconnected pair contributes 0
 	}
-	path := k.bfs.SamplePath(k.g, rng)
-	for _, v := range path[1 : len(path)-1] {
+	k.pathBuf = k.bfs.SamplePathAppend(k.g, rng, k.pathBuf)
+	for _, v := range k.pathBuf[1 : len(k.pathBuf)-1] {
 		acc[v]++
 		accSq[v]++
 	}

@@ -2,6 +2,7 @@ package bicomp
 
 import (
 	"fmt"
+	"sort"
 
 	"saphyra/internal/graph"
 )
@@ -31,21 +32,23 @@ type OutReach struct {
 	// WTotal = sum_b W[b] as float64 (can exceed int64 for path-like graphs
 	// at extreme scale).
 	WTotal float64
-	// cut maps (block<<32 | node) -> r for cutpoints only; non-cutpoints
-	// always have r = 1.
-	cut map[int64]int64
+	// rNode[v][k] = r_b(v) for b = D.NodeBlocks[v][k]; allocated only for
+	// cutpoints (non-cutpoints always have r = 1). A short cache-local scan
+	// of NodeBlocks[v] replaces the map lookup Of() used to do — Of sits on
+	// the hot path of both the exact 2-hop phase and the sampler tables.
+	rNode [][]int64
 }
 
 // NewOutReach computes all out-reach quantities in O(n + total block size)
 // using a weighted DP over the block-cut tree.
 func NewOutReach(d *Decomposition) *OutReach {
 	o := &OutReach{
-		D:   d,
-		R:   make([][]int64, d.NumBlocks),
-		S:   make([]int64, d.NumBlocks),
-		Q:   make([]int64, d.NumBlocks),
-		W:   make([]int64, d.NumBlocks),
-		cut: make(map[int64]int64),
+		D:     d,
+		R:     make([][]int64, d.NumBlocks),
+		S:     make([]int64, d.NumBlocks),
+		Q:     make([]int64, d.NumBlocks),
+		W:     make([]int64, d.NumBlocks),
+		rNode: make([][]int64, len(d.NodeBlocks)),
 	}
 
 	// Build the block-cut tree. Tree nodes: blocks [0, L), then cutpoints
@@ -140,7 +143,19 @@ func NewOutReach(d *Decomposition) *OutReach {
 					down = sub[int32(b)]
 				}
 				r = compSize - down
-				o.cut[outReachKey(int32(b), v)] = r
+				if o.rNode[v] == nil {
+					o.rNode[v] = make([]int64, len(d.NodeBlocks[v]))
+					for k := range o.rNode[v] {
+						o.rNode[v][k] = 1
+					}
+				}
+				// NodeBlocks[v] is sorted: binary search keeps hub
+				// cutpoints (thousands of pendant blocks) O(deg log deg)
+				// instead of O(deg^2) across their blocks.
+				bs := d.NodeBlocks[v]
+				if k := sort.Search(len(bs), func(i int) bool { return bs[i] >= int32(b) }); k < len(bs) && bs[k] == int32(b) {
+					o.rNode[v][k] = r
+				}
 			}
 			rs[j] = r
 			S += r
@@ -155,19 +170,27 @@ func NewOutReach(d *Decomposition) *OutReach {
 	return o
 }
 
-func outReachKey(b int32, v graph.Node) int64 {
-	return int64(b)<<32 | int64(uint32(v))
-}
-
-// Of returns r_b(v) for node v in block b. It is O(1): non-cutpoints always
-// have r = 1 and cutpoint values are stored in a map. Calling it for a node
-// outside the block returns 1 (callers must ensure membership).
+// Of returns r_b(v) for node v in block b. Non-cutpoints always have r = 1;
+// cutpoint values are found in the node's block list — a cache-local scan
+// for the typical short list, a binary search (NodeBlocks is sorted) for
+// hub cutpoints that bridge thousands of pendant blocks. Calling it for a
+// node outside the block returns 1 (callers must ensure membership).
 func (o *OutReach) Of(b int32, v graph.Node) int64 {
 	if !o.D.IsCut[v] {
 		return 1
 	}
-	if r, ok := o.cut[outReachKey(b, v)]; ok {
-		return r
+	bs := o.D.NodeBlocks[v]
+	if len(bs) <= 8 {
+		for k, bb := range bs {
+			if bb == b {
+				return o.rNode[v][k]
+			}
+		}
+		return 1
+	}
+	k := sort.Search(len(bs), func(i int) bool { return bs[i] >= b })
+	if k < len(bs) && bs[k] == b {
+		return o.rNode[v][k]
 	}
 	return 1
 }

@@ -14,9 +14,8 @@ package closeness
 import (
 	"errors"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
-	"sort"
 	"sync"
 
 	"saphyra/internal/graph"
@@ -64,7 +63,7 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	if n < 2 {
 		return nil, errors.New("closeness: graph too small")
 	}
-	nodes := dedupSorted(a)
+	nodes := graph.DedupSorted(a)
 	k := len(nodes)
 	eps, delta := opt.Epsilon, opt.Delta
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
@@ -98,13 +97,15 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	var drawn int64
 	target := n0
 	workers := opt.Workers
-	rngs := make([]*rand.Rand, workers)
-	for w := range rngs {
-		rngs[w] = rand.New(rand.NewSource(opt.Seed + int64(w+1)*612_361))
+	// One persistent sampler per worker: BFS distance scratch and rng live
+	// across rounds, so the doubling loop allocates nothing per round.
+	samplers := make([]*sourceSampler, workers)
+	for w := range samplers {
+		samplers[w] = newSourceSampler(g, nodes, opt.Seed+int64(w+1)*612_361)
 	}
 	for {
 		res.Rounds++
-		batchParallel(g, nodes, rngs, target-drawn, accs)
+		batchParallel(samplers, target-drawn, accs)
 		drawn = target
 		worst := 0.0
 		for i := range accs {
@@ -132,13 +133,50 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func batchParallel(g *graph.Graph, nodes []graph.Node, rngs []*rand.Rand, count int64, accs []stats.MeanVar) {
+// sourceSampler is the closeness analogue of the core engine's batched
+// sampler: a per-worker workspace drawing uniform BFS sources and pricing
+// every target per source, with pooled scratch so the steady-state loop is
+// allocation-free.
+type sourceSampler struct {
+	g     *graph.Graph
+	nodes []graph.Node
+	rng   *rand.Rand
+	dist  []int32
+	local []stats.MeanVar
+}
+
+func newSourceSampler(g *graph.Graph, nodes []graph.Node, seed int64) *sourceSampler {
+	return &sourceSampler{
+		g:     g,
+		nodes: nodes,
+		rng:   rand.New(rand.NewPCG(uint64(seed), 0xbb67ae8584caa73b)),
+		dist:  make([]int32, g.NumNodes()),
+		local: make([]stats.MeanVar, len(nodes)),
+	}
+}
+
+// sampleBatch draws count sources, accumulating the per-target harmonic
+// terms into the sampler's persistent local accumulators.
+func (s *sourceSampler) sampleBatch(count int64) {
+	n := s.g.NumNodes()
+	for j := int64(0); j < count; j++ {
+		u := graph.Node(s.rng.IntN(n))
+		s.dist = graph.BFSDistances(s.g, u, s.dist)
+		for i, v := range s.nodes {
+			x := 0.0
+			if v != u && s.dist[v] > 0 {
+				x = 1 / float64(s.dist[v])
+			}
+			s.local[i].Add(x)
+		}
+	}
+}
+
+func batchParallel(samplers []*sourceSampler, count int64, accs []stats.MeanVar) {
 	if count <= 0 {
 		return
 	}
-	workers := len(rngs)
-	n := g.NumNodes()
-	locals := make([][]stats.MeanVar, workers)
+	workers := len(samplers)
 	var wg sync.WaitGroup
 	base := count / int64(workers)
 	rem := count % int64(workers)
@@ -153,29 +191,19 @@ func batchParallel(g *graph.Graph, nodes []graph.Node, rngs []*rand.Rand, count 
 		wg.Add(1)
 		go func(w int, quota int64) {
 			defer wg.Done()
-			local := make([]stats.MeanVar, len(nodes))
-			dist := make([]int32, n)
-			for j := int64(0); j < quota; j++ {
-				u := graph.Node(rngs[w].Intn(n))
-				dist = graph.BFSDistances(g, u, dist)
-				for i, v := range nodes {
-					x := 0.0
-					if v != u && dist[v] > 0 {
-						x = 1 / float64(dist[v])
-					}
-					local[i].Add(x)
-				}
-			}
-			locals[w] = local
+			samplers[w].sampleBatch(quota)
 		}(w, quota)
 	}
 	wg.Wait()
-	for _, local := range locals {
-		if local == nil {
-			continue
-		}
+	// The per-worker accumulators are cumulative across rounds: rebuild accs
+	// from scratch, merging in worker order so the result is deterministic
+	// for fixed seed + workers.
+	for i := range accs {
+		accs[i] = stats.MeanVar{}
+	}
+	for _, s := range samplers {
 		for i := range accs {
-			accs[i].Merge(&local[i])
+			accs[i].Merge(&s.local[i])
 		}
 	}
 }
@@ -201,18 +229,4 @@ func Exact(g *graph.Graph) []float64 {
 		out[i] /= float64(n - 1)
 	}
 	return out
-}
-
-func dedupSorted(a []graph.Node) []graph.Node {
-	out := make([]graph.Node, len(a))
-	copy(out, a)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
+	"saphyra/internal/alias"
 	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
 	"saphyra/internal/shortestpath"
@@ -103,7 +105,7 @@ func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, e
 			return nil, fmt.Errorf("core: target node %d out of range [0,%d)", v, n)
 		}
 	}
-	nodes := dedupSorted(a)
+	nodes := graph.DedupSorted(a)
 	k := len(nodes)
 
 	res := &BCResult{
@@ -176,20 +178,6 @@ func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, e
 	return res, nil
 }
 
-func dedupSorted(a []graph.Node) []graph.Node {
-	out := make([]graph.Node, len(a))
-	copy(out, a)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
-}
-
 // bcSpace implements Space for RSP_bc (Section IV-B): the sample space is
 // the personalized ISP space X_c^(A); the exact subspace is the set of
 // 2-hop intra-block shortest paths whose middle node is in A (Eq 29).
@@ -200,11 +188,14 @@ type bcSpace struct {
 	blocksA []int32
 	wA      float64
 
-	// multistage sampling tables (Algorithm 2)
-	blockCum []float64           // cumulative w_i over blocksA
-	sCum     map[int32][]float64 // per block: cumulative r(s)*(S-r(s))
-	tCum     map[int32][]float64 // per block: cumulative r(t)
-	members  map[int32][]graph.Node
+	// Multistage sampling tables (Algorithm 2) as Walker/Vose alias tables:
+	// every stage of a draw is O(1) instead of an O(log n) binary search
+	// over a cumulative table. Indexed by position j in blocksA.
+	blockTab *alias.Table   // stage 1: block proportional to w_i
+	srcTab   []*alias.Table // stage 2 per block: src proportional to r(s)(S-r(s))
+	dstTab   []*alias.Table // stage 3 per block: dst proportional to r(t)
+	dstCum   [][]float64    // per block: cumulative r(t) — the excision fallback
+	members  [][]graph.Node // per block j: member nodes (dense index base)
 
 	lambdaHat float64
 	exact     []float64
@@ -222,9 +213,10 @@ func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float
 		aIndex:       make([]int32, n),
 		blocksA:      blocksA,
 		wA:           wA,
-		sCum:         make(map[int32][]float64, len(blocksA)),
-		tCum:         make(map[int32][]float64, len(blocksA)),
-		members:      make(map[int32][]graph.Node, len(blocksA)),
+		srcTab:       make([]*alias.Table, len(blocksA)),
+		dstTab:       make([]*alias.Table, len(blocksA)),
+		dstCum:       make([][]float64, len(blocksA)),
+		members:      make([][]graph.Node, len(blocksA)),
 		disableExact: opt.DisableExactSubspace,
 	}
 	for i := range sp.aIndex {
@@ -234,28 +226,29 @@ func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float
 		sp.aIndex[v] = int32(i)
 	}
 
-	// Multistage tables.
-	sp.blockCum = make([]float64, len(blocksA))
-	var acc float64
+	// Multistage alias tables, built once per target set.
+	blockW := make([]float64, len(blocksA))
 	for j, b := range blocksA {
-		acc += float64(o.W[b])
-		sp.blockCum[j] = acc
+		blockW[j] = float64(o.W[b])
 		ms := d.Blocks[b]
-		sp.members[b] = ms
-		sc := make([]float64, len(ms))
-		tc := make([]float64, len(ms))
-		var sAcc, tAcc float64
+		sp.members[j] = ms
+		srcW := make([]float64, len(ms))
+		dstW := make([]float64, len(ms))
+		dstCum := make([]float64, len(ms))
 		S := float64(o.S[b])
+		var acc float64
 		for i, v := range ms {
 			r := float64(o.Of(b, v))
-			sAcc += r * (S - r)
-			tAcc += r
-			sc[i] = sAcc
-			tc[i] = tAcc
+			srcW[i] = r * (S - r)
+			dstW[i] = r
+			acc += r
+			dstCum[i] = acc
 		}
-		sp.sCum[b] = sc
-		sp.tCum[b] = tc
+		sp.srcTab[j] = alias.New(srcW)
+		sp.dstTab[j] = alias.New(dstW)
+		sp.dstCum[j] = dstCum
 	}
+	sp.blockTab = alias.New(blockW)
 
 	// VC dimension (Corollary 22 / Table I).
 	switch opt.VCBound {
@@ -448,59 +441,117 @@ func exactBCRange(p *BCPreprocessed, endpoints []graph.Node, aIndex []int32, wA 
 }
 
 // NewSampler implements Space: Algorithm Gen_bc (Algorithm 2), multistage
-// sampling with rejection of exact-subspace paths.
+// alias-table sampling with rejection of exact-subspace paths. The returned
+// sampler implements BatchSampler: DrawBatch pre-draws a batch of (src, dst)
+// pairs, groups them by source, and serves every pair sharing a source from
+// one truncated BFS DAG — on skewed graphs the stage-2 r(s)(S-r(s)) mass
+// concentrates on few hub sources, so grouping amortizes most BFS work.
 func (sp *bcSpace) NewSampler(seed int64) Sampler {
 	return &bcSampler{
 		sp:  sp,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)),
 		bfs: shortestpath.NewBiBFS(sp.p.G.NumNodes()),
+		dag: shortestpath.NewDAG(sp.p.G.NumNodes()),
 	}
 }
 
-type bcSampler struct {
-	sp   *bcSpace
-	rng  *rand.Rand
-	bfs  *shortestpath.BiBFS
-	hits []int32
+// srcDst packs one pre-drawn stage-1..3 sample (src in the high 32 bits,
+// dst in the low) so a batch sorts with the specialized slices.Sort for
+// uint64 — no comparator calls in the grouping step.
+type srcDst uint64
+
+func packSrcDst(src, dst graph.Node) srcDst {
+	return srcDst(uint64(uint32(src))<<32 | uint64(uint32(dst)))
 }
 
-// Draw implements Sampler.
-func (s *bcSampler) Draw() []int32 {
+func (p srcDst) src() graph.Node { return graph.Node(p >> 32) }
+func (p srcDst) dst() graph.Node { return graph.Node(uint32(p)) }
+
+type bcSampler struct {
+	sp  *bcSpace
+	rng *rand.Rand
+	bfs *shortestpath.BiBFS
+	dag *shortestpath.DAG
+
+	// reusable scratch: the steady-state DrawBatch loop is allocation-free
+	pairs   []srcDst
+	dsts    []graph.Node
+	pathBuf []graph.Node
+	hits    []int32
+
+	// Online cost model for the group-serving decision: cumulative mean
+	// directed edges scanned per bidirectional query vs per truncated
+	// source BFS. Both evolve deterministically with the (seeded) sample
+	// stream, so fixed seed + workers still implies identical output.
+	biScan, dagScan    int64
+	biQueries, dagRuns int64
+}
+
+// batchCap bounds the number of pairs pre-drawn per grouping round (8 bytes
+// each — 8 MiB of reusable scratch at the cap, allocated only up to the
+// quota actually requested). The larger the round, the more pairs share a
+// source: at production budgets (full-network ranking, tight eps) groups
+// grow into the hundreds and one truncated BFS serves them all.
+const batchCap = 1 << 20
+
+// dagGroupMin is the floor on the group size at which a shared truncated
+// source BFS may replace per-pair bidirectional BFS. The effective
+// threshold adapts upward from measured costs (see dagThreshold): on graphs
+// where BiBFS touches O(sqrt n) nodes while a source ball is near-linear,
+// small groups stay on the bidirectional path.
+const dagGroupMin = 2
+
+// dagThreshold returns the current group size at which serving a source
+// run from one truncated BFS is estimated to be cheaper than one
+// bidirectional query per pair. Until both costs have been observed it
+// returns the floor, so each strategy gets probed early.
+func (s *bcSampler) dagThreshold() int {
+	if s.biQueries == 0 || s.dagRuns == 0 {
+		return dagGroupMin
+	}
+	biAvg := float64(s.biScan) / float64(s.biQueries)
+	dagAvg := float64(s.dagScan) / float64(s.dagRuns)
+	if biAvg < 1 {
+		biAvg = 1
+	}
+	t := int(dagAvg / biAvg)
+	if t < dagGroupMin {
+		t = dagGroupMin
+	}
+	return t
+}
+
+// drawPair runs stages 1-3 of Algorithm 2 on the alias tables: O(1) — three
+// uniform variates — instead of three binary searches. Stage 3 must exclude
+// the source; two O(1) alias draws with rejection handle the common case
+// (src holds little of the r(t) mass), and a collision on both falls back
+// to the exact conditional via interval excision over the cumulative table.
+// The fallback matters: in a pendant block {leaf, hub} the hub holds nearly
+// all the target mass, so pure rejection would spin for the component size.
+func (s *bcSampler) drawPair() srcDst {
 	sp := s.sp
-	g := sp.p.G
-	for {
-		// stage 1: block proportional to w_i
-		total := sp.blockCum[len(sp.blockCum)-1]
-		j := sort.SearchFloat64s(sp.blockCum, s.rng.Float64()*total)
-		if j >= len(sp.blockCum) {
-			j = len(sp.blockCum) - 1
-		}
-		b := sp.blocksA[j]
-		members := sp.members[b]
-		sc, tc := sp.sCum[b], sp.tCum[b]
-
-		// stage 2: source proportional to r(s)(S - r(s))
-		si := sort.SearchFloat64s(sc, s.rng.Float64()*sc[len(sc)-1])
-		if si >= len(members) {
-			si = len(members) - 1
-		}
-		src := members[si]
-
-		// stage 3: target proportional to r(t) over members \ {src}: draw a
-		// point in the cumulative mass with src's interval excised.
+	j := sp.blockTab.Draw(s.rng.Float64())
+	members := sp.members[j]
+	si := sp.srcTab[j].Draw(s.rng.Float64())
+	ti := sp.dstTab[j].Draw(s.rng.Float64())
+	if ti == si {
+		ti = sp.dstTab[j].Draw(s.rng.Float64())
+	}
+	if ti == si {
+		// Excision: draw a point in the cumulative r(t) mass with src's
+		// interval removed (the exact conditional, as the seed engine did).
+		tc := sp.dstCum[j]
 		rs := tc[si]
-		if si > 0 {
-			rs -= tc[si-1]
-		}
-		pos := s.rng.Float64() * (tc[len(tc)-1] - rs)
 		var before float64
 		if si > 0 {
 			before = tc[si-1]
+			rs -= before
 		}
+		pos := s.rng.Float64() * (tc[len(tc)-1] - rs)
 		if pos >= before {
 			pos += rs
 		}
-		ti := sort.SearchFloat64s(tc, pos)
+		ti = sort.SearchFloat64s(tc, pos)
 		if ti >= len(members) {
 			ti = len(members) - 1
 		}
@@ -511,26 +562,136 @@ func (s *bcSampler) Draw() []int32 {
 				ti--
 			}
 		}
-		dst := members[ti]
+	}
+	return packSrcDst(members[si], members[ti])
+}
 
-		// stage 4: uniform shortest path between src and dst
-		dist, _, ok := s.bfs.Query(g, src, dst)
-		if !ok {
-			continue // defensive: members of one block are always connected
-		}
-		path := s.bfs.SamplePath(g, s.rng)
-		// rejection: exact-subspace paths (length 2 with middle in A)
-		if !sp.disableExact && dist == 2 && sp.aIndex[path[1]] >= 0 {
-			continue
-		}
-		s.hits = s.hits[:0]
-		for _, v := range path[1 : len(path)-1] {
-			if ai := sp.aIndex[v]; ai >= 0 {
+// countPath accumulates one accepted path sample: hit indices are appended
+// to s.hits and, when hits is non-nil, hit counts are incremented. Returns
+// false (rejection) for exact-subspace paths: length 2 with middle in A.
+func (s *bcSampler) countPath(path []graph.Node, hits []int64) bool {
+	sp := s.sp
+	if !sp.disableExact && len(path) == 3 && sp.aIndex[path[1]] >= 0 {
+		return false
+	}
+	for _, v := range path[1 : len(path)-1] {
+		if ai := sp.aIndex[v]; ai >= 0 {
+			if hits != nil {
+				hits[ai]++
+			} else {
 				s.hits = append(s.hits, ai)
 			}
 		}
-		return s.hits
+	}
+	return true
+}
+
+// Draw implements Sampler (the single-sample compatibility shim).
+func (s *bcSampler) Draw() []int32 {
+	g := s.sp.p.G
+	for {
+		p := s.drawPair()
+		// stage 4: uniform shortest path between src and dst
+		if _, _, ok := s.bfs.Query(g, p.src(), p.dst()); !ok {
+			continue // defensive: members of one block are always connected
+		}
+		s.pathBuf = s.bfs.SamplePathAppend(g, s.rng, s.pathBuf)
+		s.hits = s.hits[:0]
+		if s.countPath(s.pathBuf, nil) {
+			return s.hits
+		}
 	}
 }
 
-var _ Space = (*bcSpace)(nil)
+// DrawBatch implements BatchSampler: n samples with per-source amortized
+// stage-4 work. Rejected samples (exact-subspace paths) are redrawn in the
+// next grouping round, so exactly n accepted samples are accumulated.
+func (s *bcSampler) DrawBatch(n int64, hits []int64) {
+	for n > 0 {
+		m := n
+		if m > batchCap {
+			m = batchCap
+		}
+		n -= s.drawGrouped(int(m), hits)
+	}
+}
+
+// drawGrouped pre-draws m (src, dst) pairs, sorts them by (src, dst) so
+// samples sharing a source are adjacent, and serves each source run either
+// with one truncated BFS DAG (runs of >= dagThreshold) or with per-pair
+// bidirectional BFS (small groups). Returns the number of accepted samples.
+func (s *bcSampler) drawGrouped(m int, hits []int64) int64 {
+	s.pairs = s.pairs[:0]
+	for i := 0; i < m; i++ {
+		s.pairs = append(s.pairs, s.drawPair())
+	}
+	// Sorting by the packed (src, dst) key makes the serve order — and
+	// therefore the rng stream — a deterministic function of the drawn
+	// pairs.
+	slices.Sort(s.pairs)
+	var accepted int64
+	minGroup := s.dagThreshold()
+	for lo := 0; lo < len(s.pairs); {
+		src := s.pairs[lo].src()
+		hi := lo + 1
+		for hi < len(s.pairs) && s.pairs[hi].src() == src {
+			hi++
+		}
+		if hi-lo >= minGroup {
+			accepted += s.serveFromDAG(src, s.pairs[lo:hi], hits)
+		} else {
+			for _, p := range s.pairs[lo:hi] {
+				accepted += s.serveFromBiBFS(p, hits)
+			}
+		}
+		lo = hi
+	}
+	return accepted
+}
+
+// serveFromDAG answers every pair of one source run from a single truncated
+// BFS: the traversal stops at the level of the farthest dst and resets only
+// touched state, so its cost is shared across the whole run.
+func (s *bcSampler) serveFromDAG(src graph.Node, run []srcDst, hits []int64) int64 {
+	g := s.sp.p.G
+	s.dsts = s.dsts[:0]
+	for _, p := range run {
+		s.dsts = append(s.dsts, p.dst())
+	}
+	s.dag.RunTruncated(g, src, s.dsts)
+	s.dagScan += s.dag.Scanned()
+	s.dagRuns++
+	var accepted int64
+	for _, dst := range s.dsts {
+		path := s.dag.SamplePathAppend(g, dst, s.rng, s.pathBuf)
+		if path == nil {
+			continue // defensive: members of one block are always connected
+		}
+		s.pathBuf = path
+		if s.countPath(path, hits) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// serveFromBiBFS answers a singleton pair with balanced bidirectional BFS.
+func (s *bcSampler) serveFromBiBFS(p srcDst, hits []int64) int64 {
+	g := s.sp.p.G
+	_, _, ok := s.bfs.Query(g, p.src(), p.dst())
+	s.biScan += s.bfs.Scanned()
+	s.biQueries++
+	if !ok {
+		return 0 // defensive: redrawn by the caller's accounting
+	}
+	s.pathBuf = s.bfs.SamplePathAppend(g, s.rng, s.pathBuf)
+	if s.countPath(s.pathBuf, hits) {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Space        = (*bcSpace)(nil)
+	_ BatchSampler = (*bcSampler)(nil)
+)

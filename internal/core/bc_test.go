@@ -129,7 +129,7 @@ func TestExactBCMatchesBruteForce(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			a = append(a, graph.Node(rng.Intn(n)))
 		}
-		nodes := dedupSorted(a)
+		nodes := graph.DedupSorted(a)
 		blocksA := p.O.BlocksOf(nodes)
 		wA := p.O.WeightOfBlocks(blocksA)
 		if wA == 0 {

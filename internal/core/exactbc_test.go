@@ -118,7 +118,7 @@ func TestClaim8VarianceReduction(t *testing.T) {
 	for v := 0; v < 300; v += 5 {
 		nodes = append(nodes, graph.Node(v))
 	}
-	nodesDedup := dedupSorted(nodes)
+	nodesDedup := graph.DedupSorted(nodes)
 	blocksA := p.O.BlocksOf(nodesDedup)
 	wA := p.O.WeightOfBlocks(blocksA)
 	if wA == 0 {

@@ -47,6 +47,35 @@ type Sampler interface {
 	Draw() []int32
 }
 
+// BatchSampler is the amortized fast path of the sampling engine. DrawBatch
+// draws n samples from the same distribution as Draw and accumulates hit
+// counts directly into hits (hits[i] += number of samples whose loss is 1 on
+// hypothesis i). Implementations are free to reorder the work inside a batch
+// — e.g. group samples by BFS source so one truncated traversal serves many
+// samples — as long as the marginal sample distribution is unchanged and the
+// output is deterministic for a fixed seed.
+//
+// Samplers that implement BatchSampler are driven batch-wise by the
+// framework; plain Samplers keep working through the single-Draw shim.
+type BatchSampler interface {
+	Sampler
+	DrawBatch(n int64, hits []int64)
+}
+
+// drawInto draws n samples with s, accumulating hit counts into hits via
+// DrawBatch when available and the single-Draw shim otherwise.
+func drawInto(s Sampler, n int64, hits []int64) {
+	if bs, ok := s.(BatchSampler); ok {
+		bs.DrawBatch(n, hits)
+		return
+	}
+	for j := int64(0); j < n; j++ {
+		for _, idx := range s.Draw() {
+			hits[idx]++
+		}
+	}
+}
+
 // Options configures Algorithm 1.
 type Options struct {
 	Epsilon float64 // additive error target (on the combined risks)
@@ -234,22 +263,19 @@ func drawParallel(space Space, seed int64, workers int, total int64, hits []int6
 }
 
 // drawParallelWith draws `total` samples across the samplers with a static,
-// deterministic quota split, merging per-worker hit counts into hits.
-// Batches smaller than smallBatch stay on the caller's goroutine: for the
-// tiny budgets typical of subset ranking, goroutine wakeups would dominate
-// the sampling itself.
+// deterministic quota split, merging per-worker hit counts into hits. Each
+// worker drives its sampler through DrawBatch when implemented (one batch
+// per round — the sampler amortizes BFS work and allocations internally) and
+// through the single-Draw shim otherwise. Batches smaller than smallBatch
+// stay on the caller's goroutine: for the tiny budgets typical of subset
+// ranking, goroutine wakeups would dominate the sampling itself.
 func drawParallelWith(samplers []Sampler, total int64, hits []int64) {
 	if total <= 0 {
 		return
 	}
 	const smallBatch = 2048
 	if total < smallBatch {
-		s := samplers[0]
-		for j := int64(0); j < total; j++ {
-			for _, idx := range s.Draw() {
-				hits[idx]++
-			}
-		}
+		drawInto(samplers[0], total, hits)
 		return
 	}
 	workers := len(samplers)
@@ -269,12 +295,7 @@ func drawParallelWith(samplers []Sampler, total int64, hits []int64) {
 		go func(w int, quota int64) {
 			defer wg.Done()
 			local := make([]int64, len(hits))
-			s := samplers[w]
-			for j := int64(0); j < quota; j++ {
-				for _, idx := range s.Draw() {
-					local[idx]++
-				}
-			}
+			drawInto(samplers[w], quota, local)
 			locals[w] = local
 		}(w, quota)
 	}

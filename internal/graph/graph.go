@@ -101,6 +101,22 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
+// DedupSorted returns a sorted copy of a with duplicate nodes removed. It is
+// the shared normalization step for user-supplied target sets.
+func DedupSorted(a []Node) []Node {
+	out := make([]Node, len(a))
+	copy(out, a)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
 // Builder accumulates edges and produces an immutable Graph. Duplicate edges
 // and self-loops are silently dropped at Build time. The zero value is ready
 // to use.

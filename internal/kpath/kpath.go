@@ -15,8 +15,6 @@ package kpath
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
 
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
@@ -65,7 +63,7 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	if n == 0 {
 		return nil, errors.New("kpath: empty graph")
 	}
-	nodes := dedupSorted(a)
+	nodes := graph.DedupSorted(a)
 	aIndex := make([]int32, n)
 	for i := range aIndex {
 		aIndex[i] = -1
@@ -83,34 +81,8 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 		K:   len(nodes),
 		Dim: max(1, vc.DimFromMaxInner(piMax)),
 		Make: func(seed int64) core.Sampler {
-			rng := rand.New(rand.NewSource(seed))
-			visited := make([]int32, n)
-			for i := range visited {
-				visited[i] = -1
-			}
-			var epoch int32
-			hits := make([]int32, 0, opt.K)
-			return core.SamplerFunc(func() []int32 {
-				epoch++
-				hits = hits[:0]
-				u := graph.Node(rng.Intn(n))
-				visited[u] = epoch
-				l := 1 + rng.Intn(opt.K)
-				for step := 0; step < l; step++ {
-					nbrs := g.Neighbors(u)
-					if len(nbrs) == 0 {
-						break
-					}
-					u = nbrs[rng.Intn(len(nbrs))]
-					if visited[u] != epoch {
-						visited[u] = epoch
-						if ai := aIndex[u]; ai >= 0 {
-							hits = append(hits, ai)
-						}
-					}
-				}
-				return hits
-			})
+			// lengths uniform in {1..k}: the unpartitioned sample space
+			return newWalkSampler(g, aIndex, 1, opt.K, seed)
 		},
 	}
 	est, err := core.Run(space, core.Options{
@@ -171,25 +143,4 @@ func Exact(g *graph.Graph, k int) []float64 {
 		}
 	}
 	return out
-}
-
-func dedupSorted(a []graph.Node) []graph.Node {
-	out := make([]graph.Node, len(a))
-	copy(out, a)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

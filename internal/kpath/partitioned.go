@@ -3,7 +3,6 @@ package kpath
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
@@ -37,7 +36,7 @@ func EstimatePartitioned(g *graph.Graph, a []graph.Node, opt Options) (*Result, 
 	if n == 0 {
 		return nil, errors.New("kpath: empty graph")
 	}
-	nodes := dedupSorted(a)
+	nodes := graph.DedupSorted(a)
 	aIndex := make([]int32, n)
 	for i := range aIndex {
 		aIndex[i] = -1
@@ -100,40 +99,10 @@ func (s *kpathSpace) ExactPhase() (float64, []float64) {
 
 // NewSampler implements core.Space: walks of length l uniform in {2..k}
 // (the approximate-subspace conditional). For k == 1 the exact subspace is
-// the whole space and core.Run never calls the sampler.
+// the whole space and core.Run never calls the sampler. The returned
+// sampler implements core.BatchSampler.
 func (s *kpathSpace) NewSampler(seed int64) core.Sampler {
-	rng := rand.New(rand.NewSource(seed))
-	n := s.g.NumNodes()
-	visited := make([]int32, n)
-	for i := range visited {
-		visited[i] = -1
-	}
-	var epoch int32
-	hits := make([]int32, 0, s.k)
-	return core.SamplerFunc(func() []int32 {
-		epoch++
-		hits = hits[:0]
-		u := graph.Node(rng.Intn(n))
-		visited[u] = epoch
-		l := 2
-		if s.k > 2 {
-			l = 2 + rng.Intn(s.k-1)
-		}
-		for step := 0; step < l; step++ {
-			nbrs := s.g.Neighbors(u)
-			if len(nbrs) == 0 {
-				break
-			}
-			u = nbrs[rng.Intn(len(nbrs))]
-			if visited[u] != epoch {
-				visited[u] = epoch
-				if ai := s.aIndex[u]; ai >= 0 {
-					hits = append(hits, ai)
-				}
-			}
-		}
-		return hits
-	})
+	return newWalkSampler(s.g, s.aIndex, 2, s.k, seed)
 }
 
 var _ core.Space = (*kpathSpace)(nil)

@@ -1,0 +1,86 @@
+package kpath
+
+import (
+	"math/rand/v2"
+
+	"saphyra/internal/core"
+	"saphyra/internal/graph"
+)
+
+// walkSampler draws random walks of uniform length in [minLen, maxLen] from
+// uniform start nodes and reports first visits to target nodes. It backs
+// both the plain estimator (minLen 1: the whole sample space) and the
+// partitioned one (minLen 2: the approximate-subspace conditional), and
+// implements core.BatchSampler so the framework drives it batch-wise with an
+// allocation-free hot loop.
+type walkSampler struct {
+	g              *graph.Graph
+	aIndex         []int32
+	minLen, maxLen int
+	rng            *rand.Rand
+	visited        []int32
+	epoch          int32
+	hits           []int32
+}
+
+func newWalkSampler(g *graph.Graph, aIndex []int32, minLen, maxLen int, seed int64) *walkSampler {
+	s := &walkSampler{
+		g:       g,
+		aIndex:  aIndex,
+		minLen:  minLen,
+		maxLen:  maxLen,
+		rng:     rand.New(rand.NewPCG(uint64(seed), 0x6a09e667f3bcc909)),
+		visited: make([]int32, g.NumNodes()),
+		hits:    make([]int32, 0, maxLen),
+	}
+	for i := range s.visited {
+		s.visited[i] = -1
+	}
+	return s
+}
+
+// walk performs one random walk. With counts == nil, hit indices are
+// appended to s.hits; otherwise counts[idx] is incremented directly.
+func (s *walkSampler) walk(counts []int64) {
+	s.epoch++
+	n := s.g.NumNodes()
+	u := graph.Node(s.rng.IntN(n))
+	s.visited[u] = s.epoch
+	l := s.minLen
+	if s.maxLen > s.minLen {
+		l += s.rng.IntN(s.maxLen - s.minLen + 1)
+	}
+	for step := 0; step < l; step++ {
+		nbrs := s.g.Neighbors(u)
+		if len(nbrs) == 0 {
+			break
+		}
+		u = nbrs[s.rng.IntN(len(nbrs))]
+		if s.visited[u] != s.epoch {
+			s.visited[u] = s.epoch
+			if ai := s.aIndex[u]; ai >= 0 {
+				if counts != nil {
+					counts[ai]++
+				} else {
+					s.hits = append(s.hits, ai)
+				}
+			}
+		}
+	}
+}
+
+// Draw implements core.Sampler.
+func (s *walkSampler) Draw() []int32 {
+	s.hits = s.hits[:0]
+	s.walk(nil)
+	return s.hits
+}
+
+// DrawBatch implements core.BatchSampler.
+func (s *walkSampler) DrawBatch(n int64, hits []int64) {
+	for j := int64(0); j < n; j++ {
+		s.walk(hits)
+	}
+}
+
+var _ core.BatchSampler = (*walkSampler)(nil)

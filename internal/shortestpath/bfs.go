@@ -10,10 +10,15 @@
 package shortestpath
 
 import (
-	"math/rand"
-
 	"saphyra/internal/graph"
 )
+
+// Rand is the uniform-variate source the samplers consume. Both math/rand
+// and math/rand/v2 generators satisfy it, so callers can feed the package
+// from the legacy *rand.Rand or from the faster PCG-backed rand/v2.
+type Rand interface {
+	Float64() float64
+}
 
 // DAG is a reusable single-source BFS workspace holding, after a call to
 // Run, the distance and path-count arrays plus the BFS visit order.
@@ -22,15 +27,31 @@ type DAG struct {
 	Sigma  []float64
 	Order  []graph.Node // nodes in BFS (non-decreasing distance) order
 	Source graph.Node
+
+	// truncated-run scratch (lazily allocated by RunTruncated)
+	tmark   []int32
+	pending []graph.Node
+	tepoch  int32
+	scanned int64
 }
 
-// NewDAG returns a workspace for graphs of n nodes.
+// Scanned returns the number of directed edges examined by the last
+// RunTruncated — the cost proxy batched samplers feed their serving-strategy
+// model.
+func (d *DAG) Scanned() int64 { return d.scanned }
+
+// NewDAG returns a workspace for graphs of n nodes. Dist starts at -1
+// everywhere (the "clean" state RunTruncated relies on).
 func NewDAG(n int) *DAG {
-	return &DAG{
+	d := &DAG{
 		Dist:  make([]int32, n),
 		Sigma: make([]float64, n),
 		Order: make([]graph.Node, 0, n),
 	}
+	for i := range d.Dist {
+		d.Dist[i] = -1
+	}
+	return d
 }
 
 // Run executes a full BFS from source, filling Dist (-1 when unreachable),
@@ -62,14 +83,156 @@ func (d *DAG) Run(g *graph.Graph, source graph.Node) {
 	}
 }
 
+// RunTruncated executes a BFS from source that stops as soon as Dist and
+// Sigma are final for every node of targets, so the cost is proportional to
+// the ball that encloses the targets, not to the whole component. Two
+// further economies over a plain truncated BFS:
+//
+//   - pull-finish: before expanding a level l, if every still-unfound target
+//     has a neighbor at level l, each target's sigma is pulled directly from
+//     those (final) neighbors and the expansion of level l — on
+//     small-diameter graphs, the bulk of the ball — is skipped entirely;
+//   - sparse reset: only state touched by the previous (full or truncated)
+//     run is cleared — O(touched), not O(n) — which is what makes serving
+//     many sources per batch cheap.
+//
+// After RunTruncated, Dist/Sigma/Order are valid for every node settled by
+// the traversal; nodes beyond the truncation radius read as unreachable
+// (Dist -1). SamplePathTo works for any of the targets.
+func (d *DAG) RunTruncated(g *graph.Graph, source graph.Node, targets []graph.Node) {
+	if d.tmark == nil {
+		d.tmark = make([]int32, len(d.Dist))
+		for i := range d.tmark {
+			d.tmark[i] = -1
+		}
+	}
+	d.tepoch++
+	if d.tepoch < 0 { // wrapped: reset stamps
+		for i := range d.tmark {
+			d.tmark[i] = -1
+		}
+		d.tepoch = 1
+	}
+	remaining := 0
+	d.pending = d.pending[:0]
+	for _, t := range targets {
+		if d.tmark[t] != d.tepoch {
+			d.tmark[t] = d.tepoch
+			d.pending = append(d.pending, t)
+			remaining++
+		}
+	}
+	// Sparse reset of the previous run.
+	for _, u := range d.Order {
+		d.Dist[u] = -1
+		d.Sigma[u] = 0
+	}
+	d.Order = d.Order[:0]
+	d.Source = source
+	d.Dist[source] = 0
+	d.Sigma[source] = 1
+	d.Order = append(d.Order, source)
+	if d.tmark[source] == d.tepoch {
+		d.tmark[source] = d.tepoch - 1
+		remaining--
+	}
+	d.scanned = 0
+	lo, hi := 0, 1 // current level's slice of Order
+	for lvl := int32(0); lo < hi; lvl++ {
+		if remaining == 0 {
+			// Every target was discovered at a level <= lvl; the expansion
+			// of lvl-1 has already finalized their sigmas.
+			break
+		}
+		// The pull check costs O(deg(pending)); attempt it only when the
+		// frontier about to be expanded dwarfs the pending set, so thin
+		// frontiers (large-diameter graphs) never pay for failed pulls.
+		if hi-lo > 4*remaining && d.tryPull(g, lvl) {
+			break
+		}
+		// Expand level lvl.
+		for _, u := range d.Order[lo:hi] {
+			su := d.Sigma[u]
+			d.scanned += int64(g.Degree(u))
+			for _, v := range g.Neighbors(u) {
+				switch {
+				case d.Dist[v] == -1:
+					d.Dist[v] = lvl + 1
+					d.Sigma[v] = su
+					d.Order = append(d.Order, v)
+					if d.tmark[v] == d.tepoch {
+						d.tmark[v] = d.tepoch - 1
+						remaining--
+					}
+				case d.Dist[v] == lvl+1:
+					d.Sigma[v] += su
+				}
+			}
+		}
+		lo, hi = hi, len(d.Order)
+	}
+}
+
+// tryPull attempts the pull-finish: if every still-unfound target has a
+// neighbor at the (fully settled) level lvl, all of them sit at lvl+1 and
+// their sigmas are the sums over those neighbors. On success the targets
+// are settled and recorded in Order, and the caller skips the expansion of
+// level lvl.
+func (d *DAG) tryPull(g *graph.Graph, lvl int32) bool {
+	for _, t := range d.pending {
+		if d.tmark[t] != d.tepoch {
+			continue // found by the regular expansion
+		}
+		found := false
+		for _, w := range g.Neighbors(t) {
+			if d.Dist[w] == lvl {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, t := range d.pending {
+		if d.tmark[t] != d.tepoch {
+			continue
+		}
+		var sig float64
+		for _, w := range g.Neighbors(t) {
+			if d.Dist[w] == lvl {
+				sig += d.Sigma[w]
+			}
+		}
+		d.scanned += int64(g.Degree(t))
+		d.Dist[t] = lvl + 1
+		d.Sigma[t] = sig
+		d.Order = append(d.Order, t)
+		d.tmark[t] = d.tepoch - 1
+	}
+	return true
+}
+
 // SamplePathTo draws a uniform random shortest path from the DAG's source to
 // t, as a node sequence source..t. Returns nil if t is unreachable. The DAG
 // must have been Run for the same graph.
-func (d *DAG) SamplePathTo(g *graph.Graph, t graph.Node, rng *rand.Rand) []graph.Node {
-	if d.Dist[t] < 0 {
+func (d *DAG) SamplePathTo(g *graph.Graph, t graph.Node, rng Rand) []graph.Node {
+	return d.SamplePathAppend(g, t, rng, nil)
+}
+
+// SamplePathAppend is SamplePathTo writing into buf (which is overwritten,
+// not appended to, and grown as needed). Passing a reused buffer makes the
+// steady-state sampling loop allocation-free. Returns nil if t is
+// unreachable.
+func (d *DAG) SamplePathAppend(g *graph.Graph, t graph.Node, rng Rand, buf []graph.Node) []graph.Node {
+	if t < 0 || int(t) >= len(d.Dist) || d.Dist[t] < 0 {
 		return nil
 	}
-	path := make([]graph.Node, d.Dist[t]+1)
+	need := int(d.Dist[t]) + 1
+	if cap(buf) < need {
+		buf = make([]graph.Node, need)
+	}
+	path := buf[:need]
 	path[d.Dist[t]] = t
 	u := t
 	for d.Dist[u] > 0 {

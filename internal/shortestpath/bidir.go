@@ -1,8 +1,6 @@
 package shortestpath
 
 import (
-	"math/rand"
-
 	"saphyra/internal/graph"
 )
 
@@ -30,7 +28,15 @@ type BiBFS struct {
 	cutSide   int8  // 0: cut on forward side, 1: cut on backward side
 	cutLevel  int32 // completed level on the cut side where waves met
 	meetTotal float64
+	scanned   int64 // directed edges examined by the last Query (cost proxy)
 }
+
+// Scanned returns the number of directed edges examined by the last Query —
+// the cost proxy batched samplers use to decide between per-pair
+// bidirectional BFS and shared truncated source BFS. It is derived from the
+// frontier degree sums the balancing rule maintains anyway, so tracking it
+// costs nothing in the expansion loop.
+func (b *BiBFS) Scanned() int64 { return b.scanned }
 
 // NewBiBFS returns a workspace for graphs of n nodes.
 func NewBiBFS(n int) *BiBFS {
@@ -73,22 +79,20 @@ func (b *BiBFS) Query(g *graph.Graph, s, t graph.Node) (dist int32, sigma float6
 	b.frontF = append(b.frontF[:0], s)
 	b.frontB = append(b.frontB[:0], t)
 	levelF, levelB := int32(0), int32(0)
-
-	frontCost := func(g *graph.Graph, front []graph.Node) int64 {
-		var c int64
-		for _, u := range front {
-			c += int64(g.Degree(u))
-		}
-		return c
-	}
+	b.scanned = 0
+	// Frontier expansion costs (total degree) are maintained incrementally
+	// while the next frontier is built, instead of being recomputed with an
+	// extra pass over both frontiers at every level.
+	costF, costB := int64(g.Degree(s)), int64(g.Degree(t))
 
 	for len(b.frontF) > 0 && len(b.frontB) > 0 {
-		expandForward := frontCost(g, b.frontF) <= frontCost(g, b.frontB)
-		if expandForward {
+		if costF <= costB {
+			b.scanned += costF
 			b.nextF = b.nextF[:0]
 			newLevel := levelF + 1
-			touched := false
+			met := false
 			best := int32(1 << 30)
+			var nextCost int64
 			for _, u := range b.frontF {
 				su := b.sigF[u]
 				for _, v := range g.Neighbors(u) {
@@ -97,8 +101,9 @@ func (b *BiBFS) Query(g *graph.Graph, s, t graph.Node) (dist int32, sigma float6
 						b.distF[v] = newLevel
 						b.sigF[v] = su
 						b.nextF = append(b.nextF, v)
+						nextCost += int64(g.Degree(v))
 						if b.seenB(v) {
-							touched = true
+							met = true
 							if d := newLevel + b.distB[v]; d < best {
 								best = d
 							}
@@ -110,14 +115,17 @@ func (b *BiBFS) Query(g *graph.Graph, s, t graph.Node) (dist int32, sigma float6
 			}
 			levelF = newLevel
 			b.frontF, b.nextF = b.nextF, b.frontF
-			if touched {
+			costF = nextCost
+			if met {
 				return b.finish(newLevel, best, 0)
 			}
 		} else {
+			b.scanned += costB
 			b.nextB = b.nextB[:0]
 			newLevel := levelB + 1
-			touched := false
+			met := false
 			best := int32(1 << 30)
+			var nextCost int64
 			for _, u := range b.frontB {
 				su := b.sigB[u]
 				for _, v := range g.Neighbors(u) {
@@ -126,8 +134,9 @@ func (b *BiBFS) Query(g *graph.Graph, s, t graph.Node) (dist int32, sigma float6
 						b.distB[v] = newLevel
 						b.sigB[v] = su
 						b.nextB = append(b.nextB, v)
+						nextCost += int64(g.Degree(v))
 						if b.seenF(v) {
-							touched = true
+							met = true
 							if d := newLevel + b.distF[v]; d < best {
 								best = d
 							}
@@ -139,7 +148,8 @@ func (b *BiBFS) Query(g *graph.Graph, s, t graph.Node) (dist int32, sigma float6
 			}
 			levelB = newLevel
 			b.frontB, b.nextB = b.nextB, b.frontB
-			if touched {
+			costB = nextCost
+			if met {
 				return b.finish(newLevel, best, 1)
 			}
 		}
@@ -181,7 +191,13 @@ func (b *BiBFS) finish(cutLevel, d int32, side int8) (int32, float64, bool) {
 
 // SamplePath draws a uniform random shortest path s..t for the pair of the
 // last successful Query. The returned slice is freshly allocated.
-func (b *BiBFS) SamplePath(g *graph.Graph, rng *rand.Rand) []graph.Node {
+func (b *BiBFS) SamplePath(g *graph.Graph, rng Rand) []graph.Node {
+	return b.SamplePathAppend(g, rng, nil)
+}
+
+// SamplePathAppend is SamplePath writing into buf (overwritten and grown as
+// needed), so a caller-owned buffer makes repeated sampling allocation-free.
+func (b *BiBFS) SamplePathAppend(g *graph.Graph, rng Rand, buf []graph.Node) []graph.Node {
 	if len(b.meet) == 0 {
 		return nil
 	}
@@ -196,7 +212,11 @@ func (b *BiBFS) SamplePath(g *graph.Graph, rng *rand.Rand) []graph.Node {
 			break
 		}
 	}
-	path := make([]graph.Node, b.dist+1)
+	need := int(b.dist) + 1
+	if cap(buf) < need {
+		buf = make([]graph.Node, need)
+	}
+	path := buf[:need]
 	path[b.distF[u]] = u
 	// walk to s through the forward DAG
 	x := u
@@ -215,7 +235,7 @@ func (b *BiBFS) SamplePath(g *graph.Graph, rng *rand.Rand) []graph.Node {
 
 // stepDown picks a neighbor one level closer to the respective source,
 // weighted by its sigma.
-func (b *BiBFS) stepDown(g *graph.Graph, x graph.Node, rng *rand.Rand, forward bool) graph.Node {
+func (b *BiBFS) stepDown(g *graph.Graph, x graph.Node, rng Rand, forward bool) graph.Node {
 	var total float64
 	if forward {
 		want := b.distF[x] - 1

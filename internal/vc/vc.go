@@ -67,13 +67,17 @@ func SubsetBound(d *bicomp.Decomposition, a []graph.Node, exactThreshold int) in
 	if len(a) == 0 {
 		return 0
 	}
-	inA := make(map[graph.Node]struct{}, len(a))
-	for _, v := range a {
-		inA[v] = struct{}{}
-	}
-	// group A by block
+	// Group A by block, iterating a in caller order (not map order): the
+	// first member of each group seeds the subset-diameter BFS below, so a
+	// nondeterministic order would make the bound — and with it the sample
+	// budget and the estimates — vary between identically-seeded runs.
+	seen := make(map[graph.Node]struct{}, len(a))
 	byBlock := make(map[int32][]graph.Node)
-	for v := range inA {
+	for _, v := range a {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
 		for _, b := range d.NodeBlocks[v] {
 			byBlock[b] = append(byBlock[b], v)
 		}

@@ -29,7 +29,6 @@ package saphyra
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"saphyra/internal/baselines"
@@ -159,7 +158,7 @@ func RankSubset(g *Graph, targets []Node, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		nodes := dedupSorted(targets)
+		nodes := graph.DedupSorted(targets)
 		if len(nodes) == 0 {
 			return nil, fmt.Errorf("saphyra: empty target set")
 		}
@@ -257,20 +256,6 @@ func RankCloseness(g *Graph, targets []Node, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return buildResult(res.Nodes, res.Closeness, res.Samples, time.Since(start)), nil
-}
-
-func dedupSorted(a []Node) []Node {
-	out := make([]Node, len(a))
-	copy(out, a)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
 }
 
 // Generate exposes the deterministic synthetic generators used by the

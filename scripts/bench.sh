@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the sampling-engine benchmark suite and emits BENCH_sampling.json so
+# the perf trajectory of the hot path is recorded per commit.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  go test -benchtime value (default 1s; use e.g. 30x for CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_sampling.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# Sampler microbenchmarks (legacy engine vs single-draw shim vs batched) and
+# the end-to-end Fig 3 timing rows.
+go test -run '^$' -bench 'BenchmarkSamplerDraw' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkFig3Time' -benchmem \
+    -benchtime "$BENCHTIME" . | tee -a "$TMP"
+
+# Fold the `go test -bench` text into a json record:
+#   {"generated":..., "benchmarks":[{"name":..., "ns_per_op":..., ...}]}
+awk '
+BEGIN {
+    print "{"
+    printf "  \"generated\": \"%s\",\n", strftime("%Y-%m-%dT%H:%M:%SZ", systime(), 1)
+    print  "  \"benchmarks\": ["
+    first = 1
+}
+/^Benchmark/ {
+    name = $1; iters = $2
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix: names must be machine-independent
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op")           ns = val
+        else if (unit == "B/op")       bytes = val
+        else if (unit == "allocs/op")  allocs = val
+        else {
+            gsub(/"/, "", unit)
+            extra = extra sprintf(", \"%s\": %s", unit, val)
+        }
+    }
+    if (!first) print ","
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "%s}", extra
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
