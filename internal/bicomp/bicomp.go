@@ -10,7 +10,7 @@ package bicomp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"saphyra/internal/graph"
@@ -103,7 +103,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 				break
 			}
 		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		slices.Sort(members)
 		d.Blocks = append(d.Blocks, members)
 	}
 

@@ -1,0 +1,256 @@
+package bicomp
+
+import (
+	"fmt"
+	"slices"
+
+	"saphyra/internal/graph"
+)
+
+// BlockCSR is a target-independent, block-annotated view of the graph's
+// adjacency structure. It re-orders every node's neighbor list so that
+// neighbors sharing a biconnected block are contiguous ("runs"), and
+// annotates each run with the block id and the owner's out-reach r-value in
+// that block, and each grouped edge with the neighbor's r-value. Hot loops
+// that previously resolved EdgeBlock per directed edge and OutReach.Of per
+// endpoint (the exact 2-hop phase, the sampler's per-target tables) instead
+// stream over the runs with zero lookups.
+//
+// Layout. Nbr and RNbr are edge-parallel arrays of length 2m aligned with
+// each other; node u's grouped adjacency occupies the same CSR segment
+// [G.AdjOffset(u), G.AdjOffset(u+1)) as in the underlying graph, permuted so
+// that blocks appear in ascending id order and neighbors stay sorted within
+// a run. The run index is itself a CSR over nodes: node u's runs are
+// RunOff[u]..RunOff[u+1), and run j spans the edge range
+// [RunStart[j], RunStart[j+1]) — runs are globally contiguous, so the
+// sentinel entry RunStart[len] = 2m closes the last run.
+//
+// Memory: 24 bytes per directed edge (Nbr + RNbr at 4 each, NbrRun + Mate
+// at 8 each — 48m bytes total) plus ~24 bytes per run; the number of runs
+// is sum_u |NodeBlocks[u]| <= n + (cutpoint memberships), i.e. barely
+// above n for real networks.
+type BlockCSR struct {
+	G *graph.Graph
+	D *Decomposition
+	O *OutReach
+
+	// Nbr is the grouped adjacency: node u's neighbors, permuted block by
+	// block. RNbr[i] = r_b(Nbr[i]) for the block b of the run containing i.
+	Nbr  []graph.Node
+	RNbr []int32
+
+	// NbrRun[i] is the run index (into RunBlock/RunStart/...) of the
+	// reciprocal side of grouped edge i: the run of node Nbr[i] for the
+	// edge's block. Mate[i] is the absolute position of the edge's owner
+	// within that run — since runs are sorted by node id, the owner-side
+	// suffix "neighbors of Nbr[i] in this block with id greater than the
+	// owner" is exactly [Mate[i]+1, RunStart[NbrRun[i]+1]), with no search.
+	NbrRun []int64
+	Mate   []int64
+
+	// RunOff (len n+1) indexes runs per node; RunBlock[j] and RunR[j] are
+	// the block id of run j and r_block(owner); RunStart (len runs+1, last
+	// entry 2m) gives each run's edge range; RunDegSum[j] is the sum of
+	// graph degrees over the run's neighbors (the cost model for the exact
+	// phase's push/pull choice and chunk balancing).
+	RunOff    []int64
+	RunBlock  []int32
+	RunR      []int32
+	RunStart  []int64
+	RunDegSum []int64
+}
+
+// NewBlockCSR builds the view in O(n + m) time. The per-node block lists of
+// d are already sorted, so runs come out in ascending block order and the
+// in-CSR-order fill keeps neighbors sorted within each run.
+func NewBlockCSR(d *Decomposition, o *OutReach) *BlockCSR {
+	g := d.G
+	n := g.NumNodes()
+	m2 := int64(2 * g.NumEdges())
+	var runs int64
+	for _, bs := range d.NodeBlocks {
+		runs += int64(len(bs))
+	}
+	v := &BlockCSR{
+		G:         g,
+		D:         d,
+		O:         o,
+		Nbr:       make([]graph.Node, m2),
+		RNbr:      make([]int32, m2),
+		NbrRun:    make([]int64, m2),
+		Mate:      make([]int64, m2),
+		RunOff:    make([]int64, n+1),
+		RunBlock:  make([]int32, runs),
+		RunR:      make([]int32, runs),
+		RunStart:  make([]int64, runs+1),
+		RunDegSum: make([]int64, runs),
+	}
+
+	// blockPos[b] = position of block b within the current node's run list;
+	// always written before read for each node, so no clearing is needed.
+	blockPos := make([]int32, d.NumBlocks)
+	// groupedPos maps each original CSR edge index to its grouped position,
+	// so the reciprocal-edge pass below runs without searches.
+	groupedPos := make([]int64, m2)
+	// runOf[p] = run containing grouped position p (filled during grouping).
+	runOf := make([]int64, m2)
+	var cnt, cursor []int64
+
+	var run int64
+	for u := 0; u < n; u++ {
+		v.RunOff[u] = run
+		bs := d.NodeBlocks[u]
+		if len(bs) == 0 {
+			continue // isolated node: no edges, no runs
+		}
+		if cap(cnt) < len(bs) {
+			cnt = make([]int64, len(bs))
+			cursor = make([]int64, len(bs))
+		}
+		cnt = cnt[:len(bs)]
+		cursor = cursor[:len(bs)]
+		for k, b := range bs {
+			v.RunBlock[run+int64(k)] = b
+			v.RunR[run+int64(k)] = int32(o.Of(b, graph.Node(u)))
+			blockPos[b] = int32(k)
+			cnt[k] = 0
+		}
+		base := g.AdjOffset(graph.Node(u))
+		nbrs := g.Neighbors(graph.Node(u))
+		for i := range nbrs {
+			cnt[blockPos[d.EdgeBlock[base+int64(i)]]]++
+		}
+		acc := base
+		for k := range bs {
+			v.RunStart[run+int64(k)] = acc
+			cursor[k] = acc
+			acc += cnt[k]
+		}
+		for i, w := range nbrs {
+			b := d.EdgeBlock[base+int64(i)]
+			k := blockPos[b]
+			p := cursor[k]
+			cursor[k] = p + 1
+			v.Nbr[p] = w
+			v.RNbr[p] = int32(o.Of(b, w))
+			groupedPos[base+int64(i)] = p
+			runOf[p] = run + int64(k)
+			v.RunDegSum[run+int64(k)] += int64(g.Degree(w))
+		}
+		run += int64(len(bs))
+	}
+	v.RunOff[n] = run
+	v.RunStart[run] = m2
+
+	// Reciprocal pass: for grouped edge p = (u -> w), locate the reverse
+	// edge (w -> u) via the sorted original adjacency and record its grouped
+	// run and position.
+	for u := 0; u < n; u++ {
+		base := g.AdjOffset(graph.Node(u))
+		for i, w := range g.Neighbors(graph.Node(u)) {
+			p := groupedPos[base+int64(i)]
+			rev := groupedPos[g.EdgeIndex(w, graph.Node(u))]
+			v.NbrRun[p] = runOf[rev]
+			v.Mate[p] = rev
+		}
+	}
+	return v
+}
+
+// Runs returns the run index range of node u: u's runs are j in [lo, hi).
+func (v *BlockCSR) Runs(u graph.Node) (lo, hi int64) {
+	return v.RunOff[u], v.RunOff[u+1]
+}
+
+// RunEdges returns the edge index range of run j into Nbr/RNbr.
+func (v *BlockCSR) RunEdges(j int64) (lo, hi int64) {
+	return v.RunStart[j], v.RunStart[j+1]
+}
+
+// FindRun returns the run index of node u for block b, or -1 if u has no
+// edges in b. Runs are sorted by block id: the typical 1-3 entry list is
+// scanned linearly (with early exit), hub cutpoints bridging thousands of
+// pendant blocks fall back to binary search.
+func (v *BlockCSR) FindRun(u graph.Node, b int32) int64 {
+	lo, hi := v.RunOff[u], v.RunOff[u+1]
+	if hi-lo <= 8 {
+		for j := lo; j < hi; j++ {
+			switch bb := v.RunBlock[j]; {
+			case bb == b:
+				return j
+			case bb > b:
+				return -1
+			}
+		}
+		return -1
+	}
+	blocks := v.RunBlock[lo:hi]
+	if k, ok := slices.BinarySearch(blocks, b); ok {
+		return lo + int64(k)
+	}
+	return -1
+}
+
+// Validate checks the view against the decomposition it was built from:
+// every run covers exactly the node's edges of its block, annotations match
+// OutReach, and runs tile the CSR segments. For tests and debugging.
+func (v *BlockCSR) Validate() error {
+	g, d, o := v.G, v.D, v.O
+	n := g.NumNodes()
+	if got, want := v.RunOff[n], int64(len(v.RunBlock)); got != want {
+		return fmt.Errorf("bicomp: RunOff[n] = %d, want %d runs", got, want)
+	}
+	if got, want := v.RunStart[len(v.RunStart)-1], int64(2*g.NumEdges()); got != want {
+		return fmt.Errorf("bicomp: RunStart sentinel = %d, want 2m = %d", got, want)
+	}
+	for u := graph.Node(0); int(u) < n; u++ {
+		lo, hi := v.Runs(u)
+		if int(hi-lo) != len(d.NodeBlocks[u]) {
+			return fmt.Errorf("bicomp: node %d has %d runs, want %d blocks", u, hi-lo, len(d.NodeBlocks[u]))
+		}
+		if lo < hi && v.RunStart[lo] != g.AdjOffset(u) {
+			return fmt.Errorf("bicomp: node %d first run starts at %d, want %d", u, v.RunStart[lo], g.AdjOffset(u))
+		}
+		var degSeen int64
+		for j := lo; j < hi; j++ {
+			b := v.RunBlock[j]
+			if b != d.NodeBlocks[u][j-lo] {
+				return fmt.Errorf("bicomp: node %d run %d block %d != NodeBlocks %d", u, j-lo, b, d.NodeBlocks[u][j-lo])
+			}
+			if int64(v.RunR[j]) != o.Of(b, u) {
+				return fmt.Errorf("bicomp: node %d block %d RunR %d != Of %d", u, b, v.RunR[j], o.Of(b, u))
+			}
+			elo, ehi := v.RunEdges(j)
+			var degSum int64
+			for i := elo; i < ehi; i++ {
+				w := v.Nbr[i]
+				if i > elo && v.Nbr[i-1] >= w {
+					return fmt.Errorf("bicomp: node %d run of block %d not sorted", u, b)
+				}
+				if got := d.BlockOfEdge(u, w); got != b {
+					return fmt.Errorf("bicomp: edge (%d,%d) grouped under block %d, EdgeBlock says %d", u, w, b, got)
+				}
+				if int64(v.RNbr[i]) != o.Of(b, w) {
+					return fmt.Errorf("bicomp: edge (%d,%d) RNbr %d != Of %d", u, w, v.RNbr[i], o.Of(b, w))
+				}
+				jr := v.NbrRun[i]
+				if want := v.FindRun(w, b); jr != want {
+					return fmt.Errorf("bicomp: edge (%d,%d) NbrRun %d != %d", u, w, jr, want)
+				}
+				mate := v.Mate[i]
+				if mate < v.RunStart[jr] || mate >= v.RunStart[jr+1] || v.Nbr[mate] != u {
+					return fmt.Errorf("bicomp: edge (%d,%d) Mate %d does not point back at %d", u, w, mate, u)
+				}
+				degSum += int64(g.Degree(w))
+			}
+			if degSum != v.RunDegSum[j] {
+				return fmt.Errorf("bicomp: node %d block %d RunDegSum %d != %d", u, b, v.RunDegSum[j], degSum)
+			}
+			degSeen += ehi - elo
+		}
+		if degSeen != int64(g.Degree(u)) {
+			return fmt.Errorf("bicomp: node %d runs cover %d edges, degree %d", u, degSeen, g.Degree(u))
+		}
+	}
+	return nil
+}

@@ -2,7 +2,10 @@ package bicomp
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"saphyra/internal/graph"
 )
@@ -37,6 +40,10 @@ type OutReach struct {
 	// of NodeBlocks[v] replaces the map lookup Of() used to do — Of sits on
 	// the hot path of both the exact 2-hop phase and the sampler tables.
 	rNode [][]int64
+
+	// seenPool recycles the epoch-stamped block-dedup scratch of BlocksOf
+	// (called with A = V by full-network ranking).
+	seenPool sync.Pool
 }
 
 // NewOutReach computes all out-reach quantities in O(n + total block size)
@@ -223,20 +230,38 @@ func (o *OutReach) Eta(blocksOfA []int32) float64 {
 	return o.WeightOfBlocks(blocksOfA) / o.WTotal
 }
 
+// blockSeen is the reusable BlocksOf scratch: a stamp per block plus the
+// current epoch, so de-duplication costs one array read per membership with
+// no clearing between calls.
+type blockSeen struct {
+	stamp []int32
+	epoch int32
+}
+
 // BlocksOf returns I(A): the sorted, de-duplicated ids of blocks containing
 // at least one node of A (Eq 22).
 func (o *OutReach) BlocksOf(a []graph.Node) []int32 {
-	seen := make(map[int32]struct{})
+	st, _ := o.seenPool.Get().(*blockSeen)
+	if st == nil || len(st.stamp) < o.D.NumBlocks {
+		st = &blockSeen{stamp: make([]int32, o.D.NumBlocks)}
+	}
+	if st.epoch == math.MaxInt32 {
+		clear(st.stamp)
+		st.epoch = 0
+	}
+	st.epoch++
+	e := st.epoch
 	var out []int32
 	for _, v := range a {
 		for _, b := range o.D.NodeBlocks[v] {
-			if _, ok := seen[b]; !ok {
-				seen[b] = struct{}{}
+			if st.stamp[b] != e {
+				st.stamp[b] = e
 				out = append(out, b)
 			}
 		}
 	}
-	sortInt32(out)
+	o.seenPool.Put(st)
+	slices.Sort(out)
 	return out
 }
 
@@ -250,9 +275,11 @@ func (o *OutReach) BCA(v graph.Node) float64 {
 	if n < 2 {
 		return 0
 	}
+	// NodeBlocks[v] and rNode[v] are index-aligned, so no per-block Of()
+	// re-search is needed (rNode is always allocated for cutpoints).
 	var acc float64
-	for _, b := range o.D.NodeBlocks[v] {
-		r := float64(o.Of(b, v))
+	for k, b := range o.D.NodeBlocks[v] {
+		r := float64(o.rNode[v][k])
 		S := float64(o.S[b])
 		acc += (S - r) * (r - 1)
 	}
@@ -280,12 +307,4 @@ func (o *OutReach) CheckClaim9() error {
 		}
 	}
 	return nil
-}
-
-func sortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

@@ -153,6 +153,42 @@ func TestDrawBatchExactCount(t *testing.T) {
 	}
 }
 
+// TestAdaptiveRoundQuota: the per-round pre-draw quota must follow the
+// measured batch/#distinct-sources ratio — probe-sized before anything is
+// measured, sources*groupScale afterwards, floored for concentrated
+// samplers and capped for diffuse ones.
+func TestAdaptiveRoundQuota(t *testing.T) {
+	g := skewedGraph()
+	sp := testSpace(t, g, 60, 7)
+	s := sp.NewSampler(3).(*bcSampler)
+	if q := s.roundQuota(); q != batchProbe {
+		t.Fatalf("pre-measurement quota = %d, want probe %d", q, batchProbe)
+	}
+	hits := make([]int64, sp.NumHypotheses())
+	s.DrawBatch(batchProbe, hits)
+	if s.lastSources <= 0 {
+		t.Fatal("DrawBatch measured no sources")
+	}
+	want := s.lastSources * groupScale
+	if want < batchProbe {
+		want = batchProbe
+	}
+	if want > batchCap {
+		want = batchCap
+	}
+	if q := s.roundQuota(); q != want {
+		t.Fatalf("quota = %d, want %d (sources %d)", q, want, s.lastSources)
+	}
+	s.lastSources = 3 // concentrated support: floor applies
+	if q := s.roundQuota(); q != batchProbe {
+		t.Fatalf("concentrated quota = %d, want floor %d", q, batchProbe)
+	}
+	s.lastSources = batchCap // diffuse support: cap applies
+	if q := s.roundQuota(); q != batchCap {
+		t.Fatalf("diffuse quota = %d, want cap %d", q, batchCap)
+	}
+}
+
 // TestBatchSamplerInterface: the bc sampler must advertise the batched fast
 // path, and the framework must use it for both pilot and main rounds.
 func TestBatchSamplerInterface(t *testing.T) {

@@ -5,13 +5,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
 	"slices"
 	"sort"
-	"sync"
 
 	"saphyra/internal/alias"
 	"saphyra/internal/bicomp"
+	"saphyra/internal/exactphase"
 	"saphyra/internal/graph"
 	"saphyra/internal/shortestpath"
 	"saphyra/internal/vc"
@@ -72,19 +71,28 @@ type BCResult struct {
 	Est        *Estimate
 }
 
-// BCPreprocessed caches the target-independent preprocessing (bi-component
-// decomposition and out-reach tables) so several target sets can be ranked
-// on the same graph without redoing the O(n + m) setup.
+// BCPreprocessed caches the target-independent preprocessing — bi-component
+// decomposition, out-reach tables, the block-annotated adjacency view, and
+// the exact-phase engine with its pooled scratch — so several target sets
+// can be ranked on the same graph without redoing the O(n + m) setup or
+// reallocating per-call workspaces.
 type BCPreprocessed struct {
-	G *graph.Graph
-	D *bicomp.Decomposition
-	O *bicomp.OutReach
+	G    *graph.Graph
+	D    *bicomp.Decomposition
+	O    *bicomp.OutReach
+	View *bicomp.BlockCSR
+	// Exact is the run-length exact 2-hop engine (Algorithm Exact_bc) over
+	// View; its worker scratch persists across EstimateBC calls.
+	Exact *exactphase.Engine
 }
 
-// PreprocessBC decomposes the graph and computes out-reach tables.
+// PreprocessBC decomposes the graph, computes out-reach tables, and builds
+// the block-annotated CSR view shared by the exact phase and the sampler.
 func PreprocessBC(g *graph.Graph) *BCPreprocessed {
 	d := bicomp.Decompose(g)
-	return &BCPreprocessed{G: g, D: d, O: bicomp.NewOutReach(d)}
+	o := bicomp.NewOutReach(d)
+	view := bicomp.NewBlockCSR(d, o)
+	return &BCPreprocessed{G: g, D: d, O: o, View: view, Exact: exactphase.New(view)}
 }
 
 // EstimateBC runs the full SaPHyRa_bc pipeline on graph g for target set a.
@@ -226,19 +234,22 @@ func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float
 		sp.aIndex[v] = int32(i)
 	}
 
-	// Multistage alias tables, built once per target set.
+	// Multistage alias tables, built once per target set. O.R is aligned
+	// with D.Blocks, so the per-member r-values are direct reads — no
+	// Of() block-list searches on this per-target path.
 	blockW := make([]float64, len(blocksA))
 	for j, b := range blocksA {
 		blockW[j] = float64(o.W[b])
 		ms := d.Blocks[b]
+		rs := o.R[b]
 		sp.members[j] = ms
 		srcW := make([]float64, len(ms))
 		dstW := make([]float64, len(ms))
 		dstCum := make([]float64, len(ms))
 		S := float64(o.S[b])
 		var acc float64
-		for i, v := range ms {
-			r := float64(o.Of(b, v))
+		for i := range ms {
+			r := float64(rs[i])
 			srcW[i] = r * (S - r)
 			dstW[i] = r
 			acc += r
@@ -280,7 +291,7 @@ func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float
 		sp.lambdaHat = 0
 		sp.exact = make([]float64, len(nodes))
 	} else {
-		sp.lambdaHat, sp.exact = exactBC(p, nodes, sp.aIndex, sp.wA, opt.Workers)
+		sp.lambdaHat, sp.exact = p.Exact.Run(nodes, sp.aIndex, sp.wA, opt.Workers)
 	}
 	return sp, nil
 }
@@ -306,140 +317,6 @@ func (sp *bcSpace) VCDim() int { return sp.vcdim }
 // ExactPhase implements Space.
 func (sp *bcSpace) ExactPhase() (float64, []float64) { return sp.lambdaHat, sp.exact }
 
-// exactBC is Algorithm Exact_bc (Section IV-B): it enumerates, for every
-// endpoint s adjacent to A, the 2-hop shortest paths s-v-t with both edges
-// in the same block, and accumulates
-//
-//	lhat_v     += q'_st / (sigma_st * W_A)   for qualifying middles v in A
-//	lambdaHat  += the same mass (summed over all A-middles)
-//
-// over ordered endpoint pairs. Runs in O(sum_{v in B} deg(v)^2) like
-// Lemma 18, parallelized over endpoints with a static split (so the output
-// is deterministic: per-worker partials are merged in worker order).
-func exactBC(p *BCPreprocessed, nodes []graph.Node, aIndex []int32, wA float64, workers int) (float64, []float64) {
-	g := p.G
-	n := g.NumNodes()
-
-	// endpoint candidates: neighbors of A
-	endpoint := make([]bool, n)
-	var endpoints []graph.Node
-	for _, v := range nodes {
-		for _, s := range g.Neighbors(v) {
-			if !endpoint[s] {
-				endpoint[s] = true
-				endpoints = append(endpoints, s)
-			}
-		}
-	}
-	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
-
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(endpoints) {
-		workers = len(endpoints)
-	}
-	if workers <= 1 {
-		return exactBCRange(p, endpoints, aIndex, wA, len(nodes))
-	}
-	lambdas := make([]float64, workers)
-	partials := make([][]float64, workers)
-	var wg sync.WaitGroup
-	chunk := (len(endpoints) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(endpoints) {
-			hi = len(endpoints)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			lambdas[w], partials[w] = exactBCRange(p, endpoints[lo:hi], aIndex, wA, len(nodes))
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	exact := make([]float64, len(nodes))
-	var lambdaHat float64
-	for w := 0; w < workers; w++ {
-		if partials[w] == nil {
-			continue
-		}
-		lambdaHat += lambdas[w]
-		for i, x := range partials[w] {
-			exact[i] += x
-		}
-	}
-	return lambdaHat, exact
-}
-
-// exactBCRange processes one contiguous endpoint range with private scratch
-// arrays.
-func exactBCRange(p *BCPreprocessed, endpoints []graph.Node, aIndex []int32, wA float64, k int) (float64, []float64) {
-	g, d, o := p.G, p.D, p.O
-	n := g.NumNodes()
-	exact := make([]float64, k)
-	var lambdaHat float64
-
-	// scratch arrays with epoch stamps
-	sigma := make([]int32, n)
-	stamp := make([]int32, n)
-	isNbr := make([]int32, n)
-	for i := range stamp {
-		stamp[i] = -1
-		isNbr[i] = -1
-	}
-
-	for epoch, s := range endpoints {
-		e := int32(epoch)
-		// mark neighbors of s
-		for _, v := range g.Neighbors(s) {
-			isNbr[v] = e
-		}
-		// phase 1: sigma_st for all t at distance 2 (common-neighbor counts)
-		for _, v := range g.Neighbors(s) {
-			for _, t := range g.Neighbors(v) {
-				if t == s || isNbr[t] == e {
-					continue
-				}
-				if stamp[t] != e {
-					stamp[t] = e
-					sigma[t] = 0
-				}
-				sigma[t]++
-			}
-		}
-		// phase 2: contributions of middles in A with the intra-block
-		// condition eb(s,v) == eb(v,t)
-		sBase := g.AdjOffset(s)
-		for i, v := range g.Neighbors(s) {
-			ai := aIndex[v]
-			if ai < 0 {
-				continue
-			}
-			bSV := d.EdgeBlock[sBase+int64(i)]
-			rS := float64(o.Of(bSV, s))
-			vBase := g.AdjOffset(v)
-			for j, t := range g.Neighbors(v) {
-				if t == s || isNbr[t] == e {
-					continue
-				}
-				if d.EdgeBlock[vBase+int64(j)] != bSV {
-					continue
-				}
-				// ordered pair (s, t), block bSV, sigma from phase 1
-				mass := rS * float64(o.Of(bSV, t)) / (float64(sigma[t]) * wA)
-				exact[ai] += mass
-				lambdaHat += mass
-			}
-		}
-	}
-	return lambdaHat, exact
-}
-
 // NewSampler implements Space: Algorithm Gen_bc (Algorithm 2), multistage
 // alias-table sampling with rejection of exact-subspace paths. The returned
 // sampler implements BatchSampler: DrawBatch pre-draws a batch of (src, dst)
@@ -448,10 +325,11 @@ func exactBCRange(p *BCPreprocessed, endpoints []graph.Node, aIndex []int32, wA 
 // concentrates on few hub sources, so grouping amortizes most BFS work.
 func (sp *bcSpace) NewSampler(seed int64) Sampler {
 	return &bcSampler{
-		sp:  sp,
-		rng: rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)),
-		bfs: shortestpath.NewBiBFS(sp.p.G.NumNodes()),
-		dag: shortestpath.NewDAG(sp.p.G.NumNodes()),
+		sp:       sp,
+		rng:      rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)),
+		bfs:      shortestpath.NewBiBFS(sp.p.G.NumNodes()),
+		dag:      shortestpath.NewDAG(sp.p.G.NumNodes()),
+		nbrStamp: make([]int32, sp.p.G.NumNodes()),
 	}
 }
 
@@ -479,12 +357,25 @@ type bcSampler struct {
 	pathBuf []graph.Node
 	hits    []int32
 
+	// nbrStamp marks the current group source's neighbors (epoch-stamped):
+	// the distance <= 2 fast path resolves a pair's disposition from one
+	// adjacency scan, with no BFS and no path materialization. mid3 holds
+	// the enumerated interior pairs of the current distance-3 destination,
+	// so repeated samples of one (src, dst) pair index instead of re-scan.
+	nbrStamp []int32
+	nbrEpoch int32
+	mid3     []srcDst
+
 	// Online cost model for the group-serving decision: cumulative mean
 	// directed edges scanned per bidirectional query vs per truncated
 	// source BFS. Both evolve deterministically with the (seeded) sample
 	// stream, so fixed seed + workers still implies identical output.
 	biScan, dagScan    int64
 	biQueries, dagRuns int64
+
+	// lastSources is the distinct-source count of the last grouping round:
+	// the measured quantity behind the adaptive per-round quota.
+	lastSources int64
 }
 
 // batchCap bounds the number of pairs pre-drawn per grouping round (8 bytes
@@ -493,6 +384,16 @@ type bcSampler struct {
 // source: at production budgets (full-network ranking, tight eps) groups
 // grow into the hundreds and one truncated BFS serves them all.
 const batchCap = 1 << 20
+
+// batchProbe is the first-round quota (and the floor of the adaptive round
+// sizing): large enough that grouping is measurable, small enough that tiny
+// sampling budgets behave exactly like a single round.
+const batchProbe = 1 << 14
+
+// groupScale is the average group size the adaptive round sizing aims for:
+// past ~1k pairs per source the shared-BFS amortization has flattened, so
+// larger rounds only grow the pair buffer.
+const groupScale = 1 << 10
 
 // dagGroupMin is the floor on the group size at which a shared truncated
 // source BFS may replace per-pair bidirectional BFS. The effective
@@ -603,23 +504,45 @@ func (s *bcSampler) Draw() []int32 {
 	}
 }
 
+// roundQuota derives the next grouping round's pre-draw quota from the
+// measured batch/#distinct-sources ratio (the ROADMAP's adaptive batch
+// sizing): rounds aim for an average group size of groupScale, so a sampler
+// whose stage-2 mass concentrates on few hub sources keeps rounds — and
+// therefore the pair buffer — small with nothing lost (its groups are
+// already saturated), while a diffuse sampler takes rounds as large as the
+// batchCap scratch bound allows. The measurement evolves deterministically
+// with the seeded sample stream, so fixed seed + workers still implies
+// identical output.
+func (s *bcSampler) roundQuota() int64 {
+	if s.lastSources <= 0 {
+		return batchProbe // nothing measured yet
+	}
+	q := s.lastSources * groupScale
+	if q < batchProbe {
+		q = batchProbe
+	}
+	if q > batchCap {
+		q = batchCap
+	}
+	return q
+}
+
 // DrawBatch implements BatchSampler: n samples with per-source amortized
 // stage-4 work. Rejected samples (exact-subspace paths) are redrawn in the
 // next grouping round, so exactly n accepted samples are accumulated.
 func (s *bcSampler) DrawBatch(n int64, hits []int64) {
 	for n > 0 {
 		m := n
-		if m > batchCap {
-			m = batchCap
+		if q := s.roundQuota(); m > q {
+			m = q
 		}
 		n -= s.drawGrouped(int(m), hits)
 	}
 }
 
 // drawGrouped pre-draws m (src, dst) pairs, sorts them by (src, dst) so
-// samples sharing a source are adjacent, and serves each source run either
-// with one truncated BFS DAG (runs of >= dagThreshold) or with per-pair
-// bidirectional BFS (small groups). Returns the number of accepted samples.
+// samples sharing a source are adjacent, and serves each source group via
+// serveGroup. Returns the number of accepted samples.
 func (s *bcSampler) drawGrouped(m int, hits []int64) int64 {
 	s.pairs = s.pairs[:0]
 	for i := 0; i < m; i++ {
@@ -629,7 +552,7 @@ func (s *bcSampler) drawGrouped(m int, hits []int64) int64 {
 	// therefore the rng stream — a deterministic function of the drawn
 	// pairs.
 	slices.Sort(s.pairs)
-	var accepted int64
+	var accepted, sources int64
 	minGroup := s.dagThreshold()
 	for lo := 0; lo < len(s.pairs); {
 		src := s.pairs[lo].src()
@@ -637,27 +560,149 @@ func (s *bcSampler) drawGrouped(m int, hits []int64) int64 {
 		for hi < len(s.pairs) && s.pairs[hi].src() == src {
 			hi++
 		}
-		if hi-lo >= minGroup {
-			accepted += s.serveFromDAG(src, s.pairs[lo:hi], hits)
-		} else {
-			for _, p := range s.pairs[lo:hi] {
-				accepted += s.serveFromBiBFS(p, hits)
+		sources++
+		accepted += s.serveGroup(src, s.pairs[lo:hi], hits, minGroup)
+		lo = hi
+	}
+	s.lastSources = sources
+	return accepted
+}
+
+// serveGroup answers every pair of one source group. Pairs at distance at
+// most 3 resolve on the spot from scans of the destination side's adjacency
+// against the marked source neighborhood, with no BFS and no path
+// materialization:
+//
+//   - distance 1: the unique path has no interior — always accepted, never a
+//     hit;
+//   - distance 2: the only interior node is a uniform common neighbor, so
+//     the sample's entire effect reduces to whether that middle lands in A
+//     (rejection — the mass the exact phase covers — or a hit under the
+//     DisableExactSubspace ablation). The rejection-redraw cycle therefore
+//     costs one adjacency scan;
+//   - distance 3: every shortest path is src-a-b-dst with a marked, b an
+//     unmarked neighbor of dst, and (a, b) an edge; sigma3 counts such pairs
+//     by scanning N(b) for marks over b in N(dst), and a uniform path is a
+//     uniform (a, b) index into that scan.
+//
+// Only distance >= 4 pairs reach the BFS engines: one truncated source DAG
+// when enough of them share the source, per-pair bidirectional BFS
+// otherwise.
+func (s *bcSampler) serveGroup(src graph.Node, run []srcDst, hits []int64, minGroup int) int64 {
+	sp := s.sp
+	g := sp.p.G
+	if s.nbrEpoch == math.MaxInt32 {
+		clear(s.nbrStamp)
+		s.nbrEpoch = 0
+	}
+	s.nbrEpoch++
+	e := s.nbrEpoch
+	for _, w := range g.Neighbors(src) {
+		s.nbrStamp[w] = e
+	}
+	var accepted int64
+	s.dsts = s.dsts[:0]
+	lastDst := graph.Node(-1)
+	var sigma, cA int32
+	var sigma3 int64
+	for _, p := range run {
+		dst := p.dst()
+		if s.nbrStamp[dst] == e {
+			accepted++ // distance 1: no interior, no hit
+			continue
+		}
+		if dst != lastDst { // pairs are dst-sorted: repeats share the scans
+			lastDst = dst
+			sigma, cA = 0, 0
+			for _, w := range g.Neighbors(dst) {
+				if s.nbrStamp[w] == e {
+					sigma++
+					if sp.aIndex[w] >= 0 {
+						cA++
+					}
+				}
+			}
+			if sigma == 0 {
+				// No common neighbor and not adjacent: src cannot appear
+				// in N(dst) here, nor can any b be marked (either would
+				// contradict distance > 2), so the scan needs no filters.
+				s.mid3 = s.mid3[:0]
+				for _, b := range g.Neighbors(dst) {
+					for _, a := range g.Neighbors(b) {
+						if s.nbrStamp[a] == e {
+							s.mid3 = append(s.mid3, packSrcDst(a, b))
+						}
+					}
+				}
+				sigma3 = int64(len(s.mid3))
 			}
 		}
-		lo = hi
+		switch {
+		case sigma > 0:
+			// distance 2: sigma common neighbors, cA of them in A.
+			if sp.disableExact {
+				// Ablation: length-2 paths stay in the sample space, so a
+				// hit requires the identity of the uniform middle.
+				if cA > 0 {
+					k := int32(s.rng.IntN(int(sigma)))
+					for _, w := range g.Neighbors(dst) {
+						if s.nbrStamp[w] == e {
+							if k == 0 {
+								if ai := sp.aIndex[w]; ai >= 0 {
+									hits[ai]++
+								}
+								break
+							}
+							k--
+						}
+					}
+				}
+				accepted++
+				continue
+			}
+			switch {
+			case cA == 0:
+				accepted++ // accepted, middle outside A: no hit
+			case cA == sigma:
+				// every middle is in A: certain rejection, redraw upstream
+			default:
+				if int32(s.rng.IntN(int(sigma))) >= cA {
+					accepted++
+				}
+			}
+		case sigma3 > 0:
+			// distance 3: a uniform interior pair (a, b), read off the
+			// enumeration buffer.
+			pair := s.mid3[s.rng.Int64N(sigma3)]
+			if ai := sp.aIndex[pair.src()]; ai >= 0 {
+				hits[ai]++
+			}
+			if ai := sp.aIndex[pair.dst()]; ai >= 0 {
+				hits[ai]++
+			}
+			accepted++
+		default:
+			s.dsts = append(s.dsts, dst) // distance >= 4: needs a BFS
+		}
+	}
+	if len(s.dsts) == 0 {
+		return accepted
+	}
+	if len(s.dsts) >= minGroup {
+		return accepted + s.serveFromDAG(src, hits)
+	}
+	for _, dst := range s.dsts {
+		accepted += s.serveFromBiBFS(src, dst, hits)
 	}
 	return accepted
 }
 
-// serveFromDAG answers every pair of one source run from a single truncated
-// BFS: the traversal stops at the level of the farthest dst and resets only
-// touched state, so its cost is shared across the whole run.
-func (s *bcSampler) serveFromDAG(src graph.Node, run []srcDst, hits []int64) int64 {
+// serveFromDAG answers the collected distance >= 4 destinations of one
+// source from a single truncated BFS: the traversal stops at the level of
+// the farthest dst and resets only touched state, so its cost is shared
+// across the whole run.
+func (s *bcSampler) serveFromDAG(src graph.Node, hits []int64) int64 {
 	g := s.sp.p.G
-	s.dsts = s.dsts[:0]
-	for _, p := range run {
-		s.dsts = append(s.dsts, p.dst())
-	}
 	s.dag.RunTruncated(g, src, s.dsts)
 	s.dagScan += s.dag.Scanned()
 	s.dagRuns++
@@ -676,9 +721,9 @@ func (s *bcSampler) serveFromDAG(src graph.Node, run []srcDst, hits []int64) int
 }
 
 // serveFromBiBFS answers a singleton pair with balanced bidirectional BFS.
-func (s *bcSampler) serveFromBiBFS(p srcDst, hits []int64) int64 {
+func (s *bcSampler) serveFromBiBFS(src, dst graph.Node, hits []int64) int64 {
 	g := s.sp.p.G
-	_, _, ok := s.bfs.Query(g, p.src(), p.dst())
+	_, _, ok := s.bfs.Query(g, src, dst)
 	s.biScan += s.bfs.Scanned()
 	s.biQueries++
 	if !ok {

@@ -142,7 +142,7 @@ func TestExactBCMatchesBruteForce(t *testing.T) {
 		for i, v := range nodes {
 			aIndex[v] = int32(i)
 		}
-		lambdaHat, ell := exactBC(p, nodes, aIndex, wA, 2)
+		lambdaHat, ell := p.Exact.Run(nodes, aIndex, wA, 2)
 
 		// brute force over all ordered pairs and all shortest paths
 		bruteEll := make([]float64, len(nodes))

@@ -9,7 +9,8 @@ import (
 )
 
 // Parallel Exact_bc must return bit-identical results to the sequential
-// path for every worker count (static split, ordered merge).
+// path for every worker count (worker-independent cost-weighted chunking,
+// chunk-order merge).
 func TestExactBCParallelMatchesSequential(t *testing.T) {
 	g := testutil.RandomConnectedGraph(200, 400, 5)
 	p := PreprocessBC(g)
@@ -29,14 +30,14 @@ func TestExactBCParallelMatchesSequential(t *testing.T) {
 	if wA == 0 {
 		t.Fatal("degenerate fixture")
 	}
-	seqLambda, seqExact := exactBC(p, nodes, aIndex, wA, 1)
+	seqLambda, seqExact := p.Exact.Run(nodes, aIndex, wA, 1)
 	for _, workers := range []int{2, 3, 8, 100} {
-		lambda, exact := exactBC(p, nodes, aIndex, wA, workers)
-		if math.Abs(lambda-seqLambda) > 1e-12 {
-			t.Errorf("workers=%d: lambdaHat %g != %g", workers, lambda, seqLambda)
+		lambda, exact := p.Exact.Run(nodes, aIndex, wA, workers)
+		if lambda != seqLambda {
+			t.Errorf("workers=%d: lambdaHat %g != %g (not bitwise identical)", workers, lambda, seqLambda)
 		}
 		for i := range exact {
-			if math.Abs(exact[i]-seqExact[i]) > 1e-12 {
+			if exact[i] != seqExact[i] {
 				t.Errorf("workers=%d: exact[%d] %g != %g", workers, i, exact[i], seqExact[i])
 			}
 		}
@@ -56,8 +57,8 @@ func TestExactBCParallelDeterministic(t *testing.T) {
 		aIndex[v] = int32(i)
 	}
 	wA := p.O.WeightOfBlocks(p.O.BlocksOf(nodes))
-	l1, e1 := exactBC(p, nodes, aIndex, wA, 4)
-	l2, e2 := exactBC(p, nodes, aIndex, wA, 4)
+	l1, e1 := p.Exact.Run(nodes, aIndex, wA, 4)
+	l2, e2 := p.Exact.Run(nodes, aIndex, wA, 4)
 	if l1 != l2 {
 		t.Errorf("lambdaHat not deterministic: %g vs %g", l1, l2)
 	}
@@ -88,7 +89,7 @@ func TestExactBCLambdaInRange(t *testing.T) {
 		if wA == 0 {
 			continue
 		}
-		lambda, exact := exactBC(p, nodes, aIndex, wA, 0)
+		lambda, exact := p.Exact.Run(nodes, aIndex, wA, 0)
 		if lambda < 0 || lambda > 1+1e-9 {
 			t.Errorf("seed %d: lambdaHat %g outside [0,1]", seed, lambda)
 		}

@@ -1,0 +1,438 @@
+// Package exactphase implements Algorithm Exact_bc (Section IV-B, Lemma 18
+// of the SaPHyRa paper): the exact enumeration of all 2-hop intra-block
+// shortest paths s-v-t whose middle node v lies in the target set A, which
+// forms the exact subspace of the SaPHyRa_bc sample-space partition.
+//
+// The engine runs on the block-annotated adjacency view bicomp.BlockCSR: the
+// inner s-v-t loop streams over pre-grouped per-block neighbor runs with the
+// out-reach r-values inlined per edge, so the hot loop performs zero
+// EdgeBlock resolutions, zero OutReach.Of lookups, and no map accesses.
+//
+// Parallelism is deterministic: endpoints are split into chunks balanced by
+// a per-endpoint cost model (1 + deg(s) + sum of deg(v)^2 over s's target
+// neighbors), workers pull chunks from a shared counter, and per-chunk
+// partial sums are merged in chunk-index order — so a fixed seed and any
+// worker count produce bitwise-identical (lambdaHat, exact) outputs. All
+// scratch (per-worker epoch-stamped sigma/stamp/isNbr arrays, the chunk
+// bookkeeping, and the partial-sum buffers) is pooled on the Engine, which
+// is cached per graph by core.PreprocessBC: repeated target sets hit a
+// zero-allocation steady state.
+package exactphase
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"saphyra/internal/bicomp"
+	"saphyra/internal/graph"
+)
+
+// maxChunks caps the scheduling granularity: enough chunks for dynamic load
+// balancing on any realistic core count while keeping the merge and the
+// partial-buffer zeroing cheap.
+const maxChunks = 64
+
+// partialBudget bounds the memory held in per-chunk partial-sum buffers
+// (chunks * k * 8 bytes); full-network ranking on huge graphs degrades to
+// fewer, larger chunks instead of blowing up the heap.
+const partialBudget = 16 << 20
+
+// Engine evaluates the exact 2-hop phase for arbitrary target sets over one
+// preprocessed graph. Safe for concurrent use.
+//
+// Scratch is recycled through Engine-owned free lists rather than sync.Pool:
+// the GC never evicts them, so repeated ranking calls on a cached Engine
+// are allocation-free in steady state (the micro-benchmark contract).
+type Engine struct {
+	view *bicomp.BlockCSR
+
+	mu          sync.Mutex
+	freeWorkers []*workerScratch
+	freeRuns    []*runScratch
+}
+
+// New returns an engine over the given block-annotated view.
+func New(view *bicomp.BlockCSR) *Engine {
+	return &Engine{view: view}
+}
+
+// middle records one qualifying s-v pair of the current endpoint: the
+// target index of the middle v, the edge range of v's run in the shared
+// block restricted to ids above the endpoint, and r_b(s) — everything
+// phase 2 needs with no further lookups.
+type middle struct {
+	ai     int32
+	rS     float64
+	lo, hi int64
+}
+
+// workerScratch is the per-goroutine state: epoch-stamped neighbor marks,
+// sigma counters, and the A-middle buffer. Epoch stamping makes per-endpoint
+// reset O(deg) instead of O(n).
+type workerScratch struct {
+	isNbr    []int32
+	sigStamp []int32
+	sigma    []int32
+	epoch    int32
+	middles  []middle
+}
+
+func (ws *workerScratch) next() int32 {
+	if ws.epoch == math.MaxInt32 {
+		clear(ws.isNbr)
+		clear(ws.sigStamp)
+		ws.epoch = 0
+	}
+	ws.epoch++
+	return ws.epoch
+}
+
+// runScratch is the per-call bookkeeping: endpoint collection, the cost
+// prefix, chunk bounds, and per-chunk partial sums.
+type runScratch struct {
+	endpoints []graph.Node
+	epMark    []int32
+	epPos     []int32
+	epEpoch   int32
+	cost      []float64
+	bounds    []int
+	partials  [][]float64
+	lambdas   []float64
+}
+
+func (e *Engine) getWorker() *workerScratch {
+	e.mu.Lock()
+	if k := len(e.freeWorkers); k > 0 {
+		ws := e.freeWorkers[k-1]
+		e.freeWorkers = e.freeWorkers[:k-1]
+		e.mu.Unlock()
+		return ws
+	}
+	e.mu.Unlock()
+	n := e.view.G.NumNodes()
+	return &workerScratch{
+		isNbr:    make([]int32, n),
+		sigStamp: make([]int32, n),
+		sigma:    make([]int32, n),
+	}
+}
+
+func (e *Engine) putWorker(ws *workerScratch) {
+	e.mu.Lock()
+	e.freeWorkers = append(e.freeWorkers, ws)
+	e.mu.Unlock()
+}
+
+func (e *Engine) getRun() *runScratch {
+	e.mu.Lock()
+	if k := len(e.freeRuns); k > 0 {
+		rs := e.freeRuns[k-1]
+		e.freeRuns = e.freeRuns[:k-1]
+		e.mu.Unlock()
+		return rs
+	}
+	e.mu.Unlock()
+	n := e.view.G.NumNodes()
+	return &runScratch{
+		epMark: make([]int32, n),
+		epPos:  make([]int32, n),
+	}
+}
+
+func (e *Engine) putRun(rs *runScratch) {
+	e.mu.Lock()
+	e.freeRuns = append(e.freeRuns, rs)
+	e.mu.Unlock()
+}
+
+// Run computes (lambdaHat, exact): the exact-subspace mass and the per-target
+// exact risks lhat (Eq 29 normalization by wA). aIndex must map every node
+// to its index in targets or -1; wA is the pair mass of the target blocks.
+func (e *Engine) Run(targets []graph.Node, aIndex []int32, wA float64, workers int) (float64, []float64) {
+	exact := make([]float64, len(targets))
+	lambdaHat := e.RunInto(exact, targets, aIndex, wA, workers)
+	return lambdaHat, exact
+}
+
+// RunInto is Run writing the exact risks into a caller-provided slice (which
+// it zeroes first): the allocation-free form for repeated ranking calls.
+// workers <= 0 means GOMAXPROCS, matching the BCOptions.Workers contract.
+func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, wA float64, workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := e.view.G
+	clear(exact)
+	if wA == 0 || len(targets) == 0 {
+		return 0
+	}
+	rs := e.getRun()
+	defer e.putRun(rs)
+
+	// Endpoint candidates: the distinct neighbors of A, sorted.
+	if rs.epEpoch == math.MaxInt32 {
+		clear(rs.epMark)
+		rs.epEpoch = 0
+	}
+	rs.epEpoch++
+	ep := rs.epEpoch
+	rs.endpoints = rs.endpoints[:0]
+	for _, v := range targets {
+		for _, s := range g.Neighbors(v) {
+			if rs.epMark[s] != ep {
+				rs.epMark[s] = ep
+				rs.endpoints = append(rs.endpoints, s)
+			}
+		}
+	}
+	if len(rs.endpoints) == 0 {
+		return 0
+	}
+	slices.Sort(rs.endpoints)
+
+	// Chunk count: a pure function of the inputs (never of the worker
+	// count), so the chunk-order merge below is bitwise-identical for any
+	// parallelism. Scaled down for small endpoint sets — chunk bookkeeping
+	// (zeroing and merging chunks*k partial sums) must not dominate the
+	// enumeration itself — and bounded so the partial buffers stay within
+	// partialBudget bytes even for full-network target sets.
+	chunks := (len(rs.endpoints) + 7) / 8
+	if chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if byMem := partialBudget / (8 * len(exact)); chunks > byMem {
+		chunks = byMem
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+
+	if chunks == 1 {
+		// Single chunk: no cost model, no partial buffers; accumulating
+		// straight into exact is bit-identical to merging one zeroed
+		// partial (0 + x == x exactly).
+		ws := e.getWorker()
+		lambdaHat := e.runChunk(rs.endpoints, aIndex, wA, exact, ws)
+		e.putWorker(ws)
+		return lambdaHat
+	}
+
+	// Per-endpoint cost model for chunk balancing: 1 + deg(s) + the sum of
+	// deg(v)^2 over s's neighbors v in A — the dominant phase-2 scan work
+	// of Lemma 18.
+	for i, s := range rs.endpoints {
+		rs.epPos[s] = int32(i)
+	}
+	rs.cost = resize(rs.cost, len(rs.endpoints))
+	for i, s := range rs.endpoints {
+		rs.cost[i] = 1 + float64(g.Degree(s))
+	}
+	for _, v := range targets {
+		d2 := float64(g.Degree(v))
+		d2 *= d2
+		for _, s := range g.Neighbors(v) {
+			rs.cost[rs.epPos[s]] += d2
+		}
+	}
+	var total float64
+	for _, c := range rs.cost {
+		total += c
+	}
+	rs.bounds = resizeInt(rs.bounds, chunks+1)
+	rs.bounds[0] = 0
+	var acc float64
+	at := 0
+	for c := 1; c < chunks; c++ {
+		target := total * float64(c) / float64(chunks)
+		for at < len(rs.endpoints) && (acc < target || at < c) {
+			// at < c keeps every chunk non-empty even when one endpoint
+			// dominates the cost mass.
+			acc += rs.cost[at]
+			at++
+		}
+		rs.bounds[c] = at
+	}
+	rs.bounds[chunks] = len(rs.endpoints)
+
+	// Per-chunk partial sums (zeroed; buffers reused across calls).
+	if len(rs.partials) < chunks {
+		rs.partials = append(rs.partials, make([][]float64, chunks-len(rs.partials))...)
+	}
+	for c := 0; c < chunks; c++ {
+		rs.partials[c] = resize(rs.partials[c], len(exact))
+		clear(rs.partials[c])
+	}
+	rs.lambdas = resize(rs.lambdas, chunks)
+	clear(rs.lambdas)
+
+	if workers <= 1 {
+		ws := e.getWorker()
+		for c := 0; c < chunks; c++ {
+			rs.lambdas[c] = e.runChunk(rs.endpoints[rs.bounds[c]:rs.bounds[c+1]], aIndex, wA, rs.partials[c], ws)
+		}
+		e.putWorker(ws)
+	} else {
+		if workers > chunks {
+			workers = chunks
+		}
+		// limit is a branch-local copy so the closure does not force the
+		// sequential path's chunk count onto the heap.
+		limit := int64(chunks)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := e.getWorker()
+				for {
+					c := next.Add(1) - 1
+					if c >= limit {
+						break
+					}
+					rs.lambdas[c] = e.runChunk(rs.endpoints[rs.bounds[c]:rs.bounds[c+1]], aIndex, wA, rs.partials[c], ws)
+				}
+				e.putWorker(ws)
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: chunk-index order, regardless of which worker
+	// computed which chunk.
+	var lambdaHat float64
+	for c := 0; c < chunks; c++ {
+		lambdaHat += rs.lambdas[c]
+		for i, x := range rs.partials[c] {
+			exact[i] += x
+		}
+	}
+	return lambdaHat
+}
+
+// runChunk processes one contiguous endpoint range, accumulating lhat masses
+// into out and returning the chunk's lambda contribution.
+//
+// Per endpoint s it (1) marks N(s), (2) collects the qualifying middles —
+// target neighbors v with the run of the shared block — from s's grouped
+// runs, then (3) computes sigma_st either by the classic push sweep over all
+// 2-hop neighbors or, when the runs of the collected middles are small
+// relative to s's whole 2-hop ball, by pulling |N(s) ∩ N(t)| for just the
+// t's the merge will touch. Both orders produce identical integer sigmas and
+// the phase-3 accumulation loop is shared, so the choice never affects the
+// output bits.
+func (e *Engine) runChunk(endpoints []graph.Node, aIndex []int32, wA float64, out []float64, ws *workerScratch) float64 {
+	v := e.view
+	g := v.G
+	var lambda float64
+	for _, s := range endpoints {
+		ep := ws.next()
+		for _, w := range g.Neighbors(s) {
+			ws.isNbr[w] = ep
+		}
+		// Collect A-middles from s's runs; estimate the pull cost as the
+		// degree mass of the runs the merge will visit.
+		ws.middles = ws.middles[:0]
+		var pullEst, pushCost int64
+		loS, hiS := v.Runs(s)
+		for j := loS; j < hiS; j++ {
+			pushCost += v.RunDegSum[j]
+			rS := float64(v.RunR[j])
+			elo, ehi := v.RunEdges(j)
+			for i := elo; i < ehi; i++ {
+				mv := v.Nbr[i]
+				if ai := aIndex[mv]; ai >= 0 {
+					jv := v.NbrRun[i]
+					ws.middles = append(ws.middles, middle{
+						ai: ai, rS: rS,
+						lo: v.Mate[i] + 1, hi: v.RunStart[jv+1],
+					})
+					pullEst += v.RunDegSum[jv]
+				}
+			}
+		}
+		if len(ws.middles) == 0 {
+			continue
+		}
+		// The pair mass is symmetric — the ordered pairs (s, t) and (t, s)
+		// contribute the same amount to the same middle, and both ends of
+		// every qualifying pair are endpoints — so the merge visits only
+		// t > s and doubles. Pull's sigma scans therefore cost about half of
+		// pullEst, which itself over-counts t's shared between middles; the
+		// factor 4 folds both biases in (measured on the skewed reference
+		// workload; see BenchmarkExactPhaseRange).
+		pull := pullEst < 4*pushCost
+		if !pull {
+			// push: count common-neighbor multiplicity over the 2-hop ball.
+			// Only t > s is counted — the merge below visits nothing else
+			// (symmetric halving). Adjacency lists are sorted, so the
+			// excluded t <= s form a prefix: walking each list backward and
+			// breaking at the boundary touches exactly the needed suffix,
+			// halving the densest loop of Lemma 18 on average. No other
+			// validity filtering: the counts of direct neighbors above s
+			// are garbage, but never read.
+			for _, mv := range g.Neighbors(s) {
+				nbrs := g.Neighbors(mv)
+				for i := len(nbrs) - 1; i >= 0; i-- {
+					t := nbrs[i]
+					if t <= s {
+						break
+					}
+					if ws.sigStamp[t] != ep {
+						ws.sigStamp[t] = ep
+						ws.sigma[t] = 1
+					} else {
+						ws.sigma[t]++
+					}
+				}
+			}
+		}
+		// Merge over the pre-grouped runs of the collected middles: every
+		// t in middle v's run shares v's block with the edge (s, v), so the
+		// intra-block condition of Eq 29 holds by construction. The run's
+		// masses accumulate locally first — one indexed store per run, not
+		// per pair.
+		for _, md := range ws.middles {
+			rSW := 2 * md.rS / wA
+			var acc float64
+			for i := md.lo; i < md.hi; i++ {
+				t := v.Nbr[i]
+				if ws.isNbr[t] == ep {
+					continue
+				}
+				if pull && ws.sigStamp[t] != ep {
+					ws.sigStamp[t] = ep
+					var c int32
+					for _, w := range g.Neighbors(t) {
+						if ws.isNbr[w] == ep {
+							c++
+						}
+					}
+					ws.sigma[t] = c
+				}
+				acc += float64(v.RNbr[i]) / float64(ws.sigma[t])
+			}
+			acc *= rSW
+			out[md.ai] += acc
+			lambda += acc
+		}
+	}
+	return lambda
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -1,6 +1,7 @@
 package kpath
 
 import (
+	"math"
 	"math/rand/v2"
 
 	"saphyra/internal/core"
@@ -42,6 +43,12 @@ func newWalkSampler(g *graph.Graph, aIndex []int32, minLen, maxLen int, seed int
 // walk performs one random walk. With counts == nil, hit indices are
 // appended to s.hits; otherwise counts[idx] is incremented directly.
 func (s *walkSampler) walk(counts []int64) {
+	if s.epoch == math.MaxInt32 {
+		for i := range s.visited {
+			s.visited[i] = -1
+		}
+		s.epoch = 0
+	}
 	s.epoch++
 	n := s.g.NumNodes()
 	u := graph.Node(s.rng.IntN(n))

@@ -184,9 +184,12 @@ func RankAll(g *Graph, opt Options) (*Result, error) {
 	return RankSubset(g, all, opt)
 }
 
-// Preprocessed caches the target-independent SaPHyRa preprocessing
-// (bi-component decomposition and out-reach tables) so that many subsets can
-// be ranked on one graph cheaply.
+// Preprocessed caches the target-independent SaPHyRa preprocessing —
+// bi-component decomposition, out-reach tables, the block-annotated
+// adjacency view, and the exact 2-hop engine with its pooled per-worker
+// scratch — so that many subsets can be ranked on one graph cheaply: after
+// the first call, the exact phase of each RankSubset runs without block or
+// out-reach lookups and without allocating.
 type Preprocessed struct {
 	prep *core.BCPreprocessed
 }

@@ -12,10 +12,13 @@ OUT="BENCH_sampling.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-# Sampler microbenchmarks (legacy engine vs single-draw shim vs batched) and
-# the end-to-end Fig 3 timing rows.
+# Sampler microbenchmarks (legacy engine vs single-draw shim vs batched),
+# exact-phase microbenchmarks (view build + run-length engine vs legacy
+# reference), and the end-to-end Fig 3 timing rows.
 go test -run '^$' -bench 'BenchmarkSamplerDraw' -benchmem \
     -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkExactPhase' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/exactphase/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkFig3Time' -benchmem \
     -benchtime "$BENCHTIME" . | tee -a "$TMP"
 
