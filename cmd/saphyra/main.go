@@ -1,12 +1,24 @@
 // Command saphyra ranks a subset of nodes of an edge-list graph by
 // betweenness centrality with the SaPHyRa_bc algorithm (or a baseline, for
-// comparison).
+// comparison), and by the companion k-path and closeness estimators.
 //
 // Usage:
 //
 //	saphyra -graph net.txt -targets 17,99,1024 -eps 0.05 -delta 0.01
 //	saphyra -graph net.txt -random 100 -seed 7 -method kadabra
 //	saphyra -graph net.txt -all
+//
+// Build-once/serve-many: the target-independent preprocessing (the
+// block-annotated adjacency view, DESIGN.md section 7) can be serialized
+// once and served zero-copy — mmap-backed, so concurrent server processes
+// share one physical copy of the arrays:
+//
+//	saphyra -graph net.txt -save-view net.sbcv
+//	saphyra -view net.sbcv -targets 17,99,1024            # any number of processes
+//	saphyra -view net.sbcv -random 50 -method closeness
+//
+// View files written from an edge list embed the original-id map, so -view
+// runs accept and report the same node ids as -graph runs.
 package main
 
 import (
@@ -23,34 +35,89 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (required)")
+		graphPath = flag.String("graph", "", "edge-list file (required unless -view is given)")
+		viewPath  = flag.String("view", "", "serve from a serialized view file instead of -graph")
+		saveView  = flag.String("save-view", "", "write the preprocessed view to this file (requires -graph)")
 		targets   = flag.String("targets", "", "comma-separated node ids to rank (original ids from the file)")
 		random    = flag.Int("random", 0, "rank this many random nodes instead of -targets")
 		all       = flag.Bool("all", false, "rank every node (SaPHyRa-full)")
 		eps       = flag.Float64("eps", 0.05, "additive error guarantee")
 		delta     = flag.Float64("delta", 0.01, "failure probability")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		workers   = flag.Int("workers", 0, "sampling workers (0 = all CPUs)")
-		method    = flag.String("method", "saphyra", "saphyra | abra | kadabra")
+		seed      = flag.Int64("seed", 1, "RNG seed (output is seed-deterministic at any -workers)")
+		workers   = flag.Int("workers", 0, "goroutines (0 = all CPUs); does not affect results")
+		method    = flag.String("method", "saphyra", "saphyra | abra | kadabra | kpath | closeness")
+		kflag     = flag.Int("k", 3, "walk length for -method kpath")
 		exactFlag = flag.Bool("exact", false, "also compute exact betweenness and report rank correlation")
 		topK      = flag.Int("top", 0, "print only the top K rows (0 = all)")
 	)
 	flag.Parse()
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "saphyra: -graph is required")
+	if (*graphPath == "") == (*viewPath == "") {
+		fmt.Fprintln(os.Stderr, "saphyra: exactly one of -graph and -view is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, orig, err := saphyra.LoadEdgeList(*graphPath)
-	if err != nil {
-		fatal(err)
+	if *saveView != "" && *viewPath != "" {
+		fatal(fmt.Errorf("-save-view requires -graph (a view file is already built)"))
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s: %d nodes, %d edges\n", *graphPath, g.NumNodes(), g.NumEdges())
 
-	// map original id -> dense id
-	back := make(map[int64]saphyra.Node, len(orig))
-	for dense, raw := range orig {
-		back[raw] = saphyra.Node(dense)
+	var (
+		g    *saphyra.Graph
+		orig []int64 // dense id -> original id; nil means identity (view files)
+		view *saphyra.View
+	)
+	if *viewPath != "" {
+		var err error
+		view, err = saphyra.OpenView(*viewPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer view.Close()
+		g = view.Graph()
+		orig = view.IDs()
+		fmt.Fprintf(os.Stderr, "mapped %s: %d nodes, %d edges\n", *viewPath, g.NumNodes(), g.NumEdges())
+	} else {
+		var err error
+		g, orig, err = saphyra.LoadEdgeList(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d nodes, %d edges\n", *graphPath, g.NumNodes(), g.NumEdges())
+	}
+
+	if *saveView != "" {
+		if err := saphyra.BuildView(g, orig).WriteFile(*saveView); err != nil {
+			fatal(err)
+		}
+		st, err := os.Stat(*saveView)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote view %s (%d bytes); serve it with -view\n", *saveView, st.Size())
+		if *targets == "" && *random == 0 && !*all {
+			return
+		}
+	}
+
+	var back map[int64]saphyra.Node // original id -> dense id
+	if orig != nil {
+		back = make(map[int64]saphyra.Node, len(orig))
+		for dense, raw := range orig {
+			back[raw] = saphyra.Node(dense)
+		}
+	}
+	denseID := func(raw int64) (saphyra.Node, bool) {
+		if orig == nil {
+			ok := raw >= 0 && raw < int64(g.NumNodes())
+			return saphyra.Node(raw), ok
+		}
+		dense, ok := back[raw]
+		return dense, ok
+	}
+	origID := func(dense saphyra.Node) int64 {
+		if orig == nil {
+			return int64(dense)
+		}
+		return orig[dense]
 	}
 
 	var subset []saphyra.Node
@@ -75,7 +142,7 @@ func main() {
 			if err != nil {
 				fatal(fmt.Errorf("bad target %q: %v", tok, err))
 			}
-			dense, ok := back[raw]
+			dense, ok := denseID(raw)
 			if !ok {
 				fatal(fmt.Errorf("node %d not present in graph", raw))
 			}
@@ -86,26 +153,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	var m saphyra.Method
-	switch strings.ToLower(*method) {
-	case "saphyra":
-		m = saphyra.MethodSaPHyRa
-	case "abra":
-		m = saphyra.MethodABRA
-	case "kadabra":
-		m = saphyra.MethodKADABRA
+	opt := saphyra.Options{Epsilon: *eps, Delta: *delta, Workers: *workers, Seed: *seed}
+	var (
+		res *saphyra.Result
+		err error
+	)
+	switch name := strings.ToLower(*method); name {
+	case "saphyra", "abra", "kadabra":
+		switch name {
+		case "abra":
+			opt.Method = saphyra.MethodABRA
+		case "kadabra":
+			opt.Method = saphyra.MethodKADABRA
+		}
+		if view != nil && opt.Method == saphyra.MethodSaPHyRa {
+			res, err = view.Preprocess().RankSubset(subset, opt)
+		} else {
+			res, err = saphyra.RankSubset(g, subset, opt)
+		}
+	case "kpath":
+		if view != nil {
+			res, err = view.RankKPath(subset, *kflag, opt)
+		} else {
+			res, err = saphyra.RankKPath(g, subset, *kflag, opt)
+		}
+	case "closeness":
+		if view != nil {
+			res, err = view.RankCloseness(subset, opt)
+		} else {
+			res, err = saphyra.RankCloseness(g, subset, opt)
+		}
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
-
-	res, err := saphyra.RankSubset(g, subset, saphyra.Options{
-		Epsilon: *eps, Delta: *delta, Workers: *workers, Seed: *seed, Method: m,
-	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "method=%s eps=%g delta=%g samples=%d time=%v\n",
-		m, *eps, *delta, res.Samples, res.Duration)
+		strings.ToLower(*method), *eps, *delta, res.Samples, res.Duration)
 
 	// print rows ordered by rank
 	order := make([]int, len(res.Nodes))
@@ -117,12 +202,15 @@ func main() {
 	if *topK > 0 && *topK < limit {
 		limit = *topK
 	}
-	fmt.Println("rank\tnode\tbetweenness")
+	fmt.Println("rank\tnode\tscore")
 	for _, i := range order[:limit] {
-		fmt.Printf("%d\t%d\t%.6g\n", res.Rank[i], orig[res.Nodes[i]], res.Scores[i])
+		fmt.Printf("%d\t%d\t%.6g\n", res.Rank[i], origID(res.Nodes[i]), res.Scores[i])
 	}
 
 	if *exactFlag {
+		if m := strings.ToLower(*method); m == "kpath" || m == "closeness" {
+			fatal(fmt.Errorf("-exact compares against exact *betweenness* and only applies to -method saphyra|abra|kadabra, not %q", m))
+		}
 		truth := saphyra.ExactBC(g, *workers)
 		truthA := make([]float64, len(res.Nodes))
 		ids := make([]int32, len(res.Nodes))

@@ -7,7 +7,10 @@
 //
 // Construction is Vose's O(n) stable partition into "small" and "large"
 // columns; it is fully deterministic, so samplers built from the same
-// weights draw identical sequences for identical uniform streams.
+// weights draw identical sequences for identical uniform streams — one of
+// the determinism guarantees the engines rely on (DESIGN.md sections 2 and
+// 3): the sampling engine's per-stream outputs are pure functions of the
+// seed because every stage, including these tables, is.
 package alias
 
 // Table is an immutable alias table over indices [0, Len()).

@@ -6,6 +6,20 @@
 // subgraph; a "cutpoint" (articulation point) is a node belonging to more
 // than one block; the block-cut tree has one node per block and per cutpoint
 // with an edge for each (block, cutpoint-in-block) pair.
+//
+// The package also owns the repo's shared graph-view layer, BlockCSR
+// (DESIGN.md section 7): the block-annotated re-grouping of the adjacency
+// arrays consumed by the exact 2-hop engine (internal/exactphase), the bc
+// sampler's per-target tables, and the k-path and closeness estimators. The
+// view serializes to a versioned binary format (BlockCSR.WriteTo /
+// WriteFile) and reopens zero-copy via OpenMapped — mmap-backed on unix —
+// for build-once/serve-many deployments.
+//
+// Determinism: Decompose assigns block ids by a fixed DFS, so the
+// decomposition — and with it every view annotation — is a pure function of
+// the graph. That is what lets core.PreprocessBCFromView recompute the
+// tables for a mapped view and get ids consistent with the serialized
+// arrays.
 package bicomp
 
 import (

@@ -3,6 +3,7 @@ package bicomp
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"saphyra/internal/graph"
 )
@@ -29,10 +30,20 @@ import (
 // at 8 each — 48m bytes total) plus ~24 bytes per run; the number of runs
 // is sum_u |NodeBlocks[u]| <= n + (cutpoint memberships), i.e. barely
 // above n for real networks.
+// A BlockCSR is built either in memory by NewBlockCSR or opened zero-copy
+// from a serialized file by OpenMapped (see persist.go). Mapped views carry
+// only the arrays and the embedded graph: D and O are nil, because no
+// engine consuming the view needs them — consumers that do (the bc
+// sampler's per-target alias tables) recompute them via
+// core.PreprocessBCFromView.
 type BlockCSR struct {
 	G *graph.Graph
-	D *Decomposition
-	O *OutReach
+	D *Decomposition // nil for mapped views until EnsureDecomposition
+	O *OutReach      // nil for mapped views until EnsureDecomposition
+
+	// backfill serializes EnsureDecomposition on mapped views; BlockCSR
+	// values are always handled by pointer, so the mutex is never copied.
+	backfill sync.Mutex
 
 	// Nbr is the grouped adjacency: node u's neighbors, permuted block by
 	// block. RNbr[i] = r_b(Nbr[i]) for the block b of the run containing i.
@@ -162,6 +173,74 @@ func (v *BlockCSR) Runs(u graph.Node) (lo, hi int64) {
 	return v.RunOff[u], v.RunOff[u+1]
 }
 
+// EnsureDecomposition returns the view's decomposition and out-reach
+// tables, recomputing and backfilling them from the embedded graph when the
+// view was opened from a file (mapped views serialize neither — no engine
+// consuming the view needs them; see persist.go). Decompose is a
+// deterministic function of the graph, so the recomputed block ids agree
+// with the serialized annotations. Safe for concurrent use: the common
+// serving pattern hands one mapped view to many goroutines.
+func (v *BlockCSR) EnsureDecomposition() (*Decomposition, *OutReach) {
+	v.backfill.Lock()
+	defer v.backfill.Unlock()
+	if v.D == nil || v.O == nil {
+		d := Decompose(v.G)
+		o := NewOutReach(d)
+		v.D, v.O = d, o
+	}
+	return v.D, v.O
+}
+
+// GroupedAdj is the view's adjacency in block-grouped order (node u's
+// neighbors are v.Nbr over u's CSR segment: per-block runs in ascending
+// block id, sorted within each run). It implements graph.Adjacency for
+// order-invariant traversals — BFS distance labels do not depend on
+// neighbor order, so running them on the grouped arrays keeps an
+// mmap-served engine on the view's pages without consulting the original
+// CSR. Order-sensitive consumers (anything that indexes a neighbor list
+// with a random variate) must keep reading v.G, whose sorted order is part
+// of the determinism contract.
+type GroupedAdj struct{ V *BlockCSR }
+
+// NumNodes implements graph.Adjacency.
+func (a GroupedAdj) NumNodes() int { return a.V.G.NumNodes() }
+
+// Neighbors implements graph.Adjacency: u's neighbors in grouped order.
+func (a GroupedAdj) Neighbors(u graph.Node) []graph.Node {
+	return a.V.Nbr[a.V.G.AdjOffset(u):a.V.G.AdjOffset(u+1)]
+}
+
+// BFSDistancesInto is graph.BFSDistancesAdj specialized to the grouped
+// arrays: the inner loop slices v.Nbr directly, so serving hot loops (the
+// closeness pricer) pay one dispatch per traversal, not per node. Distances
+// are bitwise-identical to BFS over the sorted CSR — labels depend only on
+// the edge set.
+func (a GroupedAdj) BFSDistancesInto(source graph.Node, dist []int32) []int32 {
+	v := a.V
+	g := v.G
+	n := g.NumNodes()
+	if len(dist) != n {
+		dist = make([]int32, n)
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.Node, 0, n)
+	queue = append(queue, source)
+	dist[source] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, w := range v.Nbr[g.AdjOffset(u):g.AdjOffset(u+1)] {
+			if dist[w] == -1 {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
 // RunEdges returns the edge index range of run j into Nbr/RNbr.
 func (v *BlockCSR) RunEdges(j int64) (lo, hi int64) {
 	return v.RunStart[j], v.RunStart[j+1]
@@ -191,10 +270,22 @@ func (v *BlockCSR) FindRun(u graph.Node, b int32) int64 {
 	return -1
 }
 
-// Validate checks the view against the decomposition it was built from:
-// every run covers exactly the node's edges of its block, annotations match
-// OutReach, and runs tile the CSR segments. For tests and debugging.
+// Validate checks the view's invariants. For tests and debugging.
+//
+// The structural half needs no decomposition and therefore runs on mapped
+// views too: runs tile the CSR segments in ascending block order, grouped
+// adjacency is a per-node permutation of the graph's, the NbrRun/Mate
+// reciprocal index round-trips, per-edge r-annotations agree with the
+// reciprocal run's owner annotation, and RunDegSum matches the graph. When
+// the view carries its decomposition (D and O non-nil), every annotation is
+// additionally cross-checked against EdgeBlock and OutReach.Of.
 func (v *BlockCSR) Validate() error {
+	if err := v.validateStructure(); err != nil {
+		return err
+	}
+	if v.D == nil || v.O == nil {
+		return nil // mapped view: no decomposition to cross-check against
+	}
 	g, d, o := v.G, v.D, v.O
 	n := g.NumNodes()
 	if got, want := v.RunOff[n], int64(len(v.RunBlock)); got != want {
@@ -250,6 +341,101 @@ func (v *BlockCSR) Validate() error {
 		}
 		if degSeen != int64(g.Degree(u)) {
 			return fmt.Errorf("bicomp: node %d runs cover %d edges, degree %d", u, degSeen, g.Degree(u))
+		}
+	}
+	return nil
+}
+
+// validateStructure checks every invariant expressible without the
+// decomposition — the full contract of a deserialized view.
+func (v *BlockCSR) validateStructure() error {
+	g := v.G
+	n := g.NumNodes()
+	m2 := int64(2 * g.NumEdges())
+	runs := int64(len(v.RunBlock))
+	if int64(len(v.RunR)) != runs || int64(len(v.RunDegSum)) != runs || int64(len(v.RunStart)) != runs+1 {
+		return fmt.Errorf("bicomp: run array lengths inconsistent (%d blocks, %d r, %d degsum, %d starts)",
+			runs, len(v.RunR), len(v.RunDegSum), len(v.RunStart))
+	}
+	if int64(len(v.Nbr)) != m2 || int64(len(v.RNbr)) != m2 || int64(len(v.NbrRun)) != m2 || int64(len(v.Mate)) != m2 {
+		return fmt.Errorf("bicomp: edge array lengths != 2m = %d", m2)
+	}
+	if len(v.RunOff) != n+1 {
+		return fmt.Errorf("bicomp: RunOff length %d, want n+1 = %d", len(v.RunOff), n+1)
+	}
+	if v.RunOff[0] != 0 || v.RunOff[n] != runs {
+		return fmt.Errorf("bicomp: RunOff spans [%d, %d], want [0, %d]", v.RunOff[0], v.RunOff[n], runs)
+	}
+	if v.RunStart[runs] != m2 {
+		return fmt.Errorf("bicomp: RunStart sentinel = %d, want 2m = %d", v.RunStart[runs], m2)
+	}
+	var sorted []graph.Node
+	for u := graph.Node(0); int(u) < n; u++ {
+		lo, hi := v.Runs(u)
+		if lo > hi {
+			return fmt.Errorf("bicomp: RunOff not monotone at node %d", u)
+		}
+		if lo == hi {
+			if g.Degree(u) != 0 {
+				return fmt.Errorf("bicomp: node %d has no runs but degree %d", u, g.Degree(u))
+			}
+			continue
+		}
+		if v.RunStart[lo] != g.AdjOffset(u) {
+			return fmt.Errorf("bicomp: node %d first run starts at %d, want %d", u, v.RunStart[lo], g.AdjOffset(u))
+		}
+		if v.RunStart[hi] != g.AdjOffset(u)+int64(g.Degree(u)) {
+			return fmt.Errorf("bicomp: node %d runs end at %d, want %d", u, v.RunStart[hi], g.AdjOffset(u)+int64(g.Degree(u)))
+		}
+		for j := lo; j < hi; j++ {
+			if j > lo && v.RunBlock[j-1] >= v.RunBlock[j] {
+				return fmt.Errorf("bicomp: node %d run blocks not strictly ascending", u)
+			}
+			elo, ehi := v.RunEdges(j)
+			if elo > ehi {
+				return fmt.Errorf("bicomp: run %d has negative span", j)
+			}
+			var degSum int64
+			for i := elo; i < ehi; i++ {
+				w := v.Nbr[i]
+				if w < 0 || int(w) >= n {
+					return fmt.Errorf("bicomp: grouped edge %d targets out-of-range node %d", i, w)
+				}
+				if i > elo && v.Nbr[i-1] >= w {
+					return fmt.Errorf("bicomp: node %d run %d not strictly sorted", u, j-lo)
+				}
+				jr := v.NbrRun[i]
+				if jr < v.RunOff[w] || jr >= v.RunOff[w+1] {
+					return fmt.Errorf("bicomp: edge (%d,%d) NbrRun %d outside node %d's runs", u, w, jr, w)
+				}
+				if v.RunBlock[jr] != v.RunBlock[j] {
+					return fmt.Errorf("bicomp: edge (%d,%d) reciprocal run block %d != %d", u, w, v.RunBlock[jr], v.RunBlock[j])
+				}
+				mate := v.Mate[i]
+				if mate < v.RunStart[jr] || mate >= v.RunStart[jr+1] || v.Nbr[mate] != u {
+					return fmt.Errorf("bicomp: edge (%d,%d) Mate %d does not point back at %d", u, w, mate, u)
+				}
+				if v.Mate[mate] != i || v.NbrRun[mate] != j {
+					return fmt.Errorf("bicomp: edge (%d,%d) reciprocal index does not round-trip", u, w)
+				}
+				if v.RNbr[i] != v.RunR[jr] {
+					return fmt.Errorf("bicomp: edge (%d,%d) RNbr %d != reciprocal RunR %d", u, w, v.RNbr[i], v.RunR[jr])
+				}
+				degSum += int64(g.Degree(w))
+			}
+			if degSum != v.RunDegSum[j] {
+				return fmt.Errorf("bicomp: run %d RunDegSum %d != %d", j, v.RunDegSum[j], degSum)
+			}
+		}
+		// The grouped segment must be a permutation of the node's sorted
+		// adjacency: sort a copy and compare element-wise.
+		grouped := v.Nbr[g.AdjOffset(u) : g.AdjOffset(u)+int64(g.Degree(u))]
+		sorted = append(sorted[:0], grouped...)
+		slices.Sort(sorted)
+		for i, w := range g.Neighbors(u) {
+			if sorted[i] != w {
+				return fmt.Errorf("bicomp: node %d grouped adjacency is not a permutation of its CSR adjacency", u)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,38 @@
+//go:build !unix
+
+package bicomp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without syscall.Mmap support reads the whole file
+// into an 8-byte-aligned heap buffer ([]uint64-backed, so the zero-copy
+// decode still applies). Same API, no page sharing across processes.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("empty file")
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file too large to load (%d bytes)", size)
+	}
+	backing := make([]uint64, (size+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

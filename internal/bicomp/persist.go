@@ -1,0 +1,336 @@
+// Binary serialization of the BlockCSR view (DESIGN.md section 7).
+//
+// The on-disk format is a fixed 56-byte header followed by the view's
+// arrays in a fixed order, every section 8-byte aligned, values in the
+// writing machine's native byte order:
+//
+//	[0:8)   magic "SaPHyBCV"
+//	[8:12)  format version (uint32, currently 1)
+//	[12:16) byte-order probe 0x01020304 (uint32, native order)
+//	[16:24) n     — number of nodes (int64)
+//	[24:32) m     — number of undirected edges (int64)
+//	[32:40) runs  — number of neighbor runs (int64)
+//	[40:48) flags (int64; bit 0: original-id map section present)
+//	[48:56) total file size in bytes (int64; truncation check)
+//	offsets   int64[n+1]     graph CSR offsets
+//	adj       int32[2m]      graph CSR adjacency (sorted per node)
+//	Nbr       int32[2m]      grouped adjacency
+//	RNbr      int32[2m]      per-edge neighbor r-values
+//	NbrRun    int64[2m]      reciprocal run index per edge
+//	Mate      int64[2m]      reciprocal position per edge
+//	RunOff    int64[n+1]     runs-per-node index
+//	RunBlock  int32[runs]    block id per run (padded to 8 bytes)
+//	RunR      int32[runs]    owner r-value per run (padded to 8 bytes)
+//	RunStart  int64[runs+1]  edge range per run
+//	RunDegSum int64[runs]    neighbor degree mass per run
+//	ids       int64[n]       original node ids (only if flags bit 0 is set)
+//
+// The optional ids section preserves the dense-id -> original-id map of
+// graph.LoadEdgeList, so a view built from a compacted edge list still
+// reports results in the file's id space.
+//
+// Native byte order makes the read path a straight reinterpretation of the
+// mapped pages — the probe field turns a cross-endian file into a clean
+// error instead of garbage. The embedded graph CSR makes the file
+// self-contained: OpenMapped rebuilds a *graph.Graph aliasing the mapped
+// offsets/adj sections, so the exact-phase, k-path, and closeness engines
+// run directly off the file with no per-process copy of the adjacency.
+//
+// The decomposition and out-reach tables are NOT serialized: the engines
+// above never consult them (the view's annotations carry everything), and
+// consumers that do need them (the bc sampler's alias tables, bca terms)
+// recompute them from the embedded graph — see core.PreprocessBCFromView.
+package bicomp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+
+	"saphyra/internal/graph"
+)
+
+const (
+	persistMagic   = "SaPHyBCV"
+	persistVersion = 1
+	orderProbe     = uint32(0x01020304)
+	headerSize     = 56
+	// flagIDs marks the presence of the trailing original-id section.
+	flagIDs = int64(1)
+	// maxDim rejects absurd header values before any size arithmetic, so a
+	// corrupted header cannot overflow the expected-size computation.
+	maxDim = int64(1) << 40
+)
+
+// persistSize returns the total file size for the given dimensions.
+func persistSize(n, m, runs int64, hasIDs bool) int64 {
+	size := int64(headerSize)
+	size += (n + 1) * 8    // offsets
+	size += 2 * m * 4      // adj (2m int32 = 8m bytes, always 8-aligned)
+	size += 2 * m * 4      // Nbr
+	size += 2 * m * 4      // RNbr
+	size += 2 * m * 8      // NbrRun
+	size += 2 * m * 8      // Mate
+	size += (n + 1) * 8    // RunOff
+	size += pad8(runs * 4) // RunBlock
+	size += pad8(runs * 4) // RunR
+	size += (runs + 1) * 8 // RunStart
+	size += runs * 8       // RunDegSum
+	if hasIDs {
+		size += n * 8 // ids
+	}
+	return size
+}
+
+func pad8(b int64) int64 { return (b + 7) &^ 7 }
+
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+// WriteTo serializes the view in the versioned binary format above (with no
+// original-id section), implementing io.WriterTo. The written bytes are
+// independent of how the view was obtained: a round-trip through OpenMapped
+// yields arrays bitwise-identical to the in-memory build.
+func (v *BlockCSR) WriteTo(w io.Writer) (int64, error) {
+	return v.writeTo(w, nil)
+}
+
+func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
+	n := int64(v.G.NumNodes())
+	m := v.G.NumEdges()
+	runs := int64(len(v.RunBlock))
+	offsets, adj := v.G.CSR()
+	var flags int64
+	if ids != nil {
+		if int64(len(ids)) != n {
+			return 0, fmt.Errorf("bicomp: id map has %d entries for %d nodes", len(ids), n)
+		}
+		flags |= flagIDs
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(b []byte) error {
+		k, err := bw.Write(b)
+		written += int64(k)
+		return err
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[0:8], persistMagic)
+	binary.NativeEndian.PutUint32(hdr[8:12], persistVersion)
+	binary.NativeEndian.PutUint32(hdr[12:16], orderProbe)
+	binary.NativeEndian.PutUint64(hdr[16:24], uint64(n))
+	binary.NativeEndian.PutUint64(hdr[24:32], uint64(m))
+	binary.NativeEndian.PutUint64(hdr[32:40], uint64(runs))
+	binary.NativeEndian.PutUint64(hdr[40:48], uint64(flags))
+	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, ids != nil)))
+	if err := put(hdr[:]); err != nil {
+		return written, err
+	}
+
+	var padding [8]byte
+	putPadded32 := func(s []int32) error {
+		if err := put(int32Bytes(s)); err != nil {
+			return err
+		}
+		if p := pad8(int64(len(s))*4) - int64(len(s))*4; p > 0 {
+			return put(padding[:p])
+		}
+		return nil
+	}
+	for _, sec := range [][]int64{offsets} {
+		if err := put(int64Bytes(sec)); err != nil {
+			return written, err
+		}
+	}
+	for _, sec := range [][]int32{adj, v.Nbr, v.RNbr} {
+		if err := put(int32Bytes(sec)); err != nil {
+			return written, err
+		}
+	}
+	for _, sec := range [][]int64{v.NbrRun, v.Mate, v.RunOff} {
+		if err := put(int64Bytes(sec)); err != nil {
+			return written, err
+		}
+	}
+	if err := putPadded32(v.RunBlock); err != nil {
+		return written, err
+	}
+	if err := putPadded32(v.RunR); err != nil {
+		return written, err
+	}
+	for _, sec := range [][]int64{v.RunStart, v.RunDegSum} {
+		if err := put(int64Bytes(sec)); err != nil {
+			return written, err
+		}
+	}
+	if ids != nil {
+		if err := put(int64Bytes(ids)); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// WriteFile serializes the view to path (the build-once half of the
+// build-once/serve-many flow; OpenMapped is the other half). ids, when
+// non-nil, is the dense-id -> original-id map to embed (length n); pass nil
+// when node ids are already the external ids.
+func (v *BlockCSR) WriteFile(path string, ids []int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := v.writeTo(f, ids); err != nil {
+		f.Close()
+		return fmt.Errorf("bicomp: writing view to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// sectionReader slices typed sections out of an 8-aligned byte buffer
+// without copying.
+type sectionReader struct {
+	data []byte
+	off  int64
+}
+
+func (r *sectionReader) i64(count int64) []int64 {
+	s := unsafe.Slice((*int64)(unsafe.Pointer(&r.data[r.off])), count)
+	r.off += count * 8
+	return s
+}
+
+func (r *sectionReader) i32(count int64, padded bool) []int32 {
+	s := unsafe.Slice((*int32)(unsafe.Pointer(&r.data[r.off])), count)
+	r.off += count * 4
+	if padded {
+		r.off = pad8(r.off)
+	}
+	return s
+}
+
+// decodeView reinterprets a serialized view. data must be 8-byte aligned
+// (mmap regions and []uint64-backed buffers both are) and must stay alive —
+// and, for mapped regions, mapped — for the lifetime of the returned view.
+// ids is nil when the file carries no original-id section.
+func decodeView(data []byte) (view *BlockCSR, ids []int64, err error) {
+	if len(data) < headerSize {
+		return nil, nil, fmt.Errorf("bicomp: view file too short (%d bytes)", len(data))
+	}
+	if string(data[0:8]) != persistMagic {
+		return nil, nil, fmt.Errorf("bicomp: bad magic %q, want %q", data[0:8], persistMagic)
+	}
+	if v := binary.NativeEndian.Uint32(data[8:12]); v != persistVersion {
+		return nil, nil, fmt.Errorf("bicomp: view format version %d, this build reads %d", v, persistVersion)
+	}
+	if p := binary.NativeEndian.Uint32(data[12:16]); p != orderProbe {
+		return nil, nil, fmt.Errorf("bicomp: byte-order probe %#x, want %#x (file written on a machine with different endianness)", p, orderProbe)
+	}
+	n := int64(binary.NativeEndian.Uint64(data[16:24]))
+	m := int64(binary.NativeEndian.Uint64(data[24:32]))
+	runs := int64(binary.NativeEndian.Uint64(data[32:40]))
+	flags := int64(binary.NativeEndian.Uint64(data[40:48]))
+	total := int64(binary.NativeEndian.Uint64(data[48:56]))
+	if n < 0 || m < 0 || runs < 0 || n > maxDim || m > maxDim || runs > maxDim {
+		return nil, nil, fmt.Errorf("bicomp: implausible view dimensions n=%d m=%d runs=%d", n, m, runs)
+	}
+	if unknown := flags &^ flagIDs; unknown != 0 {
+		return nil, nil, fmt.Errorf("bicomp: unknown view flags %#x (file written by a newer build?)", unknown)
+	}
+	hasIDs := flags&flagIDs != 0
+	if want := persistSize(n, m, runs, hasIDs); total != want || int64(len(data)) != want {
+		return nil, nil, fmt.Errorf("bicomp: view file size %d (header says %d), want %d — truncated or corrupt", len(data), total, want)
+	}
+
+	r := &sectionReader{data: data, off: headerSize}
+	offsets := r.i64(n + 1)
+	adj := r.i32(2*m, false)
+	view = &BlockCSR{
+		Nbr:       r.i32(2*m, false),
+		RNbr:      r.i32(2*m, false),
+		NbrRun:    r.i64(2 * m),
+		Mate:      r.i64(2 * m),
+		RunOff:    r.i64(n + 1),
+		RunBlock:  r.i32(runs, true),
+		RunR:      r.i32(runs, true),
+		RunStart:  r.i64(runs + 1),
+		RunDegSum: r.i64(runs),
+	}
+	if hasIDs {
+		ids = r.i64(n)
+	}
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bicomp: embedded graph: %w", err)
+	}
+	if int64(len(view.RunBlock)) != runs || view.RunOff[n] != runs {
+		return nil, nil, fmt.Errorf("bicomp: run index inconsistent with header")
+	}
+	view.G = g
+	return view, ids, nil
+}
+
+// Mapped is a BlockCSR view whose arrays alias a serialized file — mmapped
+// where the platform supports it, a page-aligned heap copy otherwise. The
+// View (including its embedded graph) is valid until Close; Close unmaps
+// the region, after which any access through the view faults. The mapping
+// is read-only and shared: concurrent processes serving the same file share
+// one copy of the physical pages.
+//
+// Mapped views have View.D == nil and View.O == nil — Validate performs the
+// structural (decomposition-free) checks, and core.PreprocessBCFromView
+// recomputes the tables when a consumer needs them.
+type Mapped struct {
+	View *BlockCSR
+	// IDs is the embedded dense-id -> original-id map, or nil when the file
+	// was written without one (node ids are already external).
+	IDs    []int64
+	data   []byte
+	munmap func() error
+}
+
+// OpenMapped opens a view file written by WriteTo for zero-copy serving.
+func OpenMapped(path string) (*Mapped, error) {
+	data, munmap, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bicomp: mapping %s: %w", path, err)
+	}
+	view, ids, err := decodeView(data)
+	if err != nil {
+		if munmap != nil {
+			munmap()
+		}
+		return nil, fmt.Errorf("bicomp: %s: %w", path, err)
+	}
+	return &Mapped{View: view, IDs: ids, data: data, munmap: munmap}, nil
+}
+
+// Close releases the mapping. The view and every slice derived from it must
+// not be used afterwards.
+func (m *Mapped) Close() error {
+	m.View = nil
+	m.IDs = nil
+	m.data = nil
+	if m.munmap != nil {
+		f := m.munmap
+		m.munmap = nil
+		return f()
+	}
+	return nil
+}

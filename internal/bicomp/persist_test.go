@@ -1,0 +1,206 @@
+package bicomp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"saphyra/internal/graph"
+)
+
+func roundTrip(t *testing.T, v *BlockCSR) (*BlockCSR, func()) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "view.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	return m.View, func() {
+		if err := m.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}
+}
+
+func TestPersistRoundTripBitwise(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", graph.BarabasiAlbert(500, 3, 11)},
+		{"road", graph.RoadNetwork(15, 15, 0.1, 3)},
+		{"tree", graph.RandomTree(200, 5)},
+		{"path", graph.Path(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v := buildView(t, tc.g)
+			got, done := roundTrip(t, v)
+			defer done()
+
+			if got.D != nil || got.O != nil {
+				t.Error("mapped view must not carry a decomposition")
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("mapped view invalid: %v", err)
+			}
+			if !slices.Equal(got.Nbr, v.Nbr) || !slices.Equal(got.RNbr, v.RNbr) ||
+				!slices.Equal(got.NbrRun, v.NbrRun) || !slices.Equal(got.Mate, v.Mate) ||
+				!slices.Equal(got.RunOff, v.RunOff) || !slices.Equal(got.RunBlock, v.RunBlock) ||
+				!slices.Equal(got.RunR, v.RunR) || !slices.Equal(got.RunStart, v.RunStart) ||
+				!slices.Equal(got.RunDegSum, v.RunDegSum) {
+				t.Fatal("mapped arrays differ from the in-memory build")
+			}
+			wantOff, wantAdj := v.G.CSR()
+			gotOff, gotAdj := got.G.CSR()
+			if !slices.Equal(gotOff, wantOff) || !slices.Equal(gotAdj, wantAdj) {
+				t.Fatal("embedded graph CSR differs")
+			}
+		})
+	}
+}
+
+func TestPersistWriteToDeterministic(t *testing.T) {
+	v := buildView(t, graph.BarabasiAlbert(300, 2, 7))
+	var a, b bytes.Buffer
+	if _, err := v.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteTo is not deterministic")
+	}
+	if int64(a.Len()) != persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false) {
+		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false))
+	}
+}
+
+func TestOpenMappedRejectsCorruption(t *testing.T) {
+	v := buildView(t, graph.BarabasiAlbert(100, 2, 3))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "view.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte, wantSub string) {
+		t.Helper()
+		bad := mutate(append([]byte(nil), good...))
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenMapped(p); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		} else if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	check("magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, "magic")
+	check("version", func(b []byte) []byte { b[8]++; return b }, "version")
+	check("endian", func(b []byte) []byte { b[12], b[15] = b[15], b[12]; return b }, "endianness")
+	check("truncated", func(b []byte) []byte { return b[:len(b)-8] }, "truncated")
+	check("short", func(b []byte) []byte { return b[:20] }, "too short")
+	check("dims", func(b []byte) []byte { b[23] = 0xff; return b }, "")
+
+	if _, err := OpenMapped(filepath.Join(dir, "missing.sbcv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGroupedAdjMatchesNeighborSets(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 9)
+	v := buildView(t, g)
+	adj := GroupedAdj{V: v}
+	if adj.NumNodes() != g.NumNodes() {
+		t.Fatal("NumNodes mismatch")
+	}
+	var buf []graph.Node
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		buf = append(buf[:0], adj.Neighbors(u)...)
+		slices.Sort(buf)
+		if !slices.Equal(buf, g.Neighbors(u)) {
+			t.Fatalf("node %d: grouped neighbors are not a permutation", u)
+		}
+	}
+	// BFS over the grouped order must give identical distances.
+	d1 := graph.BFSDistances(g, 0, nil)
+	d2 := graph.BFSDistancesAdj(adj, 0, nil)
+	if !slices.Equal(d1, d2) {
+		t.Fatal("BFS distances differ between sorted and grouped adjacency")
+	}
+}
+
+func TestPersistIDsRoundTrip(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 2, 4)
+	v := buildView(t, g)
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i)*10 + 7 // a sparse external id space
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ids.sbcv")
+	if err := v.WriteFile(path, ids); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !slices.Equal(m.IDs, ids) {
+		t.Fatal("embedded id map did not round-trip")
+	}
+	if err := m.View.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched id-map length must be rejected at write time.
+	if err := v.WriteFile(filepath.Join(dir, "bad.sbcv"), ids[:10]); err == nil {
+		t.Fatal("short id map accepted")
+	}
+
+	// A view written without ids reports none.
+	noIDs := filepath.Join(dir, "noids.sbcv")
+	if err := v.WriteFile(noIDs, nil); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenMapped(noIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.IDs != nil {
+		t.Fatal("unexpected id map")
+	}
+}
+
+func TestOpenMappedRejectsUnknownFlags(t *testing.T) {
+	v := buildView(t, graph.Path(5))
+	path := filepath.Join(t.TempDir(), "flags.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[40] |= 0x02 // set an undefined flag bit
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(path); err == nil || !strings.Contains(err.Error(), "flags") {
+		t.Fatalf("unknown flags accepted: %v", err)
+	}
+}

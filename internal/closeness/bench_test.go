@@ -1,0 +1,67 @@
+package closeness
+
+import (
+	"testing"
+
+	"saphyra/internal/bicomp"
+	"saphyra/internal/graph"
+)
+
+func benchGraph() *graph.Graph {
+	return graph.BarabasiAlbert(2000, 3, 42)
+}
+
+func benchTargets(g *graph.Graph, n int) []graph.Node {
+	targets := make([]graph.Node, 0, n)
+	for i := 0; i < n; i++ {
+		targets = append(targets, graph.Node((int64(i)*2_654_435_761+7)%int64(g.NumNodes())))
+	}
+	return targets
+}
+
+// benchOpt caps the sample budget so the row measures the pricing engine,
+// not the Bernstein stopping point of one particular graph.
+var benchOpt = Options{Epsilon: 0.1, Delta: 0.1, Seed: 7, Workers: 4, MaxSamples: 2000}
+
+// BenchmarkCloseness measures the estimator end to end (virtual-worker BFS
+// pricing, deterministic merge) on the raw CSR — the row to compare
+// against BENCH_sampling.json history when the engine changes.
+func BenchmarkCloseness(b *testing.B) {
+	g := benchGraph()
+	targets := benchTargets(g, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(g, targets, benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosenessView is BenchmarkCloseness priced over the shared
+// BlockCSR view's grouped adjacency (the build-once/serve-many path); the
+// view build is outside the timed loop, as it is in a serving process.
+func BenchmarkClosenessView(b *testing.B) {
+	g := benchGraph()
+	d := bicomp.Decompose(g)
+	view := bicomp.NewBlockCSR(d, bicomp.NewOutReach(d))
+	targets := benchTargets(g, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateView(view, targets, benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosenessSampleBatch isolates the pricing hot loop: one stream,
+// one BFS per source, all targets priced per source.
+func BenchmarkClosenessSampleBatch(b *testing.B) {
+	g := benchGraph()
+	nodes := graph.DedupSorted(benchTargets(g, 50))
+	s := newSourceSampler(g, nodes, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.sampleBatch(int64(b.N))
+}

@@ -9,6 +9,17 @@
 // empirical Bernstein stopping (per-target variance) instead of the 0/1
 // framework plumbing. One BFS per sample prices all targets at once, which
 // is what makes subset ranking cheap.
+//
+// Determinism: sampling is driven through sched.VirtualWorkers fixed
+// per-stream RNGs with a deterministic quota split, and the per-stream
+// accumulators are merged in stream order — so for a fixed seed the
+// estimate is bitwise-identical for any Options.Workers value. The
+// estimator runs over any graph.Adjacency: Estimate prices targets on the
+// raw CSR, EstimateView on the block-grouped bicomp.BlockCSR arrays
+// (typically mmap-backed; see bicomp.OpenMapped). BFS distance labels are
+// neighbor-order invariant, so both paths produce bitwise-identical
+// results. See DESIGN.md sections 3 (determinism) and 7 (the shared view
+// layer).
 package closeness
 
 import (
@@ -16,17 +27,20 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime"
-	"sync"
 
+	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
+	"saphyra/internal/sched"
 	"saphyra/internal/stats"
 )
 
 // Options configures the estimator.
 type Options struct {
-	Epsilon    float64 // additive error; default 0.05
-	Delta      float64 // failure probability; default 0.01
-	Workers    int
+	Epsilon float64 // additive error; default 0.05
+	Delta   float64 // failure probability; default 0.01
+	Workers int     // goroutines; the result does not depend on this
+	// Seed determines the sample streams; fixed seed => bitwise-identical
+	// output at any worker count.
 	Seed       int64
 	MaxSamples int64 // optional cap; default 64/eps^2 * ln-scaled ceiling
 }
@@ -53,13 +67,37 @@ type Result struct {
 }
 
 // Estimate computes (eps, delta)-estimates of harmonic closeness for the
-// targets by source sampling.
+// targets by source sampling over the graph's CSR adjacency.
 func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+	return estimate(g, a, opt)
+}
+
+// EstimateView is Estimate over a block-annotated adjacency view: the BFS
+// pricing streams the view's grouped neighbor arrays, so a view opened from
+// a serialized file (bicomp.OpenMapped) serves closeness queries without
+// touching — or even having — the original CSR pages. Results are
+// bitwise-identical to Estimate on the graph the view was built from.
+func EstimateView(view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
+	return estimate(bicomp.GroupedAdj{V: view}, a, opt)
+}
+
+// adjacency is what the pricing engine needs from a graph representation:
+// a node count and a concrete BFS. Dispatch happens once per traversal —
+// *graph.Graph and bicomp.GroupedAdj both implement it with their inner
+// loops fully concrete, which keeps the per-node hot path free of interface
+// calls.
+type adjacency interface {
+	NumNodes() int
+	BFSDistancesInto(source graph.Node, dist []int32) []int32
+}
+
+// estimate is the engine shared by the CSR and view paths.
+func estimate(adj adjacency, a []graph.Node, opt Options) (*Result, error) {
 	opt.setDefaults()
 	if len(a) == 0 {
 		return nil, errors.New("closeness: empty target set")
 	}
-	n := g.NumNodes()
+	n := adj.NumNodes()
 	if n < 2 {
 		return nil, errors.New("closeness: graph too small")
 	}
@@ -96,16 +134,21 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	accs := make([]stats.MeanVar, k)
 	var drawn int64
 	target := n0
-	workers := opt.Workers
-	// One persistent sampler per worker: BFS distance scratch and rng live
-	// across rounds, so the doubling loop allocates nothing per round.
-	samplers := make([]*sourceSampler, workers)
-	for w := range samplers {
-		samplers[w] = newSourceSampler(g, nodes, opt.Seed+int64(w+1)*612_361)
+	// One persistent sampler per virtual worker — a fixed count independent
+	// of Options.Workers, so the per-stream RNG sequences, and with them the
+	// estimate, depend only on the seed. Streams materialize lazily on first
+	// quota (mirroring core's samplerSet): a stream that never draws costs
+	// nothing, which matters when the O(n) BFS scratch is large. BFS
+	// distance scratch and rng live across rounds: the doubling loop
+	// allocates nothing per round.
+	samplers := make([]*sourceSampler, sched.VirtualWorkers)
+	mk := func(v int) *sourceSampler {
+		return newSourceSampler(adj, nodes, opt.Seed+int64(v+1)*612_361)
 	}
+	var quota []int64
 	for {
 		res.Rounds++
-		batchParallel(samplers, target-drawn, accs)
+		quota = batchParallel(samplers, mk, opt.Workers, target-drawn, quota, accs)
 		drawn = target
 		worst := 0.0
 		for i := range accs {
@@ -134,23 +177,23 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 }
 
 // sourceSampler is the closeness analogue of the core engine's batched
-// sampler: a per-worker workspace drawing uniform BFS sources and pricing
-// every target per source, with pooled scratch so the steady-state loop is
-// allocation-free.
+// sampler: a per-virtual-worker workspace drawing uniform BFS sources and
+// pricing every target per source, with pooled scratch so the steady-state
+// loop is allocation-free.
 type sourceSampler struct {
-	g     *graph.Graph
+	adj   adjacency
 	nodes []graph.Node
 	rng   *rand.Rand
 	dist  []int32
 	local []stats.MeanVar
 }
 
-func newSourceSampler(g *graph.Graph, nodes []graph.Node, seed int64) *sourceSampler {
+func newSourceSampler(adj adjacency, nodes []graph.Node, seed int64) *sourceSampler {
 	return &sourceSampler{
-		g:     g,
+		adj:   adj,
 		nodes: nodes,
 		rng:   rand.New(rand.NewPCG(uint64(seed), 0xbb67ae8584caa73b)),
-		dist:  make([]int32, g.NumNodes()),
+		dist:  make([]int32, adj.NumNodes()),
 		local: make([]stats.MeanVar, len(nodes)),
 	}
 }
@@ -158,10 +201,10 @@ func newSourceSampler(g *graph.Graph, nodes []graph.Node, seed int64) *sourceSam
 // sampleBatch draws count sources, accumulating the per-target harmonic
 // terms into the sampler's persistent local accumulators.
 func (s *sourceSampler) sampleBatch(count int64) {
-	n := s.g.NumNodes()
+	n := s.adj.NumNodes()
 	for j := int64(0); j < count; j++ {
 		u := graph.Node(s.rng.IntN(n))
-		s.dist = graph.BFSDistances(s.g, u, s.dist)
+		s.dist = s.adj.BFSDistancesInto(u, s.dist)
 		for i, v := range s.nodes {
 			x := 0.0
 			if v != u && s.dist[v] > 0 {
@@ -172,40 +215,45 @@ func (s *sourceSampler) sampleBatch(count int64) {
 	}
 }
 
-func batchParallel(samplers []*sourceSampler, count int64, accs []stats.MeanVar) {
+// batchParallel distributes count samples across the virtual-worker streams
+// with a deterministic quota split and runs them on up to `workers`
+// goroutines (sched.Do work stealing — which goroutine runs which stream
+// never affects the streams themselves). Unmaterialized streams are built
+// by mk on their first non-zero quota; each slot is touched by exactly one
+// goroutine per round, with rounds separated by the Do barrier, so the
+// lazy writes need no locking. It returns the quota buffer for reuse
+// across rounds.
+func batchParallel(samplers []*sourceSampler, mk func(v int) *sourceSampler, workers int, count int64, quota []int64, accs []stats.MeanVar) []int64 {
 	if count <= 0 {
-		return
+		return quota
 	}
-	workers := len(samplers)
-	var wg sync.WaitGroup
-	base := count / int64(workers)
-	rem := count % int64(workers)
-	for w := 0; w < workers; w++ {
-		quota := base
-		if int64(w) < rem {
-			quota++
+	nv := len(samplers)
+	quota = sched.Split(count, nv, quota)
+	sched.Do(nv, workers, func(v int) {
+		if quota[v] == 0 {
+			return
 		}
-		if quota == 0 {
-			continue
+		if samplers[v] == nil {
+			samplers[v] = mk(v)
 		}
-		wg.Add(1)
-		go func(w int, quota int64) {
-			defer wg.Done()
-			samplers[w].sampleBatch(quota)
-		}(w, quota)
-	}
-	wg.Wait()
-	// The per-worker accumulators are cumulative across rounds: rebuild accs
-	// from scratch, merging in worker order so the result is deterministic
-	// for fixed seed + workers.
+		samplers[v].sampleBatch(quota[v])
+	})
+	// The per-stream accumulators are cumulative across rounds: rebuild accs
+	// from scratch, merging in stream order so the result is a pure function
+	// of the seed. Skipping an unmaterialized stream is bitwise-equivalent
+	// to merging its (all-zero) accumulators.
 	for i := range accs {
 		accs[i] = stats.MeanVar{}
 	}
 	for _, s := range samplers {
+		if s == nil {
+			continue
+		}
 		for i := range accs {
 			accs[i].Merge(&s.local[i])
 		}
 	}
+	return quota
 }
 
 // Exact computes exact harmonic closeness for every node: c(v) =

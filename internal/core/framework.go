@@ -19,8 +19,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
+	"saphyra/internal/sched"
 	"saphyra/internal/stats"
 )
 
@@ -81,7 +81,11 @@ type Options struct {
 	Epsilon float64 // additive error target (on the combined risks)
 	Delta   float64 // failure probability
 	Workers int     // sampling goroutines; <= 0 means GOMAXPROCS
-	Seed    int64   // base RNG seed; fixed seed + fixed Workers => deterministic output
+	// Seed is the base RNG seed. Sampling is driven through a fixed set of
+	// sched.VirtualWorkers seeded sampler streams regardless of Workers, so
+	// a fixed seed alone determines the output bit for bit — Workers only
+	// changes how the streams are multiplexed onto goroutines.
+	Seed int64
 
 	// DisableAdaptive skips the empirical-Bernstein early-stopping checks
 	// and always draws the full VC budget (ablation of Section III-C).
@@ -182,12 +186,12 @@ func Run(space Space, opt Options) (*Estimate, error) {
 	// Main adaptive loop: double until Bernstein certifies eps' for every
 	// hypothesis or the VC ceiling is reached.
 	hits := make([]int64, k)
-	samplers := makeSamplers(space, opt.Seed, workers)
+	samplers := makeSamplers(space, opt.Seed)
 	var n int64
 	target := n0
 	for {
 		est.Rounds++
-		drawParallelWith(samplers, target-n, hits)
+		drawParallelWith(samplers, workers, target-n, hits)
 		n = target
 		if !opt.DisableAdaptive {
 			worst := 0.0
@@ -248,58 +252,69 @@ func allocateDeltas(pilotHits []int64, pilotN, nmax int64, epsPrime, budget floa
 	return deltas
 }
 
-func makeSamplers(space Space, seed int64, workers int) []Sampler {
-	ss := make([]Sampler, workers)
-	for w := range ss {
-		ss[w] = space.NewSampler(seed + int64(w+1)*1_000_003)
+// samplerSet is the engine's fixed set of sched.VirtualWorkers independent
+// sampler streams. The count and the per-stream seeds are pure functions of
+// the base seed — never of Options.Workers — which is what makes every
+// estimate reproducible across worker counts. Streams are materialized
+// lazily on first use: tiny budgets (the common subset-ranking case) ride
+// entirely on stream 0 and never pay for the other fifteen samplers'
+// scratch. A stream is only ever touched by one goroutine per round
+// (streams are the work items of the sched.Do below), so lazy construction
+// needs no locking.
+type samplerSet struct {
+	space Space
+	seed  int64
+	ss    [sched.VirtualWorkers]Sampler
+}
+
+func makeSamplers(space Space, seed int64) *samplerSet {
+	return &samplerSet{space: space, seed: seed}
+}
+
+func (s *samplerSet) get(v int) Sampler {
+	if s.ss[v] == nil {
+		s.ss[v] = s.space.NewSampler(s.seed + int64(v+1)*1_000_003)
 	}
-	return ss
+	return s.ss[v]
 }
 
 // drawParallel draws total samples with fresh samplers and accumulates hit
 // counts (used for the pilot).
 func drawParallel(space Space, seed int64, workers int, total int64, hits []int64) {
-	drawParallelWith(makeSamplers(space, seed, workers), total, hits)
+	drawParallelWith(makeSamplers(space, seed), workers, total, hits)
 }
 
-// drawParallelWith draws `total` samples across the samplers with a static,
-// deterministic quota split, merging per-worker hit counts into hits. Each
-// worker drives its sampler through DrawBatch when implemented (one batch
-// per round — the sampler amortizes BFS work and allocations internally) and
-// through the single-Draw shim otherwise. Batches smaller than smallBatch
-// stay on the caller's goroutine: for the tiny budgets typical of subset
-// ranking, goroutine wakeups would dominate the sampling itself.
-func drawParallelWith(samplers []Sampler, total int64, hits []int64) {
+// drawParallelWith draws `total` samples across the virtual sampler streams
+// with a static, deterministic quota split (sched.Split over the virtual —
+// not the physical — worker count), merging per-stream hit counts into
+// hits. Up to `workers` goroutines steal streams from an atomic counter;
+// hit counts are integers, so the merge is exact in any order and the
+// result depends only on the seed. Each stream drives its sampler through
+// DrawBatch when implemented (one batch per round — the sampler amortizes
+// BFS work and allocations internally) and through the single-Draw shim
+// otherwise. Batches smaller than smallBatch stay on the caller's goroutine
+// and on stream 0 alone: for the tiny budgets typical of subset ranking,
+// goroutine wakeups would dominate the sampling itself.
+func drawParallelWith(samplers *samplerSet, workers int, total int64, hits []int64) {
 	if total <= 0 {
 		return
 	}
 	const smallBatch = 2048
 	if total < smallBatch {
-		drawInto(samplers[0], total, hits)
+		drawInto(samplers.get(0), total, hits)
 		return
 	}
-	workers := len(samplers)
-	var wg sync.WaitGroup
-	locals := make([][]int64, workers)
-	base := total / int64(workers)
-	rem := total % int64(workers)
-	for w := 0; w < workers; w++ {
-		quota := base
-		if int64(w) < rem {
-			quota++
+	const nv = sched.VirtualWorkers
+	quota := sched.Split(total, nv, nil)
+	locals := make([][]int64, nv)
+	sched.Do(nv, workers, func(v int) {
+		if quota[v] == 0 {
+			return
 		}
-		if quota == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w int, quota int64) {
-			defer wg.Done()
-			local := make([]int64, len(hits))
-			drawInto(samplers[w], quota, local)
-			locals[w] = local
-		}(w, quota)
-	}
-	wg.Wait()
+		local := make([]int64, len(hits))
+		drawInto(samplers.get(v), quota[v], local)
+		locals[v] = local
+	})
 	for _, local := range locals {
 		for i, c := range local {
 			hits[i] += c

@@ -8,26 +8,32 @@
 // out-reach r-values inlined per edge, so the hot loop performs zero
 // EdgeBlock resolutions, zero OutReach.Of lookups, and no map accesses.
 //
-// Parallelism is deterministic: endpoints are split into chunks balanced by
-// a per-endpoint cost model (1 + deg(s) + sum of deg(v)^2 over s's target
-// neighbors), workers pull chunks from a shared counter, and per-chunk
-// partial sums are merged in chunk-index order — so a fixed seed and any
-// worker count produce bitwise-identical (lambdaHat, exact) outputs. All
-// scratch (per-worker epoch-stamped sigma/stamp/isNbr arrays, the chunk
-// bookkeeping, and the partial-sum buffers) is pooled on the Engine, which
-// is cached per graph by core.PreprocessBC: repeated target sets hit a
-// zero-allocation steady state.
+// Parallelism is deterministic and runs on the shared internal/sched
+// substrate: endpoints are split into chunks balanced by a per-endpoint cost
+// model (1 + deg(s) + sum of deg(v)^2 over s's target neighbors) via
+// sched.Bounds, workers pull chunks from a shared counter (sched.DoWith),
+// and per-chunk partial sums are merged in chunk-index order — so a fixed
+// seed and any worker count produce bitwise-identical (lambdaHat, exact)
+// outputs. All scratch (per-worker epoch-stamped sigma/stamp/isNbr arrays,
+// the chunk bookkeeping, and the partial-sum buffers) is pooled on the
+// Engine, which is cached per graph by core.PreprocessBC: repeated target
+// sets hit a zero-allocation steady state.
+//
+// DESIGN.md section 6 documents the engine (the run-length merge, the
+// push/pull choice, and the scheduling); section 7 covers the view layer it
+// runs on, including the mmap-backed serving path: the engine only touches
+// view arrays and the view's embedded graph, so it runs unchanged on a view
+// opened with bicomp.OpenMapped.
 package exactphase
 
 import (
-	"math"
 	"runtime"
 	"slices"
 	"sync"
-	"sync/atomic"
 
 	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
+	"saphyra/internal/sched"
 )
 
 // maxChunks caps the scheduling granularity: enough chunks for dynamic load
@@ -52,11 +58,20 @@ type Engine struct {
 	mu          sync.Mutex
 	freeWorkers []*workerScratch
 	freeRuns    []*runScratch
+
+	// acquire/release are getWorker/putWorker pre-bound once, so the
+	// steady-state RunInto hands them to sched.DoWith without allocating
+	// method values per call (the 0 allocs/op contract).
+	acquire func() *workerScratch
+	release func(*workerScratch)
 }
 
 // New returns an engine over the given block-annotated view.
 func New(view *bicomp.BlockCSR) *Engine {
-	return &Engine{view: view}
+	e := &Engine{view: view}
+	e.acquire = e.getWorker
+	e.release = e.putWorker
+	return e
 }
 
 // middle records one qualifying s-v pair of the current endpoint: the
@@ -76,18 +91,8 @@ type workerScratch struct {
 	isNbr    []int32
 	sigStamp []int32
 	sigma    []int32
-	epoch    int32
+	epochs   *sched.Epoch // over isNbr and sigStamp
 	middles  []middle
-}
-
-func (ws *workerScratch) next() int32 {
-	if ws.epoch == math.MaxInt32 {
-		clear(ws.isNbr)
-		clear(ws.sigStamp)
-		ws.epoch = 0
-	}
-	ws.epoch++
-	return ws.epoch
 }
 
 // runScratch is the per-call bookkeeping: endpoint collection, the cost
@@ -96,11 +101,18 @@ type runScratch struct {
 	endpoints []graph.Node
 	epMark    []int32
 	epPos     []int32
-	epEpoch   int32
+	epEpochs  *sched.Epoch // over epMark
 	cost      []float64
 	bounds    []int
 	partials  [][]float64
 	lambdas   []float64
+
+	// chunkFn is the sched.DoWith body, created once per pooled runScratch
+	// and parameterized through the aIndex/wA fields — so repeated RunInto
+	// calls schedule chunks without a per-call closure allocation.
+	chunkFn func(ws *workerScratch, c int)
+	aIndex  []int32
+	wA      float64
 }
 
 func (e *Engine) getWorker() *workerScratch {
@@ -113,11 +125,13 @@ func (e *Engine) getWorker() *workerScratch {
 	}
 	e.mu.Unlock()
 	n := e.view.G.NumNodes()
-	return &workerScratch{
+	ws := &workerScratch{
 		isNbr:    make([]int32, n),
 		sigStamp: make([]int32, n),
 		sigma:    make([]int32, n),
 	}
+	ws.epochs = sched.NewEpoch(ws.isNbr, ws.sigStamp)
+	return ws
 }
 
 func (e *Engine) putWorker(ws *workerScratch) {
@@ -136,10 +150,15 @@ func (e *Engine) getRun() *runScratch {
 	}
 	e.mu.Unlock()
 	n := e.view.G.NumNodes()
-	return &runScratch{
+	rs := &runScratch{
 		epMark: make([]int32, n),
 		epPos:  make([]int32, n),
 	}
+	rs.epEpochs = sched.NewEpoch(rs.epMark)
+	rs.chunkFn = func(ws *workerScratch, c int) {
+		rs.lambdas[c] = e.runChunk(rs.endpoints[rs.bounds[c]:rs.bounds[c+1]], rs.aIndex, rs.wA, rs.partials[c], ws)
+	}
+	return rs
 }
 
 func (e *Engine) putRun(rs *runScratch) {
@@ -173,12 +192,7 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 	defer e.putRun(rs)
 
 	// Endpoint candidates: the distinct neighbors of A, sorted.
-	if rs.epEpoch == math.MaxInt32 {
-		clear(rs.epMark)
-		rs.epEpoch = 0
-	}
-	rs.epEpoch++
-	ep := rs.epEpoch
+	ep := rs.epEpochs.Next()
 	rs.endpoints = rs.endpoints[:0]
 	for _, v := range targets {
 		for _, s := range g.Neighbors(v) {
@@ -237,25 +251,7 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 			rs.cost[rs.epPos[s]] += d2
 		}
 	}
-	var total float64
-	for _, c := range rs.cost {
-		total += c
-	}
-	rs.bounds = resizeInt(rs.bounds, chunks+1)
-	rs.bounds[0] = 0
-	var acc float64
-	at := 0
-	for c := 1; c < chunks; c++ {
-		target := total * float64(c) / float64(chunks)
-		for at < len(rs.endpoints) && (acc < target || at < c) {
-			// at < c keeps every chunk non-empty even when one endpoint
-			// dominates the cost mass.
-			acc += rs.cost[at]
-			at++
-		}
-		rs.bounds[c] = at
-	}
-	rs.bounds[chunks] = len(rs.endpoints)
+	rs.bounds = sched.Bounds(rs.cost, chunks, rs.bounds)
 
 	// Per-chunk partial sums (zeroed; buffers reused across calls).
 	if len(rs.partials) < chunks {
@@ -268,38 +264,9 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 	rs.lambdas = resize(rs.lambdas, chunks)
 	clear(rs.lambdas)
 
-	if workers <= 1 {
-		ws := e.getWorker()
-		for c := 0; c < chunks; c++ {
-			rs.lambdas[c] = e.runChunk(rs.endpoints[rs.bounds[c]:rs.bounds[c+1]], aIndex, wA, rs.partials[c], ws)
-		}
-		e.putWorker(ws)
-	} else {
-		if workers > chunks {
-			workers = chunks
-		}
-		// limit is a branch-local copy so the closure does not force the
-		// sequential path's chunk count onto the heap.
-		limit := int64(chunks)
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				ws := e.getWorker()
-				for {
-					c := next.Add(1) - 1
-					if c >= limit {
-						break
-					}
-					rs.lambdas[c] = e.runChunk(rs.endpoints[rs.bounds[c]:rs.bounds[c+1]], aIndex, wA, rs.partials[c], ws)
-				}
-				e.putWorker(ws)
-			}()
-		}
-		wg.Wait()
-	}
+	rs.aIndex, rs.wA = aIndex, wA
+	sched.DoWith(chunks, workers, e.acquire, e.release, rs.chunkFn)
+	rs.aIndex = nil // do not retain the caller's index map on the free list
 
 	// Deterministic merge: chunk-index order, regardless of which worker
 	// computed which chunk.
@@ -329,7 +296,7 @@ func (e *Engine) runChunk(endpoints []graph.Node, aIndex []int32, wA float64, ou
 	g := v.G
 	var lambda float64
 	for _, s := range endpoints {
-		ep := ws.next()
+		ep := ws.epochs.Next()
 		for _, w := range g.Neighbors(s) {
 			ws.isNbr[w] = ep
 		}
@@ -426,13 +393,6 @@ func (e *Engine) runChunk(endpoints []graph.Node, aIndex []int32, wA float64, ou
 func resize(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-func resizeInt(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
 	}
 	return s[:n]
 }

@@ -77,6 +77,39 @@ func (g *Graph) EdgeIndex(u, v Node) int64 {
 // side tables of length 2m.
 func (g *Graph) AdjOffset(u Node) int64 { return g.offsets[u] }
 
+// CSR exposes the graph's raw arrays — the offsets array (len n+1) and the
+// concatenated sorted adjacency (len 2m) — for serialization. The returned
+// slices alias the graph's internal storage and must not be modified.
+func (g *Graph) CSR() (offsets []int64, adj []Node) { return g.offsets, g.adj }
+
+// FromCSR wraps pre-built CSR arrays into a Graph without copying: offsets
+// must have length n+1 with offsets[0] == 0, be monotone non-decreasing,
+// and end at len(adj), which must be even (every undirected edge appears in
+// both directions). Adjacency content (sortedness, symmetry, no self-loops)
+// is NOT verified here — it is the serializer's contract; call Validate for
+// a full check. The Graph aliases the slices: they must stay immutable (and,
+// for mmap-backed slices, mapped) for the Graph's lifetime.
+func FromCSR(offsets []int64, adj []Node) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs offsets of length n+1, got 0")
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", i)
+		}
+	}
+	if last := offsets[len(offsets)-1]; last != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: offsets end at %d, adjacency has %d entries", last, len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd adjacency length %d", len(adj))
+	}
+	return &Graph{offsets: offsets, adj: adj, m: int64(len(adj) / 2)}, nil
+}
+
 // Edges returns all undirected edges with U < V, in CSR order.
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)

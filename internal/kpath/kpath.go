@@ -7,15 +7,29 @@
 // probability that v is visited by such a walk after the start, i.e. the
 // expected risk of the hypothesis h_v(x) = 1{v in x \ {start}}.
 //
-// The estimator reuses the core framework with an empty exact subspace
-// (DirectSpace), demonstrating that SaPHyRa's machinery is not specific to
-// betweenness.
+// Two estimators are provided. Estimate reuses the core framework with an
+// empty exact subspace (DirectSpace), demonstrating that SaPHyRa's
+// machinery is not specific to betweenness. EstimatePartitioned is a full
+// second instantiation of the framework with a non-trivial exact subspace
+// (the 1-step walks — see partitioned.go).
+//
+// Determinism: walks are drawn on the core engine's fixed virtual-worker
+// streams and the partitioned exact phase is chunked by sched.Bounds with
+// per-target writes, so for a fixed seed both estimators are
+// bitwise-identical at any Options.Workers value. The walk sampler indexes
+// neighbor lists with random variates, which makes the *order* of each
+// adjacency list part of that contract — it therefore always reads the
+// sorted CSR (the view's embedded graph on the EstimateView path), never
+// the block-grouped arrays; see the determinism notes in DESIGN.md
+// sections 3 and 7.
 package kpath
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
+	"saphyra/internal/bicomp"
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
 	"saphyra/internal/vc"
@@ -26,8 +40,8 @@ type Options struct {
 	K       int     // maximum walk length in edges; default 3
 	Epsilon float64 // additive error; default 0.05
 	Delta   float64 // failure probability; default 0.01
-	Workers int
-	Seed    int64
+	Workers int     // goroutines; the result does not depend on this
+	Seed    int64   // fixed seed => bitwise-identical output at any worker count
 }
 
 func (o *Options) setDefaults() {
@@ -40,6 +54,9 @@ func (o *Options) setDefaults() {
 	if o.Delta == 0 {
 		o.Delta = 0.01
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Result holds k-path centrality estimates for the target set.
@@ -49,37 +66,52 @@ type Result struct {
 	Est   *core.Estimate
 }
 
-// Estimate computes (eps, delta)-estimates of the k-path centrality of the
-// target nodes.
-func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+// targetIndex validates the inputs and builds the sorted target set with its
+// node -> target-index map (-1 for non-targets), shared by both estimators.
+func targetIndex(g *graph.Graph, a []graph.Node, opt *Options) (nodes []graph.Node, aIndex []int32, err error) {
 	opt.setDefaults()
 	if len(a) == 0 {
-		return nil, errors.New("kpath: empty target set")
+		return nil, nil, errors.New("kpath: empty target set")
 	}
 	if opt.K < 1 {
-		return nil, fmt.Errorf("kpath: k must be >= 1, got %d", opt.K)
+		return nil, nil, fmt.Errorf("kpath: k must be >= 1, got %d", opt.K)
 	}
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, errors.New("kpath: empty graph")
+		return nil, nil, errors.New("kpath: empty graph")
 	}
-	nodes := graph.DedupSorted(a)
-	aIndex := make([]int32, n)
+	nodes = graph.DedupSorted(a)
+	aIndex = make([]int32, n)
 	for i := range aIndex {
 		aIndex[i] = -1
 	}
 	for i, v := range nodes {
 		aIndex[v] = int32(i)
 	}
-	// A walk visits at most k nodes after the start, so at most min(k, |A|)
-	// hypotheses fire per sample (Lemma 5).
-	piMax := int64(opt.K)
-	if int64(len(nodes)) < piMax {
-		piMax = int64(len(nodes))
+	return nodes, aIndex, nil
+}
+
+// walkVCDim bounds the VC dimension of the walk hypothesis class: a walk
+// visits at most k nodes after the start, so at most min(k, |A|) hypotheses
+// fire per sample (Lemma 5).
+func walkVCDim(k, targets int) int {
+	piMax := int64(k)
+	if int64(targets) < piMax {
+		piMax = int64(targets)
+	}
+	return max(1, vc.DimFromMaxInner(piMax))
+}
+
+// Estimate computes (eps, delta)-estimates of the k-path centrality of the
+// target nodes.
+func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+	nodes, aIndex, err := targetIndex(g, a, &opt)
+	if err != nil {
+		return nil, err
 	}
 	space := &core.DirectSpace{
 		K:   len(nodes),
-		Dim: max(1, vc.DimFromMaxInner(piMax)),
+		Dim: walkVCDim(opt.K, len(nodes)),
 		Make: func(seed int64) core.Sampler {
 			// lengths uniform in {1..k}: the unpartitioned sample space
 			return newWalkSampler(g, aIndex, 1, opt.K, seed)
@@ -95,6 +127,16 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Nodes: nodes, KPath: est.Risks, Est: est}, nil
+}
+
+// EstimateView is Estimate served from a block-annotated adjacency view
+// (typically opened from a serialized file with bicomp.OpenMapped): walks
+// run on the view's embedded CSR, so one persisted artifact powers the
+// betweenness, k-path, and closeness engines without reloading the edge
+// list. Results are bitwise-identical to Estimate on the graph the view was
+// built from.
+func EstimateView(view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
+	return Estimate(view.G, a, opt)
 }
 
 // Exact computes the exact k-path centrality of every node by dynamic

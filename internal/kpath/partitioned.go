@@ -1,12 +1,10 @@
 package kpath
 
 import (
-	"errors"
-	"fmt"
-
+	"saphyra/internal/bicomp"
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
-	"saphyra/internal/vc"
+	"saphyra/internal/sched"
 )
 
 // EstimatePartitioned is a second full instantiation of the SaPHyRa
@@ -25,35 +23,17 @@ import (
 // the dominant portion of their risk from the sampling variance (Claim 8)
 // and guarantees a non-zero estimate for every node with a neighbor.
 func EstimatePartitioned(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
-	opt.setDefaults()
-	if len(a) == 0 {
-		return nil, errors.New("kpath: empty target set")
-	}
-	if opt.K < 1 {
-		return nil, fmt.Errorf("kpath: k must be >= 1, got %d", opt.K)
-	}
-	n := g.NumNodes()
-	if n == 0 {
-		return nil, errors.New("kpath: empty graph")
-	}
-	nodes := graph.DedupSorted(a)
-	aIndex := make([]int32, n)
-	for i := range aIndex {
-		aIndex[i] = -1
-	}
-	for i, v := range nodes {
-		aIndex[v] = int32(i)
-	}
-	piMax := int64(opt.K)
-	if int64(len(nodes)) < piMax {
-		piMax = int64(len(nodes))
+	nodes, aIndex, err := targetIndex(g, a, &opt)
+	if err != nil {
+		return nil, err
 	}
 	space := &kpathSpace{
-		g:      g,
-		k:      opt.K,
-		nodes:  nodes,
-		aIndex: aIndex,
-		dim:    max(1, vc.DimFromMaxInner(piMax)),
+		g:       g,
+		k:       opt.K,
+		nodes:   nodes,
+		aIndex:  aIndex,
+		dim:     walkVCDim(opt.K, len(nodes)),
+		workers: opt.Workers,
 	}
 	est, err := core.Run(space, core.Options{
 		Epsilon: opt.Epsilon,
@@ -67,12 +47,24 @@ func EstimatePartitioned(g *graph.Graph, a []graph.Node, opt Options) (*Result, 
 	return &Result{Nodes: nodes, KPath: est.Risks, Est: est}, nil
 }
 
+// EstimatePartitionedView is EstimatePartitioned served from a
+// block-annotated adjacency view (typically opened from a serialized file
+// with bicomp.OpenMapped): the exact phase and the walk sampler run on the
+// view's embedded CSR, so one persisted artifact powers the betweenness,
+// k-path, and closeness engines without reloading the edge list. Results
+// are bitwise-identical to EstimatePartitioned on the graph the view was
+// built from.
+func EstimatePartitionedView(view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
+	return EstimatePartitioned(view.G, a, opt)
+}
+
 type kpathSpace struct {
-	g      *graph.Graph
-	k      int
-	nodes  []graph.Node
-	aIndex []int32
-	dim    int
+	g       *graph.Graph
+	k       int
+	nodes   []graph.Node
+	aIndex  []int32
+	dim     int
+	workers int
 }
 
 // NumHypotheses implements core.Space.
@@ -81,19 +73,51 @@ func (s *kpathSpace) NumHypotheses() int { return len(s.nodes) }
 // VCDim implements core.Space.
 func (s *kpathSpace) VCDim() int { return s.dim }
 
+// exactChunkTargets is the target count per exact-phase chunk: the per-target
+// closed form is one adjacency scan, so chunking finer than this would spend
+// more on scheduling than on summing.
+const exactChunkTargets = 128
+
+// maxExactChunks caps the exact phase's scheduling granularity, mirroring
+// the exactphase engine's chunk cap.
+const maxExactChunks = 64
+
 // ExactPhase implements core.Space: the exact subspace is all intended
 // 1-step walks; its mass is exactly 1/k and the per-target risks are the
 // closed-form first-step visit probabilities.
+//
+// Targets are partitioned into degree-weighted chunks (sched.Bounds — a
+// pure function of the target set) processed by up to s.workers goroutines.
+// Each target's sum is accumulated sequentially over its sorted neighbor
+// list and written to its own slot, so the output is bitwise-identical for
+// any worker count.
 func (s *kpathSpace) ExactPhase() (float64, []float64) {
 	n := float64(s.g.NumNodes())
 	exact := make([]float64, len(s.nodes))
-	for i, v := range s.nodes {
-		var p float64
-		for _, u := range s.g.Neighbors(v) {
-			p += 1 / float64(s.g.Degree(u))
-		}
-		exact[i] = p / (n * float64(s.k))
+	chunks := (len(s.nodes) + exactChunkTargets - 1) / exactChunkTargets
+	if chunks > maxExactChunks {
+		chunks = maxExactChunks
 	}
+	var bounds []int
+	if chunks > 1 {
+		cost := make([]float64, len(s.nodes))
+		for i, v := range s.nodes {
+			cost[i] = 1 + float64(s.g.Degree(v))
+		}
+		bounds = sched.Bounds(cost, chunks, nil)
+	} else {
+		bounds = []int{0, len(s.nodes)}
+	}
+	sched.Do(chunks, s.workers, func(c int) {
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			v := s.nodes[i]
+			var p float64
+			for _, u := range s.g.Neighbors(v) {
+				p += 1 / float64(s.g.Degree(u))
+			}
+			exact[i] = p / (n * float64(s.k))
+		}
+	})
 	return 1 / float64(s.k), exact
 }
 

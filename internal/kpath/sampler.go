@@ -1,11 +1,11 @@
 package kpath
 
 import (
-	"math"
 	"math/rand/v2"
 
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
+	"saphyra/internal/sched"
 )
 
 // walkSampler draws random walks of uniform length in [minLen, maxLen] from
@@ -14,13 +14,17 @@ import (
 // partitioned one (minLen 2: the approximate-subspace conditional), and
 // implements core.BatchSampler so the framework drives it batch-wise with an
 // allocation-free hot loop.
+//
+// Steps index the sorted adjacency lists with uniform variates, so the walk
+// realized by a given rng stream depends on neighbor order — the reason
+// kpath never walks the block-grouped arrays (see the package comment).
 type walkSampler struct {
 	g              *graph.Graph
 	aIndex         []int32
 	minLen, maxLen int
 	rng            *rand.Rand
 	visited        []int32
-	epoch          int32
+	epochs         *sched.Epoch // over visited
 	hits           []int32
 }
 
@@ -34,25 +38,17 @@ func newWalkSampler(g *graph.Graph, aIndex []int32, minLen, maxLen int, seed int
 		visited: make([]int32, g.NumNodes()),
 		hits:    make([]int32, 0, maxLen),
 	}
-	for i := range s.visited {
-		s.visited[i] = -1
-	}
+	s.epochs = sched.NewEpoch(s.visited)
 	return s
 }
 
 // walk performs one random walk. With counts == nil, hit indices are
 // appended to s.hits; otherwise counts[idx] is incremented directly.
 func (s *walkSampler) walk(counts []int64) {
-	if s.epoch == math.MaxInt32 {
-		for i := range s.visited {
-			s.visited[i] = -1
-		}
-		s.epoch = 0
-	}
-	s.epoch++
+	ep := s.epochs.Next()
 	n := s.g.NumNodes()
 	u := graph.Node(s.rng.IntN(n))
-	s.visited[u] = s.epoch
+	s.visited[u] = ep
 	l := s.minLen
 	if s.maxLen > s.minLen {
 		l += s.rng.IntN(s.maxLen - s.minLen + 1)
@@ -63,8 +59,8 @@ func (s *walkSampler) walk(counts []int64) {
 			break
 		}
 		u = nbrs[s.rng.IntN(len(nbrs))]
-		if s.visited[u] != s.epoch {
-			s.visited[u] = s.epoch
+		if s.visited[u] != ep {
+			s.visited[u] = ep
 			if ai := s.aIndex[u]; ai >= 0 {
 				if counts != nil {
 					counts[ai]++

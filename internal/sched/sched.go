@@ -1,0 +1,174 @@
+// Package sched is the shared worker/determinism substrate of the three
+// ranking engines (internal/exactphase, internal/kpath, internal/closeness)
+// and of the core sampling drive. It factors out the three mechanisms that
+// make parallel runs reproducible bit for bit:
+//
+//   - deterministic partitioning: Bounds splits a cost-weighted item range
+//     into contiguous chunks and Split divides a sample budget into quotas,
+//     both as pure functions of their inputs — never of the worker count;
+//   - work stealing without order effects: Do and DoWith execute the fixed
+//     chunk list on up to `workers` goroutines pulling from an atomic
+//     counter. Which goroutine runs which chunk varies run to run, but as
+//     long as callers write per-chunk results into per-chunk slots and merge
+//     them in chunk-index order (or merge values whose reduction is exact,
+//     such as integer counts), the output is independent of scheduling;
+//   - epoch-stamped scratch: Epoch manages the mark arrays that give
+//     per-iteration O(touched) reset instead of O(n) clearing, with the
+//     wrap-around clear centralized in one place.
+//
+// The fixed virtual-worker count VirtualWorkers decouples the sampling
+// engines' random streams from Options.Workers: each virtual worker owns one
+// seeded sampler, so any physical worker count replays the same streams. See
+// DESIGN.md section 3 (determinism) and section 7 (the shared view layer).
+package sched
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// VirtualWorkers is the fixed number of independent sampler streams driven
+// by the sampling engines, regardless of the physical worker count. Results
+// are a pure function of the seed: a run with 1 worker and a run with 64
+// workers interleave the same VirtualWorkers streams and merge them in the
+// same order. The value is part of the determinism contract — changing it
+// changes every sampled estimate — so it is a constant, not an option.
+const VirtualWorkers = 16
+
+// Split divides total units across parts as evenly as possible: every part
+// receives total/parts, and the first total%parts parts receive one more.
+// The returned slice reuses quota when it has sufficient capacity.
+func Split(total int64, parts int, quota []int64) []int64 {
+	if cap(quota) < parts {
+		quota = make([]int64, parts)
+	}
+	quota = quota[:parts]
+	base := total / int64(parts)
+	rem := total % int64(parts)
+	for i := range quota {
+		quota[i] = base
+		if int64(i) < rem {
+			quota[i]++
+		}
+	}
+	return quota
+}
+
+// Bounds partitions items [0, len(cost)) into `chunks` contiguous ranges
+// balanced by the per-item cost: chunk c spans [bounds[c], bounds[c+1]).
+// A single item dominating the mass cannot capture a prefix of chunks
+// (chunk c never starts before item c), though lumpy costs can still leave
+// individual chunks empty — callers must treat an empty range as a no-op.
+// The result is a pure function of (cost, chunks), so chunk-order merges
+// downstream are bitwise-reproducible for any worker count. The returned
+// slice (length chunks+1) reuses bounds when it has sufficient capacity.
+func Bounds(cost []float64, chunks int, bounds []int) []int {
+	if cap(bounds) < chunks+1 {
+		bounds = make([]int, chunks+1)
+	}
+	bounds = bounds[:chunks+1]
+	var total float64
+	for _, c := range cost {
+		total += c
+	}
+	bounds[0] = 0
+	var acc float64
+	at := 0
+	for c := 1; c < chunks; c++ {
+		target := total * float64(c) / float64(chunks)
+		for at < len(cost) && (acc < target || at < c) {
+			// at < c keeps every chunk non-empty even when one item
+			// dominates the cost mass.
+			acc += cost[at]
+			at++
+		}
+		bounds[c] = at
+	}
+	bounds[chunks] = len(cost)
+	return bounds
+}
+
+// Do runs fn(c) for every chunk c in [0, chunks) on up to `workers`
+// goroutines pulling chunk indices from a shared atomic counter. With
+// workers <= 1 the chunks run inline on the calling goroutine, in order.
+// fn must be safe for concurrent invocation on distinct chunks.
+func Do(chunks, workers int, fn func(c int)) {
+	DoWith(chunks, workers, func() struct{} { return struct{}{} }, func(struct{}) {},
+		func(_ struct{}, c int) { fn(c) })
+}
+
+// DoWith is Do with a per-goroutine resource: each participating goroutine
+// calls acquire once, processes its stolen chunks with fn, and calls release
+// once. It is the shape the engines use for pooled per-worker scratch —
+// acquire/release bracket a goroutine's lifetime, not a chunk's, so scratch
+// churn is O(workers), not O(chunks).
+func DoWith[W any](chunks, workers int, acquire func() W, release func(W), fn func(w W, c int)) {
+	if chunks <= 0 {
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		w := acquire()
+		for c := 0; c < chunks; c++ {
+			fn(w, c)
+		}
+		release(w)
+		return
+	}
+	// limit is a local copy so the closure does not capture the parameter
+	// used by the sequential path above.
+	limit := int64(chunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := acquire()
+			for {
+				c := next.Add(1) - 1
+				if c >= limit {
+					break
+				}
+				fn(w, int(c))
+			}
+			release(w)
+		}()
+	}
+	wg.Wait()
+}
+
+// Epoch manages epoch-stamped mark arrays: a slot is "set" iff it equals the
+// current epoch, so resetting all marks is a single counter increment. The
+// registered arrays are cleared together when the epoch counter wraps, which
+// keeps the stale-stamp collision impossible. A zeroed mark array is "all
+// unset" for every epoch Next returns (epochs start at 1).
+//
+// An Epoch and its arrays belong to one goroutine at a time; engines pool
+// them per worker.
+type Epoch struct {
+	cur   int32
+	marks [][]int32
+}
+
+// NewEpoch returns an Epoch over the given mark arrays (typically one or two
+// arrays sharing a reset lifetime).
+func NewEpoch(marks ...[]int32) *Epoch {
+	return &Epoch{marks: marks}
+}
+
+// Next starts a new epoch and returns its stamp. All registered arrays are
+// logically unset; physical clearing happens only on int32 wrap-around.
+func (e *Epoch) Next() int32 {
+	if e.cur == math.MaxInt32 {
+		for _, m := range e.marks {
+			clear(m)
+		}
+		e.cur = 0
+	}
+	e.cur++
+	return e.cur
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplit(t *testing.T) {
+	q := Split(10, 4, nil)
+	want := []int64{3, 3, 2, 2}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("Split(10,4) = %v, want %v", q, want)
+		}
+	}
+	var sum int64
+	for _, v := range Split(1<<20+3, 7, nil) {
+		sum += v
+	}
+	if sum != 1<<20+3 {
+		t.Fatalf("Split quotas sum to %d", sum)
+	}
+	// Reuse: a capacious buffer must be reused, not reallocated.
+	buf := make([]int64, 8)
+	q = Split(5, 3, buf)
+	if &q[0] != &buf[0] {
+		t.Error("Split did not reuse the provided buffer")
+	}
+}
+
+func TestBoundsCoverAndBalance(t *testing.T) {
+	cost := make([]float64, 100)
+	for i := range cost {
+		cost[i] = float64(1 + i%7)
+	}
+	for _, chunks := range []int{1, 2, 3, 8, 64, 100} {
+		b := Bounds(cost, chunks, nil)
+		if len(b) != chunks+1 || b[0] != 0 || b[chunks] != len(cost) {
+			t.Fatalf("chunks=%d: bad bounds %v", chunks, b)
+		}
+		for c := 0; c < chunks; c++ {
+			if b[c] > b[c+1] {
+				t.Fatalf("chunks=%d: non-monotone bounds at %d in %v", chunks, c, b)
+			}
+		}
+	}
+}
+
+func TestBoundsSkewedNoPrefixCapture(t *testing.T) {
+	// One item dominating the mass must not capture a prefix of chunks:
+	// chunk c never starts before item c, so later items still spread out.
+	cost := []float64{1e12, 1, 1, 1, 1, 1, 1, 1}
+	b := Bounds(cost, 4, nil)
+	for c := 0; c <= 4; c++ {
+		if b[c] < min(c, len(cost)) {
+			t.Fatalf("chunk %d starts at %d in %v", c, b[c], b)
+		}
+	}
+	if b[1] != 1 {
+		t.Fatalf("dominant item should fill chunk 0 alone: %v", b)
+	}
+}
+
+func TestBoundsDeterministic(t *testing.T) {
+	cost := make([]float64, 1000)
+	for i := range cost {
+		cost[i] = math.Abs(math.Sin(float64(i))) * 100
+	}
+	a := Bounds(cost, 64, nil)
+	b := Bounds(cost, 64, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Bounds not deterministic")
+		}
+	}
+}
+
+func TestDoCoversAllChunksOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		const chunks = 100
+		var hits [chunks]atomic.Int32
+		Do(chunks, workers, func(c int) { hits[c].Add(1) })
+		for c := range hits {
+			if got := hits[c].Load(); got != 1 {
+				t.Fatalf("workers=%d: chunk %d ran %d times", workers, c, got)
+			}
+		}
+	}
+}
+
+func TestDoWithBracketsGoroutines(t *testing.T) {
+	var mu sync.Mutex
+	acquired, released := 0, 0
+	DoWith(50, 4,
+		func() int { mu.Lock(); acquired++; mu.Unlock(); return 0 },
+		func(int) { mu.Lock(); released++; mu.Unlock() },
+		func(_ int, c int) {})
+	if acquired != released {
+		t.Fatalf("acquire/release mismatch: %d vs %d", acquired, released)
+	}
+	if acquired < 1 || acquired > 4 {
+		t.Fatalf("acquired %d resources for 4 workers", acquired)
+	}
+}
+
+func TestDoSequentialInOrder(t *testing.T) {
+	var order []int
+	Do(5, 1, func(c int) { order = append(order, c) })
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("sequential Do out of order: %v", order)
+		}
+	}
+}
+
+func TestEpochWrapClears(t *testing.T) {
+	marks := make([]int32, 4)
+	e := NewEpoch(marks)
+	ep := e.Next()
+	if ep != 1 {
+		t.Fatalf("first epoch = %d, want 1", ep)
+	}
+	marks[2] = ep
+	e.cur = math.MaxInt32 // force wrap on the next call
+	ep = e.Next()
+	if ep != 1 {
+		t.Fatalf("post-wrap epoch = %d, want 1", ep)
+	}
+	if marks[2] != 0 {
+		t.Error("wrap did not clear registered marks")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"saphyra/internal/baselines"
+	"saphyra/internal/bicomp"
 	"saphyra/internal/closeness"
 	"saphyra/internal/core"
 	"saphyra/internal/exact"
@@ -215,6 +216,100 @@ func (p *Preprocessed) RankSubset(targets []Node, opt Options) (*Result, error) 
 		samples = res.Est.Samples
 	}
 	return buildResult(res.Nodes, res.BC, samples, time.Since(start)), nil
+}
+
+// View is the shared graph-view layer (DESIGN.md section 7): the
+// block-annotated adjacency arrays that power the exact 2-hop phase, the
+// sampler fast paths, and the k-path and closeness estimators. A View is
+// built once per graph (BuildView), can be serialized to a versioned binary
+// file (WriteFile), and reopened zero-copy by any number of serving
+// processes (OpenView, mmap-backed where the platform supports it — the
+// kernel then shares one physical copy of the arrays across all of them).
+// Every engine produces bitwise-identical results on a reopened view.
+type View struct {
+	v   *bicomp.BlockCSR
+	ids []int64        // dense id -> original id; nil means identity
+	m   *bicomp.Mapped // non-nil when opened from a file
+}
+
+// BuildView runs the target-independent preprocessing (bi-component
+// decomposition, out-reach tables, block-annotated CSR) and returns the
+// resulting view — the build-once half of the build-once/serve-many flow.
+// ids is the optional dense-id -> original-id map (as returned by
+// LoadEdgeList); it is embedded on WriteFile so serving processes can keep
+// reporting the original id space. Pass nil when node ids are already
+// dense.
+func BuildView(g *Graph, ids []int64) *View {
+	d := bicomp.Decompose(g)
+	return &View{v: bicomp.NewBlockCSR(d, bicomp.NewOutReach(d)), ids: ids}
+}
+
+// WriteFile serializes the view (versioned binary format, native byte
+// order; see DESIGN.md section 7), embedding the original-id map when the
+// view carries one.
+func (v *View) WriteFile(path string) error { return v.v.WriteFile(path, v.ids) }
+
+// OpenView opens a view file written by WriteFile for zero-copy serving.
+// The returned view (and anything ranked through it) is valid until Close.
+func OpenView(path string) (*View, error) {
+	m, err := bicomp.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	return &View{v: m.View, ids: m.IDs, m: m}, nil
+}
+
+// IDs returns the view's dense-id -> original-id map, or nil when node ids
+// are the original ids. For a mapped view the slice aliases the mapped
+// file.
+func (v *View) IDs() []int64 { return v.ids }
+
+// Close releases the file mapping of a view opened with OpenView (a no-op
+// for views built in memory). The view must not be used afterwards.
+func (v *View) Close() error {
+	v.ids = nil
+	if v.m != nil {
+		return v.m.Close()
+	}
+	return nil
+}
+
+// Graph returns the view's embedded graph. For a mapped view its CSR arrays
+// alias the mapped file.
+func (v *View) Graph() *Graph { return v.v.G }
+
+// Preprocess adapts the view for repeated betweenness ranking — the
+// counterpart of Preprocess(g) that shares the view's arrays instead of
+// rebuilding them (see core.PreprocessBCFromView for what is recomputed).
+func (v *View) Preprocess() *Preprocessed {
+	return &Preprocessed{prep: core.PreprocessBCFromView(v.v)}
+}
+
+// RankKPath estimates and ranks k-path centrality from the view.
+func (v *View) RankKPath(targets []Node, k int, opt Options) (*Result, error) {
+	start := time.Now()
+	res, err := kpath.EstimateView(v.v, targets, kpath.Options{
+		K: k, Epsilon: opt.Epsilon, Delta: opt.Delta,
+		Workers: opt.Workers, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(res.Nodes, res.KPath, res.Est.Samples, time.Since(start)), nil
+}
+
+// RankCloseness estimates and ranks harmonic closeness from the view (the
+// BFS pricing streams the view's grouped adjacency arrays).
+func (v *View) RankCloseness(targets []Node, opt Options) (*Result, error) {
+	start := time.Now()
+	res, err := closeness.EstimateView(v.v, targets, closeness.Options{
+		Epsilon: opt.Epsilon, Delta: opt.Delta,
+		Workers: opt.Workers, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(res.Nodes, res.Closeness, res.Samples, time.Since(start)), nil
 }
 
 // ExactBC computes exact betweenness centrality for every node with

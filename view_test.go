@@ -1,0 +1,97 @@
+package saphyra
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestViewBuildServeRoundTrip exercises the public build-once/serve-many
+// flow: build a view, serialize it, reopen it mmap-backed, and check that
+// all three engines (betweenness, k-path, closeness) return results
+// bitwise-identical to serving from the in-memory graph.
+func TestViewBuildServeRoundTrip(t *testing.T) {
+	g := Generate.BarabasiAlbert(800, 3, 12)
+	targets := []Node{7, 100, 500, 777}
+	opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 5, Workers: 4}
+
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i) * 3 // a non-identity external id space
+	}
+	path := filepath.Join(t.TempDir(), "g.sbcv")
+	if err := BuildView(g, ids).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	view, err := OpenView(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+
+	if got := view.Graph(); got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("mapped graph is %d/%d, want %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	gotIDs := view.IDs()
+	if len(gotIDs) != len(ids) {
+		t.Fatalf("id map length %d, want %d", len(gotIDs), len(ids))
+	}
+	for i := range ids {
+		if gotIDs[i] != ids[i] {
+			t.Fatalf("IDs[%d] = %d, want %d", i, gotIDs[i], ids[i])
+		}
+	}
+
+	compare := func(name string, got, want *Result, err1, err2 error) {
+		t.Helper()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", name, err1, err2)
+		}
+		if got.Samples != want.Samples {
+			t.Fatalf("%s: samples %d != %d", name, got.Samples, want.Samples)
+		}
+		for i := range want.Scores {
+			if got.Scores[i] != want.Scores[i] {
+				t.Fatalf("%s: score[%d] = %v, want %v", name, i, got.Scores[i], want.Scores[i])
+			}
+			if got.Rank[i] != want.Rank[i] {
+				t.Fatalf("%s: rank[%d] = %d, want %d", name, i, got.Rank[i], want.Rank[i])
+			}
+		}
+	}
+
+	gotBC, err1 := view.Preprocess().RankSubset(targets, opt)
+	wantBC, err2 := RankSubset(g, targets, opt)
+	compare("bc", gotBC, wantBC, err1, err2)
+
+	gotKP, err1 := view.RankKPath(targets, 4, opt)
+	wantKP, err2 := RankKPath(g, targets, 4, opt)
+	compare("kpath", gotKP, wantKP, err1, err2)
+
+	gotCL, err1 := view.RankCloseness(targets, opt)
+	wantCL, err2 := RankCloseness(g, targets, opt)
+	compare("closeness", gotCL, wantCL, err1, err2)
+}
+
+// TestRankSubsetWorkerIndependent: the public API contract — fixed seed
+// gives bitwise-identical rankings regardless of Workers.
+func TestRankSubsetWorkerIndependent(t *testing.T) {
+	g := Generate.PowerLawCluster(500, 3, 0.3, 3)
+	targets := []Node{1, 9, 99, 420}
+	run := func(workers int) *Result {
+		res, err := RankSubset(g, targets, Options{Epsilon: 0.05, Delta: 0.05, Seed: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{3, 8} {
+		got := run(workers)
+		for i := range ref.Scores {
+			if got.Scores[i] != ref.Scores[i] {
+				t.Fatalf("workers=%d: score[%d] = %v, want %v", workers, i, got.Scores[i], ref.Scores[i])
+			}
+		}
+	}
+}
