@@ -18,7 +18,9 @@
 //	saphyra -view net.sbcv -random 50 -method closeness
 //
 // View files written from an edge list embed the original-id map, so -view
-// runs accept and report the same node ids as -graph runs.
+// runs accept and report the same node ids as -graph runs. For an always-on
+// HTTP service over the same view file (result caching, top-k index, hot
+// reload), see cmd/saphyrad.
 package main
 
 import (
@@ -57,7 +59,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *saveView != "" && *viewPath != "" {
-		fatal(fmt.Errorf("-save-view requires -graph (a view file is already built)"))
+		fmt.Fprintln(os.Stderr, "saphyra: -save-view cannot be combined with -view (a view file is already built); use -graph to build one")
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	var (

@@ -1,0 +1,132 @@
+// Command saphyrad serves centrality rankings from a persisted view file
+// over HTTP — the always-on counterpart of the one-shot `saphyra -view`
+// invocation. One process maps the view once and answers any number of
+// subset-ranking and top-k queries with (eps, delta)-guaranteed estimates;
+// concurrent saphyrad processes serving the same file share one physical
+// copy of the arrays through the page cache.
+//
+// Usage:
+//
+//	saphyra -graph net.txt -save-view net.sbcv     # build once
+//	saphyrad -view net.sbcv -addr :8372            # serve many
+//
+// API (JSON):
+//
+//	POST /v1/rank     {"method":"saphyra","targets":[17,99],"eps":0.05,"delta":0.01,"seed":1}
+//	GET  /v1/topk?method=closeness&k=10
+//	GET  /healthz
+//	GET  /statusz
+//	POST /admin/reload                             # also: kill -HUP <pid>
+//
+// Methods are saphyra (betweenness), kpath, and closeness; targets and
+// reported nodes use the original id space of the edge list the view was
+// built from. Responses are deterministic: a fixed (method, eps, delta,
+// seed, targets) returns bitwise-identical scores across requests, worker
+// counts, restarts, and processes — which is also why the daemon may cache
+// and collapse identical requests (see internal/serve and DESIGN.md
+// section 8).
+//
+// Hot reload: SIGHUP or POST /admin/reload re-maps the view file under the
+// next generation. In-flight queries finish on the old mapping before it is
+// released; new queries see the new generation immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"saphyra/internal/serve"
+)
+
+func main() {
+	var (
+		viewPath    = flag.String("view", "", "serialized view file to serve (required; build with saphyra -save-view)")
+		addr        = flag.String("addr", ":8372", "listen address")
+		maxInFlight = flag.Int("max-inflight", 0, "concurrent computations admitted (0 = default 4)")
+		maxQueue    = flag.Int("max-queue", 0, "computations allowed to wait for a slot before shedding with 429 (0 = 4x max-inflight)")
+		workers     = flag.Int("workers", 0, "worker-goroutine pool shared by all computations (0 = all CPUs)")
+		reqWorkers  = flag.Int("request-workers", 0, "max workers one computation may take from the pool (0 = half the pool)")
+		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024)")
+		eps         = flag.Float64("eps", 0.05, "default additive error guarantee")
+		delta       = flag.Float64("delta", 0.01, "default failure probability")
+		seed        = flag.Int64("seed", 1, "default RNG seed (responses are seed-deterministic)")
+		kflag       = flag.Int("k", 3, "default walk length for method kpath")
+		noWarm      = flag.Bool("no-precompute", false, "skip warming the per-method top-k index at startup/reload")
+	)
+	flag.Parse()
+	if *viewPath == "" {
+		fmt.Fprintln(os.Stderr, "saphyrad: -view is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	srv, err := serve.New(*viewPath, serve.Config{
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		TotalWorkers:      *workers,
+		RequestWorkers:    *reqWorkers,
+		CacheEntries:      *cacheSize,
+		DefaultEpsilon:    *eps,
+		DefaultDelta:      *delta,
+		DefaultSeed:       *seed,
+		DefaultK:          *kflag,
+		DisablePrecompute: *noWarm,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saphyrad:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "saphyrad: serving %s (generation %d) on %s after %v warmup, %d CPUs\n",
+		*viewPath, srv.Generation(), *addr, time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
+
+	// Transport-level bounds back the admission control's overload story:
+	// admission only gates computations, so slow-header connections and
+	// idle keep-alives must be bounded here or they pin goroutines and fds
+	// before a request ever exists. (Request bodies are bounded inside the
+	// handler; no WriteTimeout — a cache-miss computation may legitimately
+	// outlive any fixed write deadline.)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			gen, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "saphyrad:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "saphyrad: reloaded %s as generation %d\n", *viewPath, gen)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "saphyrad: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "saphyrad:", err)
+		os.Exit(1)
+	}
+	srv.Close() // drain and unmap after the listener stops
+}

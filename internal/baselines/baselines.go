@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"saphyra/internal/graph"
+	"saphyra/internal/params"
 	"saphyra/internal/shortestpath"
 	"saphyra/internal/stats"
 	"saphyra/internal/vc"
@@ -56,11 +57,8 @@ func (o *Options) setDefaults() {
 }
 
 func (o Options) validate() error {
-	if o.Epsilon <= 0 || o.Epsilon >= 1 {
-		return fmt.Errorf("baselines: epsilon must be in (0,1), got %g", o.Epsilon)
-	}
-	if o.Delta <= 0 || o.Delta >= 1 {
-		return fmt.Errorf("baselines: delta must be in (0,1), got %g", o.Delta)
+	if err := params.CheckEpsDelta(o.Epsilon, o.Delta); err != nil {
+		return fmt.Errorf("baselines: %w", err)
 	}
 	return nil
 }

@@ -45,6 +45,13 @@ type BlockCSR struct {
 	// values are always handled by pointer, so the mutex is never copied.
 	backfill sync.Mutex
 
+	// rFlat is the serialized out-reach table of a mapped view (persist.go
+	// flag bit 1): R flattened in (block, member) order, aliasing the mapped
+	// file. EnsureDecomposition rebuilds O from it in O(runs) instead of
+	// rerunning the NewOutReach DP; nil for views from files without the
+	// section (and for in-memory builds, which carry O directly).
+	rFlat []int64
+
 	// Nbr is the grouped adjacency: node u's neighbors, permuted block by
 	// block. RNbr[i] = r_b(Nbr[i]) for the block b of the run containing i.
 	Nbr  []graph.Node
@@ -175,17 +182,27 @@ func (v *BlockCSR) Runs(u graph.Node) (lo, hi int64) {
 
 // EnsureDecomposition returns the view's decomposition and out-reach
 // tables, recomputing and backfilling them from the embedded graph when the
-// view was opened from a file (mapped views serialize neither — no engine
-// consuming the view needs them; see persist.go). Decompose is a
+// view was opened from a file (mapped views never carry them in memory —
+// no engine consuming the view needs them; see persist.go). Decompose is a
 // deterministic function of the graph, so the recomputed block ids agree
-// with the serialized annotations. Safe for concurrent use: the common
-// serving pattern hands one mapped view to many goroutines.
+// with the serialized annotations. Files written with the out-reach section
+// (persist.go flag bit 1) skip the NewOutReach block-cut-tree DP: the
+// tables are rebuilt from the serialized r-values in O(runs), with a
+// Claim 9 consistency check guarding against a corrupt section (falling
+// back to the recomputation on mismatch). Safe for concurrent use: the
+// common serving pattern hands one mapped view to many goroutines.
 func (v *BlockCSR) EnsureDecomposition() (*Decomposition, *OutReach) {
 	v.backfill.Lock()
 	defer v.backfill.Unlock()
 	if v.D == nil || v.O == nil {
 		d := Decompose(v.G)
-		o := NewOutReach(d)
+		var o *OutReach
+		if v.rFlat != nil {
+			o, _ = NewOutReachFromFlat(d, v.rFlat)
+		}
+		if o == nil {
+			o = NewOutReach(d)
+		}
 		v.D, v.O = d, o
 	}
 	return v.D, v.O

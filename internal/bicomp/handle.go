@@ -1,0 +1,100 @@
+package bicomp
+
+import "sync/atomic"
+
+// Handle is a generation-tagged, reference-counted wrapper around a view —
+// the mmap-lifetime primitive of hot reload (DESIGN.md sections 7 and 8).
+// A serving process keeps an atomic pointer to the current Handle; each
+// query brackets its work in Acquire/Release; a reload swaps the pointer to
+// a new Handle (next generation) and Retires the old one. Retire never
+// unmaps under an in-flight query: the mapping is released by whichever of
+// Retire/Release drops the last reference, so every query that Acquired the
+// old generation drains on still-mapped pages, and queries arriving after
+// the swap fail Acquire and take the new generation instead.
+//
+// The generation tag is what makes deterministic result caching sound
+// across reloads: every estimate is a pure function of (view bytes,
+// canonicalized options), so a cache keyed by (generation, ...) can never
+// serve bytes from one view for a query against another.
+type Handle struct {
+	view *BlockCSR
+	ids  []int64
+	gen  uint64
+
+	// state packs the retired flag (bit 63) with the acquisition count.
+	// A single word makes Acquire one CAS and Release one Add, with the
+	// "last ref of a retired handle" transition detected atomically.
+	state atomic.Uint64
+
+	m *Mapped // nil for in-memory views: Retire then has nothing to release
+}
+
+const handleRetired = uint64(1) << 63
+
+// NewHandle wraps a mapped view as generation gen. The Handle takes
+// ownership of m: m.Close must not be called directly anymore — the mapping
+// is released by Retire once every Acquire has been Released.
+func NewHandle(m *Mapped, gen uint64) *Handle {
+	return &Handle{view: m.View, ids: m.IDs, gen: gen, m: m}
+}
+
+// NewMemHandle wraps an in-memory view (nothing to unmap) as generation
+// gen, for tests and non-persisted serving.
+func NewMemHandle(view *BlockCSR, ids []int64, gen uint64) *Handle {
+	return &Handle{view: view, ids: ids, gen: gen}
+}
+
+// Gen returns the handle's generation tag.
+func (h *Handle) Gen() uint64 { return h.gen }
+
+// View returns the wrapped view. Only valid between a successful Acquire
+// and its Release.
+func (h *Handle) View() *BlockCSR { return h.view }
+
+// IDs returns the view's dense-id -> original-id map (nil when ids are
+// already external). Only valid between a successful Acquire and its
+// Release.
+func (h *Handle) IDs() []int64 { return h.ids }
+
+// Acquire takes a reference, pinning the mapping. It fails (returns false)
+// once the handle has been retired — the caller must re-read the current
+// handle and acquire that instead. Every successful Acquire must be paired
+// with exactly one Release.
+func (h *Handle) Acquire() bool {
+	for {
+		s := h.state.Load()
+		if s&handleRetired != 0 {
+			return false
+		}
+		if h.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference. The last Release of a retired handle unmaps
+// the view.
+func (h *Handle) Release() {
+	if h.state.Add(^uint64(0)) == handleRetired {
+		h.unmap()
+	}
+}
+
+// Retire marks the handle dead: subsequent Acquires fail, and the mapping
+// is released as soon as the last in-flight reference is Released (at once
+// if none is held). Retire must be called at most once, by the owner that
+// swapped the handle out.
+func (h *Handle) Retire() {
+	if h.state.Or(handleRetired) == 0 {
+		// No references were held and the flag was not yet set: this call
+		// owns the release. A concurrent Acquire either completed its CAS
+		// before the Or (count > 0 here, its Release unmaps) or fails.
+		h.unmap()
+	}
+}
+
+func (h *Handle) unmap() {
+	if h.m != nil {
+		h.m.Close()
+	}
+}

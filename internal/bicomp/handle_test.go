@@ -1,0 +1,124 @@
+package bicomp
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"saphyra/internal/graph"
+)
+
+func mappedHandle(t *testing.T, gen uint64) *Handle {
+	t.Helper()
+	v := buildView(t, graph.BarabasiAlbert(200, 2, 8))
+	path := filepath.Join(t.TempDir(), "h.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHandle(m, gen)
+}
+
+func TestHandleLifecycle(t *testing.T) {
+	h := mappedHandle(t, 3)
+	if h.Gen() != 3 {
+		t.Fatalf("gen = %d, want 3", h.Gen())
+	}
+	if !h.Acquire() {
+		t.Fatal("fresh handle refused Acquire")
+	}
+	v := h.View()
+	if v == nil || h.m.View == nil {
+		t.Fatal("view gone before retire")
+	}
+	h.Retire()
+	if h.Acquire() {
+		t.Fatal("retired handle accepted Acquire")
+	}
+	// The in-flight reference keeps the mapping alive through Retire.
+	if h.m.View == nil {
+		t.Fatal("mapping released under an in-flight reference")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatalf("view unusable while held: %v", err)
+	}
+	h.Release()
+	if h.m.View != nil {
+		t.Fatal("last Release of a retired handle did not unmap")
+	}
+}
+
+func TestHandleRetireWithoutRefsUnmapsImmediately(t *testing.T) {
+	h := mappedHandle(t, 1)
+	h.Retire()
+	if h.m.View != nil {
+		t.Fatal("retire with zero refs did not unmap")
+	}
+}
+
+// TestHandleConcurrentAcquireRetire hammers the acquire/release path under
+// a concurrent retire (run with -race): every goroutine that wins Acquire
+// must observe a live mapping for its whole critical section, and the
+// mapping must be released exactly once, after the last holder.
+func TestHandleConcurrentAcquireRetire(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		h := mappedHandle(t, uint64(iter))
+		var wg sync.WaitGroup
+		var acquired, refused atomic.Int64
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					if !h.Acquire() {
+						refused.Add(1)
+						return
+					}
+					acquired.Add(1)
+					if h.View().G.NumNodes() != 200 {
+						t.Error("stale view observed while holding a reference")
+					}
+					h.Release()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			h.Retire()
+		}()
+		close(start)
+		wg.Wait()
+		if h.m.View != nil {
+			t.Fatal("mapping still alive after drain")
+		}
+		if h.Acquire() {
+			t.Fatal("post-drain Acquire succeeded")
+		}
+		_ = acquired.Load()
+		_ = refused.Load()
+	}
+}
+
+func TestMemHandleRetireIsSafe(t *testing.T) {
+	v := buildView(t, graph.Path(4))
+	h := NewMemHandle(v, nil, 7)
+	if !h.Acquire() {
+		t.Fatal("mem handle refused Acquire")
+	}
+	h.Retire()
+	h.Release() // must not panic: nothing to unmap
+	if h.Acquire() {
+		t.Fatal("retired mem handle accepted Acquire")
+	}
+	if h.View() != v || h.Gen() != 7 {
+		t.Fatal("mem handle lost its view")
+	}
+}

@@ -177,6 +177,89 @@ func NewOutReach(d *Decomposition) *OutReach {
 	return o
 }
 
+// FlatR returns the R table flattened in (block, member) order — for each
+// block b in ascending id, r_b(v) for each member v of D.Blocks[b] in member
+// order. This is the payload of the view file's out-reach section
+// (persist.go flag bit 1); NewOutReachFromFlat is the inverse. The length
+// equals the view's run count.
+func (o *OutReach) FlatR() []int64 {
+	var total int
+	for _, rs := range o.R {
+		total += len(rs)
+	}
+	flat := make([]int64, 0, total)
+	for _, rs := range o.R {
+		flat = append(flat, rs...)
+	}
+	return flat
+}
+
+// NewOutReachFromFlat reconstructs the OutReach tables from a flattened R
+// table (FlatR) and the decomposition, in O(runs + n) — without the
+// block-cut-tree DP of NewOutReach. S/Q/W/WTotal and the cutpoint rNode
+// cache all derive from R. The r-values are validated with Claim 9 (the sum
+// over each block must equal its component's size), so a corrupt or
+// mismatched section returns an error instead of silently poisoning every
+// downstream estimate; reconstruction from an intact section is
+// bitwise-identical to NewOutReach (tested).
+func NewOutReachFromFlat(d *Decomposition, flat []int64) (*OutReach, error) {
+	var total int
+	for _, ms := range d.Blocks {
+		total += len(ms)
+	}
+	if len(flat) != total {
+		return nil, fmt.Errorf("bicomp: out-reach table has %d entries, decomposition has %d memberships", len(flat), total)
+	}
+	o := &OutReach{
+		D:     d,
+		R:     make([][]int64, d.NumBlocks),
+		S:     make([]int64, d.NumBlocks),
+		Q:     make([]int64, d.NumBlocks),
+		W:     make([]int64, d.NumBlocks),
+		rNode: make([][]int64, len(d.NodeBlocks)),
+	}
+	off := 0
+	for b := 0; b < d.NumBlocks; b++ {
+		members := d.Blocks[b]
+		rs := flat[off : off+len(members) : off+len(members)]
+		off += len(members)
+		var S, Q int64
+		for j, v := range members {
+			r := rs[j]
+			if r < 1 {
+				return nil, fmt.Errorf("bicomp: out-reach section: block %d member %d has r = %d < 1", b, v, r)
+			}
+			S += r
+			Q += r * r
+			if d.IsCut[v] {
+				if o.rNode[v] == nil {
+					o.rNode[v] = make([]int64, len(d.NodeBlocks[v]))
+					for k := range o.rNode[v] {
+						o.rNode[v][k] = 1
+					}
+				}
+				bs := d.NodeBlocks[v]
+				if k := sort.Search(len(bs), func(i int) bool { return bs[i] >= int32(b) }); k < len(bs) && bs[k] == int32(b) {
+					o.rNode[v][k] = r
+				}
+			} else if r != 1 {
+				return nil, fmt.Errorf("bicomp: out-reach section: non-cutpoint %d has r = %d in block %d", v, r, b)
+			}
+		}
+		if len(members) > 0 {
+			if comp := d.CompSize[d.CompLabel[members[0]]]; S != comp {
+				return nil, fmt.Errorf("bicomp: out-reach section: block %d sums to %d, component size is %d (Claim 9)", b, S, comp)
+			}
+		}
+		o.R[b] = rs
+		o.S[b] = S
+		o.Q[b] = Q
+		o.W[b] = S*S - Q
+		o.WTotal += float64(o.W[b])
+	}
+	return o, nil
+}
+
 // Of returns r_b(v) for node v in block b. Non-cutpoints always have r = 1;
 // cutpoint values are found in the node's block list — a cache-local scan
 // for the typical short list, a binary search (NodeBlocks is sorted) for

@@ -10,7 +10,8 @@
 //	[16:24) n     — number of nodes (int64)
 //	[24:32) m     — number of undirected edges (int64)
 //	[32:40) runs  — number of neighbor runs (int64)
-//	[40:48) flags (int64; bit 0: original-id map section present)
+//	[40:48) flags (int64; bit 0: original-id map section present;
+//	        bit 1: out-reach section present)
 //	[48:56) total file size in bytes (int64; truncation check)
 //	offsets   int64[n+1]     graph CSR offsets
 //	adj       int32[2m]      graph CSR adjacency (sorted per node)
@@ -23,11 +24,24 @@
 //	RunR      int32[runs]    owner r-value per run (padded to 8 bytes)
 //	RunStart  int64[runs+1]  edge range per run
 //	RunDegSum int64[runs]    neighbor degree mass per run
-//	ids       int64[n]       original node ids (only if flags bit 0 is set)
+//	outreach  int64[runs]    r_b(v) per (block, member) pair (flags bit 1)
+//	ids       int64[n]       original node ids (flags bit 0)
 //
 // The optional ids section preserves the dense-id -> original-id map of
 // graph.LoadEdgeList, so a view built from a compacted edge list still
 // reports results in the file's id space.
+//
+// The optional out-reach section is the OutReach.R table flattened in block
+// order: for each block b in ascending id, r_b(v) for each member v of
+// D.Blocks[b] in member order. Its length equals the run count — runs and
+// (block, member) incidences are the same relation counted from the two
+// sides. The section lets a serving process reconstruct the full OutReach
+// (S/Q/W/WTotal and the cutpoint rNode cache derive from R in O(runs)) via
+// NewOutReachFromFlat instead of rerunning the NewOutReach block-cut-tree
+// DP; see EnsureDecomposition. Readers predating the section reject files
+// carrying it via the unknown-flag check — the intended upgrade semantics,
+// since silently ignoring it would be correct but was never exercised by
+// those builds.
 //
 // Native byte order makes the read path a straight reinterpretation of the
 // mapped pages — the probe field turns a cross-endian file into a clean
@@ -60,13 +74,17 @@ const (
 	headerSize     = 56
 	// flagIDs marks the presence of the trailing original-id section.
 	flagIDs = int64(1)
+	// flagOutReach marks the presence of the serialized out-reach section.
+	flagOutReach = int64(2)
+	// knownFlags is the union of every flag bit this build understands.
+	knownFlags = flagIDs | flagOutReach
 	// maxDim rejects absurd header values before any size arithmetic, so a
 	// corrupted header cannot overflow the expected-size computation.
 	maxDim = int64(1) << 40
 )
 
 // persistSize returns the total file size for the given dimensions.
-func persistSize(n, m, runs int64, hasIDs bool) int64 {
+func persistSize(n, m, runs int64, hasIDs, hasOutReach bool) int64 {
 	size := int64(headerSize)
 	size += (n + 1) * 8    // offsets
 	size += 2 * m * 4      // adj (2m int32 = 8m bytes, always 8-aligned)
@@ -79,6 +97,9 @@ func persistSize(n, m, runs int64, hasIDs bool) int64 {
 	size += pad8(runs * 4) // RunR
 	size += (runs + 1) * 8 // RunStart
 	size += runs * 8       // RunDegSum
+	if hasOutReach {
+		size += runs * 8 // outreach
+	}
 	if hasIDs {
 		size += n * 8 // ids
 	}
@@ -121,6 +142,23 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 		}
 		flags |= flagIDs
 	}
+	// Out-reach section: flatten the in-memory tables when present —
+	// v.O is always validated (built by NewOutReach, or reconstructed
+	// through NewOutReachFromFlat's Claim 9 check), whereas v.rFlat is the
+	// raw mapped section, which may be the very bytes that failed that
+	// check. Falling back to rFlat keeps mapped views re-serializable
+	// without EnsureDecomposition while never propagating a section that a
+	// validated O would contradict.
+	rFlat := v.rFlat
+	if v.O != nil {
+		rFlat = v.O.FlatR()
+	}
+	if rFlat != nil {
+		if int64(len(rFlat)) != runs {
+			return 0, fmt.Errorf("bicomp: out-reach table has %d entries for %d runs", len(rFlat), runs)
+		}
+		flags |= flagOutReach
+	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var written int64
@@ -138,7 +176,7 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 	binary.NativeEndian.PutUint64(hdr[24:32], uint64(m))
 	binary.NativeEndian.PutUint64(hdr[32:40], uint64(runs))
 	binary.NativeEndian.PutUint64(hdr[40:48], uint64(flags))
-	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, ids != nil)))
+	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, ids != nil, rFlat != nil)))
 	if err := put(hdr[:]); err != nil {
 		return written, err
 	}
@@ -176,6 +214,11 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 	}
 	for _, sec := range [][]int64{v.RunStart, v.RunDegSum} {
 		if err := put(int64Bytes(sec)); err != nil {
+			return written, err
+		}
+	}
+	if rFlat != nil {
+		if err := put(int64Bytes(rFlat)); err != nil {
 			return written, err
 		}
 	}
@@ -250,11 +293,12 @@ func decodeView(data []byte) (view *BlockCSR, ids []int64, err error) {
 	if n < 0 || m < 0 || runs < 0 || n > maxDim || m > maxDim || runs > maxDim {
 		return nil, nil, fmt.Errorf("bicomp: implausible view dimensions n=%d m=%d runs=%d", n, m, runs)
 	}
-	if unknown := flags &^ flagIDs; unknown != 0 {
+	if unknown := flags &^ knownFlags; unknown != 0 {
 		return nil, nil, fmt.Errorf("bicomp: unknown view flags %#x (file written by a newer build?)", unknown)
 	}
 	hasIDs := flags&flagIDs != 0
-	if want := persistSize(n, m, runs, hasIDs); total != want || int64(len(data)) != want {
+	hasOutReach := flags&flagOutReach != 0
+	if want := persistSize(n, m, runs, hasIDs, hasOutReach); total != want || int64(len(data)) != want {
 		return nil, nil, fmt.Errorf("bicomp: view file size %d (header says %d), want %d — truncated or corrupt", len(data), total, want)
 	}
 
@@ -271,6 +315,9 @@ func decodeView(data []byte) (view *BlockCSR, ids []int64, err error) {
 		RunR:      r.i32(runs, true),
 		RunStart:  r.i64(runs + 1),
 		RunDegSum: r.i64(runs),
+	}
+	if hasOutReach {
+		view.rFlat = r.i64(runs)
 	}
 	if hasIDs {
 		ids = r.i64(n)

@@ -77,8 +77,9 @@ func TestPersistWriteToDeterministic(t *testing.T) {
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("WriteTo is not deterministic")
 	}
-	if int64(a.Len()) != persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false) {
-		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false))
+	// In-memory builds carry O, so WriteTo always emits the out-reach section.
+	if int64(a.Len()) != persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true) {
+		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true))
 	}
 }
 
@@ -196,11 +197,154 @@ func TestOpenMappedRejectsUnknownFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b[40] |= 0x02 // set an undefined flag bit
+	b[40] |= 0x04 // set an undefined flag bit (0x01 = ids, 0x02 = out-reach)
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenMapped(path); err == nil || !strings.Contains(err.Error(), "flags") {
 		t.Fatalf("unknown flags accepted: %v", err)
+	}
+}
+
+// legacyWrite serializes v without the out-reach section, producing the byte
+// layout a pre-section build wrote (O and rFlat are stripped for the write
+// and restored after).
+func legacyWrite(t *testing.T, v *BlockCSR, path string) {
+	t.Helper()
+	o, rf := v.O, v.rFlat
+	v.O, v.rFlat = nil, nil
+	defer func() { v.O, v.rFlat = o, rf }()
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameOutReach(a, b *OutReach) bool {
+	if len(a.R) != len(b.R) || a.WTotal != b.WTotal ||
+		!slices.Equal(a.S, b.S) || !slices.Equal(a.Q, b.Q) || !slices.Equal(a.W, b.W) {
+		return false
+	}
+	for i := range a.R {
+		if !slices.Equal(a.R[i], b.R[i]) {
+			return false
+		}
+	}
+	if len(a.rNode) != len(b.rNode) {
+		return false
+	}
+	for i := range a.rNode {
+		if !slices.Equal(a.rNode[i], b.rNode[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPersistOutReachRoundTrip: the out-reach section (flag bit 1) lets
+// EnsureDecomposition reconstruct the OutReach tables from the file without
+// the NewOutReach DP, bitwise-identical to the in-memory build; files
+// without the section (legacy layout) keep working through the recompute
+// fallback.
+func TestPersistOutReachRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", graph.BarabasiAlbert(400, 3, 13)},
+		{"road", graph.RoadNetwork(12, 12, 0.1, 5)},
+		{"tree", graph.RandomTree(150, 9)}, // every internal node is a cutpoint
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v := buildView(t, tc.g)
+			dir := t.TempDir()
+
+			path := filepath.Join(dir, "v2.sbcv")
+			if err := v.WriteFile(path, nil); err != nil {
+				t.Fatal(err)
+			}
+			m, err := OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if m.View.rFlat == nil {
+				t.Fatal("mapped view carries no out-reach section")
+			}
+			if !slices.Equal(m.View.rFlat, v.O.FlatR()) {
+				t.Fatal("serialized out-reach section differs from FlatR")
+			}
+			_, o := m.View.EnsureDecomposition()
+			if !sameOutReach(o, v.O) {
+				t.Fatal("out-reach reconstructed from the section differs from the in-memory build")
+			}
+
+			legacy := filepath.Join(dir, "v1.sbcv")
+			legacyWrite(t, v, legacy)
+			if st, _ := os.Stat(legacy); st.Size() >= mustSize(t, path) {
+				t.Fatal("legacy file is not smaller than the sectioned file")
+			}
+			ml, err := OpenMapped(legacy)
+			if err != nil {
+				t.Fatalf("legacy layout rejected: %v", err)
+			}
+			defer ml.Close()
+			if ml.View.rFlat != nil {
+				t.Fatal("legacy file decoded with an out-reach section")
+			}
+			_, ol := ml.View.EnsureDecomposition()
+			if !sameOutReach(ol, v.O) {
+				t.Fatal("fallback recompute differs from the in-memory build")
+			}
+		})
+	}
+}
+
+func mustSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// TestPersistOutReachCorruptSectionFallsBack: garbage in the out-reach
+// section must not poison estimates — NewOutReachFromFlat rejects it
+// (Claim 9) and EnsureDecomposition falls back to the recomputation.
+func TestPersistOutReachCorruptSectionFallsBack(t *testing.T) {
+	g := graph.RandomTree(100, 4)
+	v := buildView(t, g)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := int64(len(v.RunBlock))
+	// The section is the last runs*8 bytes (no ids section was written).
+	sectionOff := int64(len(b)) - runs*8
+	b[sectionOff] ^= 0x5a
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewOutReachFromFlat(v.D, make([]int64, runs+1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err) // content corruption is caught lazily, not at open
+	}
+	defer m.Close()
+	if _, err := NewOutReachFromFlat(v.D, m.View.rFlat); err == nil {
+		t.Fatal("corrupt out-reach section accepted")
+	}
+	_, o := m.View.EnsureDecomposition()
+	if !sameOutReach(o, v.O) {
+		t.Fatal("fallback after corrupt section differs from the in-memory build")
 	}
 }

@@ -24,12 +24,14 @@ package closeness
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"runtime"
 
 	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
+	"saphyra/internal/params"
 	"saphyra/internal/sched"
 	"saphyra/internal/stats"
 )
@@ -94,19 +96,19 @@ type adjacency interface {
 // estimate is the engine shared by the CSR and view paths.
 func estimate(adj adjacency, a []graph.Node, opt Options) (*Result, error) {
 	opt.setDefaults()
-	if len(a) == 0 {
-		return nil, errors.New("closeness: empty target set")
-	}
 	n := adj.NumNodes()
 	if n < 2 {
 		return nil, errors.New("closeness: graph too small")
 	}
+	eps, delta := opt.Epsilon, opt.Delta
+	if err := params.CheckEpsDelta(eps, delta); err != nil {
+		return nil, fmt.Errorf("closeness: %w", err)
+	}
+	if err := params.CheckTargets(a, n); err != nil {
+		return nil, fmt.Errorf("closeness: %w", err)
+	}
 	nodes := graph.DedupSorted(a)
 	k := len(nodes)
-	eps, delta := opt.Epsilon, opt.Delta
-	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
-		return nil, errors.New("closeness: epsilon and delta must be in (0,1)")
-	}
 
 	n0 := int64(math.Ceil(stats.VCConstant / (eps * eps) * math.Log(1/delta)))
 	if n0 < 1 {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -12,6 +11,7 @@ import (
 	"saphyra/internal/bicomp"
 	"saphyra/internal/exactphase"
 	"saphyra/internal/graph"
+	"saphyra/internal/params"
 	"saphyra/internal/shortestpath"
 	"saphyra/internal/vc"
 )
@@ -121,15 +121,13 @@ func EstimateBC(g *graph.Graph, a []graph.Node, opt BCOptions) (*BCResult, error
 // EstimateBC runs SaPHyRa_bc for one target set on the preprocessed graph.
 func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, error) {
 	opt.setDefaults()
-	if len(a) == 0 {
-		return nil, errors.New("core: empty target set")
-	}
 	g, o := p.G, p.O
 	n := g.NumNodes()
-	for _, v := range a {
-		if v < 0 || int(v) >= n {
-			return nil, fmt.Errorf("core: target node %d out of range [0,%d)", v, n)
-		}
+	if err := params.CheckEpsDelta(opt.Epsilon, opt.Delta); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := params.CheckTargets(a, n); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	nodes := graph.DedupSorted(a)
 	k := len(nodes)

@@ -20,6 +20,7 @@ import (
 	"math"
 	"runtime"
 
+	"saphyra/internal/params"
 	"saphyra/internal/sched"
 	"saphyra/internal/stats"
 )
@@ -113,11 +114,8 @@ type Estimate struct {
 
 // Run executes Algorithm 1 on the given space.
 func Run(space Space, opt Options) (*Estimate, error) {
-	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
-		return nil, fmt.Errorf("core: epsilon must be in (0,1), got %g", opt.Epsilon)
-	}
-	if opt.Delta <= 0 || opt.Delta >= 1 {
-		return nil, fmt.Errorf("core: delta must be in (0,1), got %g", opt.Delta)
+	if err := params.CheckEpsDelta(opt.Epsilon, opt.Delta); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	k := space.NumHypotheses()
 	if k == 0 {

@@ -32,6 +32,7 @@ import (
 	"saphyra/internal/bicomp"
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
+	"saphyra/internal/params"
 	"saphyra/internal/vc"
 )
 
@@ -68,17 +69,23 @@ type Result struct {
 
 // targetIndex validates the inputs and builds the sorted target set with its
 // node -> target-index map (-1 for non-targets), shared by both estimators.
+// Validation goes through the shared internal/params checks, so an invalid
+// eps/delta/k or an out-of-range target returns a typed error the serving
+// layer can classify as caller fault (params.IsBadInput).
 func targetIndex(g *graph.Graph, a []graph.Node, opt *Options) (nodes []graph.Node, aIndex []int32, err error) {
 	opt.setDefaults()
-	if len(a) == 0 {
-		return nil, nil, errors.New("kpath: empty target set")
-	}
-	if opt.K < 1 {
-		return nil, nil, fmt.Errorf("kpath: k must be >= 1, got %d", opt.K)
-	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, nil, errors.New("kpath: empty graph")
+	}
+	if err := params.CheckEpsDelta(opt.Epsilon, opt.Delta); err != nil {
+		return nil, nil, fmt.Errorf("kpath: %w", err)
+	}
+	if err := params.CheckK(opt.K); err != nil {
+		return nil, nil, fmt.Errorf("kpath: %w", err)
+	}
+	if err := params.CheckTargets(a, n); err != nil {
+		return nil, nil, fmt.Errorf("kpath: %w", err)
 	}
 	nodes = graph.DedupSorted(a)
 	aIndex = make([]int32, n)

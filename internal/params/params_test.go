@@ -1,0 +1,58 @@
+package params
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestChecks(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		bad  bool
+	}{
+		{"eps ok", CheckEpsilon(0.05), false},
+		{"eps zero", CheckEpsilon(0), true},
+		{"eps one", CheckEpsilon(1), true},
+		{"eps negative", CheckEpsilon(-0.1), true},
+		{"eps nan", CheckEpsilon(nan()), true},
+		{"delta ok", CheckDelta(0.01), false},
+		{"delta too big", CheckDelta(1.5), true},
+		{"pair ok", CheckEpsDelta(0.1, 0.1), false},
+		{"pair bad eps", CheckEpsDelta(2, 0.1), true},
+		{"pair bad delta", CheckEpsDelta(0.1, 0), true},
+		{"k ok", CheckK(1), false},
+		{"k zero", CheckK(0), true},
+		{"targets ok", CheckTargets([]int32{0, 4}, 5), false},
+		{"targets empty", CheckTargets([]int32{}, 5), true},
+		{"targets negative", CheckTargets([]int32{-1}, 5), true},
+		{"targets high", CheckTargets([]int32{5}, 5), true},
+	} {
+		if got := tc.err != nil; got != tc.bad {
+			t.Errorf("%s: err = %v, want bad=%v", tc.name, tc.err, tc.bad)
+		}
+		if tc.bad && !IsBadInput(tc.err) {
+			t.Errorf("%s: error is not classified as bad input", tc.name)
+		}
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestErrorChainClassification(t *testing.T) {
+	wrapped := fmt.Errorf("kpath: %w", CheckK(0))
+	if !IsBadInput(wrapped) {
+		t.Error("wrapped params error not recognized")
+	}
+	var pe *Error
+	if !errors.As(wrapped, &pe) || pe.Field != "k" {
+		t.Errorf("field = %q, want k", pe.Field)
+	}
+	if IsBadInput(errors.New("disk on fire")) {
+		t.Error("unrelated error classified as bad input")
+	}
+}

@@ -141,6 +141,70 @@ func DoWith[W any](chunks, workers int, acquire func() W, release func(W), fn fu
 	wg.Wait()
 }
 
+// Budget is a worker-goroutine pool shared by concurrent callers — the
+// serving layer's defense against one huge query starving everything else.
+// It holds `total` worker slots; each call Acquires up to `perCall` of them
+// (blocking only for the first, taking the rest greedily) and runs its
+// engine with that many workers. Because every engine is bitwise
+// worker-count independent (the virtual-worker contract, DESIGN.md
+// section 3), granting a loaded caller fewer workers degrades its latency
+// and nothing else — results, sample counts, and cache keys are untouched.
+//
+// Acquire never returns 0 and never deadlocks: a caller holding slots is
+// running, and running callers finish and Release.
+type Budget struct {
+	slots   chan struct{}
+	perCall int
+}
+
+// NewBudget returns a Budget of `total` worker slots with at most `perCall`
+// granted per Acquire. Non-positive total defaults to 1; perCall is clamped
+// to [1, total].
+func NewBudget(total, perCall int) *Budget {
+	if total < 1 {
+		total = 1
+	}
+	if perCall < 1 || perCall > total {
+		perCall = total
+	}
+	b := &Budget{slots: make(chan struct{}, total), perCall: perCall}
+	for i := 0; i < total; i++ {
+		b.slots <- struct{}{}
+	}
+	return b
+}
+
+// PerCall returns the per-Acquire grant cap.
+func (b *Budget) PerCall() int { return b.perCall }
+
+// Acquire blocks until at least one worker slot is free, then takes up to
+// min(want, perCall) slots without further blocking and returns the number
+// taken (always >= 1). want <= 0 asks for the per-call maximum. The caller
+// must Release exactly the returned count when its computation finishes.
+func (b *Budget) Acquire(want int) int {
+	if want <= 0 || want > b.perCall {
+		want = b.perCall
+	}
+	<-b.slots
+	granted := 1
+	for granted < want {
+		select {
+		case <-b.slots:
+			granted++
+		default:
+			return granted
+		}
+	}
+	return granted
+}
+
+// Release returns granted slots to the pool.
+func (b *Budget) Release(granted int) {
+	for i := 0; i < granted; i++ {
+		b.slots <- struct{}{}
+	}
+}
+
 // Epoch manages epoch-stamped mark arrays: a slot is "set" iff it equals the
 // current epoch, so resetting all marks is a single counter increment. The
 // registered arrays are cleared together when the epoch counter wraps, which

@@ -132,3 +132,74 @@ func TestEpochWrapClears(t *testing.T) {
 		t.Error("wrap did not clear registered marks")
 	}
 }
+
+func TestBudgetGrantBounds(t *testing.T) {
+	b := NewBudget(8, 3)
+	if b.PerCall() != 3 {
+		t.Fatalf("PerCall = %d, want 3", b.PerCall())
+	}
+	if got := b.Acquire(0); got != 3 { // want<=0 means "per-call max"
+		t.Fatalf("Acquire(0) = %d, want 3", got)
+	}
+	if got := b.Acquire(10); got != 3 { // clamped to perCall
+		t.Fatalf("Acquire(10) = %d, want 3", got)
+	}
+	if got := b.Acquire(1); got != 1 {
+		t.Fatalf("Acquire(1) = %d, want 1", got)
+	}
+	// 7 of 8 slots held: the next caller gets the single leftover, not 3.
+	if got := b.Acquire(3); got != 1 {
+		t.Fatalf("Acquire(3) with one slot free = %d, want 1", got)
+	}
+	b.Release(3 + 3 + 1 + 1)
+}
+
+func TestBudgetClamps(t *testing.T) {
+	b := NewBudget(0, 99) // degenerate config still yields a working pool
+	if b.PerCall() != 1 {
+		t.Fatalf("PerCall = %d, want 1", b.PerCall())
+	}
+	got := b.Acquire(5)
+	if got != 1 {
+		t.Fatalf("Acquire = %d, want 1", got)
+	}
+	b.Release(got)
+}
+
+// TestBudgetConcurrentNeverExceedsTotal runs many concurrent acquires (use
+// -race) and checks the in-use slot count never exceeds the pool size and
+// every caller is eventually served (no deadlock, grants >= 1).
+func TestBudgetConcurrentNeverExceedsTotal(t *testing.T) {
+	const total, perCall = 4, 2
+	b := NewBudget(total, perCall)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := b.Acquire(1 + (g+i)%4)
+				if got < 1 || got > perCall {
+					t.Errorf("grant %d outside [1,%d]", got, perCall)
+				}
+				now := inUse.Add(int64(got))
+				for {
+					p := peak.Load()
+					if now <= p || peak.CompareAndSwap(p, now) {
+						break
+					}
+				}
+				inUse.Add(-int64(got))
+				b.Release(got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > total {
+		t.Fatalf("peak in-use %d exceeds total %d", p, total)
+	}
+	if inUse.Load() != 0 {
+		t.Fatalf("slots leaked: %d still in use", inUse.Load())
+	}
+}

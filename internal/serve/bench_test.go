@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"saphyra"
+)
+
+// benchServer builds a serving stack over a Fig-3-sized synthetic social
+// graph, persisted and reopened mmap-backed like production serving.
+func benchServer(b *testing.B) (*Server, []int64) {
+	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
+	s, ids := newTestServer(b, g, Config{DisablePrecompute: true, CacheEntries: 1 << 16})
+	return s, ids
+}
+
+func benchBody(b *testing.B, ids []int64, seed int64) []byte {
+	body, err := json.Marshal(RankRequest{
+		Method:  MethodSaPHyRa,
+		Targets: []int64{ids[17], ids[99], ids[1024], ids[2048]},
+		Eps:     0.05, Delta: 0.05, Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func serveOnce(b *testing.B, h http.Handler, body []byte) {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/rank", bytes.NewReader(body)))
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeRankCacheHit is the steady-state requests/sec of the
+// serving layer when the deterministic cache answers: one JSON decode, one
+// key derivation (sha256 over the target set), one LRU lookup, one JSON
+// encode. The acceptance bar is >= 10x over BenchmarkServeRankCacheMiss.
+func BenchmarkServeRankCacheHit(b *testing.B) {
+	s, ids := benchServer(b)
+	body := benchBody(b, ids, 7)
+	serveOnce(b, s.Handler(), body) // warm the entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, s.Handler(), body)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeRankCacheMiss is the same request shape with a fresh seed
+// every iteration, so each one runs the full SaPHyRa_bc pipeline (exact
+// 2-hop phase + adaptive sampling) under admission control and the worker
+// budget.
+func BenchmarkServeRankCacheMiss(b *testing.B) {
+	s, ids := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, s.Handler(), benchBody(b, ids, int64(1000+i)))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeTopKHit reads the precomputed top-k index.
+func BenchmarkServeTopKHit(b *testing.B) {
+	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
+	s, _ := newTestServer(b, g, Config{})
+	req := httptest.NewRequest("GET", "/v1/topk?method=saphyra&k=10", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatal(w.Code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// TestServeHitAtLeast10xMiss enforces the acceptance criterion outside the
+// bench harness so CI catches a regression without parsing bench output.
+func TestServeHitAtLeast10xMiss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	resHit := testing.Benchmark(BenchmarkServeRankCacheHit)
+	resMiss := testing.Benchmark(BenchmarkServeRankCacheMiss)
+	hit, miss := resHit.NsPerOp(), resMiss.NsPerOp()
+	if hit <= 0 || miss <= 0 {
+		t.Skipf("degenerate timings: hit %d, miss %d", hit, miss)
+	}
+	ratio := float64(miss) / float64(hit)
+	t.Logf("cache hit %v ns/op, miss %v ns/op, ratio %.1fx", hit, miss, ratio)
+	if ratio < 10 {
+		t.Errorf("cache hit is only %.1fx faster than miss, want >= 10x", ratio)
+	}
+}

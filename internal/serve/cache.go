@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies a query up to bitwise result equality. Every engine is
+// a pure function of (view bytes, canonicalized options, canonical target
+// set) — the worker count never reaches the key because it never reaches the
+// bits (DESIGN.md section 3) — and the generation tag pins the view bytes,
+// so two requests with equal keys are guaranteed the same response payload.
+// That purity is the entire soundness argument of the cache: there is no
+// TTL and no invalidation beyond LRU pressure and generation purge.
+type cacheKey struct {
+	gen    uint64
+	method string
+	topk   bool // full-network ranking backing the top-k index
+	k      int  // kpath walk length; 0 for other methods
+	eps    float64
+	delta  float64
+	seed   int64
+	hash   [32]byte // saphyra.TargetSetHash of the canonical dense target set
+	count  int      // canonical target count (guards the astronomically unlikely hash collision)
+}
+
+// payload is an immutable computed result. Entries are shared between the
+// cache, in-flight followers, and response marshaling — nothing may mutate
+// one after publication.
+type payload struct {
+	nodes   []int64   // canonical target set as original ids (topk: ordered by rank)
+	scores  []float64 // aligned with nodes
+	ranks   []int     // aligned with nodes (topk: 1..len)
+	samples int64
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	p    *payload
+	err  error
+}
+
+// cache is a bounded LRU of deterministic results with singleflight
+// collapsing: concurrent requests for one key share a single computation.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // of *centry; front = most recently used
+	entries  map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
+
+	hits      atomic.Int64 // served straight from the LRU
+	misses    atomic.Int64 // computed by this request (singleflight leader)
+	collapsed atomic.Int64 // waited on another request's computation
+}
+
+type centry struct {
+	key cacheKey
+	p   *payload
+}
+
+func newCache(capacity int) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*flight),
+	}
+}
+
+// do returns the payload for key, computing it with fn on a miss. computed
+// reports whether THIS call ran fn (the singleflight leader on a cold key);
+// hits and followers of someone else's computation return computed=false.
+// Errors are returned to the leader and every follower but never cached —
+// a failed computation (overload, cancellation) must not poison the key.
+func (c *cache) do(key cacheKey, fn func() (*payload, error)) (p *payload, computed bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		p := el.Value.(*centry).p
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return p, false, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.collapsed.Add(1)
+		<-f.done
+		return f.p, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	// The flight MUST be settled even if fn panics (net/http recovers
+	// handler panics, so the process survives): without the defer a panic
+	// would strand the inflight entry and park every follower — and every
+	// future request for this key — on done forever.
+	defer func() {
+		if f.p == nil && f.err == nil { // fn panicked before settling
+			f.err = errors.New("serve: computation aborted")
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.p)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.p, f.err = fn()
+	return f.p, true, f.err
+}
+
+func (c *cache) insertLocked(key cacheKey, p *payload) {
+	if el, ok := c.entries[key]; ok { // raced with another leader after a purge
+		el.Value.(*centry).p = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&centry{key: key, p: p})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*centry).key)
+	}
+}
+
+// purgeOtherGens drops every entry whose generation differs from gen —
+// called after a hot reload so retired-view results stop occupying LRU
+// slots (they were never incorrect: their keys are unreachable once
+// requests carry the new generation).
+func (c *cache) purgeOtherGens(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*centry); e.key.gen != gen {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = next
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,786 @@
+// Package serve is the ranking service layer over a persisted BlockCSR
+// view: the request lifecycle behind cmd/saphyrad (DESIGN.md section 8).
+// It owns everything between an HTTP request and an engine call —
+//
+//   - validation: request parameters funnel through internal/params, whose
+//     typed errors split 400 (caller fault) from 500 (server fault);
+//   - admission control: at most MaxInFlight computations run at once with a
+//     bounded wait queue; excess load is shed immediately with 429 instead
+//     of queueing without bound;
+//   - a per-request worker budget (sched.Budget): each computation is
+//     granted a bounded share of a fixed worker-slot pool, so one
+//     full-network query cannot starve concurrent subset queries — safe to
+//     do opportunistically because results never depend on the worker count;
+//   - a deterministic result cache with singleflight collapsing, keyed by
+//     (view generation, method, canonicalized options, canonical target-set
+//     hash) — sound because every estimate is a pure function of exactly
+//     those inputs (see cacheKey);
+//   - a top-k index per method: the full-network ranking computed once per
+//     (generation, options), cached, and sliced by GET /v1/topk;
+//   - atomic hot reload: POST /admin/reload (or SIGHUP in the daemon) maps
+//     the view file afresh under the next generation, swaps it in, and
+//     retires the old bicomp.Handle — which unmaps only after the last
+//     in-flight query on it drains, per the mmap lifetime rules of
+//     DESIGN.md section 7.
+//
+// The API surface is JSON over HTTP: POST /v1/rank, GET /v1/topk,
+// GET /healthz, GET /statusz, POST /admin/reload.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saphyra"
+	"saphyra/internal/bicomp"
+	"saphyra/internal/closeness"
+	"saphyra/internal/core"
+	"saphyra/internal/graph"
+	"saphyra/internal/kpath"
+	"saphyra/internal/params"
+	"saphyra/internal/rank"
+	"saphyra/internal/sched"
+)
+
+// Config tunes the service. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently running computations (cache misses).
+	// Cache hits bypass admission entirely. Default 4.
+	MaxInFlight int
+	// MaxQueue bounds computations waiting for an in-flight slot; arrivals
+	// beyond it are shed with 429. Default 4*MaxInFlight.
+	MaxQueue int
+	// TotalWorkers is the worker-slot pool shared by every computation.
+	// Default GOMAXPROCS.
+	TotalWorkers int
+	// RequestWorkers caps the slots one computation may take from the pool
+	// (the per-request budget). Default max(1, TotalWorkers/2).
+	RequestWorkers int
+	// CacheEntries bounds the result cache. Default 1024.
+	CacheEntries int
+
+	// Request defaults, applied when a field is absent from the request.
+	DefaultEpsilon float64 // default 0.05
+	DefaultDelta   float64 // default 0.01
+	DefaultSeed    int64   // default 1
+	DefaultK       int     // k-path walk length, default 3
+
+	// DisablePrecompute skips warming the per-method top-k index at load
+	// and reload time; the index is then built lazily by the first
+	// /v1/topk request per method.
+	DisablePrecompute bool
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.TotalWorkers <= 0 {
+		c.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestWorkers <= 0 {
+		c.RequestWorkers = max(1, c.TotalWorkers/2)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultEpsilon == 0 {
+		c.DefaultEpsilon = 0.05
+	}
+	if c.DefaultDelta == 0 {
+		c.DefaultDelta = 0.01
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 1
+	}
+	if c.DefaultK == 0 {
+		c.DefaultK = 3
+	}
+}
+
+// Methods served over HTTP. "saphyra" is betweenness (SaPHyRa_bc); the two
+// companion estimators complete the persisted view's consumer set.
+const (
+	MethodSaPHyRa   = "saphyra"
+	MethodKPath     = "kpath"
+	MethodCloseness = "closeness"
+)
+
+var methods = []string{MethodSaPHyRa, MethodKPath, MethodCloseness}
+
+// loadedView is one generation of the serving state: the mapped view with
+// its lifetime handle plus everything derived from it once per load — the
+// betweenness preprocessing (decomposition, out-reach, exact-phase engine)
+// and the original-id -> dense-id reverse map.
+type loadedView struct {
+	handle *bicomp.Handle
+	view   *bicomp.BlockCSR
+	g      *graph.Graph
+	ids    []int64              // dense -> original; nil = identity
+	back   map[int64]graph.Node // original -> dense; nil = identity
+	prep   *core.BCPreprocessed
+	loaded time.Time
+}
+
+func (lv *loadedView) gen() uint64 { return lv.handle.Gen() }
+
+// dense maps an original id to its dense node, reporting existence.
+func (lv *loadedView) dense(raw int64) (graph.Node, bool) {
+	if lv.back == nil {
+		return graph.Node(raw), raw >= 0 && raw < int64(lv.g.NumNodes())
+	}
+	v, ok := lv.back[raw]
+	return v, ok
+}
+
+// original maps a dense node back to its original id.
+func (lv *loadedView) original(v graph.Node) int64 {
+	if lv.ids == nil {
+		return int64(v)
+	}
+	return lv.ids[v]
+}
+
+// Server is the ranking service. Create with New, expose via Handler, hot
+// reload with Reload, shut down with Close.
+type Server struct {
+	cfg      Config
+	viewPath string
+
+	cur      atomic.Pointer[loadedView]
+	reloadMu sync.Mutex // serializes Reload; swaps stay atomic for readers
+
+	cache  *cache
+	budget *sched.Budget
+	adm    *admission
+	mux    *http.ServeMux
+	start  time.Time
+
+	ranks, topks, reloads, badRequests, internalErrors, shed atomic.Int64
+}
+
+// New maps the view file, runs the per-process preprocessing, warms the
+// top-k index (unless disabled), and returns a Server ready to accept
+// requests as generation 1.
+func New(viewPath string, cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:      cfg,
+		viewPath: viewPath,
+		cache:    newCache(cfg.CacheEntries),
+		budget:   sched.NewBudget(cfg.TotalWorkers, cfg.RequestWorkers),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		start:    time.Now(),
+	}
+	lv, err := s.load(1)
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(lv)
+	if !cfg.DisablePrecompute {
+		s.precomputeTopK(lv)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the JSON API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Generation returns the current view generation.
+func (s *Server) Generation() uint64 { return s.cur.Load().gen() }
+
+// Close retires the current view; in-flight queries drain before the
+// mapping is released. The server must not serve requests afterwards.
+func (s *Server) Close() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if lv := s.cur.Load(); lv != nil {
+		lv.handle.Retire()
+	}
+	return nil
+}
+
+// load maps viewPath and builds the per-generation derived state.
+func (s *Server) load(gen uint64) (*loadedView, error) {
+	m, err := bicomp.OpenMapped(s.viewPath)
+	if err != nil {
+		return nil, err
+	}
+	lv := &loadedView{
+		handle: bicomp.NewHandle(m, gen),
+		view:   m.View,
+		g:      m.View.G,
+		ids:    m.IDs,
+		loaded: time.Now(),
+	}
+	// The betweenness preprocessing is the expensive derived state; doing
+	// it here (not lazily) means no query ever pays it. With the view
+	// file's out-reach section the O(n+m) NewOutReach DP is skipped too.
+	lv.prep = core.PreprocessBCFromView(m.View)
+	if lv.ids != nil {
+		lv.back = make(map[int64]graph.Node, len(lv.ids))
+		for dense, raw := range lv.ids {
+			lv.back[raw] = graph.Node(dense)
+		}
+	}
+	return lv, nil
+}
+
+// Reload maps the view file afresh as the next generation and swaps it in.
+// The old generation keeps serving its in-flight queries and is unmapped
+// when the last of them drains (bicomp.Handle). Queries arriving during the
+// swap land on whichever generation their Acquire wins — each response
+// reports which one. On error the current view keeps serving untouched.
+func (s *Server) Reload() (uint64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.cur.Load()
+	lv, err := s.load(old.gen() + 1)
+	if err != nil {
+		return old.gen(), fmt.Errorf("serve: reload failed, generation %d keeps serving: %w", old.gen(), err)
+	}
+	if !s.cfg.DisablePrecompute {
+		// Warm the new generation before exposing it, so /v1/topk never
+		// stalls across a reload.
+		s.precomputeTopK(lv)
+	}
+	s.cur.Store(lv)
+	old.handle.Retire()
+	s.cache.purgeOtherGens(lv.gen())
+	s.reloads.Add(1)
+	return lv.gen(), nil
+}
+
+// acquire pins the current generation for one request. A tiny retry loop
+// covers the window where a reload retires the handle between the pointer
+// read and the Acquire.
+func (s *Server) acquire() (*loadedView, error) {
+	for i := 0; i < 1000; i++ {
+		lv := s.cur.Load()
+		if lv == nil {
+			return nil, errors.New("serve: no view loaded")
+		}
+		if lv.handle.Acquire() {
+			return lv, nil
+		}
+	}
+	return nil, errors.New("serve: could not pin a view generation")
+}
+
+// query is a fully validated, canonicalized request: the unit the cache key
+// is derived from.
+type query struct {
+	method string
+	topk   bool
+	k      int // kpath only; 0 otherwise
+	eps    float64
+	delta  float64
+	seed   int64
+	dense  []graph.Node // canonical (sorted, deduplicated) dense targets; nil for topk
+}
+
+func (s *Server) canonicalize(lv *loadedView, method string, targets []int64, eps, delta float64, k int, seed int64, topk bool) (query, error) {
+	q := query{method: method, topk: topk}
+	switch method {
+	case MethodSaPHyRa, MethodCloseness:
+	case MethodKPath:
+		if k == 0 {
+			k = s.cfg.DefaultK
+		}
+		if err := params.CheckK(k); err != nil {
+			return q, err
+		}
+		q.k = k
+	default:
+		return q, params.Errorf("method", "unknown method %q (want saphyra | kpath | closeness)", method)
+	}
+	if eps == 0 {
+		eps = s.cfg.DefaultEpsilon
+	}
+	if delta == 0 {
+		delta = s.cfg.DefaultDelta
+	}
+	if seed == 0 {
+		seed = s.cfg.DefaultSeed
+	}
+	// Options canonicalization is the library's (saphyra.Options.Canonical):
+	// equal canonical forms guarantee bitwise-equal results, which is the
+	// precondition for using them in the cache key.
+	opt := saphyra.Options{Epsilon: eps, Delta: delta, Seed: seed}.Canonical()
+	if err := params.CheckEpsDelta(opt.Epsilon, opt.Delta); err != nil {
+		return q, err
+	}
+	q.eps, q.delta, q.seed = opt.Epsilon, opt.Delta, opt.Seed
+	if topk {
+		return q, nil
+	}
+	if len(targets) == 0 {
+		return q, params.Errorf("targets", "empty target set")
+	}
+	dense := make([]graph.Node, len(targets))
+	for i, raw := range targets {
+		v, ok := lv.dense(raw)
+		if !ok {
+			return q, params.Errorf("targets", "node %d not present in the served view", raw)
+		}
+		dense[i] = v
+	}
+	q.dense = graph.DedupSorted(dense)
+	return q, nil
+}
+
+func (q query) key(gen uint64) cacheKey {
+	key := cacheKey{
+		gen: gen, method: q.method, topk: q.topk,
+		k: q.k, eps: q.eps, delta: q.delta, seed: q.seed,
+	}
+	if !q.topk {
+		key.hash = saphyra.TargetSetHash(q.dense)
+		key.count = len(q.dense)
+	}
+	return key
+}
+
+// lookup runs q through the cache, computing on a miss under admission
+// control and the worker budget.
+func (s *Server) lookup(lv *loadedView, q query) (*payload, bool, error) {
+	return s.cache.do(q.key(lv.gen()), func() (*payload, error) {
+		if err := s.adm.enter(); err != nil {
+			return nil, err
+		}
+		defer s.adm.leave()
+		granted := s.budget.Acquire(0)
+		defer s.budget.Release(granted)
+		return s.compute(lv, q, granted)
+	})
+}
+
+// compute runs the engine for q with the granted worker count. The worker
+// count affects latency only, never bits (DESIGN.md section 3), so the
+// grant does not appear in the cache key.
+func (s *Server) compute(lv *loadedView, q query, workers int) (*payload, error) {
+	dense := q.dense
+	if q.topk {
+		dense = make([]graph.Node, lv.g.NumNodes())
+		for i := range dense {
+			dense[i] = graph.Node(i)
+		}
+	}
+	var (
+		scores  []float64
+		samples int64
+	)
+	switch q.method {
+	case MethodSaPHyRa:
+		res, err := lv.prep.EstimateBC(dense, core.BCOptions{
+			Epsilon: q.eps, Delta: q.delta, Workers: workers, Seed: q.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scores = res.BC
+		if res.Est != nil {
+			samples = res.Est.Samples
+		}
+	case MethodKPath:
+		res, err := kpath.EstimateView(lv.view, dense, kpath.Options{
+			K: q.k, Epsilon: q.eps, Delta: q.delta, Workers: workers, Seed: q.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scores, samples = res.KPath, res.Est.Samples
+	case MethodCloseness:
+		res, err := closeness.EstimateView(lv.view, dense, closeness.Options{
+			Epsilon: q.eps, Delta: q.delta, Workers: workers, Seed: q.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scores, samples = res.Closeness, res.Samples
+	default:
+		return nil, params.Errorf("method", "unknown method %q", q.method)
+	}
+
+	ids32 := make([]int32, len(dense))
+	for i, v := range dense {
+		ids32[i] = int32(v)
+	}
+	ranks := rank.Ranks(scores, ids32)
+	p := &payload{
+		nodes:   make([]int64, len(dense)),
+		scores:  scores,
+		ranks:   ranks,
+		samples: samples,
+	}
+	for i, v := range dense {
+		p.nodes[i] = lv.original(v)
+	}
+	if q.topk {
+		return sortByRank(p), nil
+	}
+	return p, nil
+}
+
+// sortByRank reorders a full-network payload by rank (1 = most central), so
+// /v1/topk responses are prefix slices. Ranks is a permutation (ties broken
+// by node id in rank.Ranks), so the order is total.
+func sortByRank(p *payload) *payload {
+	order := make([]int, len(p.ranks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p.ranks[order[a]] < p.ranks[order[b]] })
+	out := &payload{
+		nodes:   make([]int64, len(order)),
+		scores:  make([]float64, len(order)),
+		ranks:   make([]int, len(order)),
+		samples: p.samples,
+	}
+	for i, j := range order {
+		out.nodes[i] = p.nodes[j]
+		out.scores[i] = p.scores[j]
+		out.ranks[i] = p.ranks[j]
+	}
+	return out
+}
+
+// precomputeTopK warms the full-network ranking of every method with the
+// configured default options, so the first /v1/topk of a fresh generation
+// is already a cache hit. The three methods warm concurrently — admission
+// control and the worker budget arbitrate the slots exactly as they do for
+// requests (a reload-time warmup competes with live traffic), and the
+// warmup — the most expensive queries the server runs — takes the time of
+// the slowest method, not the sum. Failures are non-fatal: the index is
+// then built lazily.
+func (s *Server) precomputeTopK(lv *loadedView) {
+	var wg sync.WaitGroup
+	for _, m := range methods {
+		q, err := s.canonicalize(lv, m, nil, 0, 0, 0, 0, true)
+		if err != nil {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.lookup(lv, q)
+		}()
+	}
+	wg.Wait()
+}
+
+// ---- HTTP layer ----
+
+// RankRequest is the body of POST /v1/rank. Targets are original node ids
+// (the id space of the edge list the view was built from). Zero-valued
+// fields take the server's configured defaults.
+type RankRequest struct {
+	Method  string  `json:"method"`
+	Targets []int64 `json:"targets"`
+	Eps     float64 `json:"eps,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	K       int     `json:"k,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// RankResponse is the body of POST /v1/rank and GET /v1/topk responses.
+// Nodes/Scores/Ranks are aligned; for /v1/topk they arrive ordered by rank.
+// Generation identifies the view the scores were computed on; Cached
+// reports whether the result was served without computing (LRU hit or
+// collapsed onto a concurrent identical request).
+type RankResponse struct {
+	Generation uint64    `json:"generation"`
+	Method     string    `json:"method"`
+	Eps        float64   `json:"eps"`
+	Delta      float64   `json:"delta"`
+	K          int       `json:"k,omitempty"`
+	Seed       int64     `json:"seed"`
+	Cached     bool      `json:"cached"`
+	Samples    int64     `json:"samples"`
+	Nodes      []int64   `json:"nodes"`
+	Scores     []float64 `json:"scores"`
+	Ranks      []int     `json:"ranks"`
+}
+
+// maxRankBody bounds a /v1/rank request body (16 MiB ≈ several hundred
+// thousand JSON-encoded targets): the body is decoded before any
+// validation, so without a cap one request could allocate without bound.
+const maxRankBody = 16 << 20
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.ranks.Add(1)
+	var req RankRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRankBody)).Decode(&req); err != nil {
+		s.fail(w, params.Errorf("body", "bad JSON: %v", err))
+		return
+	}
+	lv, err := s.acquire()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer lv.handle.Release()
+	q, err := s.canonicalize(lv, req.Method, req.Targets, req.Eps, req.Delta, req.K, req.Seed, false)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	p, computed, err := s.lookup(lv, q)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), q, p, !computed))
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.topks.Add(1)
+	qs := r.URL.Query()
+	k, err := queryInt(qs.Get("k"), 10)
+	if err != nil {
+		s.fail(w, params.Errorf("k", "%v", err))
+		return
+	}
+	if k < 1 {
+		s.fail(w, params.Errorf("k", "must be >= 1, got %d", k))
+		return
+	}
+	eps, err1 := queryFloat(qs.Get("eps"))
+	delta, err2 := queryFloat(qs.Get("delta"))
+	seed, err3 := queryInt64(qs.Get("seed"))
+	walkK, err4 := queryInt(qs.Get("walk_k"), 0)
+	if err := errors.Join(err1, err2, err3, err4); err != nil {
+		s.fail(w, params.Errorf("query", "%v", err))
+		return
+	}
+	lv, err := s.acquire()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer lv.handle.Release()
+	method := qs.Get("method")
+	if method == "" {
+		method = MethodSaPHyRa
+	}
+	q, err := s.canonicalize(lv, method, nil, eps, delta, walkK, seed, true)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	p, computed, err := s.lookup(lv, q)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if k > len(p.nodes) {
+		k = len(p.nodes)
+	}
+	top := &payload{nodes: p.nodes[:k], scores: p.scores[:k], ranks: p.ranks[:k], samples: p.samples}
+	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), q, top, !computed))
+}
+
+func rankResponse(gen uint64, q query, p *payload, cached bool) *RankResponse {
+	return &RankResponse{
+		Generation: gen,
+		Method:     q.method,
+		Eps:        q.eps,
+		Delta:      q.delta,
+		K:          q.k,
+		Seed:       q.seed,
+		Cached:     cached,
+		Samples:    p.samples,
+		Nodes:      p.nodes,
+		Scores:     p.scores,
+		Ranks:      p.ranks,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	lv := s.cur.Load()
+	if lv == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": lv.gen()})
+}
+
+// Statusz is the GET /statusz body: operational counters for dashboards
+// and the serving tests.
+type Statusz struct {
+	Generation     uint64    `json:"generation"`
+	View           string    `json:"view"`
+	Nodes          int       `json:"nodes"`
+	Edges          int64     `json:"edges"`
+	LoadedAt       time.Time `json:"loaded_at"`
+	UptimeSeconds  float64   `json:"uptime_seconds"`
+	InFlight       int       `json:"inflight"`
+	Waiting        int64     `json:"waiting"`
+	WorkersTotal   int       `json:"workers_total"`
+	WorkersPerCall int       `json:"workers_per_request"`
+	Cache          struct {
+		Entries   int   `json:"entries"`
+		Capacity  int   `json:"capacity"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Collapsed int64 `json:"collapsed"`
+	} `json:"cache"`
+	Requests struct {
+		Rank           int64 `json:"rank"`
+		TopK           int64 `json:"topk"`
+		BadRequest     int64 `json:"bad_request"`
+		Shed           int64 `json:"shed"`
+		InternalErrors int64 `json:"internal_errors"`
+	} `json:"requests"`
+	Reloads int64 `json:"reloads"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	lv, err := s.acquire()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer lv.handle.Release()
+	st := Statusz{
+		Generation:     lv.gen(),
+		View:           s.viewPath,
+		Nodes:          lv.g.NumNodes(),
+		Edges:          lv.g.NumEdges(),
+		LoadedAt:       lv.loaded,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		InFlight:       s.adm.inFlight(),
+		Waiting:        s.adm.waitingNow(),
+		WorkersTotal:   s.cfg.TotalWorkers,
+		WorkersPerCall: s.cfg.RequestWorkers,
+		Reloads:        s.reloads.Load(),
+	}
+	st.Cache.Entries = s.cache.len()
+	st.Cache.Capacity = s.cfg.CacheEntries
+	st.Cache.Hits = s.cache.hits.Load()
+	st.Cache.Misses = s.cache.misses.Load()
+	st.Cache.Collapsed = s.cache.collapsed.Load()
+	st.Requests.Rank = s.ranks.Load()
+	st.Requests.TopK = s.topks.Load()
+	st.Requests.BadRequest = s.badRequests.Load()
+	st.Requests.Shed = s.shed.Load()
+	st.Requests.InternalErrors = s.internalErrors.Load()
+	writeJSON(w, http.StatusOK, &st)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	gen, err := s.Reload()
+	if err != nil {
+		s.internalErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": err.Error(), "generation": gen,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "generation": gen})
+}
+
+// fail classifies err and writes the matching status: typed parameter
+// errors are the caller's fault (400), shed load is 429 with a Retry-After
+// hint, anything else is a 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case params.IsBadInput(err):
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+	case errors.Is(err, errOverloaded):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+	default:
+		s.internalErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func queryInt64(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func queryFloat(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ---- admission control ----
+
+var errOverloaded = errors.New("serve: overloaded, try again later")
+
+// admission bounds concurrently running computations with a bounded wait
+// queue: slots hold the run capacity, waiting counts computations blocked
+// on a slot, and arrivals beyond maxWait are shed immediately — the queue
+// never grows without bound, so p99 under overload stays the service time
+// of the queue, not of the backlog.
+type admission struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newAdmission(inFlight, maxWait int) *admission {
+	a := &admission{slots: make(chan struct{}, inFlight), maxWait: int64(maxWait)}
+	for i := 0; i < inFlight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+func (a *admission) enter() error {
+	select {
+	case <-a.slots:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		return errOverloaded
+	}
+	defer a.waiting.Add(-1)
+	<-a.slots
+	return nil
+}
+
+func (a *admission) leave() { a.slots <- struct{}{} }
+
+func (a *admission) inFlight() int     { return cap(a.slots) - len(a.slots) }
+func (a *admission) waitingNow() int64 { return a.waiting.Load() }

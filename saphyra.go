@@ -27,6 +27,8 @@
 package saphyra
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"saphyra/internal/exact"
 	"saphyra/internal/graph"
 	"saphyra/internal/kpath"
+	"saphyra/internal/params"
 	"saphyra/internal/rank"
 )
 
@@ -96,6 +99,40 @@ type Options struct {
 	Method  Method
 }
 
+// Canonical returns the options with every default resolved and every
+// result-irrelevant field cleared: a zero Epsilon/Delta becomes its
+// documented default (0.05 / 0.01) and Workers is zeroed — the worker count
+// multiplexes fixed virtual sampler streams and never affects output bits
+// (DESIGN.md section 3). Two Options values with equal Canonical forms
+// therefore produce bitwise-identical results on the same graph or view,
+// which is what makes (Canonical options, target-set hash, view generation)
+// a sound cache key for a serving layer; see internal/serve.
+func (o Options) Canonical() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
+	o.Workers = 0
+	return o
+}
+
+// TargetSetHash returns a stable 256-bit digest of the canonicalized target
+// set: the nodes are de-duplicated and sorted (exactly the normalization
+// RankSubset applies), then hashed as little-endian 32-bit values. The
+// digest is a pure function of the set — independent of input order,
+// duplicates, machine, and process — so it identifies "the same query" in
+// persistent or cross-process result caches.
+func TargetSetHash(targets []Node) [sha256.Size]byte {
+	nodes := graph.DedupSorted(targets)
+	buf := make([]byte, 4*len(nodes))
+	for i, v := range nodes {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return sha256.Sum256(buf)
+}
+
 // Result is a centrality ranking of a target node set.
 type Result struct {
 	// Nodes is the sorted, de-duplicated target set.
@@ -130,6 +167,9 @@ func buildResult(nodes []Node, scores []float64, samples int64, dur time.Duratio
 // nodes with the configured method.
 func RankSubset(g *Graph, targets []Node, opt Options) (*Result, error) {
 	start := time.Now()
+	if err := params.CheckTargets(targets, g.NumNodes()); err != nil {
+		return nil, fmt.Errorf("saphyra: %w", err)
+	}
 	switch opt.Method {
 	case MethodSaPHyRa:
 		res, err := core.EstimateBC(g, targets, core.BCOptions{
@@ -160,14 +200,8 @@ func RankSubset(g *Graph, targets []Node, opt Options) (*Result, error) {
 			return nil, err
 		}
 		nodes := graph.DedupSorted(targets)
-		if len(nodes) == 0 {
-			return nil, fmt.Errorf("saphyra: empty target set")
-		}
 		scores := make([]float64, len(nodes))
 		for i, v := range nodes {
-			if int(v) < 0 || int(v) >= g.NumNodes() {
-				return nil, fmt.Errorf("saphyra: target node %d out of range", v)
-			}
 			scores[i] = res.BC[v]
 		}
 		return buildResult(nodes, scores, res.Samples, time.Since(start)), nil

@@ -15,8 +15,10 @@ trap 'rm -f "$TMP"' EXIT
 # Sampler microbenchmarks (legacy engine vs single-draw shim vs batched),
 # exact-phase microbenchmarks (view build + run-length engine vs legacy
 # reference), the k-path and closeness estimator rows (graph-served vs
-# view-served plus their isolated hot loops), and the end-to-end Fig 3
-# timing rows.
+# view-served plus their isolated hot loops), the serving-layer rows
+# (cache-hit vs cache-miss requests/sec; the hit row must stay >= 10x the
+# miss row — TestServeHitAtLeast10xMiss enforces it), and the end-to-end
+# Fig 3 timing rows.
 go test -run '^$' -bench 'BenchmarkSamplerDraw' -benchmem \
     -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkExactPhase' -benchmem \
@@ -25,6 +27,8 @@ go test -run '^$' -bench 'BenchmarkKPath' -benchmem \
     -benchtime "$BENCHTIME" ./internal/kpath/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkCloseness' -benchmem \
     -benchtime "$BENCHTIME" ./internal/closeness/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkServeRank' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkFig3Time' -benchmem \
     -benchtime "$BENCHTIME" . | tee -a "$TMP"
 

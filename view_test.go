@@ -1,6 +1,7 @@
 package saphyra
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 )
@@ -71,6 +72,81 @@ func TestViewBuildServeRoundTrip(t *testing.T) {
 	gotCL, err1 := view.RankCloseness(targets, opt)
 	wantCL, err2 := RankCloseness(g, targets, opt)
 	compare("closeness", gotCL, wantCL, err1, err2)
+}
+
+// TestOptionsCanonical: the canonical form resolves defaults and strips the
+// result-irrelevant worker count, so equal canonical forms really do imply
+// bitwise-equal results (the caching contract).
+func TestOptionsCanonical(t *testing.T) {
+	c := Options{}.Canonical()
+	if c.Epsilon != 0.05 || c.Delta != 0.01 {
+		t.Fatalf("zero options canonicalized to eps=%g delta=%g", c.Epsilon, c.Delta)
+	}
+	a := Options{Epsilon: 0.1, Delta: 0.02, Workers: 1, Seed: 9}.Canonical()
+	b := Options{Epsilon: 0.1, Delta: 0.02, Workers: 64, Seed: 9}.Canonical()
+	if a != b {
+		t.Fatal("worker count survived canonicalization")
+	}
+	if a.Seed != 9 || a.Method != MethodSaPHyRa {
+		t.Fatal("result-relevant fields were not preserved")
+	}
+
+	// The contract itself: equal canonical forms, equal bits.
+	g := Generate.BarabasiAlbert(300, 3, 2)
+	targets := []Node{3, 14, 159}
+	r1, err1 := RankSubset(g, targets, Options{Epsilon: 0.1, Delta: 0.02, Workers: 1, Seed: 9})
+	r2, err2 := RankSubset(g, targets, Options{Epsilon: 0.1, Delta: 0.02, Workers: 5, Seed: 9})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range r1.Scores {
+		if r1.Scores[i] != r2.Scores[i] {
+			t.Fatal("equal canonical options produced different bits")
+		}
+	}
+}
+
+// TestTargetSetHash: order- and duplicate-insensitive, set-sensitive.
+func TestTargetSetHash(t *testing.T) {
+	a := TargetSetHash([]Node{5, 1, 9})
+	if b := TargetSetHash([]Node{9, 5, 1, 5, 1}); b != a {
+		t.Fatal("hash depends on order or duplicates")
+	}
+	if c := TargetSetHash([]Node{5, 1, 8}); c == a {
+		t.Fatal("different sets collide")
+	}
+	if d := TargetSetHash(nil); d == a {
+		t.Fatal("empty set collides")
+	}
+	// Stability across processes: pin one digest so accidental
+	// canonicalization changes are caught (the serving cache key depends
+	// on this being a pure function of the set).
+	h := TargetSetHash([]Node{0, 1, 2})
+	got := fmt.Sprintf("%x", h[:8])
+	const want = "ad5dc1478de06a4c"
+	if got != want {
+		t.Fatalf("TargetSetHash({0,1,2}) prefix = %s, want %s", got, want)
+	}
+}
+
+// TestRankSubsetRejectsBadTargets: the typed validation surfaces through
+// the public API for every method.
+func TestRankSubsetRejectsBadTargets(t *testing.T) {
+	g := Generate.BarabasiAlbert(50, 2, 1)
+	for _, m := range []Method{MethodSaPHyRa, MethodABRA, MethodKADABRA} {
+		if _, err := RankSubset(g, nil, Options{Method: m}); err == nil {
+			t.Errorf("%v: empty target set accepted", m)
+		}
+		if _, err := RankSubset(g, []Node{999}, Options{Method: m}); err == nil {
+			t.Errorf("%v: out-of-range target accepted", m)
+		}
+	}
+	if _, err := RankKPath(g, []Node{999}, 3, Options{}); err == nil {
+		t.Error("kpath: out-of-range target accepted")
+	}
+	if _, err := RankCloseness(g, []Node{999}, Options{}); err == nil {
+		t.Error("closeness: out-of-range target accepted")
+	}
 }
 
 // TestRankSubsetWorkerIndependent: the public API contract — fixed seed
