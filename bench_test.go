@@ -18,6 +18,8 @@ package saphyra
 //	Table I: dim(Riondato) >= dim(SaPHyRa-full) >= dim(SaPHyRa-subset)
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 	"time"
@@ -265,7 +267,7 @@ func benchAblationExact(b *testing.B, disable bool) {
 	var rho float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Prep.EstimateBC(subset, core.BCOptions{
+		res, err := e.Prep.EstimateBC(context.Background(), subset, core.BCOptions{
 			Epsilon: 0.05, Delta: 0.01, Seed: int64(i),
 			DisableExactSubspace: disable,
 		})
@@ -288,7 +290,7 @@ func benchAblationAdaptive(b *testing.B, disable bool) {
 	var samples int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Prep.EstimateBC(subset, core.BCOptions{
+		res, err := e.Prep.EstimateBC(context.Background(), subset, core.BCOptions{
 			Epsilon: 0.05, Delta: 0.01, Seed: 3, DisableAdaptive: disable,
 		})
 		if err != nil {
@@ -312,7 +314,7 @@ func benchAblationVC(b *testing.B, kind core.VCBoundKind) {
 	var nmax, samples int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := roadEnv.Prep.EstimateBC(subset, core.BCOptions{
+		res, err := roadEnv.Prep.EstimateBC(context.Background(), subset, core.BCOptions{
 			Epsilon: 0.05, Delta: 0.01, Seed: 5, VCBound: kind,
 		})
 		if err != nil {
@@ -366,7 +368,7 @@ func BenchmarkSubstrateBiBFSQuery(b *testing.B) {
 func BenchmarkSubstrateGenBCSample(b *testing.B) {
 	e := envs(b)[datasets.LiveJournal.Name]
 	subset := datasets.RandomSubsets(e.G.NumNodes(), 100, 1, 19)[0]
-	res, err := e.Prep.EstimateBC(subset, core.BCOptions{Epsilon: 0.2, Delta: 0.1, Seed: 1})
+	res, err := e.Prep.EstimateBC(context.Background(), subset, core.BCOptions{Epsilon: 0.2, Delta: 0.1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -374,8 +376,51 @@ func BenchmarkSubstrateGenBCSample(b *testing.B) {
 	b.ResetTimer()
 	// measure end-to-end estimation at fixed epsilon as the sampling proxy
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Prep.EstimateBC(subset, core.BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: int64(i)}); err != nil {
+		if _, err := e.Prep.EstimateBC(context.Background(), subset, core.BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRankerQueryOverhead isolates the cost of the unified Query/
+// Ranker dispatch layer — Validate + Canonical (target dedup copy) + the
+// measure/algorithm switch + Result assembly — against calling the engine
+// directly with cached preprocessing. Both paths run the identical tiny
+// estimation (loose eps on a small subset), so the delta between the two
+// series IS the API overhead; the cancellation checkpoints the context
+// plumbing added must be invisible here and in BenchmarkSamplerDraw /
+// BenchmarkExactPhaseRange (the hot-loop gates).
+func BenchmarkRankerQueryOverhead(b *testing.B) {
+	g := graph.BarabasiAlbert(2000, 3, 7)
+	subset := []graph.Node{3, 99, 500, 1500}
+	ctx := context.Background()
+
+	b.Run("ranker", func(b *testing.B) {
+		r := NewRanker(g)
+		q := Query{Measure: Betweenness, Targets: subset, Epsilon: 0.2, Delta: 0.1, Seed: 1, Workers: 1}
+		if _, err := r.Rank(ctx, q); err != nil { // warm the preprocessing
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Rank(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		prep := core.PreprocessBC(g)
+		opt := core.BCOptions{Epsilon: 0.2, Delta: 0.1, Seed: 1, Workers: 1}
+		if _, err := prep.EstimateBC(ctx, subset, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.EstimateBC(ctx, subset, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

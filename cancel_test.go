@@ -1,0 +1,111 @@
+package saphyra
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"saphyra/internal/params"
+)
+
+// TestCancellationAllOrNothing is the cancellation contract gate (in the CI
+// -race list): contexts canceled at arbitrary points mid-computation —
+// mid-exact-phase and mid-sampling — must yield either a clean typed
+// cancellation error or a full result bitwise-identical to the uncancelled
+// run, never a partial estimate. Exercised across all three measures at
+// workers {1, 8}, with cancellation delays swept from "immediately" past
+// the full computation time.
+func TestCancellationAllOrNothing(t *testing.T) {
+	g := Generate.BarabasiAlbert(400, 3, 17)
+	targets := []Node{2, 40, 99, 250, 399}
+	queries := map[string]Query{
+		"betweenness": {Measure: Betweenness, Targets: targets, Epsilon: 0.01, Delta: 0.05, Seed: 4},
+		"kpath":       {Measure: KPath, Targets: targets, K: 4, Epsilon: 0.02, Delta: 0.05, Seed: 4},
+		"closeness":   {Measure: Closeness, Targets: targets, Epsilon: 0.03, Delta: 0.05, Seed: 4},
+	}
+	for name, q := range queries {
+		for _, workers := range []int{1, 8} {
+			q := q
+			q.Workers = workers
+			ranker := NewRanker(g) // fresh per combo: preprocessing under cancellation races too
+			ref, err := ranker.Rank(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%s/w%d reference: %v", name, workers, err)
+			}
+			var canceled, completed int
+			for trial := 0; trial < 12; trial++ {
+				// Sweep the cancel point across the computation: trial 0
+				// cancels before any work, later trials progressively
+				// deeper, the last ones typically after completion.
+				delay := time.Duration(trial) * ref.Duration / 8
+				ctx, cancel := context.WithTimeout(context.Background(), delay)
+				res, err := ranker.Rank(ctx, q)
+				cancel()
+				switch {
+				case err == nil:
+					completed++
+					compareBitwise(t, name, res, ref)
+				case params.IsCanceled(err) && errors.Is(err, context.DeadlineExceeded):
+					canceled++
+					if res != nil {
+						t.Fatalf("%s/w%d trial %d: cancellation returned a partial result", name, workers, trial)
+					}
+				default:
+					t.Fatalf("%s/w%d trial %d: unexpected error %v", name, workers, trial, err)
+				}
+			}
+			if canceled == 0 {
+				t.Logf("%s/w%d: no trial observed a cancellation (computation too fast) — %d completed bitwise-identical", name, workers, completed)
+			}
+		}
+	}
+}
+
+// TestCancellationBaselines: the whole-network baselines honor the same
+// contract at their round checkpoints.
+func TestCancellationBaselines(t *testing.T) {
+	g := Generate.BarabasiAlbert(300, 3, 9)
+	r := NewRanker(g)
+	for _, alg := range []Algorithm{AlgABRA, AlgKADABRA} {
+		q := Query{Measure: Betweenness, Algorithm: alg, Targets: []Node{1, 2, 3}, Epsilon: 0.05, Delta: 0.05, Seed: 2}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if res, err := r.Rank(ctx, q); err == nil || res != nil || !params.IsCanceled(err) {
+			t.Fatalf("%v: pre-canceled ctx returned res=%v err=%v", alg, res, err)
+		}
+		// And uncancelled still completes.
+		if _, err := r.Rank(context.Background(), q); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+// TestCancellationDuringPreprocessing: the exact-phase engine inside the
+// betweenness preprocessing path is also checkpointed — a deadline that
+// fires while newBCSpace runs the 2-hop enumeration aborts cleanly.
+func TestCancellationDuringPreprocessing(t *testing.T) {
+	g := Generate.PowerLawCluster(800, 6, 0.3, 3)
+	all := make([]Node, g.NumNodes())
+	for i := range all {
+		all[i] = Node(i)
+	}
+	r := NewRanker(g)
+	q := Query{Measure: Betweenness, Targets: all, Epsilon: 0.05, Delta: 0.05, Seed: 1, Workers: 8}
+	ref, err := r.Rank(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(trial)*ref.Duration/6)
+		res, err := r.Rank(ctx, q)
+		cancel()
+		if err != nil {
+			if !params.IsCanceled(err) {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			continue
+		}
+		compareBitwise(t, "full-network bc", res, ref)
+	}
+}

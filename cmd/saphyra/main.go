@@ -6,7 +6,7 @@
 //
 //	saphyra -graph net.txt -targets 17,99,1024 -eps 0.05 -delta 0.01
 //	saphyra -graph net.txt -random 100 -seed 7 -method kadabra
-//	saphyra -graph net.txt -all
+//	saphyra -graph net.txt -all -timeout 30s
 //
 // Build-once/serve-many: the target-independent preprocessing (the
 // block-annotated adjacency view, DESIGN.md section 7) can be serialized
@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,6 +52,7 @@ func main() {
 		kflag     = flag.Int("k", 3, "walk length for -method kpath")
 		exactFlag = flag.Bool("exact", false, "also compute exact betweenness and report rank correlation")
 		topK      = flag.Int("top", 0, "print only the top K rows (0 = all)")
+		timeout   = flag.Duration("timeout", 0, "abort the estimation after this long (e.g. 30s; 0 = no deadline)")
 	)
 	flag.Parse()
 	if (*graphPath == "") == (*viewPath == "") {
@@ -157,40 +159,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := saphyra.Options{Epsilon: *eps, Delta: *delta, Workers: *workers, Seed: *seed}
-	var (
-		res *saphyra.Result
-		err error
-	)
+	// One Query + one Ranker serve every measure/algorithm combination; the
+	// ranker runs off the mapped view when -view was given and off the
+	// in-memory graph otherwise, with bitwise-identical results.
+	q := saphyra.Query{
+		Targets: subset, K: *kflag,
+		Epsilon: *eps, Delta: *delta, Workers: *workers, Seed: *seed,
+	}
 	switch name := strings.ToLower(*method); name {
-	case "saphyra", "abra", "kadabra":
-		switch name {
-		case "abra":
-			opt.Method = saphyra.MethodABRA
-		case "kadabra":
-			opt.Method = saphyra.MethodKADABRA
-		}
-		if view != nil && opt.Method == saphyra.MethodSaPHyRa {
-			res, err = view.Preprocess().RankSubset(subset, opt)
-		} else {
-			res, err = saphyra.RankSubset(g, subset, opt)
-		}
+	case "saphyra":
+		q.Measure = saphyra.Betweenness
+	case "abra":
+		q.Measure, q.Algorithm = saphyra.Betweenness, saphyra.AlgABRA
+	case "kadabra":
+		q.Measure, q.Algorithm = saphyra.Betweenness, saphyra.AlgKADABRA
 	case "kpath":
-		if view != nil {
-			res, err = view.RankKPath(subset, *kflag, opt)
-		} else {
-			res, err = saphyra.RankKPath(g, subset, *kflag, opt)
-		}
+		q.Measure = saphyra.KPath
 	case "closeness":
-		if view != nil {
-			res, err = view.RankCloseness(subset, opt)
-		} else {
-			res, err = saphyra.RankCloseness(g, subset, opt)
-		}
+		q.Measure = saphyra.Closeness
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var r *saphyra.Ranker
+	if view != nil {
+		r = view.Ranker()
+	} else {
+		r = saphyra.NewRanker(g)
+	}
+	res, err := r.Rank(ctx, q)
 	if err != nil {
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("deadline of %v exceeded: %w", *timeout, err))
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "method=%s eps=%g delta=%g samples=%d time=%v\n",

@@ -16,7 +16,16 @@
 //	GET  /v1/topk?method=closeness&k=10
 //	GET  /healthz
 //	GET  /statusz
+//	GET  /metricsz                                 # Prometheus text format
 //	POST /admin/reload                             # also: kill -HUP <pid>
+//
+// Deadlines: -timeout sets a default compute deadline; a request may
+// tighten (never extend) it with a Timeout-Ms header. An expired request
+// returns 504, frees its
+// admission slot, and its computation is canceled at the next engine
+// checkpoint (unless other requests still wait on the same cached flight) —
+// cancellation is all-or-nothing, so a completed response is always
+// bitwise-identical to an undeadlined one.
 //
 // Methods are saphyra (betweenness), kpath, and closeness; targets and
 // reported nodes use the original id space of the edge list the view was
@@ -59,6 +68,7 @@ func main() {
 		delta       = flag.Float64("delta", 0.01, "default failure probability")
 		seed        = flag.Int64("seed", 1, "default RNG seed (responses are seed-deterministic)")
 		kflag       = flag.Int("k", 3, "default walk length for method kpath")
+		timeout     = flag.Duration("timeout", 0, "default per-request compute deadline (e.g. 30s; 0 = none); a Timeout-Ms request header may tighten but never extend it. Expired requests get 504 and their computation is canceled")
 		noWarm      = flag.Bool("no-precompute", false, "skip warming the per-method top-k index at startup/reload")
 	)
 	flag.Parse()
@@ -79,6 +89,7 @@ func main() {
 		DefaultDelta:      *delta,
 		DefaultSeed:       *seed,
 		DefaultK:          *kflag,
+		DefaultTimeout:    *timeout,
 		DisablePrecompute: *noWarm,
 	})
 	if err != nil {

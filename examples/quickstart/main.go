@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,8 +25,15 @@ func main() {
 	// The nodes we care about: a few arbitrary ids.
 	targets := []saphyra.Node{7, 100, 500, 1000, 1500, 1999}
 
-	// Rank them with a 0.01 additive-error guarantee at 99% confidence.
-	res, err := saphyra.RankSubset(g, targets, saphyra.Options{
+	// Rank them with a 0.01 additive-error guarantee at 99% confidence. A
+	// Ranker answers any Query (measure x algorithm) on one graph, caching
+	// the preprocessing across calls; the context can carry a deadline —
+	// cancellation is all-or-nothing, so a returned result is always
+	// complete and deterministic.
+	ranker := saphyra.NewRanker(g)
+	res, err := ranker.Rank(context.Background(), saphyra.Query{
+		Measure: saphyra.Betweenness,
+		Targets: targets,
 		Epsilon: 0.01,
 		Delta:   0.01,
 		Seed:    1,
@@ -71,7 +79,9 @@ func main() {
 	}
 	defer view.Close()
 	st, _ := os.Stat(viewPath)
-	served, err := view.Preprocess().RankSubset(targets, saphyra.Options{
+	served, err := view.Ranker().Rank(context.Background(), saphyra.Query{
+		Measure: saphyra.Betweenness,
+		Targets: targets,
 		Epsilon: 0.01,
 		Delta:   0.01,
 		Seed:    1,

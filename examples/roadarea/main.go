@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +24,13 @@ func main() {
 		side, side, g.NumNodes(), g.NumEdges())
 
 	truth := saphyra.ExactBC(g, 0)
-	prep := saphyra.Preprocess(g)
+	ranker := saphyra.NewRanker(g)
+	ranker.Prepare(saphyra.Betweenness) // decompose once, rank many areas
 
 	fmt.Println("\narea\tnodes\ttime\tspearman-rho\trank-deviation")
 	for _, area := range datasets.Areas(side) {
-		res, err := prep.RankSubset(area.Nodes, saphyra.Options{
+		res, err := ranker.Rank(context.Background(), saphyra.Query{
+			Measure: saphyra.Betweenness, Targets: area.Nodes,
 			Epsilon: 0.05, Delta: 0.01, Seed: 3,
 		})
 		if err != nil {

@@ -11,11 +11,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"saphyra"
 	"saphyra/internal/serve"
@@ -91,10 +93,45 @@ func main() {
 	fmt.Printf("\nafter POST /admin/reload: generation %d, cached=%v (keys carry the generation), identical=%v\n",
 		third.Generation, third.Cached, identical(first, third))
 
+	// Per-request deadline: a Timeout-Ms header bounds the compute time.
+	// An impossible budget (1 ms) on an uncached query returns 504 — the
+	// computation is canceled at its next checkpoint and the admission slot
+	// freed; nothing partial is ever cached.
+	hard := serve.RankRequest{
+		Method:  "saphyra",
+		Targets: []int64{5, 55, 555},
+		Eps:     0.005, Delta: 0.01, Seed: 404, // tight eps: a real computation
+	}
+	body, _ := json.Marshal(hard)
+	hreq, _ := http.NewRequest("POST", base+"/v1/rank", bytes.NewReader(body))
+	hreq.Header.Set("Timeout-Ms", "1")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hresp.Body.Close()
+	fmt.Printf("\nPOST /v1/rank with Timeout-Ms: 1  ->  %s (deadline-exceeded compute is canceled, never partial)\n", hresp.Status)
+
 	status := getJSON[serve.Statusz](base + "/statusz")
-	fmt.Printf("statusz: gen=%d cache{hits=%d misses=%d} requests{rank=%d topk=%d}\n",
+	fmt.Printf("statusz: gen=%d cache{hits=%d misses=%d} requests{rank=%d topk=%d deadline=%d}\n",
 		status.Generation, status.Cache.Hits, status.Cache.Misses,
-		status.Requests.Rank, status.Requests.TopK)
+		status.Requests.Rank, status.Requests.TopK, status.Requests.DeadlineExceeded)
+
+	// The same counters in Prometheus text format, ready to scrape.
+	mresp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	fmt.Println("\nGET /metricsz (excerpt):")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "saphyra_requests_total") ||
+			strings.HasPrefix(line, "saphyra_request_errors_total{reason=\"deadline\"}") ||
+			strings.HasPrefix(line, "saphyra_generation") {
+			fmt.Println("  " + line)
+		}
+	}
 }
 
 func postRank(base string, req serve.RankRequest) *serve.RankResponse {

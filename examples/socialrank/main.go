@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -75,14 +76,16 @@ func main() {
 	}
 
 	fmt.Println("\nmethod\ttime\tsamples\tspearman-rho")
-	for _, m := range []saphyra.Method{saphyra.MethodSaPHyRa, saphyra.MethodKADABRA, saphyra.MethodABRA} {
-		res, err := saphyra.RankSubset(g, targets, saphyra.Options{
-			Epsilon: 0.05, Delta: 0.01, Seed: 99, Method: m,
+	ranker := saphyra.NewRanker(g)
+	for _, alg := range []saphyra.Algorithm{saphyra.AlgSaPHyRa, saphyra.AlgKADABRA, saphyra.AlgABRA} {
+		res, err := ranker.Rank(context.Background(), saphyra.Query{
+			Measure: saphyra.Betweenness, Algorithm: alg,
+			Targets: targets, Epsilon: 0.05, Delta: 0.01, Seed: 99,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s\t%v\t%d\t%.3f\n", m, res.Duration, res.Samples, score(res))
+		fmt.Printf("%s\t%v\t%d\t%.3f\n", alg, res.Duration, res.Samples, score(res))
 	}
 	fmt.Println("\nSaPHyRa keeps the subset's ordering because its exact 2-hop")
 	fmt.Println("subspace gives every target a non-zero estimate (Lemma 19);")

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,8 @@ func main() {
 		g.NumNodes(), g.NumEdges(), side)
 
 	truth := exact.BCParallel(g, 0)
-	prep := saphyra.Preprocess(g)
+	ranker := saphyra.NewRanker(g)
+	ranker.Prepare(saphyra.Betweenness) // decompose once, rank many areas
 
 	fmt.Println("\narea\tcut-out exact rho\tsaphyra (full-network) rho")
 	for _, area := range datasets.Areas(side) {
@@ -56,7 +58,8 @@ func main() {
 		rhoCut := saphyra.Spearman(truthA, cutout, ids)
 
 		// (b) SaPHyRa against the complete network
-		res, err := prep.RankSubset(area.Nodes, saphyra.Options{
+		res, err := ranker.Rank(context.Background(), saphyra.Query{
+			Measure: saphyra.Betweenness, Targets: area.Nodes,
 			Epsilon: 0.05, Delta: 0.01, Seed: 7,
 		})
 		if err != nil {

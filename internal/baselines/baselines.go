@@ -21,6 +21,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -83,8 +84,10 @@ type pairSampler interface {
 	sampleBatch(rng *rand.Rand, count int64, acc, accSq []float64)
 }
 
-// progressive runs the shared doubling loop.
-func progressive(g *graph.Graph, opt Options, mk func(seed int64) pairSampler) (*Result, error) {
+// progressive runs the shared doubling loop. Cancellation is polled once
+// per doubling round: a done ctx aborts with a *params.CanceledError, never
+// a partial estimate.
+func progressive(ctx context.Context, g *graph.Graph, opt Options, mk func(seed int64) pairSampler) (*Result, error) {
 	opt.setDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -135,6 +138,9 @@ func progressive(g *graph.Graph, opt Options, mk func(seed int64) pairSampler) (
 	target := n0
 	for {
 		res.Rounds++
+		if err := params.Interrupted(ctx); err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
 		drawBatch(samplers, rngs, target-drawn, n, sum, sumSq)
 		drawn = target
 		worst := 0.0
@@ -220,8 +226,8 @@ func drawBatch(samplers []pairSampler, rngs []*rand.Rand, count int64, n int, su
 }
 
 // ABRA estimates betweenness for all nodes with node-pair sampling [47].
-func ABRA(g *graph.Graph, opt Options) (*Result, error) {
-	return progressive(g, opt, func(seed int64) pairSampler {
+func ABRA(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	return progressive(ctx, g, opt, func(seed int64) pairSampler {
 		return newABRASampler(g)
 	})
 }
@@ -321,8 +327,8 @@ func (a *abraSampler) sampleOne(rng *rand.Rand, acc, accSq []float64) {
 
 // KADABRA estimates betweenness for all nodes with single-path sampling and
 // balanced bidirectional BFS [12].
-func KADABRA(g *graph.Graph, opt Options) (*Result, error) {
-	return progressive(g, opt, func(seed int64) pairSampler {
+func KADABRA(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	return progressive(ctx, g, opt, func(seed int64) pairSampler {
 		return &kadabraSampler{g: g, bfs: shortestpath.NewBiBFS(g.NumNodes())}
 	})
 }

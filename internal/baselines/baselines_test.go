@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -22,7 +24,7 @@ func TestABRAWithinEpsilon(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := testutil.RandomConnectedGraph(40, 50, seed)
 		truth := exact.BC(g)
-		res, err := ABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		res, err := ABRA(context.Background(), g, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +36,7 @@ func TestKADABRAWithinEpsilon(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := testutil.RandomConnectedGraph(40, 50, seed)
 		truth := exact.BC(g)
-		res, err := KADABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		res, err := KADABRA(context.Background(), g, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +47,7 @@ func TestKADABRAWithinEpsilon(t *testing.T) {
 func TestABRAStar(t *testing.T) {
 	g := graph.Star(15)
 	truth := exact.BC(g)
-	res, err := ABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 3})
+	res, err := ABRA(context.Background(), g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestKADABRADisconnected(t *testing.T) {
 	b.AddEdge(7, 8)
 	g := b.Build()
 	truth := exact.BC(g)
-	res, err := KADABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 5})
+	res, err := KADABRA(context.Background(), g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestABRADisconnected(t *testing.T) {
 	b.AddEdge(5, 6)
 	g := b.Build()
 	truth := exact.BC(g)
-	res, err := ABRA(g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 8})
+	res, err := ABRA(context.Background(), g, Options{Epsilon: 0.05, Delta: 0.01, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,10 +98,10 @@ func TestBaselinesRejectBadOptions(t *testing.T) {
 		{Epsilon: -0.1, Delta: 0.1},
 		{Epsilon: 0.1, Delta: 2},
 	} {
-		if _, err := ABRA(g, opt); err == nil {
+		if _, err := ABRA(context.Background(), g, opt); err == nil {
 			t.Errorf("ABRA %+v: want error", opt)
 		}
-		if _, err := KADABRA(g, opt); err == nil {
+		if _, err := KADABRA(context.Background(), g, opt); err == nil {
 			t.Errorf("KADABRA %+v: want error", opt)
 		}
 	}
@@ -107,8 +109,8 @@ func TestBaselinesRejectBadOptions(t *testing.T) {
 
 func TestBaselinesTinyGraph(t *testing.T) {
 	g := graph.Path(2)
-	for name, f := range map[string]func(*graph.Graph, Options) (*Result, error){"abra": ABRA, "kadabra": KADABRA} {
-		res, err := f(g, Options{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	for name, f := range map[string]func(context.Context, *graph.Graph, Options) (*Result, error){"abra": ABRA, "kadabra": KADABRA} {
+		res, err := f(context.Background(), g, Options{Epsilon: 0.1, Delta: 0.1, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -117,7 +119,7 @@ func TestBaselinesTinyGraph(t *testing.T) {
 		}
 	}
 	empty := graph.NewBuilder(1).Build()
-	if res, err := ABRA(empty, Options{Epsilon: 0.1, Delta: 0.1}); err != nil || len(res.BC) != 1 {
+	if res, err := ABRA(context.Background(), empty, Options{Epsilon: 0.1, Delta: 0.1}); err != nil || len(res.BC) != 1 {
 		t.Errorf("single-node graph: res=%v err=%v", res, err)
 	}
 }
@@ -125,11 +127,11 @@ func TestBaselinesTinyGraph(t *testing.T) {
 func TestKADABRADeterministic(t *testing.T) {
 	g := graph.BarabasiAlbert(80, 3, 2)
 	opt := Options{Epsilon: 0.1, Delta: 0.1, Seed: 42, Workers: 3}
-	a, err := KADABRA(g, opt)
+	a, err := KADABRA(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := KADABRA(g, opt)
+	b, err := KADABRA(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestKADABRADeterministic(t *testing.T) {
 
 func TestABRAMaxSamplesCap(t *testing.T) {
 	g := graph.BarabasiAlbert(60, 3, 1)
-	res, err := ABRA(g, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1, MaxSamples: 200})
+	res, err := ABRA(context.Background(), g, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1, MaxSamples: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestABRAMaxSamplesCap(t *testing.T) {
 func TestKADABRAProducesFalseZeros(t *testing.T) {
 	g := graph.RoadNetwork(20, 20, 0.3, 4)
 	truth := exact.BC(g)
-	res, err := KADABRA(g, Options{Epsilon: 0.1, Delta: 0.1, Seed: 2})
+	res, err := KADABRA(context.Background(), g, Options{Epsilon: 0.1, Delta: 0.1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

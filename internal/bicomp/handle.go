@@ -72,6 +72,18 @@ func (h *Handle) Acquire() bool {
 	}
 }
 
+// Share takes an additional reference on a handle the caller already has
+// pinned. Unlike Acquire it succeeds even after Retire: the caller's own
+// reference (or, before the handle is published, its exclusive ownership)
+// keeps the mapping alive, so extending the pin can never resurrect an
+// unmapped view. It exists for handing work to a goroutine that may outlive
+// the caller's bracket — e.g. a detached cache-flight computation that keeps
+// serving followers after the originating request timed out. Every Share
+// must be paired with exactly one Release.
+func (h *Handle) Share() {
+	h.state.Add(1)
+}
+
 // Release drops a reference. The last Release of a retired handle unmaps
 // the view.
 func (h *Handle) Release() {

@@ -1,6 +1,8 @@
 package closeness
 
 import (
+	"context"
+
 	"testing"
 
 	"saphyra/internal/bicomp"
@@ -32,7 +34,7 @@ func BenchmarkCloseness(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Estimate(g, targets, benchOpt); err != nil {
+		if _, err := Estimate(context.Background(), g, targets, benchOpt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +51,7 @@ func BenchmarkClosenessView(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimateView(view, targets, benchOpt); err != nil {
+		if _, err := EstimateView(context.Background(), view, targets, benchOpt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,6 +23,7 @@
 package closeness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,9 +70,12 @@ type Result struct {
 }
 
 // Estimate computes (eps, delta)-estimates of harmonic closeness for the
-// targets by source sampling over the graph's CSR adjacency.
-func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
-	return estimate(g, a, opt)
+// targets by source sampling over the graph's CSR adjacency. Cancellation
+// is polled between doubling rounds and between the per-round virtual
+// streams: a done ctx aborts with a *params.CanceledError, never a partial
+// estimate.
+func Estimate(ctx context.Context, g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+	return estimate(ctx, g, a, opt)
 }
 
 // EstimateView is Estimate over a block-annotated adjacency view: the BFS
@@ -79,8 +83,8 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 // a serialized file (bicomp.OpenMapped) serves closeness queries without
 // touching — or even having — the original CSR pages. Results are
 // bitwise-identical to Estimate on the graph the view was built from.
-func EstimateView(view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
-	return estimate(bicomp.GroupedAdj{V: view}, a, opt)
+func EstimateView(ctx context.Context, view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
+	return estimate(ctx, bicomp.GroupedAdj{V: view}, a, opt)
 }
 
 // adjacency is what the pricing engine needs from a graph representation:
@@ -94,7 +98,7 @@ type adjacency interface {
 }
 
 // estimate is the engine shared by the CSR and view paths.
-func estimate(adj adjacency, a []graph.Node, opt Options) (*Result, error) {
+func estimate(ctx context.Context, adj adjacency, a []graph.Node, opt Options) (*Result, error) {
 	opt.setDefaults()
 	n := adj.NumNodes()
 	if n < 2 {
@@ -150,7 +154,11 @@ func estimate(adj adjacency, a []graph.Node, opt Options) (*Result, error) {
 	var quota []int64
 	for {
 		res.Rounds++
-		quota = batchParallel(samplers, mk, opt.Workers, target-drawn, quota, accs)
+		var err error
+		quota, err = batchParallel(ctx, samplers, mk, opt.Workers, target-drawn, quota, accs)
+		if err != nil {
+			return nil, fmt.Errorf("closeness: %w", err)
+		}
 		drawn = target
 		worst := 0.0
 		for i := range accs {
@@ -225,13 +233,16 @@ func (s *sourceSampler) sampleBatch(count int64) {
 // goroutine per round, with rounds separated by the Do barrier, so the
 // lazy writes need no locking. It returns the quota buffer for reuse
 // across rounds.
-func batchParallel(samplers []*sourceSampler, mk func(v int) *sourceSampler, workers int, count int64, quota []int64, accs []stats.MeanVar) []int64 {
+func batchParallel(ctx context.Context, samplers []*sourceSampler, mk func(v int) *sourceSampler, workers int, count int64, quota []int64, accs []stats.MeanVar) ([]int64, error) {
 	if count <= 0 {
-		return quota
+		return quota, nil
+	}
+	if err := params.Interrupted(ctx); err != nil {
+		return quota, err
 	}
 	nv := len(samplers)
 	quota = sched.Split(count, nv, quota)
-	sched.Do(nv, workers, func(v int) {
+	err := sched.DoCtx(ctx, nv, workers, func(v int) {
 		if quota[v] == 0 {
 			return
 		}
@@ -240,6 +251,12 @@ func batchParallel(samplers []*sourceSampler, mk func(v int) *sourceSampler, wor
 		}
 		samplers[v].sampleBatch(quota[v])
 	})
+	if err != nil {
+		// All-or-nothing: a stream may have drawn while another never ran.
+		// The caller discards the whole estimate, so the polluted per-stream
+		// accumulators never surface.
+		return quota, &params.CanceledError{Cause: err}
+	}
 	// The per-stream accumulators are cumulative across rounds: rebuild accs
 	// from scratch, merging in stream order so the result is a pure function
 	// of the seed. Skipping an unmaterialized stream is bitwise-equivalent
@@ -255,7 +272,7 @@ func batchParallel(samplers []*sourceSampler, mk func(v int) *sourceSampler, wor
 			accs[i].Merge(&s.local[i])
 		}
 	}
-	return quota
+	return quota, nil
 }
 
 // Exact computes exact harmonic closeness for every node: c(v) =

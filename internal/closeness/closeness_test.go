@@ -1,6 +1,8 @@
 package closeness
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -43,7 +45,7 @@ func TestEstimateWithinEpsilon(t *testing.T) {
 		for v := 0; v < 40; v += 4 {
 			a = append(a, graph.Node(v))
 		}
-		res, err := Estimate(g, a, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		res, err := Estimate(context.Background(), g, a, Options{Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +68,7 @@ func TestEstimateRankQuality(t *testing.T) {
 		truthA = append(truthA, truth[v])
 		ids = append(ids, int32(v))
 	}
-	res, err := Estimate(g, a, Options{Epsilon: 0.02, Delta: 0.01, Seed: 9})
+	res, err := Estimate(context.Background(), g, a, Options{Epsilon: 0.02, Delta: 0.01, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,21 +80,21 @@ func TestEstimateRankQuality(t *testing.T) {
 
 func TestEstimateErrors(t *testing.T) {
 	g := graph.Cycle(5)
-	if _, err := Estimate(g, nil, Options{}); err == nil {
+	if _, err := Estimate(context.Background(), g, nil, Options{}); err == nil {
 		t.Error("empty targets: want error")
 	}
-	if _, err := Estimate(g, []graph.Node{0}, Options{Epsilon: 2}); err == nil {
+	if _, err := Estimate(context.Background(), g, []graph.Node{0}, Options{Epsilon: 2}); err == nil {
 		t.Error("bad epsilon: want error")
 	}
 	tiny := graph.NewBuilder(1).Build()
-	if _, err := Estimate(tiny, []graph.Node{0}, Options{}); err == nil {
+	if _, err := Estimate(context.Background(), tiny, []graph.Node{0}, Options{}); err == nil {
 		t.Error("tiny graph: want error")
 	}
 }
 
 func TestEstimateMaxSamplesCap(t *testing.T) {
 	g := graph.Cycle(30)
-	res, err := Estimate(g, []graph.Node{0, 7, 15}, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1, MaxSamples: 100})
+	res, err := Estimate(context.Background(), g, []graph.Node{0, 7, 15}, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1, MaxSamples: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +107,11 @@ func TestEstimateDeterministic(t *testing.T) {
 	g := graph.BarabasiAlbert(100, 3, 4)
 	opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 21, Workers: 2}
 	a := []graph.Node{1, 2, 3}
-	r1, err := Estimate(g, a, opt)
+	r1, err := Estimate(context.Background(), g, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Estimate(g, a, opt)
+	r2, err := Estimate(context.Background(), g, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

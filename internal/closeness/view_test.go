@@ -1,6 +1,8 @@
 package closeness
 
 import (
+	"context"
+
 	"path/filepath"
 	"testing"
 
@@ -22,7 +24,7 @@ func TestWorkerCountBitwise(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			a := []graph.Node{0, 3, 17, 99, 120}
 			run := func(workers int) *Result {
-				res, err := Estimate(tc.g, a, Options{Epsilon: 0.05, Delta: 0.05, Seed: 9, Workers: workers})
+				res, err := Estimate(context.Background(), tc.g, a, Options{Epsilon: 0.05, Delta: 0.05, Seed: 9, Workers: workers})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -57,7 +59,7 @@ func TestViewMatchesGraph(t *testing.T) {
 	a := []graph.Node{1, 5, 42, 250}
 	opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 4, Workers: 3}
 
-	want, err := Estimate(g, a, opt)
+	want, err := Estimate(context.Background(), g, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestViewMatchesGraph(t *testing.T) {
 		name string
 		v    *bicomp.BlockCSR
 	}{{"memory", view}, {"mapped", m.View}} {
-		got, err := EstimateView(tc.v, a, opt)
+		got, err := EstimateView(context.Background(), tc.v, a, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	mrand "math/rand"
 	"sort"
@@ -27,7 +29,7 @@ func testSpace(t testing.TB, g *graph.Graph, nTargets int, seed int64) *bcSpace 
 	nodes := graph.DedupSorted(targets)
 	blocksA := p.O.BlocksOf(nodes)
 	wA := p.O.WeightOfBlocks(blocksA)
-	sp, err := newBCSpace(p, nodes, blocksA, wA, BCOptions{Epsilon: 0.05, Delta: 0.01})
+	sp, err := newBCSpace(context.Background(), p, nodes, blocksA, wA, BCOptions{Epsilon: 0.05, Delta: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func TestEstimateDeterministicGolden(t *testing.T) {
 	targets := []graph.Node{1, 5, 17, 99, 250, 777, 1234, 2500, 3999}
 	var first *BCResult
 	for rep := 0; rep < 3; rep++ {
-		res, err := EstimateBC(g, targets, BCOptions{
+		res, err := EstimateBC(context.Background(), g, targets, BCOptions{
 			Epsilon: 0.05, Delta: 0.01, Seed: 12345, Workers: 4,
 		})
 		if err != nil {
@@ -124,7 +126,7 @@ func TestDrawBatchExactCount(t *testing.T) {
 	nodes := graph.DedupSorted([]graph.Node{3, 50, 120, 333})
 	blocksA := p.O.BlocksOf(nodes)
 	wA := p.O.WeightOfBlocks(blocksA)
-	sp, err := newBCSpace(p, nodes, blocksA, wA, BCOptions{Epsilon: 0.05, Delta: 0.01, DisableExactSubspace: true})
+	sp, err := newBCSpace(context.Background(), p, nodes, blocksA, wA, BCOptions{Epsilon: 0.05, Delta: 0.01, DisableExactSubspace: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -114,12 +115,15 @@ func PreprocessBCFromView(view *bicomp.BlockCSR) *BCPreprocessed {
 }
 
 // EstimateBC runs the full SaPHyRa_bc pipeline on graph g for target set a.
-func EstimateBC(g *graph.Graph, a []graph.Node, opt BCOptions) (*BCResult, error) {
-	return PreprocessBC(g).EstimateBC(a, opt)
+func EstimateBC(ctx context.Context, g *graph.Graph, a []graph.Node, opt BCOptions) (*BCResult, error) {
+	return PreprocessBC(g).EstimateBC(ctx, a, opt)
 }
 
 // EstimateBC runs SaPHyRa_bc for one target set on the preprocessed graph.
-func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, error) {
+// Cancellation checkpoints sit between exact-phase chunks and between
+// sampling rounds (see exactphase.Engine.Run and core.Run); a done ctx
+// aborts with a *params.CanceledError, never a partial estimate.
+func (p *BCPreprocessed) EstimateBC(ctx context.Context, a []graph.Node, opt BCOptions) (*BCResult, error) {
 	opt.setDefaults()
 	g, o := p.G, p.O
 	n := g.NumNodes()
@@ -164,14 +168,14 @@ func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, e
 	epsStar := opt.Epsilon / gammaEta
 	res.EpsStar = epsStar
 
-	space, err := newBCSpace(p, nodes, blocksA, wA, opt)
+	space, err := newBCSpace(ctx, p, nodes, blocksA, wA, opt)
 	if err != nil {
 		return nil, err
 	}
 	if epsStar >= 1 {
 		// Any estimate in [0,1] is within eps of the truth after scaling by
 		// gammaEta < eps; skip sampling and return the exact part alone.
-		lambdaHat, exact := space.ExactPhase()
+		lambdaHat, exact, _ := space.ExactPhase(ctx) // precomputed: never errors
 		for i := range res.BC {
 			res.BC[i] = res.BCA[i] + gammaEta*exact[i]
 		}
@@ -184,7 +188,7 @@ func (p *BCPreprocessed) EstimateBC(a []graph.Node, opt BCOptions) (*BCResult, e
 		}
 		return res, nil
 	}
-	est, err := Run(space, Options{
+	est, err := Run(ctx, space, Options{
 		Epsilon:         epsStar,
 		Delta:           opt.Delta,
 		Workers:         opt.Workers,
@@ -228,7 +232,7 @@ type bcSpace struct {
 	disableExact bool
 }
 
-func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float64, opt BCOptions) (*bcSpace, error) {
+func newBCSpace(ctx context.Context, p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float64, opt BCOptions) (*bcSpace, error) {
 	g, d, o := p.G, p.D, p.O
 	n := g.NumNodes()
 	sp := &bcSpace{
@@ -307,7 +311,11 @@ func newBCSpace(p *BCPreprocessed, nodes []graph.Node, blocksA []int32, wA float
 		sp.lambdaHat = 0
 		sp.exact = make([]float64, len(nodes))
 	} else {
-		sp.lambdaHat, sp.exact = p.Exact.Run(nodes, sp.aIndex, sp.wA, opt.Workers)
+		var err error
+		sp.lambdaHat, sp.exact, err = p.Exact.Run(ctx, nodes, sp.aIndex, sp.wA, opt.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	return sp, nil
 }
@@ -330,8 +338,11 @@ func (sp *bcSpace) NumHypotheses() int { return len(sp.nodes) }
 // VCDim implements Space.
 func (sp *bcSpace) VCDim() int { return sp.vcdim }
 
-// ExactPhase implements Space.
-func (sp *bcSpace) ExactPhase() (float64, []float64) { return sp.lambdaHat, sp.exact }
+// ExactPhase implements Space: the risks were computed eagerly (and
+// cancellably) in newBCSpace, so this never blocks and never errors.
+func (sp *bcSpace) ExactPhase(context.Context) (float64, []float64, error) {
+	return sp.lambdaHat, sp.exact, nil
+}
 
 // NewSampler implements Space: Algorithm Gen_bc (Algorithm 2), multistage
 // alias-table sampling with rejection of exact-subspace paths. The returned

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +27,7 @@ func TestEstimateBCWithinEpsilonRandomGraphs(t *testing.T) {
 		for len(a) < 8 {
 			a = append(a, graph.Node(rng.Intn(n)))
 		}
-		res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: int64(trial), Workers: 2})
+		res, err := EstimateBC(context.Background(), g, a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: int64(trial), Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +51,7 @@ func TestEstimateBCFullNetwork(t *testing.T) {
 	for i := range all {
 		all[i] = graph.Node(i)
 	}
-	res, err := EstimateBC(g, all, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 4, Workers: 4})
+	res, err := EstimateBC(context.Background(), g, all, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 4, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestEstimateBCTreeIsExact(t *testing.T) {
 	for v := 0; v < 60; v += 3 {
 		a = append(a, graph.Node(v))
 	}
-	res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 2})
+	res, err := EstimateBC(context.Background(), g, a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func TestEstimateBCNoFalseZeros(t *testing.T) {
 		for i := 0; i < 6; i++ {
 			a = append(a, graph.Node(rng.Intn(n)))
 		}
-		res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.2, Delta: 0.1, Seed: seed})
+		res, err := EstimateBC(context.Background(), g, a, BCOptions{Epsilon: 0.2, Delta: 0.1, Seed: seed})
 		if err != nil {
 			t.Log(err)
 			return false
@@ -142,7 +144,7 @@ func TestExactBCMatchesBruteForce(t *testing.T) {
 		for i, v := range nodes {
 			aIndex[v] = int32(i)
 		}
-		lambdaHat, ell := p.Exact.Run(nodes, aIndex, wA, 2)
+		lambdaHat, ell, _ := p.Exact.Run(context.Background(), nodes, aIndex, wA, 2)
 
 		// brute force over all ordered pairs and all shortest paths
 		bruteEll := make([]float64, len(nodes))
@@ -217,11 +219,11 @@ func TestGenBCDistribution(t *testing.T) {
 	nodes := []graph.Node{1, 4} // targets in different blocks
 	blocksA := p.O.BlocksOf(nodes)
 	wA := p.O.WeightOfBlocks(blocksA)
-	sp, err := newBCSpace(p, nodes, blocksA, wA, BCOptions{Epsilon: 0.1, Delta: 0.1})
+	sp, err := newBCSpace(context.Background(), p, nodes, blocksA, wA, BCOptions{Epsilon: 0.1, Delta: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lambdaHat, _ := sp.ExactPhase()
+	lambdaHat, _, _ := sp.ExactPhase(context.Background())
 
 	// theoretical probability of each approximate-subspace path
 	type pathKey string
@@ -314,7 +316,7 @@ func TestEstimateBCPreprocessedReuse(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			a = append(a, graph.Node(rng.Intn(150)))
 		}
-		res, err := p.EstimateBC(a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: int64(trial)})
+		res, err := p.EstimateBC(context.Background(), a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,20 +330,20 @@ func TestEstimateBCPreprocessedReuse(t *testing.T) {
 
 func TestEstimateBCErrors(t *testing.T) {
 	g := graph.Cycle(5)
-	if _, err := EstimateBC(g, nil, BCOptions{}); err == nil {
+	if _, err := EstimateBC(context.Background(), g, nil, BCOptions{}); err == nil {
 		t.Error("empty target set: want error")
 	}
-	if _, err := EstimateBC(g, []graph.Node{99}, BCOptions{}); err == nil {
+	if _, err := EstimateBC(context.Background(), g, []graph.Node{99}, BCOptions{}); err == nil {
 		t.Error("out-of-range target: want error")
 	}
-	if _, err := EstimateBC(g, []graph.Node{-1}, BCOptions{}); err == nil {
+	if _, err := EstimateBC(context.Background(), g, []graph.Node{-1}, BCOptions{}); err == nil {
 		t.Error("negative target: want error")
 	}
 }
 
 func TestEstimateBCDeduplicatesTargets(t *testing.T) {
 	g := graph.Cycle(6)
-	res, err := EstimateBC(g, []graph.Node{2, 2, 4, 2}, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	res, err := EstimateBC(context.Background(), g, []graph.Node{2, 2, 4, 2}, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,11 +356,11 @@ func TestEstimateBCDeterministic(t *testing.T) {
 	g := graph.BarabasiAlbert(100, 3, 5)
 	a := []graph.Node{3, 17, 42, 77}
 	opt := BCOptions{Epsilon: 0.05, Delta: 0.05, Seed: 11, Workers: 3}
-	r1, err := EstimateBC(g, a, opt)
+	r1, err := EstimateBC(context.Background(), g, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := EstimateBC(g, a, opt)
+	r2, err := EstimateBC(context.Background(), g, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +384,7 @@ func TestEstimateBCDisconnectedGraph(t *testing.T) {
 	g := b.Build()
 	truth := exact.BC(g)
 	a := []graph.Node{1, 8, 11} // cycle node, path node, isolated node
-	res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 6})
+	res, err := EstimateBC(context.Background(), g, a, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +399,7 @@ func TestEstimateBCIsolatedTargetsOnly(t *testing.T) {
 	b := graph.NewBuilder(5)
 	b.AddEdge(0, 1)
 	g := b.Build() // nodes 2,3,4 isolated
-	res, err := EstimateBC(g, []graph.Node{2, 3}, BCOptions{Epsilon: 0.1, Delta: 0.1})
+	res, err := EstimateBC(context.Background(), g, []graph.Node{2, 3}, BCOptions{Epsilon: 0.1, Delta: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +420,7 @@ func TestEstimateBCAblations(t *testing.T) {
 		{Epsilon: 0.05, Delta: 0.01, Seed: 1, VCBound: VCRiondato},
 		{Epsilon: 0.05, Delta: 0.01, Seed: 1, VCBound: VCBicomp},
 	} {
-		res, err := EstimateBC(g, a, opt)
+		res, err := EstimateBC(context.Background(), g, a, opt)
 		if err != nil {
 			t.Fatalf("%+v: %v", opt, err)
 		}
@@ -434,7 +436,7 @@ func TestEstimateBCStarCenter(t *testing.T) {
 	// Star: center is a cutpoint with bc = (n-1)(n-2)/(n(n-1)); every block
 	// is an edge so the whole value comes from bca, exactly.
 	g := graph.Star(20)
-	res, err := EstimateBC(g, []graph.Node{0}, BCOptions{Epsilon: 0.05, Delta: 0.01})
+	res, err := EstimateBC(context.Background(), g, []graph.Node{0}, BCOptions{Epsilon: 0.05, Delta: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}

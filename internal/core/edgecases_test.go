@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -26,7 +28,7 @@ func TestEstimateBCTrivialToleranceSkipsSampling(t *testing.T) {
 	b.AddEdge(k, k+1) // second pendant edge
 	g := b.Build()
 	truth := exact.BC(g)
-	res, err := EstimateBC(g, []graph.Node{k, k + 1}, BCOptions{Epsilon: 0.2, Delta: 0.01, Seed: 1})
+	res, err := EstimateBC(context.Background(), g, []graph.Node{k, k + 1}, BCOptions{Epsilon: 0.2, Delta: 0.01, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestEstimateBCSingleTarget(t *testing.T) {
 	g := testutil.RandomConnectedGraph(60, 90, 12)
 	truth := exact.BC(g)
 	for _, v := range []graph.Node{0, 13, 59} {
-		res, err := EstimateBC(g, []graph.Node{v}, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 3})
+		res, err := EstimateBC(context.Background(), g, []graph.Node{v}, BCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +66,7 @@ func TestEstimateBCSingleTarget(t *testing.T) {
 func TestEstimateBCManyWorkers(t *testing.T) {
 	g := testutil.RandomConnectedGraph(40, 60, 7)
 	truth := exact.BC(g)
-	res, err := EstimateBC(g, []graph.Node{1, 2, 3}, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 2, Workers: 64})
+	res, err := EstimateBC(context.Background(), g, []graph.Node{1, 2, 3}, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 2, Workers: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestEstimateBCReportsBCA(t *testing.T) {
 	for v := 0; v < g.NumNodes(); v++ {
 		a = append(a, graph.Node(v))
 	}
-	res, err := p.EstimateBC(a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	res, err := p.EstimateBC(context.Background(), a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestEstimateBCReportsBCA(t *testing.T) {
 // MaxSamples below the initial budget must clamp cleanly.
 func TestEstimateBCMaxSamplesBelowN0(t *testing.T) {
 	g := testutil.RandomConnectedGraph(50, 120, 9)
-	res, err := EstimateBC(g, []graph.Node{5, 10, 15}, BCOptions{
+	res, err := EstimateBC(context.Background(), g, []graph.Node{5, 10, 15}, BCOptions{
 		Epsilon: 0.01, Delta: 0.01, Seed: 4, MaxSamples: 50,
 	})
 	if err != nil {
@@ -114,7 +116,7 @@ func TestEstimateBCReportsGammaEta(t *testing.T) {
 	g := testutil.RandomConnectedGraph(80, 100, 10)
 	p := PreprocessBC(g)
 	a := []graph.Node{2, 40, 79}
-	res, err := p.EstimateBC(a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 5})
+	res, err := p.EstimateBC(context.Background(), a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestEstimateBCRangeInvariants(t *testing.T) {
 		for v := 0; v < 40; v += 2 {
 			a = append(a, graph.Node(v))
 		}
-		res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: seed})
+		res, err := EstimateBC(context.Background(), g, a, BCOptions{Epsilon: 0.1, Delta: 0.1, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -30,9 +32,9 @@ func TestExactBCParallelMatchesSequential(t *testing.T) {
 	if wA == 0 {
 		t.Fatal("degenerate fixture")
 	}
-	seqLambda, seqExact := p.Exact.Run(nodes, aIndex, wA, 1)
+	seqLambda, seqExact, _ := p.Exact.Run(context.Background(), nodes, aIndex, wA, 1)
 	for _, workers := range []int{2, 3, 8, 100} {
-		lambda, exact := p.Exact.Run(nodes, aIndex, wA, workers)
+		lambda, exact, _ := p.Exact.Run(context.Background(), nodes, aIndex, wA, workers)
 		if lambda != seqLambda {
 			t.Errorf("workers=%d: lambdaHat %g != %g (not bitwise identical)", workers, lambda, seqLambda)
 		}
@@ -57,8 +59,8 @@ func TestExactBCParallelDeterministic(t *testing.T) {
 		aIndex[v] = int32(i)
 	}
 	wA := p.O.WeightOfBlocks(p.O.BlocksOf(nodes))
-	l1, e1 := p.Exact.Run(nodes, aIndex, wA, 4)
-	l2, e2 := p.Exact.Run(nodes, aIndex, wA, 4)
+	l1, e1, _ := p.Exact.Run(context.Background(), nodes, aIndex, wA, 4)
+	l2, e2, _ := p.Exact.Run(context.Background(), nodes, aIndex, wA, 4)
 	if l1 != l2 {
 		t.Errorf("lambdaHat not deterministic: %g vs %g", l1, l2)
 	}
@@ -89,7 +91,7 @@ func TestExactBCLambdaInRange(t *testing.T) {
 		if wA == 0 {
 			continue
 		}
-		lambda, exact := p.Exact.Run(nodes, aIndex, wA, 0)
+		lambda, exact, _ := p.Exact.Run(context.Background(), nodes, aIndex, wA, 0)
 		if lambda < 0 || lambda > 1+1e-9 {
 			t.Errorf("seed %d: lambdaHat %g outside [0,1]", seed, lambda)
 		}
@@ -127,7 +129,7 @@ func TestClaim8VarianceReduction(t *testing.T) {
 	}
 	const N = 30000
 	sampleVar := func(disable bool) float64 {
-		sp, err := newBCSpace(p, nodesDedup, blocksA, wA, BCOptions{
+		sp, err := newBCSpace(context.Background(), p, nodesDedup, blocksA, wA, BCOptions{
 			Epsilon: 0.1, Delta: 0.1, DisableExactSubspace: disable,
 		})
 		if err != nil {
@@ -140,7 +142,7 @@ func TestClaim8VarianceReduction(t *testing.T) {
 				hits[h]++
 			}
 		}
-		lambdaHat, _ := sp.ExactPhase()
+		lambdaHat, _, _ := sp.ExactPhase(context.Background())
 		scale := 1 - lambdaHat // variance contribution rescaled to D^(A)
 		var total float64
 		for _, h := range hits {

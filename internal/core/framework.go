@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,8 +32,11 @@ type Space interface {
 	// NumHypotheses returns k.
 	NumHypotheses() int
 	// ExactPhase returns lambdaHat (the probability mass of the exact
-	// subspace) and the exact risks of every hypothesis on it (Eq 9).
-	ExactPhase() (lambdaHat float64, exact []float64)
+	// subspace) and the exact risks of every hypothesis on it (Eq 9). A
+	// long-running implementation should poll ctx at its own chunk
+	// boundaries and abort with a *params.CanceledError; a nil error means
+	// the risks are complete and bitwise-deterministic.
+	ExactPhase(ctx context.Context) (lambdaHat float64, exact []float64, err error)
 	// VCDim upper-bounds the VC dimension of the hypothesis class on the
 	// approximate subspace (used for the Lemma 4 sample ceiling).
 	VCDim() int
@@ -113,7 +117,13 @@ type Estimate struct {
 }
 
 // Run executes Algorithm 1 on the given space.
-func Run(space Space, opt Options) (*Estimate, error) {
+//
+// Cancellation: ctx is polled at round boundaries (before the pilot and
+// before every adaptive doubling round) and between the per-round virtual
+// sampler streams; a done ctx aborts with a *params.CanceledError and no
+// estimate. The checkpoints never touch the sampler streams, so a run that
+// completes is bitwise-identical to one under a context that never fires.
+func Run(ctx context.Context, space Space, opt Options) (*Estimate, error) {
 	if err := params.CheckEpsDelta(opt.Epsilon, opt.Delta); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -126,7 +136,10 @@ func Run(space Space, opt Options) (*Estimate, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	lambdaHat, exact := space.ExactPhase()
+	lambdaHat, exact, err := space.ExactPhase(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if lambdaHat < 0 {
 		lambdaHat = 0
 	}
@@ -176,7 +189,9 @@ func Run(space Space, opt Options) (*Estimate, error) {
 	// per-hypothesis variances, derive the per-hypothesis error-probability
 	// allocation delta_i (Eq 13), rescaled so sum_i 2 delta_i = delta/rounds.
 	pilotHits := make([]int64, k)
-	drawParallel(space, opt.Seed+7_777_777, workers, n0, pilotHits)
+	if err := drawParallel(ctx, space, opt.Seed+7_777_777, workers, n0, pilotHits); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	est.PilotN = n0
 	deltaBudget := opt.Delta / (2 * float64(rounds))
 	deltas := allocateDeltas(pilotHits, n0, nmax, epsPrime, deltaBudget)
@@ -189,7 +204,9 @@ func Run(space Space, opt Options) (*Estimate, error) {
 	target := n0
 	for {
 		est.Rounds++
-		drawParallelWith(samplers, workers, target-n, hits)
+		if err := drawParallelWith(ctx, samplers, workers, target-n, hits); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		n = target
 		if !opt.DisableAdaptive {
 			worst := 0.0
@@ -278,8 +295,8 @@ func (s *samplerSet) get(v int) Sampler {
 
 // drawParallel draws total samples with fresh samplers and accumulates hit
 // counts (used for the pilot).
-func drawParallel(space Space, seed int64, workers int, total int64, hits []int64) {
-	drawParallelWith(makeSamplers(space, seed), workers, total, hits)
+func drawParallel(ctx context.Context, space Space, seed int64, workers int, total int64, hits []int64) error {
+	return drawParallelWith(ctx, makeSamplers(space, seed), workers, total, hits)
 }
 
 // drawParallelWith draws `total` samples across the virtual sampler streams
@@ -293,19 +310,27 @@ func drawParallel(space Space, seed int64, workers int, total int64, hits []int6
 // otherwise. Batches smaller than smallBatch stay on the caller's goroutine
 // and on stream 0 alone: for the tiny budgets typical of subset ranking,
 // goroutine wakeups would dominate the sampling itself.
-func drawParallelWith(samplers *samplerSet, workers int, total int64, hits []int64) {
+//
+// Cancellation is polled once per stream (sched.DoCtx): on a done ctx the
+// round aborts and hits is left untouched — the streams that already drew
+// advanced their RNGs, but the whole estimate is discarded by the caller, so
+// no partial counts ever surface.
+func drawParallelWith(ctx context.Context, samplers *samplerSet, workers int, total int64, hits []int64) error {
 	if total <= 0 {
-		return
+		return nil
+	}
+	if err := params.Interrupted(ctx); err != nil {
+		return err
 	}
 	const smallBatch = 2048
 	if total < smallBatch {
 		drawInto(samplers.get(0), total, hits)
-		return
+		return nil
 	}
 	const nv = sched.VirtualWorkers
 	quota := sched.Split(total, nv, nil)
 	locals := make([][]int64, nv)
-	sched.Do(nv, workers, func(v int) {
+	err := sched.DoCtx(ctx, nv, workers, func(v int) {
 		if quota[v] == 0 {
 			return
 		}
@@ -313,11 +338,15 @@ func drawParallelWith(samplers *samplerSet, workers int, total int64, hits []int
 		drawInto(samplers.get(v), quota[v], local)
 		locals[v] = local
 	})
+	if err != nil {
+		return &params.CanceledError{Cause: err}
+	}
 	for _, local := range locals {
 		for i, c := range local {
 			hits[i] += c
 		}
 	}
+	return nil
 }
 
 // DirectSpace adapts a plain sampling problem (no partition) to the Space
@@ -333,8 +362,8 @@ type DirectSpace struct {
 func (d *DirectSpace) NumHypotheses() int { return d.K }
 
 // ExactPhase implements Space with an empty exact subspace.
-func (d *DirectSpace) ExactPhase() (float64, []float64) {
-	return 0, make([]float64, d.K)
+func (d *DirectSpace) ExactPhase(context.Context) (float64, []float64, error) {
+	return 0, make([]float64, d.K), nil
 }
 
 // VCDim implements Space.

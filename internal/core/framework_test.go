@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -18,10 +20,10 @@ type coinSpace struct {
 
 func (c *coinSpace) NumHypotheses() int { return len(c.approxRisk) }
 func (c *coinSpace) VCDim() int         { return c.dim }
-func (c *coinSpace) ExactPhase() (float64, []float64) {
+func (c *coinSpace) ExactPhase(context.Context) (float64, []float64, error) {
 	e := make([]float64, len(c.exactRisk))
 	copy(e, c.exactRisk)
-	return c.lambdaHat, e
+	return c.lambdaHat, e, nil
 }
 func (c *coinSpace) NewSampler(seed int64) Sampler {
 	rng := rand.New(rand.NewSource(seed))
@@ -50,12 +52,12 @@ func TestRunRejectsBadOptions(t *testing.T) {
 		{Epsilon: 0.1, Delta: 0},
 		{Epsilon: 0.1, Delta: 1},
 	} {
-		if _, err := Run(sp, opt); err == nil {
+		if _, err := Run(context.Background(), sp, opt); err == nil {
 			t.Errorf("opt %+v: want error", opt)
 		}
 	}
 	empty := &coinSpace{dim: 1}
-	if _, err := Run(empty, Options{Epsilon: 0.1, Delta: 0.1}); err == nil {
+	if _, err := Run(context.Background(), empty, Options{Epsilon: 0.1, Delta: 0.1}); err == nil {
 		t.Error("empty hypothesis class: want error")
 	}
 }
@@ -68,7 +70,7 @@ func TestRunEstimatesWithinEpsilon(t *testing.T) {
 		dim:        3,
 	}
 	const eps = 0.05
-	est, err := Run(sp, Options{Epsilon: eps, Delta: 0.01, Workers: 4, Seed: 42})
+	est, err := Run(context.Background(), sp, Options{Epsilon: eps, Delta: 0.01, Workers: 4, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestRunRepeatedCoverage(t *testing.T) {
 	bad := 0
 	const runs = 60
 	for r := 0; r < runs; r++ {
-		est, err := Run(sp, Options{Epsilon: eps, Delta: delta, Workers: 2, Seed: int64(1000 + r)})
+		est, err := Run(context.Background(), sp, Options{Epsilon: eps, Delta: delta, Workers: 2, Seed: int64(1000 + r)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +123,7 @@ func TestRunAllMassExact(t *testing.T) {
 		approxRisk: []float64{0.9, 0.9}, // must be ignored
 		dim:        5,
 	}
-	est, err := Run(sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1})
+	est, err := Run(context.Background(), sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestRunEarlyStoppingOnLowVariance(t *testing.T) {
 		approxRisk: make([]float64, 3),
 		dim:        10, // large ceiling
 	}
-	est, err := Run(sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 5})
+	est, err := Run(context.Background(), sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestRunDisableAdaptiveDrawsFullBudget(t *testing.T) {
 		approxRisk: []float64{0, 0},
 		dim:        4,
 	}
-	est, err := Run(sp, Options{Epsilon: 0.05, Delta: 0.05, Seed: 2, DisableAdaptive: true})
+	est, err := Run(context.Background(), sp, Options{Epsilon: 0.05, Delta: 0.05, Seed: 2, DisableAdaptive: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestRunMaxSamplesCap(t *testing.T) {
 		approxRisk: []float64{0.5, 0.5},
 		dim:        8,
 	}
-	est, err := Run(sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 3, MaxSamples: 500, DisableAdaptive: true})
+	est, err := Run(context.Background(), sp, Options{Epsilon: 0.01, Delta: 0.01, Seed: 3, MaxSamples: 500, DisableAdaptive: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +201,11 @@ func TestRunDeterministic(t *testing.T) {
 		dim:        3,
 	}
 	opt := Options{Epsilon: 0.05, Delta: 0.05, Workers: 3, Seed: 77}
-	a, err := Run(sp, opt)
+	a, err := Run(context.Background(), sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(sp, opt)
+	b, err := Run(context.Background(), sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +262,7 @@ func TestDirectSpace(t *testing.T) {
 			})
 		},
 	}
-	est, err := Run(ds, Options{Epsilon: 0.05, Delta: 0.05, Seed: 9})
+	est, err := Run(context.Background(), ds, Options{Epsilon: 0.05, Delta: 0.05, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"path/filepath"
 	"testing"
 
@@ -15,7 +17,7 @@ func TestEstimateBCWorkerCountBitwise(t *testing.T) {
 	g := graph.BarabasiAlbert(600, 3, 17)
 	a := []graph.Node{2, 9, 51, 333, 599}
 	run := func(workers int) *BCResult {
-		res, err := EstimateBC(g, a, BCOptions{Epsilon: 0.05, Delta: 0.05, Seed: 23, Workers: workers})
+		res, err := EstimateBC(context.Background(), g, a, BCOptions{Epsilon: 0.05, Delta: 0.05, Seed: 23, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,11 +70,11 @@ func TestPreprocessBCFromMappedView(t *testing.T) {
 
 	a := []graph.Node{4, 44, 123, 400}
 	opt := BCOptions{Epsilon: 0.05, Delta: 0.05, Seed: 31, Workers: 4}
-	want, err := p.EstimateBC(a, opt)
+	want, err := p.EstimateBC(context.Background(), a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := p2.EstimateBC(a, opt)
+	got, err := p2.EstimateBC(context.Background(), a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

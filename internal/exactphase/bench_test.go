@@ -1,6 +1,8 @@
 package exactphase
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -115,7 +117,7 @@ func legacyExact(o *bicomp.OutReach, targets []graph.Node, aIndex []int32, wA fl
 // comparison, so it has to compute the same thing).
 func TestLegacyReferenceMatchesEngine(t *testing.T) {
 	e, o, targets, aIndex, wA := benchFixture(t)
-	gotL, gotE := e.Run(targets, aIndex, wA, 1)
+	gotL, gotE, _ := e.Run(context.Background(), targets, aIndex, wA, 1)
 	wantL, wantE := legacyExact(o, targets, aIndex, wA)
 	if math.Abs(gotL-wantL) > 1e-9*(1+wantL) {
 		t.Fatalf("lambdaHat %g, legacy %g", gotL, wantL)
@@ -146,12 +148,12 @@ func BenchmarkExactPhaseBuild(b *testing.B) {
 func BenchmarkExactPhaseRange(b *testing.B) {
 	e, _, targets, aIndex, wA := benchFixture(b)
 	exact := make([]float64, len(targets))
-	lambda := e.RunInto(exact, targets, aIndex, wA, 1) // warm the pools
+	lambda, _ := e.RunInto(context.Background(), exact, targets, aIndex, wA, 1) // warm the pools
 	b.ReportMetric(lambda, "lambdaHat")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.RunInto(exact, targets, aIndex, wA, 1)
+		e.RunInto(context.Background(), exact, targets, aIndex, wA, 1)
 	}
 }
 

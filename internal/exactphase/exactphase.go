@@ -27,12 +27,14 @@
 package exactphase
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sync"
 
 	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
+	"saphyra/internal/params"
 	"saphyra/internal/sched"
 )
 
@@ -170,23 +172,26 @@ func (e *Engine) putRun(rs *runScratch) {
 // Run computes (lambdaHat, exact): the exact-subspace mass and the per-target
 // exact risks lhat (Eq 29 normalization by wA). aIndex must map every node
 // to its index in targets or -1; wA is the pair mass of the target blocks.
-func (e *Engine) Run(targets []graph.Node, aIndex []int32, wA float64, workers int) (float64, []float64) {
+// Cancellation is checked between chunks (never inside one): on a done ctx
+// the run aborts with a *params.CanceledError and no output — a nil error
+// guarantees the result is bitwise-identical to an uncancelled run.
+func (e *Engine) Run(ctx context.Context, targets []graph.Node, aIndex []int32, wA float64, workers int) (float64, []float64, error) {
 	exact := make([]float64, len(targets))
-	lambdaHat := e.RunInto(exact, targets, aIndex, wA, workers)
-	return lambdaHat, exact
+	lambdaHat, err := e.RunInto(ctx, exact, targets, aIndex, wA, workers)
+	return lambdaHat, exact, err
 }
 
 // RunInto is Run writing the exact risks into a caller-provided slice (which
 // it zeroes first): the allocation-free form for repeated ranking calls.
 // workers <= 0 means GOMAXPROCS, matching the BCOptions.Workers contract.
-func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, wA float64, workers int) float64 {
+func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.Node, aIndex []int32, wA float64, workers int) (float64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := e.view.G
 	clear(exact)
 	if wA == 0 || len(targets) == 0 {
-		return 0
+		return 0, nil
 	}
 	rs := e.getRun()
 	defer e.putRun(rs)
@@ -203,7 +208,7 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 		}
 	}
 	if len(rs.endpoints) == 0 {
-		return 0
+		return 0, nil
 	}
 	slices.Sort(rs.endpoints)
 
@@ -227,11 +232,16 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 	if chunks == 1 {
 		// Single chunk: no cost model, no partial buffers; accumulating
 		// straight into exact is bit-identical to merging one zeroed
-		// partial (0 + x == x exactly).
+		// partial (0 + x == x exactly). The chunk runs whole, so the only
+		// checkpoint is before it starts.
+		if err := params.Interrupted(ctx); err != nil {
+			clear(exact)
+			return 0, err
+		}
 		ws := e.getWorker()
 		lambdaHat := e.runChunk(rs.endpoints, aIndex, wA, exact, ws)
 		e.putWorker(ws)
-		return lambdaHat
+		return lambdaHat, nil
 	}
 
 	// Per-endpoint cost model for chunk balancing: 1 + deg(s) + the sum of
@@ -265,8 +275,13 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 	clear(rs.lambdas)
 
 	rs.aIndex, rs.wA = aIndex, wA
-	sched.DoWith(chunks, workers, e.acquire, e.release, rs.chunkFn)
+	err := sched.DoWithCtx(ctx, chunks, workers, e.acquire, e.release, rs.chunkFn)
 	rs.aIndex = nil // do not retain the caller's index map on the free list
+	if err != nil {
+		// All-or-nothing: some chunks never ran, so the partials are an
+		// arbitrary subset. Discard everything.
+		return 0, &params.CanceledError{Cause: err}
+	}
 
 	// Deterministic merge: chunk-index order, regardless of which worker
 	// computed which chunk.
@@ -277,7 +292,7 @@ func (e *Engine) RunInto(exact []float64, targets []graph.Node, aIndex []int32, 
 			exact[i] += x
 		}
 	}
-	return lambdaHat
+	return lambdaHat, nil
 }
 
 // runChunk processes one contiguous endpoint range, accumulating lhat masses

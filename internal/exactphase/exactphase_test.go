@@ -1,6 +1,8 @@
 package exactphase
 
 import (
+	"context"
+
 	"math"
 	"math/rand/v2"
 	"sync"
@@ -121,7 +123,7 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 					t.Fatalf("stride %d: degenerate fixture", stride)
 				}
 				e := newEngine(t, tc.g)
-				gotL, gotE := e.Run(targets, aIndex, wA, 4)
+				gotL, gotE, _ := e.Run(context.Background(), targets, aIndex, wA, 4)
 				wantL, wantE := bruteExact(tc.g, o, aIndex, wA, len(targets))
 				if math.Abs(gotL-wantL) > 1e-9*(1+math.Abs(wantL)) {
 					t.Errorf("stride %d: lambdaHat %g, brute force %g", stride, gotL, wantL)
@@ -147,9 +149,9 @@ func TestEngineWorkerCountBitwise(t *testing.T) {
 	} {
 		targets, aIndex, wA, _ := fixture(g, 5)
 		e := newEngine(t, g)
-		refL, refE := e.Run(targets, aIndex, wA, 1)
+		refL, refE, _ := e.Run(context.Background(), targets, aIndex, wA, 1)
 		for _, workers := range []int{2, 8} {
-			l, ex := e.Run(targets, aIndex, wA, workers)
+			l, ex, _ := e.Run(context.Background(), targets, aIndex, wA, workers)
 			if l != refL {
 				t.Errorf("workers=%d: lambdaHat %v != %v (not bitwise identical)", workers, l, refL)
 			}
@@ -160,7 +162,7 @@ func TestEngineWorkerCountBitwise(t *testing.T) {
 			}
 		}
 		// and repeated runs through the pooled scratch stay identical
-		l, _ := e.Run(targets, aIndex, wA, 8)
+		l, _, _ := e.Run(context.Background(), targets, aIndex, wA, 8)
 		if l != refL {
 			t.Errorf("repeat run: lambdaHat %v != %v", l, refL)
 		}
@@ -172,12 +174,12 @@ func TestEngineRunIntoReuse(t *testing.T) {
 	g := graph.BarabasiAlbert(300, 3, 5)
 	targets, aIndex, wA, _ := fixture(g, 4)
 	e := newEngine(t, g)
-	wantL, wantE := e.Run(targets, aIndex, wA, 2)
+	wantL, wantE, _ := e.Run(context.Background(), targets, aIndex, wA, 2)
 	dst := make([]float64, len(targets))
 	for i := range dst {
 		dst[i] = math.NaN() // must be overwritten
 	}
-	gotL := e.RunInto(dst, targets, aIndex, wA, 2)
+	gotL, _ := e.RunInto(context.Background(), dst, targets, aIndex, wA, 2)
 	if gotL != wantL {
 		t.Fatalf("RunInto lambda %v != Run %v", gotL, wantL)
 	}
@@ -195,13 +197,13 @@ func TestEngineConcurrentRuns(t *testing.T) {
 	g := graph.BarabasiAlbert(500, 4, 11)
 	e := newEngine(t, g)
 	targets, aIndex, wA, _ := fixture(g, 3)
-	refL, refE := e.Run(targets, aIndex, wA, 1)
+	refL, refE, _ := e.Run(context.Background(), targets, aIndex, wA, 1)
 	var wg sync.WaitGroup
 	for r := 0; r < 6; r++ {
 		wg.Add(1)
 		go func(workers int) {
 			defer wg.Done()
-			l, ex := e.Run(targets, aIndex, wA, workers)
+			l, ex, _ := e.Run(context.Background(), targets, aIndex, wA, workers)
 			if l != refL {
 				t.Errorf("concurrent run (workers=%d): lambda %v != %v", workers, l, refL)
 			}
@@ -244,6 +246,6 @@ func TestEngineEdgeCases(t *testing.T) {
 
 func mustRun(t *testing.T, e *Engine, targets []graph.Node, aIndex []int32, wA float64) float64 {
 	t.Helper()
-	l, _ := e.Run(targets, aIndex, wA, 2)
+	l, _, _ := e.Run(context.Background(), targets, aIndex, wA, 2)
 	return l
 }

@@ -1,6 +1,8 @@
 package exactphase
 
 import (
+	"context"
+
 	"path/filepath"
 	"testing"
 
@@ -47,8 +49,8 @@ func TestEngineOnMappedView(t *testing.T) {
 			blocks := o.BlocksOf(targets)
 			wA := o.WeightOfBlocks(blocks)
 
-			wantLambda, wantExact := New(view).Run(targets, aIndex, wA, 4)
-			gotLambda, gotExact := New(m.View).Run(targets, aIndex, wA, 4)
+			wantLambda, wantExact, _ := New(view).Run(context.Background(), targets, aIndex, wA, 4)
+			gotLambda, gotExact, _ := New(m.View).Run(context.Background(), targets, aIndex, wA, 4)
 			if gotLambda != wantLambda {
 				t.Fatalf("lambdaHat %v != %v", gotLambda, wantLambda)
 			}

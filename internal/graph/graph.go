@@ -150,6 +150,18 @@ func DedupSorted(a []Node) []Node {
 	return out[:w]
 }
 
+// IsDedupSorted reports whether a is already in DedupSorted form (strictly
+// increasing). An allocation-free O(len) pre-check for callers that
+// re-canonicalize potentially-canonical inputs on hot paths.
+func IsDedupSorted(a []Node) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Builder accumulates edges and produces an immutable Graph. Duplicate edges
 // and self-loops are silently dropped at Build time. The zero value is ready
 // to use.

@@ -1,6 +1,8 @@
 package kpath
 
 import (
+	"context"
+
 	"testing"
 
 	"saphyra/internal/bicomp"
@@ -33,7 +35,7 @@ func BenchmarkKPathPartitioned(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimatePartitioned(g, targets, benchOpt); err != nil {
+		if _, err := EstimatePartitioned(context.Background(), g, targets, benchOpt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -50,7 +52,7 @@ func BenchmarkKPathPartitionedView(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimatePartitionedView(view, targets, benchOpt); err != nil {
+		if _, err := EstimatePartitionedView(context.Background(), view, targets, benchOpt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -25,6 +25,7 @@
 package kpath
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -110,8 +111,10 @@ func walkVCDim(k, targets int) int {
 }
 
 // Estimate computes (eps, delta)-estimates of the k-path centrality of the
-// target nodes.
-func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+// target nodes. Cancellation is polled at the core engine's round and
+// stream checkpoints: a done ctx aborts with a *params.CanceledError, never
+// a partial estimate.
+func Estimate(ctx context.Context, g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	nodes, aIndex, err := targetIndex(g, a, &opt)
 	if err != nil {
 		return nil, err
@@ -124,7 +127,7 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 			return newWalkSampler(g, aIndex, 1, opt.K, seed)
 		},
 	}
-	est, err := core.Run(space, core.Options{
+	est, err := core.Run(ctx, space, core.Options{
 		Epsilon: opt.Epsilon,
 		Delta:   opt.Delta,
 		Workers: opt.Workers,
@@ -142,8 +145,8 @@ func Estimate(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 // betweenness, k-path, and closeness engines without reloading the edge
 // list. Results are bitwise-identical to Estimate on the graph the view was
 // built from.
-func EstimateView(view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
-	return Estimate(view.G, a, opt)
+func EstimateView(ctx context.Context, view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
+	return Estimate(ctx, view.G, a, opt)
 }
 
 // Exact computes the exact k-path centrality of every node by dynamic

@@ -1,6 +1,8 @@
 package kpath
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -46,7 +48,7 @@ func TestEstimateMatchesExact(t *testing.T) {
 		for v := 0; v < 15; v += 2 {
 			a = append(a, graph.Node(v))
 		}
-		res, err := Estimate(g, a, Options{K: 3, Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		res, err := Estimate(context.Background(), g, a, Options{K: 3, Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,14 +62,14 @@ func TestEstimateMatchesExact(t *testing.T) {
 
 func TestEstimateErrors(t *testing.T) {
 	g := graph.Cycle(5)
-	if _, err := Estimate(g, nil, Options{}); err == nil {
+	if _, err := Estimate(context.Background(), g, nil, Options{}); err == nil {
 		t.Error("empty target set: want error")
 	}
-	if _, err := Estimate(g, []graph.Node{0}, Options{K: -1}); err == nil {
+	if _, err := Estimate(context.Background(), g, []graph.Node{0}, Options{K: -1}); err == nil {
 		t.Error("negative k: want error")
 	}
 	empty := graph.NewBuilder(0).Build()
-	if _, err := Estimate(empty, []graph.Node{0}, Options{}); err == nil {
+	if _, err := Estimate(context.Background(), empty, []graph.Node{0}, Options{}); err == nil {
 		t.Error("empty graph: want error")
 	}
 }
@@ -78,7 +80,7 @@ func TestEstimateDeadEnds(t *testing.T) {
 	b.AddEdge(0, 1)
 	b.AddEdge(1, 2)
 	g := b.Build()
-	res, err := Estimate(g, []graph.Node{3}, Options{K: 2, Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	res, err := Estimate(context.Background(), g, []graph.Node{3}, Options{K: 2, Epsilon: 0.1, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestEstimateDeadEnds(t *testing.T) {
 
 func TestEstimateDefaults(t *testing.T) {
 	g := graph.Cycle(8)
-	res, err := Estimate(g, []graph.Node{1, 3}, Options{Seed: 2})
+	res, err := Estimate(context.Background(), g, []graph.Node{1, 3}, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package kpath
 
 import (
+	"context"
+
 	"saphyra/internal/bicomp"
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
+	"saphyra/internal/params"
 	"saphyra/internal/sched"
 )
 
@@ -22,7 +25,7 @@ import (
 // from 1-step walks, so — exactly as in SaPHyRa_bc — the partition removes
 // the dominant portion of their risk from the sampling variance (Claim 8)
 // and guarantees a non-zero estimate for every node with a neighbor.
-func EstimatePartitioned(g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
+func EstimatePartitioned(ctx context.Context, g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
 	nodes, aIndex, err := targetIndex(g, a, &opt)
 	if err != nil {
 		return nil, err
@@ -35,7 +38,7 @@ func EstimatePartitioned(g *graph.Graph, a []graph.Node, opt Options) (*Result, 
 		dim:     walkVCDim(opt.K, len(nodes)),
 		workers: opt.Workers,
 	}
-	est, err := core.Run(space, core.Options{
+	est, err := core.Run(ctx, space, core.Options{
 		Epsilon: opt.Epsilon,
 		Delta:   opt.Delta,
 		Workers: opt.Workers,
@@ -54,8 +57,8 @@ func EstimatePartitioned(g *graph.Graph, a []graph.Node, opt Options) (*Result, 
 // k-path, and closeness engines without reloading the edge list. Results
 // are bitwise-identical to EstimatePartitioned on the graph the view was
 // built from.
-func EstimatePartitionedView(view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
-	return EstimatePartitioned(view.G, a, opt)
+func EstimatePartitionedView(ctx context.Context, view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
+	return EstimatePartitioned(ctx, view.G, a, opt)
 }
 
 type kpathSpace struct {
@@ -91,7 +94,7 @@ const maxExactChunks = 64
 // Each target's sum is accumulated sequentially over its sorted neighbor
 // list and written to its own slot, so the output is bitwise-identical for
 // any worker count.
-func (s *kpathSpace) ExactPhase() (float64, []float64) {
+func (s *kpathSpace) ExactPhase(ctx context.Context) (float64, []float64, error) {
 	n := float64(s.g.NumNodes())
 	exact := make([]float64, len(s.nodes))
 	chunks := (len(s.nodes) + exactChunkTargets - 1) / exactChunkTargets
@@ -108,7 +111,7 @@ func (s *kpathSpace) ExactPhase() (float64, []float64) {
 	} else {
 		bounds = []int{0, len(s.nodes)}
 	}
-	sched.Do(chunks, s.workers, func(c int) {
+	err := sched.DoCtx(ctx, chunks, s.workers, func(c int) {
 		for i := bounds[c]; i < bounds[c+1]; i++ {
 			v := s.nodes[i]
 			var p float64
@@ -118,7 +121,10 @@ func (s *kpathSpace) ExactPhase() (float64, []float64) {
 			exact[i] = p / (n * float64(s.k))
 		}
 	})
-	return 1 / float64(s.k), exact
+	if err != nil {
+		return 0, nil, &params.CanceledError{Cause: err}
+	}
+	return 1 / float64(s.k), exact, nil
 }
 
 // NewSampler implements core.Space: walks of length l uniform in {2..k}

@@ -1,6 +1,8 @@
 package kpath
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -16,7 +18,7 @@ func TestPartitionedMatchesExact(t *testing.T) {
 		for v := 0; v < 15; v += 2 {
 			a = append(a, graph.Node(v))
 		}
-		res, err := EstimatePartitioned(g, a, Options{K: 3, Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
+		res, err := EstimatePartitioned(context.Background(), g, a, Options{K: 3, Epsilon: 0.05, Delta: 0.01, Seed: seed, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +35,7 @@ func TestPartitionedExactPhaseClosedForm(t *testing.T) {
 	// center is (1/n) * sum_{leaves} 1/1 = 4/5; lhat = (1/(n k)) * 4 = 0.4.
 	g := graph.Star(5)
 	sp := &kpathSpace{g: g, k: 2, nodes: []graph.Node{0}, aIndex: []int32{0, -1, -1, -1, -1}, dim: 1}
-	lambdaHat, exact := sp.ExactPhase()
+	lambdaHat, exact, _ := sp.ExactPhase(context.Background())
 	if lambdaHat != 0.5 {
 		t.Errorf("lambdaHat = %g, want 1/k = 0.5", lambdaHat)
 	}
@@ -51,7 +53,7 @@ func TestPartitionedKOne(t *testing.T) {
 	for v := 0; v < 6; v++ {
 		a = append(a, graph.Node(v))
 	}
-	res, err := EstimatePartitioned(g, a, Options{K: 1, Epsilon: 0.05, Delta: 0.01, Seed: 1})
+	res, err := EstimatePartitioned(context.Background(), g, a, Options{K: 1, Epsilon: 0.05, Delta: 0.01, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +72,11 @@ func TestPartitionedAgreesWithDirect(t *testing.T) {
 	// outputs must be close.
 	g := testutil.RandomConnectedGraph(40, 50, 6)
 	a := []graph.Node{1, 5, 9, 20, 33}
-	direct, err := Estimate(g, a, Options{K: 4, Epsilon: 0.02, Delta: 0.01, Seed: 2})
+	direct, err := Estimate(context.Background(), g, a, Options{K: 4, Epsilon: 0.02, Delta: 0.01, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, err := EstimatePartitioned(g, a, Options{K: 4, Epsilon: 0.02, Delta: 0.01, Seed: 2})
+	part, err := EstimatePartitioned(context.Background(), g, a, Options{K: 4, Epsilon: 0.02, Delta: 0.01, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestPartitionedNoFalseZeroForConnectedTargets(t *testing.T) {
 	for v := 0; v < 30; v += 3 {
 		a = append(a, graph.Node(v))
 	}
-	res, err := EstimatePartitioned(g, a, Options{K: 3, Epsilon: 0.2, Delta: 0.1, Seed: 4})
+	res, err := EstimatePartitioned(context.Background(), g, a, Options{K: 3, Epsilon: 0.2, Delta: 0.1, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +109,14 @@ func TestPartitionedNoFalseZeroForConnectedTargets(t *testing.T) {
 
 func TestPartitionedErrors(t *testing.T) {
 	g := graph.Cycle(5)
-	if _, err := EstimatePartitioned(g, nil, Options{}); err == nil {
+	if _, err := EstimatePartitioned(context.Background(), g, nil, Options{}); err == nil {
 		t.Error("empty targets: want error")
 	}
-	if _, err := EstimatePartitioned(g, []graph.Node{0}, Options{K: -2}); err == nil {
+	if _, err := EstimatePartitioned(context.Background(), g, []graph.Node{0}, Options{K: -2}); err == nil {
 		t.Error("bad k: want error")
 	}
 	empty := graph.NewBuilder(0).Build()
-	if _, err := EstimatePartitioned(empty, []graph.Node{0}, Options{}); err == nil {
+	if _, err := EstimatePartitioned(context.Background(), empty, []graph.Node{0}, Options{}); err == nil {
 		t.Error("empty graph: want error")
 	}
 }

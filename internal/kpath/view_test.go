@@ -1,6 +1,8 @@
 package kpath
 
 import (
+	"context"
+
 	"path/filepath"
 	"testing"
 
@@ -32,9 +34,9 @@ func TestWorkerCountBitwise(t *testing.T) {
 				var res *Result
 				var err error
 				if partitioned {
-					res, err = EstimatePartitioned(tc.g, a, opt)
+					res, err = EstimatePartitioned(context.Background(), tc.g, a, opt)
 				} else {
-					res, err = Estimate(tc.g, a, opt)
+					res, err = Estimate(context.Background(), tc.g, a, opt)
 				}
 				if err != nil {
 					t.Fatal(err)
@@ -87,10 +89,10 @@ func TestViewMatchesGraph(t *testing.T) {
 		run  func() (*Result, error)
 		want func() (*Result, error)
 	}{
-		{"plain", func() (*Result, error) { return EstimateView(m.View, a, opt) },
-			func() (*Result, error) { return Estimate(g, a, opt) }},
-		{"partitioned", func() (*Result, error) { return EstimatePartitionedView(m.View, a, opt) },
-			func() (*Result, error) { return EstimatePartitioned(g, a, opt) }},
+		{"plain", func() (*Result, error) { return EstimateView(context.Background(), m.View, a, opt) },
+			func() (*Result, error) { return Estimate(context.Background(), g, a, opt) }},
+		{"partitioned", func() (*Result, error) { return EstimatePartitionedView(context.Background(), m.View, a, opt) },
+			func() (*Result, error) { return EstimatePartitioned(context.Background(), g, a, opt) }},
 	} {
 		got, err := tc.run()
 		if err != nil {
@@ -126,7 +128,7 @@ func TestPartitionedExactPhaseParallel(t *testing.T) {
 			t.Fatal(err)
 		}
 		sp := &kpathSpace{g: g, k: 3, nodes: nodes, aIndex: aIndex, dim: 1, workers: workers}
-		_, exact := sp.ExactPhase()
+		_, exact, _ := sp.ExactPhase(context.Background())
 		return exact
 	}
 	ref := build(1)

@@ -8,6 +8,7 @@
 package params
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -35,6 +36,44 @@ func Errorf(field, format string, args ...any) *Error {
 func IsBadInput(err error) bool {
 	var pe *Error
 	return errors.As(err, &pe)
+}
+
+// CanceledError reports a computation aborted at a cancellation checkpoint:
+// the caller's context was canceled (or its deadline expired) and the engine
+// unwound without producing a result. The contract is all-or-nothing — an
+// engine either returns a result bitwise-identical to the uncancelled run or
+// a *CanceledError, never a partial estimate. Cause is the context's cause
+// (context.Canceled or context.DeadlineExceeded unless a cancel cause was
+// supplied), so errors.Is(err, context.DeadlineExceeded) distinguishes a
+// deadline from an abandonment — the HTTP layer maps the former to 504 and
+// the latter to 499 (client closed request); see internal/serve.
+type CanceledError struct {
+	// Cause is what canceled the computation.
+	Cause error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string { return "computation canceled: " + e.Cause.Error() }
+
+// Unwrap exposes the cancellation cause to errors.Is/As.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Interrupted is the engines' cancellation checkpoint: it returns a
+// *CanceledError when ctx is done and nil otherwise. The nil path is one
+// interface call (ctx.Err()), cheap enough for per-round and per-chunk
+// polling on the hot paths.
+func Interrupted(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return &CanceledError{Cause: context.Cause(ctx)}
+	}
+	return nil
+}
+
+// IsCanceled reports whether err carries a cancellation — i.e. whether a
+// *CanceledError appears in its chain.
+func IsCanceled(err error) bool {
+	var ce *CanceledError
+	return errors.As(err, &ce)
 }
 
 // CheckEpsilon validates an additive-error target: eps must be in (0, 1).

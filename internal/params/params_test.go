@@ -1,6 +1,7 @@
 package params
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -54,5 +55,40 @@ func TestErrorChainClassification(t *testing.T) {
 	}
 	if IsBadInput(errors.New("disk on fire")) {
 		t.Error("unrelated error classified as bad input")
+	}
+}
+
+// TestCanceledError: the cancellation marker unwraps to the context cause,
+// is distinguishable from bad input, and Interrupted is nil on a live ctx.
+func TestCanceledError(t *testing.T) {
+	if err := Interrupted(context.Background()); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Interrupted(ctx)
+	if err == nil || !IsCanceled(err) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("cancellation does not unwrap to context.Canceled")
+	}
+	if IsBadInput(err) {
+		t.Fatal("a cancellation classified as bad input")
+	}
+	wrapped := fmt.Errorf("core: %w", err)
+	if !IsCanceled(wrapped) || !errors.Is(wrapped, context.Canceled) {
+		t.Fatal("wrapping hides the cancellation")
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 0)
+	defer dcancel()
+	<-dctx.Done()
+	derr := Interrupted(dctx)
+	if !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("deadline cancellation is %v, want DeadlineExceeded in chain", derr)
+	}
+	if IsCanceled(nil) {
+		t.Fatal("nil is canceled")
 	}
 }

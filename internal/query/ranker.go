@@ -1,0 +1,201 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"saphyra/internal/baselines"
+	"saphyra/internal/bicomp"
+	"saphyra/internal/closeness"
+	"saphyra/internal/core"
+	"saphyra/internal/graph"
+	"saphyra/internal/kpath"
+	"saphyra/internal/params"
+	"saphyra/internal/rank"
+)
+
+// Result is a centrality ranking of a target node set — the one result
+// shape every measure and algorithm produces.
+type Result struct {
+	// Nodes is the sorted, de-duplicated target set.
+	Nodes []graph.Node
+	// Scores[i] is the estimated centrality of Nodes[i] (betweenness: Eq 3
+	// normalization, values in [0,1]).
+	Scores []float64
+	// Rank[i] is the rank (1 = most central) of Nodes[i] within the target
+	// set, ties broken by node id as in the paper.
+	Rank []int
+	// Samples is the number of samples drawn; Duration the wall time of the
+	// estimation (excluding graph loading).
+	Samples  int64
+	Duration time.Duration
+}
+
+func buildResult(nodes []graph.Node, scores []float64, samples int64, dur time.Duration) *Result {
+	ids := make([]int32, len(nodes))
+	for i, v := range nodes {
+		ids[i] = int32(v)
+	}
+	return &Result{
+		Nodes:    nodes,
+		Scores:   scores,
+		Rank:     rank.Ranks(scores, ids),
+		Samples:  samples,
+		Duration: dur,
+	}
+}
+
+// Ranker answers Queries over one graph (or one block-annotated view),
+// lazily caching the target-independent per-measure preprocessing: the
+// betweenness decomposition/out-reach/exact-phase engine is built on the
+// first betweenness query and shared by every later one (k-path and
+// closeness need no per-graph preprocessing beyond the view itself). A
+// Ranker is safe for concurrent use; results are a pure function of the
+// canonical query and the graph bytes, never of concurrency or Workers.
+type Ranker struct {
+	g    *graph.Graph
+	view *bicomp.BlockCSR // non-nil when constructed over a view
+
+	mu sync.Mutex
+	bc *core.BCPreprocessed // lazy betweenness preprocessing
+}
+
+// NewRanker returns a Ranker over an in-memory graph.
+func NewRanker(g *graph.Graph) *Ranker {
+	return &Ranker{g: g}
+}
+
+// NewRankerView returns a Ranker over a block-annotated view (typically
+// mmap-backed, bicomp.OpenMapped): the engines run straight off the view
+// arrays, and results are bitwise-identical to a Ranker over the graph the
+// view was built from.
+func NewRankerView(view *bicomp.BlockCSR) *Ranker {
+	return &Ranker{g: view.G, view: view}
+}
+
+// NumNodes returns the node count of the underlying graph.
+func (r *Ranker) NumNodes() int { return r.g.NumNodes() }
+
+// Prepare eagerly builds the cached preprocessing for a measure, so that no
+// later Rank call pays for it — what a serving layer does at load time.
+// Measures without per-graph preprocessing are a no-op.
+func (r *Ranker) Prepare(m Measure) {
+	if m == Betweenness {
+		r.bcPrep()
+	}
+}
+
+// bcPrep returns the lazily-built betweenness preprocessing.
+func (r *Ranker) bcPrep() *core.BCPreprocessed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bc == nil {
+		if r.view != nil {
+			r.bc = core.PreprocessBCFromView(r.view)
+		} else {
+			r.bc = core.PreprocessBC(r.g)
+		}
+	}
+	return r.bc
+}
+
+// Rank estimates and ranks the query's targets (every node of the graph
+// when the target set is empty) with the query's measure and algorithm.
+//
+// Cancellation is all-or-nothing: the engines poll ctx at their round and
+// chunk checkpoints, and either complete — in which case the result is
+// bitwise-identical to a run under a context that never fires — or abort
+// with a *params.CanceledError carrying the context's cause; a partial
+// estimate is never returned. A nil ctx is treated as context.Background().
+func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	c := q.Canonical()
+	if err := c.validateCanonical(r.g.NumNodes()); err != nil {
+		return nil, fmt.Errorf("saphyra: %w", err)
+	}
+	c.Workers = q.Workers // latency-relevant, result-irrelevant
+	targets := c.Targets
+	if len(targets) == 0 {
+		targets = make([]graph.Node, r.g.NumNodes())
+		for i := range targets {
+			targets[i] = graph.Node(i)
+		}
+	}
+
+	switch c.Measure {
+	case Betweenness:
+		switch c.Algorithm {
+		case AlgSaPHyRa:
+			res, err := r.bcPrep().EstimateBC(ctx, targets, core.BCOptions{
+				Epsilon: c.Epsilon, Delta: c.Delta,
+				Workers: c.Workers, Seed: c.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var samples int64
+			if res.Est != nil {
+				samples = res.Est.Samples
+			}
+			return buildResult(res.Nodes, res.BC, samples, time.Since(start)), nil
+		default: // AlgABRA, AlgKADABRA — whole-network estimators
+			bopt := baselines.Options{
+				Epsilon: c.Epsilon, Delta: c.Delta,
+				Workers: c.Workers, Seed: c.Seed,
+			}
+			var res *baselines.Result
+			var err error
+			if c.Algorithm == AlgABRA {
+				res, err = baselines.ABRA(ctx, r.g, bopt)
+			} else {
+				res, err = baselines.KADABRA(ctx, r.g, bopt)
+			}
+			if err != nil {
+				return nil, err
+			}
+			scores := make([]float64, len(targets))
+			for i, v := range targets {
+				scores[i] = res.BC[v]
+			}
+			return buildResult(targets, scores, res.Samples, time.Since(start)), nil
+		}
+	case KPath:
+		kopt := kpath.Options{
+			K: c.K, Epsilon: c.Epsilon, Delta: c.Delta,
+			Workers: c.Workers, Seed: c.Seed,
+		}
+		var res *kpath.Result
+		var err error
+		if r.view != nil {
+			res, err = kpath.EstimateView(ctx, r.view, targets, kopt)
+		} else {
+			res, err = kpath.Estimate(ctx, r.g, targets, kopt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return buildResult(res.Nodes, res.KPath, res.Est.Samples, time.Since(start)), nil
+	case Closeness:
+		copt := closeness.Options{
+			Epsilon: c.Epsilon, Delta: c.Delta,
+			Workers: c.Workers, Seed: c.Seed,
+		}
+		var res *closeness.Result
+		var err error
+		if r.view != nil {
+			res, err = closeness.EstimateView(ctx, r.view, targets, copt)
+		} else {
+			res, err = closeness.Estimate(ctx, r.g, targets, copt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return buildResult(res.Nodes, res.Closeness, res.Samples, time.Since(start)), nil
+	}
+	return nil, fmt.Errorf("saphyra: %w", params.Errorf("measure", "unknown measure %v", c.Measure))
+}

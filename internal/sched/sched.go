@@ -23,6 +23,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -98,25 +99,50 @@ func Do(chunks, workers int, fn func(c int)) {
 		func(_ struct{}, c int) { fn(c) })
 }
 
+// DoCtx is Do with a cancellation checkpoint between chunks: every goroutine
+// polls ctx before stealing the next chunk and stops stealing once it is
+// done. It returns nil when every chunk ran and the context's cause when the
+// run was cut short — in that case an arbitrary subset of chunks never
+// executed, so the caller MUST discard all partial output (the engines'
+// all-or-nothing contract). The poll is one atomic-ish interface call per
+// chunk — chunks are coarse (at most ~64 per run), so it is free relative to
+// chunk work.
+func DoCtx(ctx context.Context, chunks, workers int, fn func(c int)) error {
+	return DoWithCtx(ctx, chunks, workers, func() struct{} { return struct{}{} }, func(struct{}) {},
+		func(_ struct{}, c int) { fn(c) })
+}
+
 // DoWith is Do with a per-goroutine resource: each participating goroutine
 // calls acquire once, processes its stolen chunks with fn, and calls release
 // once. It is the shape the engines use for pooled per-worker scratch —
 // acquire/release bracket a goroutine's lifetime, not a chunk's, so scratch
 // churn is O(workers), not O(chunks).
 func DoWith[W any](chunks, workers int, acquire func() W, release func(W), fn func(w W, c int)) {
+	DoWithCtx(context.Background(), chunks, workers, acquire, release, fn)
+}
+
+// DoWithCtx is DoWith with the DoCtx cancellation checkpoint. Goroutines
+// stop stealing chunks once ctx is done; a chunk already started always runs
+// to completion (fn is never interrupted mid-chunk), so per-chunk outputs
+// are whole — but the chunk *set* may be incomplete, and the caller must
+// treat any non-nil return as "no output".
+func DoWithCtx[W any](ctx context.Context, chunks, workers int, acquire func() W, release func(W), fn func(w W, c int)) error {
 	if chunks <= 0 {
-		return
+		return nil
 	}
 	if workers > chunks {
 		workers = chunks
 	}
 	if workers <= 1 {
 		w := acquire()
+		defer release(w)
 		for c := 0; c < chunks; c++ {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
 			fn(w, c)
 		}
-		release(w)
-		return
+		return nil
 	}
 	// limit is a local copy so the closure does not capture the parameter
 	// used by the sequential path above.
@@ -128,17 +154,21 @@ func DoWith[W any](chunks, workers int, acquire func() W, release func(W), fn fu
 		go func() {
 			defer wg.Done()
 			w := acquire()
-			for {
+			defer release(w)
+			for ctx.Err() == nil {
 				c := next.Add(1) - 1
 				if c >= limit {
 					break
 				}
 				fn(w, int(c))
 			}
-			release(w)
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // Budget is a worker-goroutine pool shared by concurrent callers — the

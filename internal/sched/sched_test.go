@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -201,5 +202,79 @@ func TestBudgetConcurrentNeverExceedsTotal(t *testing.T) {
 	}
 	if inUse.Load() != 0 {
 		t.Fatalf("slots leaked: %d still in use", inUse.Load())
+	}
+}
+
+// TestDoCtxPreCanceled: a context that is already done runs no chunks and
+// reports the cause.
+func TestDoCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	if err := DoCtx(ctx, 8, 4, func(c int) { ran++ }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d chunks ran under a pre-canceled ctx", ran)
+	}
+}
+
+// TestDoCtxBackgroundRunsAll: the nil-error path is exactly Do.
+func TestDoCtxBackgroundRunsAll(t *testing.T) {
+	var ran [16]atomic.Int64
+	if err := DoCtx(context.Background(), 16, 4, func(c int) { ran[c].Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for c := range ran {
+		if ran[c].Load() != 1 {
+			t.Fatalf("chunk %d ran %d times", c, ran[c].Load())
+		}
+	}
+}
+
+// TestDoWithCtxStopsStealingMidRun: canceling while chunks are in flight
+// stops further stealing (some chunks never run) and returns the cause —
+// the all-or-nothing contract's mechanism. Started chunks always finish.
+func TestDoWithCtxStopsStealingMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const chunks = 64
+	err := DoCtx(ctx, chunks, 4, func(c int) {
+		if started.Add(1) == 3 {
+			cancel() // fires while most chunks are still unclaimed
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= chunks {
+		t.Fatalf("all %d chunks ran despite mid-run cancel", n)
+	}
+	// Sequential path too.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var seq int
+	err = DoCtx(ctx2, chunks, 1, func(c int) {
+		seq++
+		if seq == 2 {
+			cancel2()
+		}
+	})
+	if err != context.Canceled || seq != 2 {
+		t.Fatalf("sequential: err=%v ran=%d, want cancel after 2", err, seq)
+	}
+}
+
+// TestDoWithCtxReleasesScratchOnCancel: acquire/release stay paired even
+// when the run is cut short.
+func TestDoWithCtxReleasesScratchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var acquired, released atomic.Int64
+	DoWithCtx(ctx, 8, 4,
+		func() int { acquired.Add(1); return 0 },
+		func(int) { released.Add(1) },
+		func(int, int) {})
+	if a, r := acquired.Load(), released.Load(); a != r {
+		t.Fatalf("acquire/release unbalanced on cancel: %d vs %d", a, r)
 	}
 }

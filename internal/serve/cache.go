@@ -2,28 +2,28 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"crypto/sha256"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"saphyra/internal/params"
 )
 
-// cacheKey identifies a query up to bitwise result equality. Every engine is
-// a pure function of (view bytes, canonicalized options, canonical target
-// set) — the worker count never reaches the key because it never reaches the
-// bits (DESIGN.md section 3) — and the generation tag pins the view bytes,
-// so two requests with equal keys are guaranteed the same response payload.
-// That purity is the entire soundness argument of the cache: there is no
-// TTL and no invalidation beyond LRU pressure and generation purge.
+// cacheKey identifies a query up to bitwise result equality: the
+// generation tag pins the view bytes and query.Query.Key digests every
+// result-relevant request field (measure, algorithm, K, eps, delta, seed,
+// canonical target set / whole-network flag). Every engine is a pure
+// function of exactly those inputs — the worker count never reaches the key
+// because it never reaches the bits (DESIGN.md section 3) — so two requests
+// with equal keys are guaranteed the same response payload. That purity is
+// the entire soundness argument of the cache: there is no TTL and no
+// invalidation beyond LRU pressure and generation purge.
 type cacheKey struct {
-	gen    uint64
-	method string
-	topk   bool // full-network ranking backing the top-k index
-	k      int  // kpath walk length; 0 for other methods
-	eps    float64
-	delta  float64
-	seed   int64
-	hash   [32]byte // saphyra.TargetSetHash of the canonical dense target set
-	count  int      // canonical target count (guards the astronomically unlikely hash collision)
+	gen uint64
+	key [sha256.Size]byte // query.Query.Key of the canonical dense query
 }
 
 // payload is an immutable computed result. Entries are shared between the
@@ -36,11 +36,22 @@ type payload struct {
 	samples int64
 }
 
-// flight is one in-progress computation; followers block on done.
+// flight is one in-progress computation. The computation runs on its own
+// goroutine (run) under a flight-scoped context, not on any requester's:
+// requesters — the leader that created the flight and every collapsed
+// follower — wait on done with their own request contexts, and each may
+// abandon the flight individually when its deadline fires. waiters counts
+// the requesters still interested; when it reaches zero the flight context
+// is canceled, the engines unwind at their next checkpoint, and the
+// admission slot frees. As long as any follower remains the computation
+// keeps running — a leader with a short deadline never kills the result a
+// follower with a longer one is waiting for.
 type flight struct {
-	done chan struct{}
-	p    *payload
-	err  error
+	done    chan struct{}
+	p       *payload
+	err     error
+	waiters int // guarded by cache.mu
+	cancel  context.CancelCauseFunc
 }
 
 // cache is a bounded LRU of deterministic results with singleflight
@@ -53,7 +64,7 @@ type cache struct {
 	inflight map[cacheKey]*flight
 
 	hits      atomic.Int64 // served straight from the LRU
-	misses    atomic.Int64 // computed by this request (singleflight leader)
+	misses    atomic.Int64 // flights created (singleflight leaders)
 	collapsed atomic.Int64 // waited on another request's computation
 }
 
@@ -74,39 +85,95 @@ func newCache(capacity int) *cache {
 	}
 }
 
-// do returns the payload for key, computing it with fn on a miss. computed
-// reports whether THIS call ran fn (the singleflight leader on a cold key);
-// hits and followers of someone else's computation return computed=false.
-// Errors are returned to the leader and every follower but never cached —
-// a failed computation (overload, cancellation) must not poison the key.
-func (c *cache) do(key cacheKey, fn func() (*payload, error)) (p *payload, computed bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		p := el.Value.(*centry).p
+// do returns the payload for key, computing it with fn on a miss. led
+// reports whether THIS call created the flight that ran fn — fn is invoked
+// at most once per do call, on a detached goroutine, with a flight context
+// that outlives any single requester and is canceled only when every
+// requester has abandoned the flight. Hits and followers of someone else's
+// computation return led=false and never invoke fn.
+//
+// A requester whose own ctx fires while the flight is still running
+// detaches with a *params.CanceledError; the flight keeps computing for the
+// remaining waiters (or is canceled, if none remain). Errors are returned
+// to every waiter but never cached — a failed computation (overload,
+// cancellation, panic) must not poison the key.
+func (c *cache) do(ctx context.Context, key cacheKey, fn func(ctx context.Context) (*payload, error)) (p *payload, led bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			p := el.Value.(*centry).p
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return p, led, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			f.waiters++
+			c.mu.Unlock()
+			c.collapsed.Add(1)
+			p, err, retry := c.wait(ctx, f, false)
+			if retry {
+				continue
+			}
+			return p, led, err
+		}
+		fctx, cancel := context.WithCancelCause(context.Background())
+		f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		c.inflight[key] = f
 		c.mu.Unlock()
-		c.hits.Add(1)
-		return p, false, nil
+		c.misses.Add(1)
+		led = true
+		go c.run(key, f, fctx, fn)
+		p, err, _ := c.wait(ctx, f, true)
+		return p, led, err
 	}
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		c.collapsed.Add(1)
-		<-f.done
-		return f.p, false, f.err
-	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
+}
 
-	c.misses.Add(1)
-	// The flight MUST be settled even if fn panics (net/http recovers
-	// handler panics, so the process survives): without the defer a panic
-	// would strand the inflight entry and park every follower — and every
-	// future request for this key — on done forever.
+// wait parks one requester on f until the flight settles or the requester's
+// own ctx fires. retry is set for a follower that joined a flight in the
+// narrow window after its last waiter abandoned it: the flight settles with
+// a cancellation that is not the follower's fault, so the follower — whose
+// own deadline is intact — goes back around and recomputes instead of
+// inheriting someone else's 499/504.
+func (c *cache) wait(ctx context.Context, f *flight, leader bool) (p *payload, err error, retry bool) {
+	select {
+	case <-f.done:
+		if !leader && f.err != nil && params.IsCanceled(f.err) && ctx.Err() == nil {
+			return nil, nil, true
+		}
+		return f.p, f.err, false
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		c.mu.Unlock()
+		if last {
+			// Nobody is listening anymore: cancel the compute so the
+			// engines unwind at their next checkpoint and the admission
+			// slot frees. If fn happens to complete before it observes the
+			// cancellation, its (complete, bitwise-correct) result is still
+			// cached — all-or-nothing means there is no partial state to
+			// fear.
+			f.cancel(context.Cause(ctx))
+		}
+		return nil, &params.CanceledError{Cause: context.Cause(ctx)}, false
+	}
+}
+
+// run executes one flight on its own goroutine and settles it. The flight
+// MUST be settled even if fn panics: without the recover a panic would kill
+// the process (this goroutine has no net/http recovery above it), and
+// without the defer it would strand the inflight entry and park every
+// future request for this key forever.
+func (c *cache) run(key cacheKey, f *flight, fctx context.Context, fn func(ctx context.Context) (*payload, error)) {
 	defer func() {
-		if f.p == nil && f.err == nil { // fn panicked before settling
+		if r := recover(); r != nil {
+			f.p, f.err = nil, fmt.Errorf("serve: computation panicked: %v", r)
+		}
+		if f.p == nil && f.err == nil {
 			f.err = errors.New("serve: computation aborted")
 		}
+		f.cancel(nil) // release the flight context's resources
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if f.err == nil {
@@ -115,8 +182,7 @@ func (c *cache) do(key cacheKey, fn func() (*payload, error)) (p *payload, compu
 		c.mu.Unlock()
 		close(f.done)
 	}()
-	f.p, f.err = fn()
-	return f.p, true, f.err
+	f.p, f.err = fn(fctx)
 }
 
 func (c *cache) insertLocked(key cacheKey, p *payload) {

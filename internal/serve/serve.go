@@ -2,8 +2,16 @@
 // view: the request lifecycle behind cmd/saphyrad (DESIGN.md section 8).
 // It owns everything between an HTTP request and an engine call —
 //
-//   - validation: request parameters funnel through internal/params, whose
-//     typed errors split 400 (caller fault) from 500 (server fault);
+//   - validation and canonicalization: requests become query.Query values
+//     (the library's unified query model); Query.Validate's typed
+//     internal/params errors split 400 (caller fault) from 500 (server
+//     fault), and Query.Key is the one cache-key digest — the serving layer
+//     no longer defines any canonicalization of its own;
+//   - deadlines and cancellation: each request carries a context
+//     (server-default deadline, per-request Timeout-Ms header, client
+//     disconnect); the engines poll it at their round/chunk checkpoints
+//     with an all-or-nothing contract, and an expired request returns 504
+//     (499 for a vanished client) with its admission slot freed;
 //   - admission control: at most MaxInFlight computations run at once with a
 //     bounded wait queue; excess load is shed immediately with 429 instead
 //     of queueing without bound;
@@ -12,9 +20,11 @@
 //     full-network query cannot starve concurrent subset queries — safe to
 //     do opportunistically because results never depend on the worker count;
 //   - a deterministic result cache with singleflight collapsing, keyed by
-//     (view generation, method, canonicalized options, canonical target-set
-//     hash) — sound because every estimate is a pure function of exactly
-//     those inputs (see cacheKey);
+//     (view generation, Query.Key) — sound because every estimate is a pure
+//     function of exactly those inputs. Flights run detached: a leader whose
+//     deadline fires abandons the flight, but the computation keeps running
+//     for its remaining followers and is canceled only when the last waiter
+//     leaves;
 //   - a top-k index per method: the full-network ranking computed once per
 //     (generation, options), cached, and sliced by GET /v1/topk;
 //   - atomic hot reload: POST /admin/reload (or SIGHUP in the daemon) maps
@@ -24,29 +34,29 @@
 //     DESIGN.md section 7.
 //
 // The API surface is JSON over HTTP: POST /v1/rank, GET /v1/topk,
-// GET /healthz, GET /statusz, POST /admin/reload.
+// GET /healthz, GET /statusz, GET /metricsz (Prometheus text format),
+// POST /admin/reload.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"saphyra"
 	"saphyra/internal/bicomp"
-	"saphyra/internal/closeness"
-	"saphyra/internal/core"
 	"saphyra/internal/graph"
-	"saphyra/internal/kpath"
 	"saphyra/internal/params"
-	"saphyra/internal/rank"
+	"saphyra/internal/query"
 	"saphyra/internal/sched"
 )
 
@@ -72,6 +82,15 @@ type Config struct {
 	DefaultDelta   float64 // default 0.01
 	DefaultSeed    int64   // default 1
 	DefaultK       int     // k-path walk length, default 3
+
+	// DefaultTimeout is the per-request compute deadline. A request's
+	// Timeout-Ms header can only tighten it (the effective deadline is the
+	// minimum of the two), never extend it past the operator's bound. Zero
+	// means no server-side deadline; the header then applies alone. On
+	// expiry the request gets 504 and its computation is canceled at the
+	// next engine checkpoint (unless other requests still wait on the same
+	// flight).
+	DefaultTimeout time.Duration
 
 	// DisablePrecompute skips warming the per-method top-k index at load
 	// and reload time; the index is then built lazily by the first
@@ -119,17 +138,29 @@ const (
 
 var methods = []string{MethodSaPHyRa, MethodKPath, MethodCloseness}
 
+// measureOf maps a wire method name onto the query model's measure axis.
+func measureOf(method string) (query.Measure, error) {
+	switch method {
+	case MethodSaPHyRa:
+		return query.Betweenness, nil
+	case MethodKPath:
+		return query.KPath, nil
+	case MethodCloseness:
+		return query.Closeness, nil
+	}
+	return 0, params.Errorf("method", "unknown method %q (want saphyra | kpath | closeness)", method)
+}
+
 // loadedView is one generation of the serving state: the mapped view with
 // its lifetime handle plus everything derived from it once per load — the
-// betweenness preprocessing (decomposition, out-reach, exact-phase engine)
-// and the original-id -> dense-id reverse map.
+// Ranker (with its betweenness preprocessing built eagerly) and the
+// original-id -> dense-id reverse map.
 type loadedView struct {
 	handle *bicomp.Handle
-	view   *bicomp.BlockCSR
 	g      *graph.Graph
 	ids    []int64              // dense -> original; nil = identity
 	back   map[int64]graph.Node // original -> dense; nil = identity
-	prep   *core.BCPreprocessed
+	ranker *query.Ranker
 	loaded time.Time
 }
 
@@ -168,6 +199,7 @@ type Server struct {
 	start  time.Time
 
 	ranks, topks, reloads, badRequests, internalErrors, shed atomic.Int64
+	deadlines, canceled                                      atomic.Int64
 }
 
 // New maps the view file, runs the per-process preprocessing, warms the
@@ -196,6 +228,7 @@ func New(viewPath string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
 	return s, nil
 }
@@ -225,15 +258,15 @@ func (s *Server) load(gen uint64) (*loadedView, error) {
 	}
 	lv := &loadedView{
 		handle: bicomp.NewHandle(m, gen),
-		view:   m.View,
 		g:      m.View.G,
 		ids:    m.IDs,
+		ranker: query.NewRankerView(m.View),
 		loaded: time.Now(),
 	}
-	// The betweenness preprocessing is the expensive derived state; doing
-	// it here (not lazily) means no query ever pays it. With the view
-	// file's out-reach section the O(n+m) NewOutReach DP is skipped too.
-	lv.prep = core.PreprocessBCFromView(m.View)
+	// The betweenness preprocessing is the expensive derived state; building
+	// it here (not lazily) means no query ever pays it. With the view file's
+	// out-reach section the O(n+m) NewOutReach DP is skipped too.
+	lv.ranker.Prepare(query.Betweenness)
 	if lv.ids != nil {
 		lv.back = make(map[int64]graph.Node, len(lv.ids))
 		for dense, raw := range lv.ids {
@@ -284,32 +317,16 @@ func (s *Server) acquire() (*loadedView, error) {
 	return nil, errors.New("serve: could not pin a view generation")
 }
 
-// query is a fully validated, canonicalized request: the unit the cache key
-// is derived from.
-type query struct {
-	method string
-	topk   bool
-	k      int // kpath only; 0 otherwise
-	eps    float64
-	delta  float64
-	seed   int64
-	dense  []graph.Node // canonical (sorted, deduplicated) dense targets; nil for topk
-}
-
-func (s *Server) canonicalize(lv *loadedView, method string, targets []int64, eps, delta float64, k int, seed int64, topk bool) (query, error) {
-	q := query{method: method, topk: topk}
-	switch method {
-	case MethodSaPHyRa, MethodCloseness:
-	case MethodKPath:
-		if k == 0 {
-			k = s.cfg.DefaultK
-		}
-		if err := params.CheckK(k); err != nil {
-			return q, err
-		}
-		q.k = k
-	default:
-		return q, params.Errorf("method", "unknown method %q (want saphyra | kpath | closeness)", method)
+// buildQuery assembles the canonical query.Query for one request: server
+// defaults applied, original-id targets translated to dense nodes, and the
+// result validated through the shared Query.Validate — the serving layer
+// has no canonicalization or parameter rules of its own. topk requests
+// carry no targets: the empty canonical target set IS the whole-network
+// query, and Query.Key distinguishes it from any explicit set.
+func (s *Server) buildQuery(lv *loadedView, method string, targets []int64, eps, delta float64, k int, seed int64, topk bool) (query.Query, error) {
+	m, err := measureOf(method)
+	if err != nil {
+		return query.Query{}, err
 	}
 	if eps == 0 {
 		eps = s.cfg.DefaultEpsilon
@@ -320,120 +337,76 @@ func (s *Server) canonicalize(lv *loadedView, method string, targets []int64, ep
 	if seed == 0 {
 		seed = s.cfg.DefaultSeed
 	}
-	// Options canonicalization is the library's (saphyra.Options.Canonical):
-	// equal canonical forms guarantee bitwise-equal results, which is the
-	// precondition for using them in the cache key.
-	opt := saphyra.Options{Epsilon: eps, Delta: delta, Seed: seed}.Canonical()
-	if err := params.CheckEpsDelta(opt.Epsilon, opt.Delta); err != nil {
+	if m == query.KPath && k == 0 {
+		k = s.cfg.DefaultK
+	}
+	q := query.Query{Measure: m, K: k, Epsilon: eps, Delta: delta, Seed: seed}
+	if !topk {
+		if len(targets) == 0 {
+			return q, params.Errorf("targets", "empty target set")
+		}
+		dense := make([]graph.Node, len(targets))
+		for i, raw := range targets {
+			v, ok := lv.dense(raw)
+			if !ok {
+				return q, params.Errorf("targets", "node %d not present in the served view", raw)
+			}
+			dense[i] = v
+		}
+		q.Targets = dense
+	}
+	q = q.Canonical()
+	if err := q.Validate(lv.g.NumNodes()); err != nil {
 		return q, err
 	}
-	q.eps, q.delta, q.seed = opt.Epsilon, opt.Delta, opt.Seed
-	if topk {
-		return q, nil
-	}
-	if len(targets) == 0 {
-		return q, params.Errorf("targets", "empty target set")
-	}
-	dense := make([]graph.Node, len(targets))
-	for i, raw := range targets {
-		v, ok := lv.dense(raw)
-		if !ok {
-			return q, params.Errorf("targets", "node %d not present in the served view", raw)
-		}
-		dense[i] = v
-	}
-	q.dense = graph.DedupSorted(dense)
 	return q, nil
 }
 
-func (q query) key(gen uint64) cacheKey {
-	key := cacheKey{
-		gen: gen, method: q.method, topk: q.topk,
-		k: q.k, eps: q.eps, delta: q.delta, seed: q.seed,
-	}
-	if !q.topk {
-		key.hash = saphyra.TargetSetHash(q.dense)
-		key.count = len(q.dense)
-	}
-	return key
-}
-
 // lookup runs q through the cache, computing on a miss under admission
-// control and the worker budget.
-func (s *Server) lookup(lv *loadedView, q query) (*payload, bool, error) {
-	return s.cache.do(q.key(lv.gen()), func() (*payload, error) {
-		if err := s.adm.enter(); err != nil {
+// control and the worker budget. The computation runs on a detached flight
+// goroutine holding its own view pin (handle.Share), so it may outlive this
+// request — ctx abandoning the flight never leaves the engines on unmapped
+// pages.
+func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*payload, bool, error) {
+	// The extra reference is donated to the (possible) flight; if this call
+	// does not end up leading one, it is returned below.
+	lv.handle.Share()
+	p, led, err := s.cache.do(ctx, cacheKey{gen: lv.gen(), key: q.Key()}, func(fctx context.Context) (*payload, error) {
+		defer lv.handle.Release() // the flight owns the donated reference
+		if err := s.adm.enter(fctx); err != nil {
 			return nil, err
 		}
 		defer s.adm.leave()
 		granted := s.budget.Acquire(0)
 		defer s.budget.Release(granted)
-		return s.compute(lv, q, granted)
+		return s.compute(fctx, lv, q, granted)
 	})
+	if !led {
+		lv.handle.Release()
+	}
+	return p, led, err
 }
 
-// compute runs the engine for q with the granted worker count. The worker
+// compute runs the engines for q with the granted worker count. The worker
 // count affects latency only, never bits (DESIGN.md section 3), so the
 // grant does not appear in the cache key.
-func (s *Server) compute(lv *loadedView, q query, workers int) (*payload, error) {
-	dense := q.dense
-	if q.topk {
-		dense = make([]graph.Node, lv.g.NumNodes())
-		for i := range dense {
-			dense[i] = graph.Node(i)
-		}
+func (s *Server) compute(ctx context.Context, lv *loadedView, q query.Query, workers int) (*payload, error) {
+	q.Workers = workers
+	res, err := lv.ranker.Rank(ctx, q)
+	if err != nil {
+		return nil, err
 	}
-	var (
-		scores  []float64
-		samples int64
-	)
-	switch q.method {
-	case MethodSaPHyRa:
-		res, err := lv.prep.EstimateBC(dense, core.BCOptions{
-			Epsilon: q.eps, Delta: q.delta, Workers: workers, Seed: q.seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		scores = res.BC
-		if res.Est != nil {
-			samples = res.Est.Samples
-		}
-	case MethodKPath:
-		res, err := kpath.EstimateView(lv.view, dense, kpath.Options{
-			K: q.k, Epsilon: q.eps, Delta: q.delta, Workers: workers, Seed: q.seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		scores, samples = res.KPath, res.Est.Samples
-	case MethodCloseness:
-		res, err := closeness.EstimateView(lv.view, dense, closeness.Options{
-			Epsilon: q.eps, Delta: q.delta, Workers: workers, Seed: q.seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		scores, samples = res.Closeness, res.Samples
-	default:
-		return nil, params.Errorf("method", "unknown method %q", q.method)
-	}
-
-	ids32 := make([]int32, len(dense))
-	for i, v := range dense {
-		ids32[i] = int32(v)
-	}
-	ranks := rank.Ranks(scores, ids32)
 	p := &payload{
-		nodes:   make([]int64, len(dense)),
-		scores:  scores,
-		ranks:   ranks,
-		samples: samples,
+		nodes:   make([]int64, len(res.Nodes)),
+		scores:  res.Scores,
+		ranks:   res.Rank,
+		samples: res.Samples,
 	}
-	for i, v := range dense {
+	for i, v := range res.Nodes {
 		p.nodes[i] = lv.original(v)
 	}
-	if q.topk {
+	if len(q.Targets) == 0 {
+		// Whole-network query backing the top-k index: store rank-ordered.
 		return sortByRank(p), nil
 	}
 	return p, nil
@@ -468,19 +441,20 @@ func sortByRank(p *payload) *payload {
 // control and the worker budget arbitrate the slots exactly as they do for
 // requests (a reload-time warmup competes with live traffic), and the
 // warmup — the most expensive queries the server runs — takes the time of
-// the slowest method, not the sum. Failures are non-fatal: the index is
-// then built lazily.
+// the slowest method, not the sum. Warmups carry no deadline (they are an
+// investment, not a request); failures are non-fatal: the index is then
+// built lazily.
 func (s *Server) precomputeTopK(lv *loadedView) {
 	var wg sync.WaitGroup
 	for _, m := range methods {
-		q, err := s.canonicalize(lv, m, nil, 0, 0, 0, 0, true)
+		q, err := s.buildQuery(lv, m, nil, 0, 0, 0, 0, true)
 		if err != nil {
 			continue
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.lookup(lv, q)
+			s.lookup(context.Background(), lv, q)
 		}()
 	}
 	wg.Wait()
@@ -490,7 +464,10 @@ func (s *Server) precomputeTopK(lv *loadedView) {
 
 // RankRequest is the body of POST /v1/rank. Targets are original node ids
 // (the id space of the edge list the view was built from). Zero-valued
-// fields take the server's configured defaults.
+// fields take the server's configured defaults. A compute deadline can be
+// tightened per request with the Timeout-Ms header (it never extends the
+// server default); on expiry the response is 504 and the computation is
+// canceled once no other request waits on it.
 type RankRequest struct {
 	Method  string  `json:"method"`
 	Targets []int64 `json:"targets"`
@@ -524,6 +501,37 @@ type RankResponse struct {
 // validation, so without a cap one request could allocate without bound.
 const maxRankBody = 16 << 20
 
+// requestCtx derives the compute context for one request: the HTTP request
+// context (canceled on client disconnect) plus the deadline from the
+// Timeout-Ms header and the server default. The header may only *tighten*
+// the operator's bound — with a DefaultTimeout configured, the effective
+// deadline is min(header, default), so a client cannot pin compute slots
+// past the operator's limit; without one, the header alone applies. Values
+// large enough to overflow the nanosecond representation are clamped, not
+// wrapped. The returned cancel must always be called.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if h := r.Header.Get("Timeout-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, params.Errorf("Timeout-Ms", "must be a positive integer, got %q", h)
+		}
+		hd := time.Duration(math.MaxInt64) // effectively unbounded
+		if ms <= int64(hd/time.Millisecond) {
+			hd = time.Duration(ms) * time.Millisecond
+		}
+		if d == 0 || hd < d {
+			d = hd
+		}
+	}
+	if d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	return ctx, cancel, nil
+}
+
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.ranks.Add(1)
 	var req RankRequest
@@ -531,23 +539,29 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, params.Errorf("body", "bad JSON: %v", err))
 		return
 	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer cancel()
 	lv, err := s.acquire()
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	defer lv.handle.Release()
-	q, err := s.canonicalize(lv, req.Method, req.Targets, req.Eps, req.Delta, req.K, req.Seed, false)
+	q, err := s.buildQuery(lv, req.Method, req.Targets, req.Eps, req.Delta, req.K, req.Seed, false)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	p, computed, err := s.lookup(lv, q)
+	p, led, err := s.lookup(ctx, lv, q)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), q, p, !computed))
+	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), req.Method, q, p, !led))
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -570,6 +584,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, params.Errorf("query", "%v", err))
 		return
 	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer cancel()
 	lv, err := s.acquire()
 	if err != nil {
 		s.fail(w, err)
@@ -580,12 +600,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if method == "" {
 		method = MethodSaPHyRa
 	}
-	q, err := s.canonicalize(lv, method, nil, eps, delta, walkK, seed, true)
+	q, err := s.buildQuery(lv, method, nil, eps, delta, walkK, seed, true)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	p, computed, err := s.lookup(lv, q)
+	p, led, err := s.lookup(ctx, lv, q)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -594,17 +614,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		k = len(p.nodes)
 	}
 	top := &payload{nodes: p.nodes[:k], scores: p.scores[:k], ranks: p.ranks[:k], samples: p.samples}
-	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), q, top, !computed))
+	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), method, q, top, !led))
 }
 
-func rankResponse(gen uint64, q query, p *payload, cached bool) *RankResponse {
+func rankResponse(gen uint64, method string, q query.Query, p *payload, cached bool) *RankResponse {
 	return &RankResponse{
 		Generation: gen,
-		Method:     q.method,
-		Eps:        q.eps,
-		Delta:      q.delta,
-		K:          q.k,
-		Seed:       q.seed,
+		Method:     method,
+		Eps:        q.Epsilon,
+		Delta:      q.Delta,
+		K:          q.K,
+		Seed:       q.Seed,
 		Cached:     cached,
 		Samples:    p.samples,
 		Nodes:      p.nodes,
@@ -643,23 +663,24 @@ type Statusz struct {
 		Collapsed int64 `json:"collapsed"`
 	} `json:"cache"`
 	Requests struct {
-		Rank           int64 `json:"rank"`
-		TopK           int64 `json:"topk"`
-		BadRequest     int64 `json:"bad_request"`
-		Shed           int64 `json:"shed"`
-		InternalErrors int64 `json:"internal_errors"`
+		Rank             int64 `json:"rank"`
+		TopK             int64 `json:"topk"`
+		BadRequest       int64 `json:"bad_request"`
+		Shed             int64 `json:"shed"`
+		DeadlineExceeded int64 `json:"deadline_exceeded"`
+		Canceled         int64 `json:"canceled"`
+		InternalErrors   int64 `json:"internal_errors"`
 	} `json:"requests"`
 	Reloads int64 `json:"reloads"`
 }
 
-func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) statusz() (*Statusz, error) {
 	lv, err := s.acquire()
 	if err != nil {
-		s.fail(w, err)
-		return
+		return nil, err
 	}
 	defer lv.handle.Release()
-	st := Statusz{
+	st := &Statusz{
 		Generation:     lv.gen(),
 		View:           s.viewPath,
 		Nodes:          lv.g.NumNodes(),
@@ -681,8 +702,67 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st.Requests.TopK = s.topks.Load()
 	st.Requests.BadRequest = s.badRequests.Load()
 	st.Requests.Shed = s.shed.Load()
+	st.Requests.DeadlineExceeded = s.deadlines.Load()
+	st.Requests.Canceled = s.canceled.Load()
 	st.Requests.InternalErrors = s.internalErrors.Load()
-	writeJSON(w, http.StatusOK, &st)
+	return st, nil
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st, err := s.statusz()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetricsz exposes the /statusz counters in the Prometheus text
+// exposition format (one scrape target per daemon), including the
+// deadline/cancellation counters the context plumbing added.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	st, err := s.statusz()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var b strings.Builder
+	counter := func(name, help string, pairs ...any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			fmt.Fprintf(&b, "%s%s %d\n", name, pairs[i], pairs[i+1])
+		}
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter("saphyra_requests_total", "Requests received by endpoint.",
+		`{endpoint="rank"}`, st.Requests.Rank,
+		`{endpoint="topk"}`, st.Requests.TopK)
+	counter("saphyra_request_errors_total", "Requests that did not return a ranking.",
+		`{reason="bad_request"}`, st.Requests.BadRequest,
+		`{reason="shed"}`, st.Requests.Shed,
+		`{reason="deadline"}`, st.Requests.DeadlineExceeded,
+		`{reason="canceled"}`, st.Requests.Canceled,
+		`{reason="internal"}`, st.Requests.InternalErrors)
+	counter("saphyra_cache_events_total", "Result cache events.",
+		`{kind="hit"}`, st.Cache.Hits,
+		`{kind="miss"}`, st.Cache.Misses,
+		`{kind="collapsed"}`, st.Cache.Collapsed)
+	counter("saphyra_reloads_total", "Completed hot reloads.", "", st.Reloads)
+	gauge("saphyra_generation", "Current view generation.", st.Generation)
+	gauge("saphyra_cache_entries", "Result cache entries resident.", st.Cache.Entries)
+	gauge("saphyra_cache_capacity", "Result cache capacity.", st.Cache.Capacity)
+	gauge("saphyra_inflight_computations", "Computations holding an admission slot.", st.InFlight)
+	gauge("saphyra_waiting_computations", "Computations queued for an admission slot.", st.Waiting)
+	gauge("saphyra_workers_total", "Worker-slot pool size.", st.WorkersTotal)
+	gauge("saphyra_workers_per_request", "Per-computation worker-slot cap.", st.WorkersPerCall)
+	gauge("saphyra_view_nodes", "Nodes in the served view.", st.Nodes)
+	gauge("saphyra_view_edges", "Edges in the served view.", st.Edges)
+	gauge("saphyra_uptime_seconds", "Seconds since process start.", st.UptimeSeconds)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -697,9 +777,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "generation": gen})
 }
 
+// StatusClientClosedRequest is the nginx-convention status for a request
+// abandoned by its client before the response was ready (context canceled
+// without a deadline). There is no standard constant; 499 is the de facto
+// one.
+const StatusClientClosedRequest = 499
+
 // fail classifies err and writes the matching status: typed parameter
 // errors are the caller's fault (400), shed load is 429 with a Retry-After
-// hint, anything else is a 500.
+// hint, a deadline expiry is 504, a client disconnect 499, anything else a
+// 500.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case params.IsBadInput(err):
@@ -709,6 +796,14 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+	case params.IsCanceled(err), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlines.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": err.Error()})
+		} else {
+			s.canceled.Add(1)
+			writeJSON(w, StatusClientClosedRequest, map[string]any{"error": err.Error()})
+		}
 	default:
 		s.internalErrors.Add(1)
 		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
@@ -765,7 +860,11 @@ func newAdmission(inFlight, maxWait int) *admission {
 	return a
 }
 
-func (a *admission) enter() error {
+// enter blocks for a compute slot until ctx is done: a canceled flight
+// leaves the wait queue immediately (freeing its queue position), so
+// deadline-exceeded requests never hold admission state for work that will
+// not run.
+func (a *admission) enter(ctx context.Context) error {
 	select {
 	case <-a.slots:
 		return nil
@@ -776,8 +875,12 @@ func (a *admission) enter() error {
 		return errOverloaded
 	}
 	defer a.waiting.Add(-1)
-	<-a.slots
-	return nil
+	select {
+	case <-a.slots:
+		return nil
+	case <-ctx.Done():
+		return &params.CanceledError{Cause: context.Cause(ctx)}
+	}
 }
 
 func (a *admission) leave() { a.slots <- struct{}{} }

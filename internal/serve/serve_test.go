@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -326,18 +328,18 @@ func TestServeReloadSwapsGeneration(t *testing.T) {
 // one slot, one queue position, third caller shed.
 func TestAdmissionDeterministic(t *testing.T) {
 	a := newAdmission(1, 1)
-	if err := a.enter(); err != nil {
+	if err := a.enter(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if a.inFlight() != 1 {
 		t.Fatalf("inFlight = %d, want 1", a.inFlight())
 	}
 	waiterDone := make(chan error, 1)
-	go func() { waiterDone <- a.enter() }()
+	go func() { waiterDone <- a.enter(context.Background()) }()
 	for a.waitingNow() != 1 {
 		runtime.Gosched() // until the waiter is queued
 	}
-	if err := a.enter(); err != errOverloaded {
+	if err := a.enter(context.Background()); err != errOverloaded {
 		t.Fatalf("third caller got %v, want overload shed", err)
 	}
 	a.leave()
@@ -364,7 +366,7 @@ func TestServeOverloadSheds(t *testing.T) {
 		}
 	}
 
-	if err := s.adm.enter(); err != nil { // the test holds the only compute slot
+	if err := s.adm.enter(context.Background()); err != nil { // the test holds the only compute slot
 		t.Fatal(err)
 	}
 	type result struct {
@@ -397,25 +399,32 @@ func TestServeOverloadSheds(t *testing.T) {
 	}
 }
 
+// testKey builds a distinct cacheKey for cache unit tests.
+func testKey(gen uint64, tag byte) cacheKey {
+	k := cacheKey{gen: gen}
+	k.key[0] = tag
+	return k
+}
+
 // TestCacheSingleflightCollapses: concurrent identical misses share one
 // computation.
 func TestCacheSingleflightCollapses(t *testing.T) {
 	c := newCache(8)
-	key := cacheKey{gen: 1, method: "x"}
+	key := testKey(1, 'x')
 	var calls atomic.Int64
 	release := make(chan struct{})
 	ready := make(chan struct{})
 
 	leaderDone := make(chan *payload, 1)
 	go func() {
-		p, computed, err := c.do(key, func() (*payload, error) {
+		p, led, err := c.do(context.Background(), key, func(context.Context) (*payload, error) {
 			calls.Add(1)
 			close(ready)
 			<-release
 			return &payload{samples: 42}, nil
 		})
-		if !computed || err != nil {
-			t.Errorf("leader: computed=%v err=%v", computed, err)
+		if !led || err != nil {
+			t.Errorf("leader: led=%v err=%v", led, err)
 		}
 		leaderDone <- p
 	}()
@@ -425,12 +434,12 @@ func TestCacheSingleflightCollapses(t *testing.T) {
 	followerDone := make(chan *payload, followers)
 	for i := 0; i < followers; i++ {
 		go func() {
-			p, computed, err := c.do(key, func() (*payload, error) {
+			p, led, err := c.do(context.Background(), key, func(context.Context) (*payload, error) {
 				calls.Add(1)
 				return nil, fmt.Errorf("follower must not compute")
 			})
-			if computed || err != nil {
-				t.Errorf("follower: computed=%v err=%v", computed, err)
+			if led || err != nil {
+				t.Errorf("follower: led=%v err=%v", led, err)
 			}
 			followerDone <- p
 		}()
@@ -449,60 +458,60 @@ func TestCacheSingleflightCollapses(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Fatalf("fn ran %d times, want 1", calls.Load())
 	}
-	if p, computed, _ := c.do(key, nil); computed || p != want {
+	if p, led, _ := c.do(context.Background(), key, nil); led || p != want {
 		t.Fatal("post-flight lookup missed")
 	}
 }
 
-// TestCachePanickingLeaderDoesNotWedgeKey: a panic inside the singleflight
-// leader (net/http recovers handler panics, so the process would survive)
-// must settle the flight — followers get an error instead of parking
-// forever, and the key stays computable.
-func TestCachePanickingLeaderDoesNotWedgeKey(t *testing.T) {
+// TestCachePanickingFlightDoesNotWedgeKey: a panic inside the flight
+// computation (which now runs on a detached goroutine with no net/http
+// recovery above it) must be recovered and settle the flight — the leader
+// and every follower get an error instead of a dead process or a key that
+// parks every future request forever.
+func TestCachePanickingFlightDoesNotWedgeKey(t *testing.T) {
 	c := newCache(4)
-	key := cacheKey{gen: 1, method: "boom"}
+	key := testKey(1, 'b')
 
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("panic did not propagate")
-			}
-		}()
-		c.do(key, func() (*payload, error) { panic("engine blew up") })
-	}()
+	_, led, err := c.do(context.Background(), key, func(context.Context) (*payload, error) {
+		panic("engine blew up")
+	})
+	if !led || err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("led=%v err=%v, want led and a panic error", led, err)
+	}
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := c.do(key, func() (*payload, error) { return &payload{samples: 1}, nil })
+		_, _, err := c.do(context.Background(), key, func(context.Context) (*payload, error) { return &payload{samples: 1}, nil })
 		done <- err
 	}()
 	if err := <-done; err != nil {
-		t.Fatalf("key wedged after leader panic: %v", err)
+		t.Fatalf("key wedged after flight panic: %v", err)
 	}
-	if p, computed, err := c.do(key, nil); computed || err != nil || p.samples != 1 {
-		t.Fatalf("recomputed entry not cached: computed=%v err=%v", computed, err)
+	if p, led, err := c.do(context.Background(), key, nil); led || err != nil || p.samples != 1 {
+		t.Fatalf("recomputed entry not cached: led=%v err=%v", led, err)
 	}
 }
 
 // TestCacheEvictionAndPurge: LRU bound holds; purge drops other gens only.
 func TestCacheEvictionAndPurge(t *testing.T) {
 	c := newCache(3)
-	mk := func(gen uint64, seed int64) cacheKey { return cacheKey{gen: gen, seed: seed} }
+	ctx := context.Background()
 	for i := int64(0); i < 5; i++ {
-		c.do(mk(1, i), func() (*payload, error) { return &payload{samples: i}, nil })
+		i := i
+		c.do(ctx, testKey(1, byte(i)), func(context.Context) (*payload, error) { return &payload{samples: i}, nil })
 	}
 	if c.len() != 3 {
 		t.Fatalf("len = %d, want 3 (capacity)", c.len())
 	}
-	if _, computed, _ := c.do(mk(1, 0), func() (*payload, error) { return &payload{}, nil }); !computed {
+	if _, led, _ := c.do(ctx, testKey(1, 0), func(context.Context) (*payload, error) { return &payload{}, nil }); !led {
 		t.Fatal("evicted entry still served")
 	}
-	c.do(mk(2, 100), func() (*payload, error) { return &payload{}, nil })
+	c.do(ctx, testKey(2, 100), func(context.Context) (*payload, error) { return &payload{}, nil })
 	c.purgeOtherGens(2)
 	if c.len() != 1 {
 		t.Fatalf("len after purge = %d, want 1", c.len())
 	}
-	if _, computed, _ := c.do(mk(2, 100), func() (*payload, error) { return &payload{}, nil }); computed {
+	if _, led, _ := c.do(ctx, testKey(2, 100), func(context.Context) (*payload, error) { return &payload{}, nil }); led {
 		t.Fatal("current-gen entry was purged")
 	}
 }

@@ -4,6 +4,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -107,9 +108,9 @@ func (e *Env) RunOne(algo Algo, subset []graph.Node, cfg Config) (Bench, error) 
 			Workers: cfg.Workers, Seed: cfg.Seed, MaxSamples: cfg.MaxSamples,
 		}
 		if algo == AlgoABRA {
-			res, err = baselines.ABRA(e.G, opt)
+			res, err = baselines.ABRA(context.Background(), e.G, opt)
 		} else {
-			res, err = baselines.KADABRA(e.G, opt)
+			res, err = baselines.KADABRA(context.Background(), e.G, opt)
 		}
 		if err != nil {
 			return b, err
@@ -128,7 +129,7 @@ func (e *Env) RunOne(algo Algo, subset []graph.Node, cfg Config) (Bench, error) 
 				target[i] = graph.Node(i)
 			}
 		}
-		res, err := e.Prep.EstimateBC(target, core.BCOptions{
+		res, err := e.Prep.EstimateBC(context.Background(), target, core.BCOptions{
 			Epsilon: cfg.Epsilon, Delta: cfg.Delta,
 			Workers: cfg.Workers, Seed: cfg.Seed, MaxSamples: cfg.MaxSamples,
 		})
@@ -266,9 +267,9 @@ func (e *Env) fullEstimate(algo Algo, cfg Config) (*fullRun, error) {
 		var res *baselines.Result
 		var err error
 		if algo == AlgoABRA {
-			res, err = baselines.ABRA(e.G, opt)
+			res, err = baselines.ABRA(context.Background(), e.G, opt)
 		} else {
-			res, err = baselines.KADABRA(e.G, opt)
+			res, err = baselines.KADABRA(context.Background(), e.G, opt)
 		}
 		if err != nil {
 			return nil, err
@@ -279,7 +280,7 @@ func (e *Env) fullEstimate(algo Algo, cfg Config) (*fullRun, error) {
 		for i := range all {
 			all[i] = graph.Node(i)
 		}
-		res, err := e.Prep.EstimateBC(all, core.BCOptions{
+		res, err := e.Prep.EstimateBC(context.Background(), all, core.BCOptions{
 			Epsilon: cfg.Epsilon, Delta: cfg.Delta,
 			Workers: cfg.Workers, Seed: cfg.Seed, MaxSamples: cfg.MaxSamples,
 		})

@@ -5,17 +5,33 @@
 // sampling baselines, k-path and closeness estimators, rank-quality
 // metrics, and synthetic network generators.
 //
-// The headline operation is ranking a subset of nodes by betweenness
-// centrality with an (epsilon, delta) additive-error guarantee:
+// The API is built around two types: a Query names what to estimate — a
+// measure (Betweenness, KPath, Closeness), an algorithm (AlgSaPHyRa, or the
+// AlgABRA/AlgKADABRA baselines for betweenness), a target set, and the
+// (eps, delta, seed) sampling contract — and a Ranker answers queries over
+// one graph or one persisted view, caching the per-measure preprocessing
+// across calls:
 //
 //	g, _, err := saphyra.LoadEdgeList("graph.txt")
-//	res, err := saphyra.RankSubset(g, []saphyra.Node{5, 17, 99}, saphyra.Options{
+//	r := saphyra.NewRanker(g)
+//	res, err := r.Rank(ctx, saphyra.Query{
+//		Measure: saphyra.Betweenness,
+//		Targets: []saphyra.Node{5, 17, 99},
 //		Epsilon: 0.05,
 //		Delta:   0.01,
 //	})
 //	for i, v := range res.Nodes {
 //		fmt.Println(res.Rank[i], v, res.Scores[i])
 //	}
+//
+// Rank takes a context.Context with an all-or-nothing contract: a canceled
+// or expired context aborts the computation at the next checkpoint with a
+// typed cancellation error, and a completed result is bitwise-identical to
+// one computed under a context that never fires — cancellation never
+// produces partial estimates. Results are likewise independent of
+// Query.Workers and of concurrency: equal Query.Canonical forms guarantee
+// bitwise-equal results, and Query.Key is the matching cache-key digest
+// (see internal/serve for the HTTP service built on it).
 //
 // SaPHyRa splits the shortest-path sample space into an exact subspace (all
 // 2-hop paths through target nodes, computed exactly) and an approximate
@@ -24,23 +40,23 @@
 // ceiling). The combination yields both the error guarantee and high rank
 // quality for low-centrality nodes — in particular, no target with positive
 // betweenness is ever estimated as zero.
+//
+// The pre-Query free functions (RankSubset, RankKPath, RankCloseness,
+// Preprocess) remain as thin deprecated wrappers over Ranker and return
+// bitwise-identical results.
 package saphyra
 
 import (
+	"context"
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"time"
 
-	"saphyra/internal/baselines"
 	"saphyra/internal/bicomp"
-	"saphyra/internal/closeness"
-	"saphyra/internal/core"
 	"saphyra/internal/exact"
 	"saphyra/internal/graph"
-	"saphyra/internal/kpath"
 	"saphyra/internal/params"
+	"saphyra/internal/query"
 	"saphyra/internal/rank"
 )
 
@@ -64,33 +80,78 @@ func LoadEdgeList(path string) (*Graph, []int64, error) { return graph.LoadEdgeL
 // ReadEdgeList parses an edge list from a reader. See LoadEdgeList.
 func ReadEdgeList(r io.Reader) (*Graph, []int64, error) { return graph.ReadEdgeList(r) }
 
-// Method selects the estimation algorithm used by RankSubset/RankAll.
+// Measure selects the centrality a Query estimates.
+type Measure = query.Measure
+
+// Available measures. Betweenness is the paper's headline instantiation;
+// KPath and Closeness are the companion estimators.
+const (
+	Betweenness = query.Betweenness
+	KPath       = query.KPath
+	Closeness   = query.Closeness
+)
+
+// Algorithm selects a Query's estimation algorithm. AlgSaPHyRa is the
+// paper's contribution; the two baselines exist only for Betweenness and
+// always estimate the whole network regardless of the subset.
+type Algorithm = query.Algorithm
+
+// Available algorithms.
+const (
+	AlgSaPHyRa = query.AlgSaPHyRa
+	AlgABRA    = query.AlgABRA
+	AlgKADABRA = query.AlgKADABRA
+)
+
+// Query is one ranking request: measure, algorithm, targets (empty = the
+// whole network), the k-path walk length K, and the (eps, delta, seed)
+// sampling contract. Query.Canonical resolves defaults and strips the
+// result-irrelevant Workers field; Query.Key digests the canonical form
+// into the one cache key that identifies a query up to bitwise result
+// equality (subsuming the legacy Options.Canonical + TargetSetHash
+// composition, and covering K).
+type Query = query.Query
+
+// Result is a centrality ranking of a target node set.
+type Result = query.Result
+
+// Ranker answers Queries over one graph or one View, lazily caching the
+// per-measure preprocessing. Safe for concurrent use.
+type Ranker = query.Ranker
+
+// NewRanker returns a Ranker over an in-memory graph.
+func NewRanker(g *Graph) *Ranker { return query.NewRanker(g) }
+
+// Method selects the estimation algorithm used by the deprecated
+// RankSubset/RankAll wrappers.
+//
+// Deprecated: use Query.Algorithm (the values convert directly:
+// Algorithm(m)).
 type Method int
 
-// Available methods. MethodSaPHyRa is the paper's contribution; the two
-// baselines are provided for comparison and always estimate the whole
-// network regardless of the subset.
+// Available methods, value-compatible with the Algorithm constants.
+//
+// Deprecated: use AlgSaPHyRa, AlgABRA, AlgKADABRA.
 const (
-	MethodSaPHyRa Method = iota
-	MethodABRA
-	MethodKADABRA
+	MethodSaPHyRa Method = Method(query.AlgSaPHyRa)
+	MethodABRA    Method = Method(query.AlgABRA)
+	MethodKADABRA Method = Method(query.AlgKADABRA)
 )
 
 // String returns the method name.
 func (m Method) String() string {
 	switch m {
-	case MethodSaPHyRa:
-		return "SaPHyRa"
-	case MethodABRA:
-		return "ABRA"
-	case MethodKADABRA:
-		return "KADABRA"
+	case MethodSaPHyRa, MethodABRA, MethodKADABRA:
+		return Algorithm(m).String()
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
-// Options configures ranking. The zero value means epsilon 0.05, delta
-// 0.01, all CPUs, seed 0, SaPHyRa method.
+// Options configures the deprecated ranking wrappers. The zero value means
+// epsilon 0.05, delta 0.01, all CPUs, seed 0, SaPHyRa method.
+//
+// Deprecated: build a Query instead; it carries the same fields plus the
+// measure axis and the k-path K.
 type Options struct {
 	Epsilon float64 // additive error guarantee on centrality values
 	Delta   float64 // failure probability
@@ -103,10 +164,10 @@ type Options struct {
 // result-irrelevant field cleared: a zero Epsilon/Delta becomes its
 // documented default (0.05 / 0.01) and Workers is zeroed — the worker count
 // multiplexes fixed virtual sampler streams and never affects output bits
-// (DESIGN.md section 3). Two Options values with equal Canonical forms
-// therefore produce bitwise-identical results on the same graph or view,
-// which is what makes (Canonical options, target-set hash, view generation)
-// a sound cache key for a serving layer; see internal/serve.
+// (DESIGN.md section 3).
+//
+// Deprecated: use Query.Canonical, and Query.Key for cache keys — unlike
+// the (Canonical, TargetSetHash) composition, Key also covers the k-path K.
 func (o Options) Canonical() Options {
 	if o.Epsilon == 0 {
 		o.Epsilon = 0.05
@@ -118,138 +179,94 @@ func (o Options) Canonical() Options {
 	return o
 }
 
+// query converts the legacy options to a Query for the given measure.
+func (o Options) query(m Measure, targets []Node, k int) Query {
+	return Query{
+		Measure:   m,
+		Algorithm: Algorithm(o.Method),
+		Targets:   targets,
+		K:         k,
+		Epsilon:   o.Epsilon,
+		Delta:     o.Delta,
+		Seed:      o.Seed,
+		Workers:   o.Workers,
+	}
+}
+
 // TargetSetHash returns a stable 256-bit digest of the canonicalized target
 // set: the nodes are de-duplicated and sorted (exactly the normalization
 // RankSubset applies), then hashed as little-endian 32-bit values. The
 // digest is a pure function of the set — independent of input order,
-// duplicates, machine, and process — so it identifies "the same query" in
-// persistent or cross-process result caches.
+// duplicates, machine, and process.
+//
+// Migration note: TargetSetHash identifies the target *set* only. It does
+// not cover the measure, algorithm, eps/delta/seed, or the k-path walk
+// length K — keying a cache by (Options.Canonical, TargetSetHash) therefore
+// collides kpath queries that differ only in K. Use Query.Key, which
+// subsumes this hash and covers every result-relevant field.
 func TargetSetHash(targets []Node) [sha256.Size]byte {
-	nodes := graph.DedupSorted(targets)
-	buf := make([]byte, 4*len(nodes))
-	for i, v := range nodes {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
-	}
-	return sha256.Sum256(buf)
+	return query.TargetSetHash(targets)
 }
 
-// Result is a centrality ranking of a target node set.
-type Result struct {
-	// Nodes is the sorted, de-duplicated target set.
-	Nodes []Node
-	// Scores[i] is the estimated centrality of Nodes[i] (betweenness, Eq 3
-	// normalization: values in [0,1]).
-	Scores []float64
-	// Rank[i] is the rank (1 = most central) of Nodes[i] within the target
-	// set, ties broken by node id as in the paper.
-	Rank []int
-	// Samples is the number of samples drawn; Duration the wall time of the
-	// estimation (excluding graph loading).
-	Samples  int64
-	Duration time.Duration
-}
-
-func buildResult(nodes []Node, scores []float64, samples int64, dur time.Duration) *Result {
-	ids := make([]int32, len(nodes))
-	for i, v := range nodes {
-		ids[i] = int32(v)
+// nonEmptyTargets preserves the legacy contract of the deprecated wrappers:
+// they reject an empty target set, whereas Ranker.Rank reads it as "rank
+// the whole network".
+func nonEmptyTargets(targets []Node) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("saphyra: %w", params.Errorf("targets", "empty target set"))
 	}
-	return &Result{
-		Nodes:    nodes,
-		Scores:   scores,
-		Rank:     rank.Ranks(scores, ids),
-		Samples:  samples,
-		Duration: dur,
-	}
+	return nil
 }
 
 // RankSubset estimates and ranks the betweenness centrality of the target
 // nodes with the configured method.
+//
+// Deprecated: use NewRanker(g).Rank(ctx, Query{Measure: Betweenness, ...});
+// the results are bitwise-identical.
 func RankSubset(g *Graph, targets []Node, opt Options) (*Result, error) {
-	start := time.Now()
-	if err := params.CheckTargets(targets, g.NumNodes()); err != nil {
-		return nil, fmt.Errorf("saphyra: %w", err)
+	if err := nonEmptyTargets(targets); err != nil {
+		return nil, err
 	}
-	switch opt.Method {
-	case MethodSaPHyRa:
-		res, err := core.EstimateBC(g, targets, core.BCOptions{
-			Epsilon: opt.Epsilon, Delta: opt.Delta,
-			Workers: opt.Workers, Seed: opt.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		var samples int64
-		if res.Est != nil {
-			samples = res.Est.Samples
-		}
-		return buildResult(res.Nodes, res.BC, samples, time.Since(start)), nil
-	case MethodABRA, MethodKADABRA:
-		bopt := baselines.Options{
-			Epsilon: opt.Epsilon, Delta: opt.Delta,
-			Workers: opt.Workers, Seed: opt.Seed,
-		}
-		var res *baselines.Result
-		var err error
-		if opt.Method == MethodABRA {
-			res, err = baselines.ABRA(g, bopt)
-		} else {
-			res, err = baselines.KADABRA(g, bopt)
-		}
-		if err != nil {
-			return nil, err
-		}
-		nodes := graph.DedupSorted(targets)
-		scores := make([]float64, len(nodes))
-		for i, v := range nodes {
-			scores[i] = res.BC[v]
-		}
-		return buildResult(nodes, scores, res.Samples, time.Since(start)), nil
-	}
-	return nil, fmt.Errorf("saphyra: unknown method %v", opt.Method)
+	return NewRanker(g).Rank(context.Background(), opt.query(Betweenness, targets, 0))
 }
 
 // RankAll ranks every node of the graph (SaPHyRa_bc-full when the method is
 // MethodSaPHyRa).
+//
+// Deprecated: use NewRanker(g).Rank with an empty Query.Targets.
 func RankAll(g *Graph, opt Options) (*Result, error) {
-	all := make([]Node, g.NumNodes())
-	for i := range all {
-		all[i] = Node(i)
-	}
-	return RankSubset(g, all, opt)
+	return NewRanker(g).Rank(context.Background(), opt.query(Betweenness, nil, 0))
 }
 
-// Preprocessed caches the target-independent SaPHyRa preprocessing —
-// bi-component decomposition, out-reach tables, the block-annotated
-// adjacency view, and the exact 2-hop engine with its pooled per-worker
-// scratch — so that many subsets can be ranked on one graph cheaply: after
-// the first call, the exact phase of each RankSubset runs without block or
-// out-reach lookups and without allocating.
+// Preprocessed caches the target-independent SaPHyRa preprocessing so that
+// many subsets can be ranked on one graph cheaply.
+//
+// Deprecated: a Ranker caches the same preprocessing across Rank calls (and
+// across measures); use NewRanker or View.Ranker.
 type Preprocessed struct {
-	prep *core.BCPreprocessed
+	r *Ranker
 }
 
 // Preprocess decomposes the graph once for repeated RankSubset calls.
+//
+// Deprecated: use NewRanker; the preprocessing is built on first use (or
+// eagerly via Ranker.Prepare).
 func Preprocess(g *Graph) *Preprocessed {
-	return &Preprocessed{prep: core.PreprocessBC(g)}
+	r := NewRanker(g)
+	r.Prepare(Betweenness)
+	return &Preprocessed{r: r}
 }
 
 // RankSubset ranks a target set using the cached preprocessing (always the
 // SaPHyRa method).
+//
+// Deprecated: use Ranker.Rank; the results are bitwise-identical.
 func (p *Preprocessed) RankSubset(targets []Node, opt Options) (*Result, error) {
-	start := time.Now()
-	res, err := p.prep.EstimateBC(targets, core.BCOptions{
-		Epsilon: opt.Epsilon, Delta: opt.Delta,
-		Workers: opt.Workers, Seed: opt.Seed,
-	})
-	if err != nil {
+	if err := nonEmptyTargets(targets); err != nil {
 		return nil, err
 	}
-	var samples int64
-	if res.Est != nil {
-		samples = res.Est.Samples
-	}
-	return buildResult(res.Nodes, res.BC, samples, time.Since(start)), nil
+	opt.Method = MethodSaPHyRa
+	return p.r.Rank(context.Background(), opt.query(Betweenness, targets, 0))
 }
 
 // View is the shared graph-view layer (DESIGN.md section 7): the
@@ -312,38 +329,43 @@ func (v *View) Close() error {
 // alias the mapped file.
 func (v *View) Graph() *Graph { return v.v.G }
 
-// Preprocess adapts the view for repeated betweenness ranking — the
-// counterpart of Preprocess(g) that shares the view's arrays instead of
-// rebuilding them (see core.PreprocessBCFromView for what is recomputed).
+// Ranker returns a Ranker serving all three measures from the view's
+// arrays. Results are bitwise-identical to a Ranker over the graph the view
+// was built from.
+func (v *View) Ranker() *Ranker { return query.NewRankerView(v.v) }
+
+// Preprocess adapts the view for repeated betweenness ranking.
+//
+// Deprecated: use View.Ranker; the results are bitwise-identical.
 func (v *View) Preprocess() *Preprocessed {
-	return &Preprocessed{prep: core.PreprocessBCFromView(v.v)}
+	r := v.Ranker()
+	r.Prepare(Betweenness)
+	return &Preprocessed{r: r}
 }
 
 // RankKPath estimates and ranks k-path centrality from the view.
+//
+// Deprecated: use View.Ranker and Rank with Measure KPath; the results are
+// bitwise-identical.
 func (v *View) RankKPath(targets []Node, k int, opt Options) (*Result, error) {
-	start := time.Now()
-	res, err := kpath.EstimateView(v.v, targets, kpath.Options{
-		K: k, Epsilon: opt.Epsilon, Delta: opt.Delta,
-		Workers: opt.Workers, Seed: opt.Seed,
-	})
-	if err != nil {
+	if err := nonEmptyTargets(targets); err != nil {
 		return nil, err
 	}
-	return buildResult(res.Nodes, res.KPath, res.Est.Samples, time.Since(start)), nil
+	opt.Method = MethodSaPHyRa
+	return v.Ranker().Rank(context.Background(), opt.query(KPath, targets, k))
 }
 
 // RankCloseness estimates and ranks harmonic closeness from the view (the
 // BFS pricing streams the view's grouped adjacency arrays).
+//
+// Deprecated: use View.Ranker and Rank with Measure Closeness; the results
+// are bitwise-identical.
 func (v *View) RankCloseness(targets []Node, opt Options) (*Result, error) {
-	start := time.Now()
-	res, err := closeness.EstimateView(v.v, targets, closeness.Options{
-		Epsilon: opt.Epsilon, Delta: opt.Delta,
-		Workers: opt.Workers, Seed: opt.Seed,
-	})
-	if err != nil {
+	if err := nonEmptyTargets(targets); err != nil {
 		return nil, err
 	}
-	return buildResult(res.Nodes, res.Closeness, res.Samples, time.Since(start)), nil
+	opt.Method = MethodSaPHyRa
+	return v.Ranker().Rank(context.Background(), opt.query(Closeness, targets, 0))
 }
 
 // ExactBC computes exact betweenness centrality for every node with
@@ -364,30 +386,28 @@ func KendallTau(truth, estimate []float64, ids []int32) float64 {
 
 // RankKPath estimates k-path centrality (the paper's Section II-A example)
 // for the target nodes and ranks them.
+//
+// Deprecated: use NewRanker(g).Rank with Measure KPath; the results are
+// bitwise-identical.
 func RankKPath(g *Graph, targets []Node, k int, opt Options) (*Result, error) {
-	start := time.Now()
-	res, err := kpath.Estimate(g, targets, kpath.Options{
-		K: k, Epsilon: opt.Epsilon, Delta: opt.Delta,
-		Workers: opt.Workers, Seed: opt.Seed,
-	})
-	if err != nil {
+	if err := nonEmptyTargets(targets); err != nil {
 		return nil, err
 	}
-	return buildResult(res.Nodes, res.KPath, res.Est.Samples, time.Since(start)), nil
+	opt.Method = MethodSaPHyRa
+	return NewRanker(g).Rank(context.Background(), opt.query(KPath, targets, k))
 }
 
 // RankCloseness estimates harmonic closeness centrality (the paper's stated
 // future-work extension) for the target nodes and ranks them.
+//
+// Deprecated: use NewRanker(g).Rank with Measure Closeness; the results are
+// bitwise-identical.
 func RankCloseness(g *Graph, targets []Node, opt Options) (*Result, error) {
-	start := time.Now()
-	res, err := closeness.Estimate(g, targets, closeness.Options{
-		Epsilon: opt.Epsilon, Delta: opt.Delta,
-		Workers: opt.Workers, Seed: opt.Seed,
-	})
-	if err != nil {
+	if err := nonEmptyTargets(targets); err != nil {
 		return nil, err
 	}
-	return buildResult(res.Nodes, res.Closeness, res.Samples, time.Since(start)), nil
+	opt.Method = MethodSaPHyRa
+	return NewRanker(g).Rank(context.Background(), opt.query(Closeness, targets, 0))
 }
 
 // Generate exposes the deterministic synthetic generators used by the

@@ -17,8 +17,10 @@ trap 'rm -f "$TMP"' EXIT
 # reference), the k-path and closeness estimator rows (graph-served vs
 # view-served plus their isolated hot loops), the serving-layer rows
 # (cache-hit vs cache-miss requests/sec; the hit row must stay >= 10x the
-# miss row — TestServeHitAtLeast10xMiss enforces it), and the end-to-end
-# Fig 3 timing rows.
+# miss row — TestServeHitAtLeast10xMiss enforces it), the Ranker/Query
+# dispatch-overhead pair (ranker vs direct must stay within noise — the
+# unified API and its cancellation checkpoints may not tax the engines),
+# and the end-to-end Fig 3 timing rows.
 go test -run '^$' -bench 'BenchmarkSamplerDraw' -benchmem \
     -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkExactPhase' -benchmem \
@@ -29,6 +31,8 @@ go test -run '^$' -bench 'BenchmarkCloseness' -benchmem \
     -benchtime "$BENCHTIME" ./internal/closeness/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkServeRank' -benchmem \
     -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkRankerQueryOverhead' -benchmem \
+    -benchtime "$BENCHTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkFig3Time' -benchmem \
     -benchtime "$BENCHTIME" . | tee -a "$TMP"
 
