@@ -27,6 +27,18 @@
 // cancellation is all-or-nothing, so a completed response is always
 // bitwise-identical to an undeadlined one.
 //
+// Overload: -client-qps arms per-client token-bucket quotas keyed by the
+// Client-Id request header; quota-denied and shed requests get 429 with a
+// Retry-After derived from the token-refill horizon or live queue depth —
+// a hint worth obeying (internal/workload.Client does). Tiny queries ride
+// a reserved fast-lane slot pool (-fastlane) with a guaranteed worker, so
+// point lookups stay fast while full-network jobs saturate the compute
+// slots. A Degrade-Ms request header (or -default-degrade-ms fleet-wide)
+// opts a request into graceful degradation: when the exact answer is shed
+// or misses its deadline, the service answers from the prior generation's
+// cache or with a coarsened-eps recompute, flagged "degraded":true (see
+// DESIGN.md section 10).
+//
 // Methods are saphyra (betweenness), kpath, and closeness; targets and
 // reported nodes use the original id space of the edge list the view was
 // built from. Responses are deterministic: a fixed (method, eps, delta,
@@ -70,6 +82,15 @@ func main() {
 		kflag       = flag.Int("k", 3, "default walk length for method kpath")
 		timeout     = flag.Duration("timeout", 0, "default per-request compute deadline (e.g. 30s; 0 = none); a Timeout-Ms request header may tighten but never extend it. Expired requests get 504 and their computation is canceled")
 		noWarm      = flag.Bool("no-precompute", false, "skip warming the per-method top-k index at startup/reload")
+
+		fastSlots  = flag.Int("fastlane", 0, "admission slots reserved for tiny queries so they never queue behind full-network work (0 = default 2, negative = disabled)")
+		fastCost   = flag.Float64("fastlane-cost", 0, "cost threshold below which a query rides the fast lane (0 = default 16384; see internal/sched's chunk cost model)")
+		clientQPS  = flag.Float64("client-qps", 0, "per-client token-bucket refill rate keyed by the Client-Id header (0 = quotas disabled)")
+		clientBur  = flag.Float64("client-burst", 0, "per-client token-bucket capacity (0 = 2x client-qps, min 1)")
+		degradeMs  = flag.Int("default-degrade-ms", 0, "opt every rank request into the degradation ladder with this budget in ms when it sends no Degrade-Ms header (0 = request-driven only)")
+		degFactor  = flag.Float64("degrade-eps-factor", 0, "epsilon multiplier for the coarsened-recompute degradation rung (0 = default 4)")
+		degMaxEps  = flag.Float64("degrade-max-eps", 0, "cap on the coarsened epsilon (0 = default 0.25)")
+		noStale    = flag.Bool("no-stale", false, "remove the stale rung from the degradation ladder: degraded requests only ever get a coarsened recompute, never a prior generation's cache")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -91,6 +112,14 @@ func main() {
 		DefaultK:          *kflag,
 		DefaultTimeout:    *timeout,
 		DisablePrecompute: *noWarm,
+		FastLaneSlots:     *fastSlots,
+		FastLaneCost:      *fastCost,
+		ClientQPS:         *clientQPS,
+		ClientBurst:       *clientBur,
+		DefaultDegradeMs:  *degradeMs,
+		DegradeEpsFactor:  *degFactor,
+		DegradeMaxEps:     *degMaxEps,
+		DisableStale:      *noStale,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saphyrad:", err)

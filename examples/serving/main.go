@@ -1,15 +1,17 @@
 // Serving demonstrates the full production topology in one process: build
 // a view artifact once, stand up the saphyrad serving stack on a loopback
-// listener, and drive it as an HTTP client — subset ranking with the
-// deterministic result cache, the precomputed top-k index, and an atomic
-// hot reload, all with bitwise-reproducible scores.
+// listener, and drive it with the resilient workload client — subset
+// ranking with the deterministic result cache, the precomputed top-k index,
+// per-client quotas with honored Retry-After, an atomic hot reload, and the
+// graceful-degradation ladder, all with bitwise-reproducible scores.
 //
 // Run with: go run ./examples/serving
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -18,14 +20,18 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"saphyra"
 	"saphyra/internal/serve"
+	"saphyra/internal/workload"
 )
 
 func main() {
 	// Build once: a synthetic social network persisted as a view artifact —
 	// in production this is `saphyra -graph net.txt -save-view net.sbcv`.
+	// The writer publishes atomically (temp file + rename + fsync) with a
+	// whole-file checksum, so a served artifact is never torn or bit-rotted.
 	g := saphyra.Generate.PowerLawCluster(3000, 4, 0.2, 11)
 	dir, err := os.MkdirTemp("", "saphyra-serving")
 	if err != nil {
@@ -41,8 +47,11 @@ func main() {
 		g.NumNodes(), g.NumEdges(), st.Size())
 
 	// Serve many: the saphyrad stack (cmd/saphyrad wires the same package
-	// to flags and signals) on an ephemeral loopback port.
-	srv, err := serve.New(viewPath, serve.Config{})
+	// to flags and signals) on an ephemeral loopback port. Quotas on so the
+	// client's Retry-After handling has something to push against.
+	srv, err := serve.New(viewPath, serve.Config{
+		ClientQPS: 5, ClientBurst: 3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,15 +64,28 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("saphyrad serving on %s (generation %d)\n\n", base, srv.Generation())
 
-	// A client ranking the same subset twice: the second answer comes from
-	// the deterministic cache — same bits, no computation.
+	// The workload client is the reference well-behaved caller: identified
+	// traffic, bounded retries, server backpressure hints honored exactly.
+	client := &workload.Client{Base: base, ClientID: "example"}
+	ctx := context.Background()
+
+	// Ranking the same subset twice: the second answer comes from the
+	// deterministic cache — same bits, no computation.
+	// eps 0.01 makes the compute real work (tens of milliseconds), so the
+	// deadline demos below have something to cut short.
 	req := serve.RankRequest{
 		Method:  "saphyra",
 		Targets: []int64{17, 99, 1024, 2048},
-		Eps:     0.05, Delta: 0.01, Seed: 7,
+		Eps:     0.01, Delta: 0.01, Seed: 7,
 	}
-	first := postRank(base, req)
-	second := postRank(base, req)
+	first, err := client.Rank(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := client.Rank(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("POST /v1/rank, method=saphyra, 4 targets:")
 	for i := range first.Nodes {
 		fmt.Printf("  rank %d  node %-5d score %.6g\n", first.Ranks[i], first.Nodes[i], first.Scores[i])
@@ -73,7 +95,10 @@ func main() {
 
 	// The top-k index was precomputed at load time for every method.
 	for _, method := range []string{"saphyra", "kpath", "closeness"} {
-		top := getJSON[serve.RankResponse](base + "/v1/topk?method=" + method + "&k=3")
+		top, err := client.TopK(ctx, method, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("GET /v1/topk method=%-9s (cached=%v):", method, top.Cached)
 		for i := range top.Nodes {
 			fmt.Printf("  #%d node %d (%.4g)", top.Ranks[i], top.Nodes[i], top.Scores[i])
@@ -81,41 +106,76 @@ func main() {
 		fmt.Println()
 	}
 
+	// Quota backpressure: a burst past the token bucket gets 429 with the
+	// exact token-refill time as Retry-After; the client sleeps that long
+	// and succeeds — no guessing, no hammering.
+	fmt.Println("\nburst of 6 distinct queries against a 3-token bucket (5 tokens/s):")
+	for i := 0; i < 6; i++ {
+		r := req
+		r.Seed = int64(100 + i)
+		if _, err := client.Rank(ctx, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cs := client.Stats()
+	fmt.Printf("all 6 served; client retried %d time(s), sleeping %v total as directed by Retry-After\n",
+		cs.Retries, cs.Waited.Round(time.Millisecond))
+
 	// Hot reload: remap the artifact under the next generation. In-flight
-	// queries would drain on the old mapping; new ones see generation 2 —
-	// and, the file being unchanged, bitwise-identical scores.
+	// queries drain on the old mapping; new ones see generation 2 — and,
+	// the file being unchanged, bitwise-identical scores. The purged
+	// generation-1 results move to the stale store, arming the degradation
+	// ladder's cheapest rung.
 	resp, err := http.Post(base+"/admin/reload", "application/json", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	third := postRank(base, req)
-	fmt.Printf("\nafter POST /admin/reload: generation %d, cached=%v (keys carry the generation), identical=%v\n",
-		third.Generation, third.Cached, identical(first, third))
+	fmt.Printf("\nafter POST /admin/reload: generation %d\n", srv.Generation())
 
-	// Per-request deadline: a Timeout-Ms header bounds the compute time.
-	// An impossible budget (1 ms) on an uncached query returns 504 — the
-	// computation is canceled at its next checkpoint and the admission slot
-	// freed; nothing partial is ever cached.
-	hard := serve.RankRequest{
-		Method:  "saphyra",
-		Targets: []int64{5, 55, 555},
-		Eps:     0.005, Delta: 0.01, Seed: 404, // tight eps: a real computation
-	}
-	body, _ := json.Marshal(hard)
-	hreq, _ := http.NewRequest("POST", base+"/v1/rank", bytes.NewReader(body))
-	hreq.Header.Set("Timeout-Ms", "1")
-	hresp, err := http.DefaultClient.Do(hreq)
+	// Graceful degradation: this client would rather have a slightly worse
+	// answer than an error. The reload emptied the generation-2 cache, so
+	// req needs a fresh compute — and Timeout-Ms 1 makes that impossible
+	// (the engines cancel at their next checkpoint — nothing partial
+	// exists). Degrade-Ms opts into the ladder, and the service answers
+	// from the retired generation's cache: flagged, generation reported,
+	// bitwise-identical to what generation 1 served when it was current.
+	degrading := &workload.Client{Base: base, ClientID: "example", TimeoutMs: 1, DegradeMs: 2000}
+	deg, err := degrading.Rank(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hresp.Body.Close()
-	fmt.Printf("\nPOST /v1/rank with Timeout-Ms: 1  ->  %s (deadline-exceeded compute is canceled, never partial)\n", hresp.Status)
+	fmt.Printf("with Timeout-Ms: 1 and Degrade-Ms: 2000: degraded=%v generation=%d eps=%g identical=%v\n",
+		deg.Degraded, deg.Generation, deg.Eps, identical(first, deg))
+
+	// Given time, the same request recomputes exactly under generation 2 —
+	// the file is unchanged, so the bits are too.
+	third, err := client.Rank(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same query, no deadline: generation %d cached=%v (keys carry the generation), identical=%v\n",
+		third.Generation, third.Cached, identical(first, third))
+
+	// Without the opt-in the same impossible deadline is a hard 504, which
+	// the client retries and then surfaces as a typed error.
+	strict := &workload.Client{Base: base, ClientID: "strict", TimeoutMs: 1,
+		MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond}
+	hard := req
+	hard.Seed = 404 // uncached: forces a real (and here impossible) compute
+	_, err = strict.Rank(ctx, hard)
+	var se *workload.StatusError
+	if errors.As(err, &se) {
+		fmt.Printf("same deadline without Degrade-Ms: status %d after retries (deadline-exceeded compute is canceled, never partial)\n", se.Code)
+	} else if err != nil {
+		fmt.Printf("same deadline without Degrade-Ms: %v\n", err)
+	}
 
 	status := getJSON[serve.Statusz](base + "/statusz")
-	fmt.Printf("statusz: gen=%d cache{hits=%d misses=%d} requests{rank=%d topk=%d deadline=%d}\n",
+	fmt.Printf("\nstatusz: gen=%d cache{hits=%d misses=%d} requests{rank=%d quota_denied=%d deadline=%d} degraded{coarse=%d stale=%d} open_mappings=%d\n",
 		status.Generation, status.Cache.Hits, status.Cache.Misses,
-		status.Requests.Rank, status.Requests.TopK, status.Requests.DeadlineExceeded)
+		status.Requests.Rank, status.Requests.QuotaDenied, status.Requests.DeadlineExceeded,
+		status.Degraded, status.StaleServed, status.OpenMappings)
 
 	// The same counters in Prometheus text format, ready to scrape.
 	mresp, err := http.Get(base + "/metricsz")
@@ -127,31 +187,12 @@ func main() {
 	fmt.Println("\nGET /metricsz (excerpt):")
 	for _, line := range strings.Split(string(metrics), "\n") {
 		if strings.HasPrefix(line, "saphyra_requests_total") ||
-			strings.HasPrefix(line, "saphyra_request_errors_total{reason=\"deadline\"}") ||
+			strings.HasPrefix(line, "saphyra_request_errors_total{reason=\"quota\"}") ||
+			strings.HasPrefix(line, "saphyra_degraded_total") ||
 			strings.HasPrefix(line, "saphyra_generation") {
 			fmt.Println("  " + line)
 		}
 	}
-}
-
-func postRank(base string, req serve.RankRequest) *serve.RankResponse {
-	body, err := json.Marshal(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("rank: status %s", resp.Status)
-	}
-	var out serve.RankResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		log.Fatal(err)
-	}
-	return &out
 }
 
 func getJSON[T any](url string) *T {

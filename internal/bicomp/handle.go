@@ -1,6 +1,10 @@
 package bicomp
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"saphyra/internal/faultinject"
+)
 
 // Handle is a generation-tagged, reference-counted wrapper around a view —
 // the mmap-lifetime primitive of hot reload (DESIGN.md sections 7 and 8).
@@ -47,6 +51,15 @@ func NewMemHandle(view *BlockCSR, ids []int64, gen uint64) *Handle {
 // Gen returns the handle's generation tag.
 func (h *Handle) Gen() uint64 { return h.gen }
 
+// Refs returns the current acquisition count — a point-in-time snapshot for
+// leak assertions (chaos and reload-failure tests drain traffic, then
+// assert Refs() == 0) and operational introspection, never for
+// synchronization.
+func (h *Handle) Refs() uint64 { return h.state.Load() &^ handleRetired }
+
+// Retired reports whether Retire was called.
+func (h *Handle) Retired() bool { return h.state.Load()&handleRetired != 0 }
+
 // View returns the wrapped view. Only valid between a successful Acquire
 // and its Release.
 func (h *Handle) View() *BlockCSR { return h.view }
@@ -61,6 +74,11 @@ func (h *Handle) IDs() []int64 { return h.ids }
 // handle and acquire that instead. Every successful Acquire must be paired
 // with exactly one Release.
 func (h *Handle) Acquire() bool {
+	// Chaos hook: an injected failure is indistinguishable from losing the
+	// race with Retire — the shape callers must already handle.
+	if faultinject.Fire("bicomp.handle.acquire") != nil {
+		return false
+	}
 	for {
 		s := h.state.Load()
 		if s&handleRetired != 0 {
@@ -97,11 +115,25 @@ func (h *Handle) Release() {
 // if none is held). Retire must be called at most once, by the owner that
 // swapped the handle out.
 func (h *Handle) Retire() {
-	if h.state.Or(handleRetired) == 0 {
-		// No references were held and the flag was not yet set: this call
-		// owns the release. A concurrent Acquire either completed its CAS
-		// before the Or (count > 0 here, its Release unmaps) or fails.
-		h.unmap()
+	// A CAS loop rather than state.Or: semantically identical, but the
+	// Or-with-result intrinsic miscompiles on this toolchain (go1.24.0
+	// amd64) when inlined next to other atomics — the result register
+	// clobbers a live pointer. The CAS form compiles correctly everywhere.
+	for {
+		s := h.state.Load()
+		if s&handleRetired != 0 {
+			return
+		}
+		if h.state.CompareAndSwap(s, s|handleRetired) {
+			if s == 0 {
+				// No references were held and the flag was not yet set: this
+				// call owns the release. A concurrent Acquire either
+				// completed its CAS first (count > 0 here, its Release
+				// unmaps) or fails.
+				h.unmap()
+			}
+			return
+		}
 	}
 }
 

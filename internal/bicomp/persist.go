@@ -11,7 +11,7 @@
 //	[24:32) m     — number of undirected edges (int64)
 //	[32:40) runs  — number of neighbor runs (int64)
 //	[40:48) flags (int64; bit 0: original-id map section present;
-//	        bit 1: out-reach section present)
+//	        bit 1: out-reach section present; bit 2: checksum trailer)
 //	[48:56) total file size in bytes (int64; truncation check)
 //	offsets   int64[n+1]     graph CSR offsets
 //	adj       int32[2m]      graph CSR adjacency (sorted per node)
@@ -26,6 +26,7 @@
 //	RunDegSum int64[runs]    neighbor degree mass per run
 //	outreach  int64[runs]    r_b(v) per (block, member) pair (flags bit 1)
 //	ids       int64[n]       original node ids (flags bit 0)
+//	checksum  uint64         crc64/ECMA of all preceding bytes (flags bit 2)
 //
 // The optional ids section preserves the dense-id -> original-id map of
 // graph.LoadEdgeList, so a view built from a compacted edge list still
@@ -60,10 +61,14 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 	"unsafe"
 
+	"saphyra/internal/faultinject"
 	"saphyra/internal/graph"
 )
 
@@ -76,15 +81,25 @@ const (
 	flagIDs = int64(1)
 	// flagOutReach marks the presence of the serialized out-reach section.
 	flagOutReach = int64(2)
+	// flagChecksum marks the presence of the trailing crc64 checksum: the
+	// last 8 bytes of the file are the CRC-64/ECMA of every byte before
+	// them. OpenMapped verifies it before handing out a view, so a torn or
+	// bit-rotted file is a clean open error instead of silently wrong
+	// estimates. Readers predating the flag reject checksummed files via the
+	// unknown-flag check — same upgrade semantics as the out-reach section.
+	flagChecksum = int64(4)
 	// knownFlags is the union of every flag bit this build understands.
-	knownFlags = flagIDs | flagOutReach
+	knownFlags = flagIDs | flagOutReach | flagChecksum
 	// maxDim rejects absurd header values before any size arithmetic, so a
 	// corrupted header cannot overflow the expected-size computation.
 	maxDim = int64(1) << 40
 )
 
+// crcTable is the CRC-64/ECMA table used for the checksum trailer.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
 // persistSize returns the total file size for the given dimensions.
-func persistSize(n, m, runs int64, hasIDs, hasOutReach bool) int64 {
+func persistSize(n, m, runs int64, hasIDs, hasOutReach, hasChecksum bool) int64 {
 	size := int64(headerSize)
 	size += (n + 1) * 8    // offsets
 	size += 2 * m * 4      // adj (2m int32 = 8m bytes, always 8-aligned)
@@ -102,6 +117,9 @@ func persistSize(n, m, runs int64, hasIDs, hasOutReach bool) int64 {
 	}
 	if hasIDs {
 		size += n * 8 // ids
+	}
+	if hasChecksum {
+		size += 8 // crc64 trailer
 	}
 	return size
 }
@@ -159,12 +177,18 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 		}
 		flags |= flagOutReach
 	}
+	flags |= flagChecksum
 
 	bw := bufio.NewWriterSize(w, 1<<20)
+	digest := crc64.New(crcTable)
 	var written int64
+	// put writes a section to the file and folds it into the checksum; the
+	// trailer itself is written below with bw.Write directly, so the digest
+	// covers exactly the bytes preceding it.
 	put := func(b []byte) error {
 		k, err := bw.Write(b)
 		written += int64(k)
+		digest.Write(b[:k])
 		return err
 	}
 
@@ -176,7 +200,7 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 	binary.NativeEndian.PutUint64(hdr[24:32], uint64(m))
 	binary.NativeEndian.PutUint64(hdr[32:40], uint64(runs))
 	binary.NativeEndian.PutUint64(hdr[40:48], uint64(flags))
-	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, ids != nil, rFlat != nil)))
+	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, ids != nil, rFlat != nil, true)))
 	if err := put(hdr[:]); err != nil {
 		return written, err
 	}
@@ -227,6 +251,13 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 			return written, err
 		}
 	}
+	var trailer [8]byte
+	binary.NativeEndian.PutUint64(trailer[:], digest.Sum64())
+	k, err := bw.Write(trailer[:])
+	written += int64(k)
+	if err != nil {
+		return written, err
+	}
 	return written, bw.Flush()
 }
 
@@ -234,16 +265,47 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 // build-once/serve-many flow; OpenMapped is the other half). ids, when
 // non-nil, is the dense-id -> original-id map to embed (length n); pass nil
 // when node ids are already the external ids.
-func (v *BlockCSR) WriteFile(path string, ids []int64) error {
-	f, err := os.Create(path)
+//
+// Publication is crash-safe: the bytes land in a temp file in path's
+// directory, are fsynced, and are renamed over path, with the directory
+// fsynced after the rename. A crash at any point leaves either the old file
+// or the new one at path — never a torn view. Reload flows can therefore
+// point a live saphyrad at path while a rebuild overwrites it.
+func (v *BlockCSR) WriteFile(path string, ids []int64) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if _, err := v.writeTo(f, ids); err != nil {
-		f.Close()
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = v.writeTo(f, ids); err != nil {
 		return fmt.Errorf("bicomp: writing view to %s: %w", path, err)
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("bicomp: syncing view %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("bicomp: closing view %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("bicomp: publishing view %s: %w", path, err)
+	}
+	// Fsync the directory so the rename itself is durable. Failure here is
+	// reported but the published file is already visible and intact.
+	if d, derr := os.Open(dir); derr == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return fmt.Errorf("bicomp: syncing directory of %s: %w", path, serr)
+		}
+	}
+	return nil
 }
 
 // sectionReader slices typed sections out of an 8-aligned byte buffer
@@ -298,8 +360,16 @@ func decodeView(data []byte) (view *BlockCSR, ids []int64, err error) {
 	}
 	hasIDs := flags&flagIDs != 0
 	hasOutReach := flags&flagOutReach != 0
-	if want := persistSize(n, m, runs, hasIDs, hasOutReach); total != want || int64(len(data)) != want {
+	hasChecksum := flags&flagChecksum != 0
+	if want := persistSize(n, m, runs, hasIDs, hasOutReach, hasChecksum); total != want || int64(len(data)) != want {
 		return nil, nil, fmt.Errorf("bicomp: view file size %d (header says %d), want %d — truncated or corrupt", len(data), total, want)
+	}
+	if hasChecksum {
+		body := data[:len(data)-8]
+		want := binary.NativeEndian.Uint64(data[len(data)-8:])
+		if got := crc64.Checksum(body, crcTable); got != want {
+			return nil, nil, fmt.Errorf("bicomp: view checksum %#x, trailer says %#x — file corrupt", got, want)
+		}
 	}
 
 	r := &sectionReader{data: data, off: headerSize}
@@ -352,8 +422,21 @@ type Mapped struct {
 	munmap func() error
 }
 
+// openMappings counts live Mapped views process-wide: +1 per successful
+// OpenMapped, -1 per first Close. Reload-failure and chaos tests assert it
+// returns to its baseline — a leak here means mapped pages (and on some
+// platforms, file descriptors' address space) pin forever.
+var openMappings atomic.Int64
+
+// OpenMappings reports the number of Mapped views currently open and not
+// yet closed in this process.
+func OpenMappings() int64 { return openMappings.Load() }
+
 // OpenMapped opens a view file written by WriteTo for zero-copy serving.
 func OpenMapped(path string) (*Mapped, error) {
+	if err := faultinject.Fire("bicomp.openmapped"); err != nil {
+		return nil, fmt.Errorf("bicomp: mapping %s: %w", path, err)
+	}
 	data, munmap, err := mapFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("bicomp: mapping %s: %w", path, err)
@@ -365,12 +448,17 @@ func OpenMapped(path string) (*Mapped, error) {
 		}
 		return nil, fmt.Errorf("bicomp: %s: %w", path, err)
 	}
+	openMappings.Add(1)
 	return &Mapped{View: view, IDs: ids, data: data, munmap: munmap}, nil
 }
 
 // Close releases the mapping. The view and every slice derived from it must
-// not be used afterwards.
+// not be used afterwards. Close is idempotent; only the first call
+// decrements the open-mappings count.
 func (m *Mapped) Close() error {
+	if m.data != nil {
+		openMappings.Add(-1)
+	}
 	m.View = nil
 	m.IDs = nil
 	m.data = nil

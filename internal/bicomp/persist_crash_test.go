@@ -1,0 +1,151 @@
+package bicomp
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"saphyra/internal/faultinject"
+	"saphyra/internal/graph"
+)
+
+// TestChecksumCatchesBitRot: any flipped bit in the body must fail the
+// open-time crc64 check — the defense a size check cannot provide.
+func TestChecksumCatchesBitRot(t *testing.T) {
+	v := buildView(t, graph.BarabasiAlbert(200, 2, 4))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "view.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{headerSize + 5, len(b) / 2, len(b) - 9} {
+		bad := append([]byte(nil), b...)
+		bad[off] ^= 0x01
+		p := filepath.Join(dir, "rot.sbcv")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenMapped(p); err == nil {
+			t.Errorf("offset %d: bit rot accepted", off)
+		} else if !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("offset %d: error %q does not mention checksum", off, err)
+		}
+	}
+}
+
+// TestWriteFileAtomicPublish: WriteFile must replace an existing view
+// in one rename — readers mapping the old file keep their pages, the
+// directory never holds a half-written view under the target name, and no
+// temp files leak.
+func TestWriteFileAtomicPublish(t *testing.T) {
+	v := buildView(t, graph.BarabasiAlbert(150, 2, 6))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "view.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	oldN := m.View.G.NumNodes()
+
+	// Overwrite with a different view while the old one is mapped.
+	v2 := buildView(t, graph.BarabasiAlbert(300, 3, 7))
+	if err := v2.WriteFile(path, nil); err != nil {
+		t.Fatalf("overwrite publish: %v", err)
+	}
+	if got := m.View.G.NumNodes(); got != oldN {
+		t.Fatalf("mapped view changed under reader: %d nodes, had %d", got, oldN)
+	}
+	m2, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("reopening published view: %v", err)
+	}
+	defer m2.Close()
+	if m2.View.G.NumNodes() != v2.G.NumNodes() {
+		t.Fatalf("published view has %d nodes, want %d", m2.View.G.NumNodes(), v2.G.NumNodes())
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "view.sbcv" {
+			t.Fatalf("publish left residue %q in the directory", e.Name())
+		}
+	}
+
+	if err := v.WriteFile(filepath.Join(dir, "no-such-dir", "x.sbcv"), nil); err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
+
+// TestOpenMappingsBalanced: the process-wide mapping counter must go +1 on
+// open, -1 on first Close, and stay put on failed opens and double closes.
+func TestOpenMappingsBalanced(t *testing.T) {
+	v := buildView(t, graph.Path(20))
+	path := filepath.Join(t.TempDir(), "view.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	base := OpenMappings()
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OpenMappings(); got != base+1 {
+		t.Fatalf("OpenMappings = %d after open, want %d", got, base+1)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent, must not double-decrement
+		t.Fatal(err)
+	}
+	if got := OpenMappings(); got != base {
+		t.Fatalf("OpenMappings = %d after close, want %d", got, base)
+	}
+
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "missing.sbcv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if got := OpenMappings(); got != base {
+		t.Fatalf("OpenMappings = %d after failed open, want %d", got, base)
+	}
+}
+
+// TestOpenMappedFaultPoint: the bicomp.openmapped fault point must surface
+// as a clean open error and leak no mapping.
+func TestOpenMappedFaultPoint(t *testing.T) {
+	defer faultinject.Reset()
+	v := buildView(t, graph.Path(10))
+	path := filepath.Join(t.TempDir(), "view.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	base := OpenMappings()
+	boom := errors.New("injected mmap failure")
+	faultinject.Enable()
+	faultinject.Set("bicomp.openmapped", faultinject.Fault{Err: boom})
+	if _, err := OpenMapped(path); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	faultinject.Reset()
+	if got := OpenMappings(); got != base {
+		t.Fatalf("OpenMappings = %d after injected failure, want %d", got, base)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("open after reset: %v", err)
+	}
+	m.Close()
+}

@@ -2,6 +2,8 @@ package bicomp
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc64"
 	"os"
 	"path/filepath"
 	"slices"
@@ -10,6 +12,13 @@ import (
 
 	"saphyra/internal/graph"
 )
+
+// reseal recomputes the crc64 trailer over a mutated file image so content
+// mutations reach the lazy validators instead of tripping the open-time
+// checksum — the shape of corruption a buggy writer (not bit rot) produces.
+func reseal(b []byte) {
+	binary.NativeEndian.PutUint64(b[len(b)-8:], crc64.Checksum(b[:len(b)-8], crcTable))
+}
 
 func roundTrip(t *testing.T, v *BlockCSR) (*BlockCSR, func()) {
 	t.Helper()
@@ -78,8 +87,8 @@ func TestPersistWriteToDeterministic(t *testing.T) {
 		t.Fatal("WriteTo is not deterministic")
 	}
 	// In-memory builds carry O, so WriteTo always emits the out-reach section.
-	if int64(a.Len()) != persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true) {
-		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true))
+	if int64(a.Len()) != persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true, true) {
+		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true, true))
 	}
 }
 
@@ -197,7 +206,8 @@ func TestOpenMappedRejectsUnknownFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b[40] |= 0x04 // set an undefined flag bit (0x01 = ids, 0x02 = out-reach)
+	b[40] |= 0x08 // set an undefined flag bit (0x01 = ids, 0x02 = out-reach, 0x04 = checksum)
+	reseal(b)
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -324,9 +334,12 @@ func TestPersistOutReachCorruptSectionFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	runs := int64(len(v.RunBlock))
-	// The section is the last runs*8 bytes (no ids section was written).
-	sectionOff := int64(len(b)) - runs*8
+	// The section sits right before the checksum trailer (no ids section
+	// was written). Reseal so the corruption models a buggy writer rather
+	// than bit rot — the open-time checksum must not be the only defense.
+	sectionOff := int64(len(b)) - 8 - runs*8
 	b[sectionOff] ^= 0x5a
+	reseal(b)
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}

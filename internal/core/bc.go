@@ -13,6 +13,7 @@ import (
 	"saphyra/internal/exactphase"
 	"saphyra/internal/graph"
 	"saphyra/internal/params"
+	"saphyra/internal/sched"
 	"saphyra/internal/shortestpath"
 	"saphyra/internal/vc"
 )
@@ -403,7 +404,22 @@ type bcSampler struct {
 	// lastSources is the distinct-source count of the last grouping round:
 	// the measured quantity behind the adaptive per-round quota.
 	lastSources int64
+
+	// stop, when wired by the framework, is polled every cancelPollPairs
+	// pairs inside the grouping rounds (and before every BFS): the
+	// sub-round cancellation bound. The polls consume no randomness, so a
+	// run whose stop never fires is bitwise-identical to an unwired run.
+	stop *sched.Stop
 }
+
+// SetStop wires the sub-round cancellation flag (core.stoppable).
+func (s *bcSampler) SetStop(st *sched.Stop) { s.stop = st }
+
+// cancelPollPairs is the pair stride between stop polls inside a grouping
+// round: coarse enough that the atomic load vanishes against the per-pair
+// adjacency scans, fine enough that time-to-cancel is bounded by a few
+// thousand cheap pairs or a single BFS rather than a whole round.
+const cancelPollPairs = 1 << 12
 
 // batchCap bounds the number of pairs pre-drawn per grouping round (8 bytes
 // each — 8 MiB of reusable scratch at the cap, allocated only up to the
@@ -556,9 +572,12 @@ func (s *bcSampler) roundQuota() int64 {
 
 // DrawBatch implements BatchSampler: n samples with per-source amortized
 // stage-4 work. Rejected samples (exact-subspace paths) are redrawn in the
-// next grouping round, so exactly n accepted samples are accumulated.
+// next grouping round, so exactly n accepted samples are accumulated —
+// unless the wired stop fires, in which case the batch returns early with a
+// short count (the framework discards the whole canceled estimate, so the
+// shortfall never surfaces).
 func (s *bcSampler) DrawBatch(n int64, hits []int64) {
-	for n > 0 {
+	for n > 0 && !s.stop.Stopped() {
 		m := n
 		if q := s.roundQuota(); m > q {
 			m = q
@@ -573,6 +592,9 @@ func (s *bcSampler) DrawBatch(n int64, hits []int64) {
 func (s *bcSampler) drawGrouped(m int, hits []int64) int64 {
 	s.pairs = s.pairs[:0]
 	for i := 0; i < m; i++ {
+		if i&(cancelPollPairs-1) == 0 && s.stop.Stopped() {
+			break // sub-round cancel: the short round is discarded upstream
+		}
 		s.pairs = append(s.pairs, s.drawPair())
 	}
 	// Sorting by the packed (src, dst) key makes the serve order — and
@@ -582,6 +604,9 @@ func (s *bcSampler) drawGrouped(m int, hits []int64) int64 {
 	var accepted, sources int64
 	minGroup := s.dagThreshold()
 	for lo := 0; lo < len(s.pairs); {
+		if s.stop.Stopped() {
+			break // between source groups: no group state to unwind
+		}
 		src := s.pairs[lo].src()
 		hi := lo + 1
 		for hi < len(s.pairs) && s.pairs[hi].src() == src {
@@ -632,7 +657,10 @@ func (s *bcSampler) serveGroup(src graph.Node, run []srcDst, hits []int64, minGr
 	lastDst := graph.Node(-1)
 	var sigma, cA int32
 	var sigma3 int64
-	for _, p := range run {
+	for pi, p := range run {
+		if pi&(cancelPollPairs-1) == cancelPollPairs-1 && s.stop.Stopped() {
+			break // giant hub group: bound time-to-cancel within it too
+		}
 		dst := p.dst()
 		if s.nbrStamp[dst] == e {
 			accepted++ // distance 1: no interior, no hit
@@ -719,6 +747,9 @@ func (s *bcSampler) serveGroup(src graph.Node, run []srcDst, hits []int64, minGr
 		return accepted + s.serveFromDAG(src, hits)
 	}
 	for _, dst := range s.dsts {
+		if s.stop.Stopped() {
+			break // each iteration is a full bidirectional BFS
+		}
 		accepted += s.serveFromBiBFS(src, dst, hits)
 	}
 	return accepted

@@ -67,6 +67,16 @@ type BatchSampler interface {
 	DrawBatch(n int64, hits []int64)
 }
 
+// stoppable marks batch samplers that poll a sched.Stop inside their batch
+// loops — the sub-round cancellation bound. A sampler that was handed a
+// Stop may return from DrawBatch early (having accumulated fewer than n
+// samples) once the flag is raised; the framework only raises the flag on a
+// canceled run, whose entire estimate is discarded, so the short count
+// never surfaces.
+type stoppable interface {
+	SetStop(*sched.Stop)
+}
+
 // drawInto draws n samples with s, accumulating hit counts into hits via
 // DrawBatch when available and the single-Draw shim otherwise.
 func drawInto(s Sampler, n int64, hits []int64) {
@@ -311,10 +321,14 @@ func drawParallel(ctx context.Context, space Space, seed int64, workers int, tot
 // and on stream 0 alone: for the tiny budgets typical of subset ranking,
 // goroutine wakeups would dominate the sampling itself.
 //
-// Cancellation is polled once per stream (sched.DoCtx): on a done ctx the
-// round aborts and hits is left untouched — the streams that already drew
-// advanced their RNGs, but the whole estimate is discarded by the caller, so
-// no partial counts ever surface.
+// Cancellation is polled once per stream (sched.DoCtx) and, within a
+// stream, every few thousand pairs inside the batch sampler itself (the
+// sched.Stop wired below — the ROADMAP's sub-round cancellation bound): on
+// a done ctx the round aborts and hits is left untouched — the streams that
+// already drew advanced their RNGs, but the whole estimate is discarded by
+// the caller, so no partial counts ever surface. The Stop polls never touch
+// the sampler streams, so a round that completes is bitwise-identical to an
+// uncancellable one.
 func drawParallelWith(ctx context.Context, samplers *samplerSet, workers int, total int64, hits []int64) error {
 	if total <= 0 {
 		return nil
@@ -327,6 +341,8 @@ func drawParallelWith(ctx context.Context, samplers *samplerSet, workers int, to
 		drawInto(samplers.get(0), total, hits)
 		return nil
 	}
+	stop := new(sched.Stop)
+	defer stop.Watch(ctx)()
 	const nv = sched.VirtualWorkers
 	quota := sched.Split(total, nv, nil)
 	locals := make([][]int64, nv)
@@ -335,7 +351,11 @@ func drawParallelWith(ctx context.Context, samplers *samplerSet, workers int, to
 			return
 		}
 		local := make([]int64, len(hits))
-		drawInto(samplers.get(v), quota[v], local)
+		s := samplers.get(v)
+		if cs, ok := s.(stoppable); ok {
+			cs.SetStop(stop)
+		}
+		drawInto(s, quota[v], local)
 		locals[v] = local
 	})
 	if err != nil {

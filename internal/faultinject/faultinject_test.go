@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	defer Reset()
+	Set("x", Fault{Err: errors.New("boom")})
+	if err := Fire("x"); err != nil {
+		t.Fatalf("disabled registry fired: %v", err)
+	}
+	if Hits("x") != 0 {
+		t.Fatalf("disabled registry counted hits: %d", Hits("x"))
+	}
+}
+
+func TestFireErrorAndCounters(t *testing.T) {
+	defer Reset()
+	Enable()
+	boom := errors.New("boom")
+	Set("x", Fault{Err: boom})
+	for i := 0; i < 3; i++ {
+		if err := Fire("x"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := Fire("unarmed"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if Hits("x") != 3 || Fired("x") != 3 {
+		t.Fatalf("hits=%d fired=%d, want 3/3", Hits("x"), Fired("x"))
+	}
+}
+
+func TestTimesCap(t *testing.T) {
+	defer Reset()
+	Enable()
+	boom := errors.New("boom")
+	Set("x", Fault{Err: boom, Times: 2})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Fire("x") != nil {
+			fired++
+		}
+	}
+	if fired != 2 || Fired("x") != 2 || Hits("x") != 5 {
+		t.Fatalf("fired=%d Fired=%d Hits=%d, want 2/2/5", fired, Fired("x"), Hits("x"))
+	}
+}
+
+func TestProbIsReproducible(t *testing.T) {
+	defer Reset()
+	Enable()
+	boom := errors.New("boom")
+	run := func() int {
+		Set("x", Fault{Err: boom, Prob: 0.5, Seed: 42})
+		n := 0
+		for i := 0; i < 200; i++ {
+			if Fire("x") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed fired %d then %d times", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("prob 0.5 fired %d of 200", a)
+	}
+}
+
+func TestPanicAndDelay(t *testing.T) {
+	defer Reset()
+	Enable()
+	Set("x", Fault{Panic: "kaboom", Delay: time.Millisecond})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+	}()
+	Fire("x")
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	Enable()
+	Set("x", Fault{Err: errors.New("boom")})
+	Reset()
+	if Enabled() {
+		t.Fatal("Reset left the gate open")
+	}
+	Enable()
+	defer Reset()
+	if err := Fire("x"); err != nil {
+		t.Fatalf("Reset left a point armed: %v", err)
+	}
+}

@@ -26,7 +26,20 @@ type walkSampler struct {
 	visited        []int32
 	epochs         *sched.Epoch // over visited
 	hits           []int32
+
+	// stop is the framework-wired sub-round cancellation flag, polled every
+	// cancelPollWalks walks inside DrawBatch (see core.stoppable). Polls
+	// consume no randomness: an unfired stop changes no bits.
+	stop *sched.Stop
 }
+
+// SetStop wires the sub-round cancellation flag (core.stoppable).
+func (s *walkSampler) SetStop(st *sched.Stop) { s.stop = st }
+
+// cancelPollWalks is the walk stride between stop polls: walks are k cheap
+// adjacency indexings each, so a few thousand of them bound time-to-cancel
+// well under a millisecond while keeping the poll off the per-step path.
+const cancelPollWalks = 1 << 12
 
 func newWalkSampler(g *graph.Graph, aIndex []int32, minLen, maxLen int, seed int64) *walkSampler {
 	s := &walkSampler{
@@ -79,9 +92,14 @@ func (s *walkSampler) Draw() []int32 {
 	return s.hits
 }
 
-// DrawBatch implements core.BatchSampler.
+// DrawBatch implements core.BatchSampler. A raised stop returns early with
+// a short count — only ever observed by a canceled run, whose estimate the
+// framework discards whole.
 func (s *walkSampler) DrawBatch(n int64, hits []int64) {
 	for j := int64(0); j < n; j++ {
+		if j&(cancelPollWalks-1) == 0 && s.stop.Stopped() {
+			return
+		}
 		s.walk(hits)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"saphyra/internal/baselines"
 	"saphyra/internal/bicomp"
+	"saphyra/internal/faultinject"
 	"saphyra/internal/closeness"
 	"saphyra/internal/core"
 	"saphyra/internal/graph"
@@ -112,6 +113,11 @@ func (r *Ranker) bcPrep() *core.BCPreprocessed {
 func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// Chaos hook: lets the fault harness make any engine call slow, fail,
+	// or panic without reaching into engine internals.
+	if err := faultinject.Fire("query.rank"); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	c := q.Canonical()

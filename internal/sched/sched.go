@@ -171,6 +171,40 @@ func DoWithCtx[W any](ctx context.Context, chunks, workers int, acquire func() W
 	return nil
 }
 
+// Stop is the sub-chunk cancellation flag: a single atomic bool the
+// engines' innermost loops can poll far more often than the chunk-boundary
+// checkpoints of DoCtx allow. The chunk checkpoints bound time-to-cancel by
+// one chunk — which for the sampling engine means one whole grouping round,
+// seconds at tight eps on huge budgets — while a Stop polled every few
+// thousand pairs bounds it by the poll stride.
+//
+// The poll (Stopped) is one atomic load with no ordering obligations beyond
+// the load itself — the flag only ever transitions false -> true, and a
+// missed edge costs one extra stride, never correctness. A nil *Stop is
+// permanently unstopped, so samplers can hold one unconditionally and skip
+// the nil wiring in non-cancellable paths. Raising the flag never touches
+// the RNG streams or any per-sample state: a run that completes with an
+// unraised (or never-wired) Stop is bitwise-identical to one with no Stop
+// at all — the poll is pure control flow.
+type Stop struct {
+	flag atomic.Bool
+}
+
+// Stopped reports whether the flag was raised. Safe on a nil receiver
+// (always false).
+func (s *Stop) Stopped() bool { return s != nil && s.flag.Load() }
+
+// Raise raises the flag. Raising is idempotent and never reset — a Stop is
+// scoped to one run.
+func (s *Stop) Raise() { s.flag.Store(true) }
+
+// Watch raises the flag when ctx is done. The returned release must be
+// called when the run finishes to detach the watcher (it reports whether
+// the watcher was detached before firing, mirroring context.AfterFunc).
+func (s *Stop) Watch(ctx context.Context) (release func() bool) {
+	return context.AfterFunc(ctx, s.Raise)
+}
+
 // Budget is a worker-goroutine pool shared by concurrent callers — the
 // serving layer's defense against one huge query starving everything else.
 // It holds `total` worker slots; each call Acquires up to `perCall` of them

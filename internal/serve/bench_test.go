@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
+	"time"
 
 	"saphyra"
 )
@@ -80,6 +82,78 @@ func BenchmarkServeTopKHit(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeRankDegraded is the steady-state cost of the degradation
+// ladder's stale rung: the shared admission lane is saturated, so every
+// request is shed, opts in via Degrade-Ms, and is answered from the retired
+// generation's cache — no admission slot, no compute. The marginal cost over
+// a plain cache hit is one failed admission attempt and the stale lookup.
+func BenchmarkServeRankDegraded(b *testing.B) {
+	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
+	s, ids := newTestServer(b, g, Config{
+		DisablePrecompute: true, MaxInFlight: 1, MaxQueue: 1, FastLaneSlots: -1,
+	})
+	body := benchBody(b, ids, 7)
+	serveOnce(b, s.Handler(), body) // warm the entry under generation 1
+	if _, err := s.Reload(); err != nil {
+		b.Fatal(err)
+	}
+	defer saturateShared(b, s)()
+	hdrs := map[string]string{"Degrade-Ms": "5000"}
+	req := RankRequest{
+		Method:  MethodSaPHyRa,
+		Targets: []int64{ids[17], ids[99], ids[1024], ids[2048]},
+		Eps:     0.05, Delta: 0.05, Seed: 7,
+	}
+	if w := doRank(b, s.Handler(), req, hdrs); w.Code != http.StatusOK || !decodeRank(b, w).Degraded {
+		b.Fatalf("stale rung not exercised: status %d: %s", w.Code, w.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := doRank(b, s.Handler(), req, hdrs); w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeRankOverload measures the shed fast path: with the shared
+// lane saturated and no degradation opt-in, every fresh request is rejected
+// with 429 + Retry-After. Shedding must stay microseconds-cheap — an
+// overloaded server's survival depends on the cost of saying no. Reports the
+// per-request p50/p99 and the shed rate alongside ns/op.
+func BenchmarkServeRankOverload(b *testing.B) {
+	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
+	s, ids := newTestServer(b, g, Config{
+		DisablePrecompute: true, MaxInFlight: 1, MaxQueue: 1, FastLaneSlots: -1,
+	})
+	defer saturateShared(b, s)()
+	req := RankRequest{
+		Method:  MethodSaPHyRa,
+		Targets: []int64{ids[17], ids[99], ids[1024], ids[2048]},
+		Eps:     0.05, Delta: 0.05,
+	}
+	lat := make([]time.Duration, 0, b.N)
+	var shed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := req
+		r.Seed = int64(1000 + i) // always a cache miss: must reach admission
+		start := time.Now()
+		w := doRank(b, s.Handler(), r, nil)
+		lat = append(lat, time.Since(start))
+		if w.Code == http.StatusTooManyRequests {
+			shed++
+		} else {
+			b.Fatalf("saturated server answered %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(shed)/float64(b.N), "shed_rate")
+	b.ReportMetric(float64(lat[len(lat)/2].Microseconds()), "p50_us")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99_us")
 }
 
 // TestServeHitAtLeast10xMiss enforces the acceptance criterion outside the

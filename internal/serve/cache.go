@@ -62,10 +62,22 @@ type cache struct {
 	ll       *list.List // of *centry; front = most recently used
 	entries  map[cacheKey]*list.Element
 	inflight map[cacheKey]*flight
+	// stale holds the last retired generation's results, keyed by query key
+	// alone: the degradation ladder's cheapest rung. Populated wholesale by
+	// purgeOtherGens (so it holds at most one LRU's worth of entries) and
+	// never consulted by the primary path — a stale result is only served
+	// explicitly, flagged, with its generation reported.
+	stale map[[sha256.Size]byte]*staleEntry
 
 	hits      atomic.Int64 // served straight from the LRU
 	misses    atomic.Int64 // flights created (singleflight leaders)
 	collapsed atomic.Int64 // waited on another request's computation
+}
+
+// staleEntry is a retired-generation result retained for degraded serving.
+type staleEntry struct {
+	gen uint64
+	p   *payload
 }
 
 type centry struct {
@@ -202,18 +214,38 @@ func (c *cache) insertLocked(key cacheKey, p *payload) {
 // purgeOtherGens drops every entry whose generation differs from gen —
 // called after a hot reload so retired-view results stop occupying LRU
 // slots (they were never incorrect: their keys are unreachable once
-// requests carry the new generation).
+// requests carry the new generation). The purged entries become the new
+// stale store (highest purged generation wins per key), replacing whatever
+// earlier generations it held — the degradation ladder serves at most one
+// generation behind.
 func (c *cache) purgeOtherGens(gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	stale := make(map[[sha256.Size]byte]*staleEntry)
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		if e := el.Value.(*centry); e.key.gen != gen {
+			if old := stale[e.key.key]; old == nil || e.key.gen > old.gen {
+				stale[e.key.key] = &staleEntry{gen: e.key.gen, p: e.p}
+			}
 			c.ll.Remove(el)
 			delete(c.entries, e.key)
 		}
 		el = next
 	}
+	c.stale = stale
+}
+
+// staleGet returns the retired-generation result for a query key, if the
+// stale store holds one. Never consulted by the primary lookup path.
+func (c *cache) staleGet(key [sha256.Size]byte) (uint64, *payload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.stale[key]
+	if e == nil {
+		return 0, nil, false
+	}
+	return e.gen, e.p, true
 }
 
 func (c *cache) len() int {

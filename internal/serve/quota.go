@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas is the per-client token-bucket admission layer: each client id (the
+// Client-Id request header; missing means the shared "anonymous" bucket)
+// refills at qps tokens per second up to burst, and every request spends one
+// token before touching the cache or admission queue. A drained bucket is a
+// 429 whose Retry-After is the exact time until the next token — the
+// client-resilience loop (workload.Client) sleeps precisely that long
+// instead of guessing.
+//
+// Quotas answer a different question than the admission queue: admission
+// bounds how much work runs at once (global, load-derived), quotas bound how
+// much any one caller may ask for (per-identity, policy-derived). A single
+// greedy client drains its own bucket and nobody else's.
+type quotas struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	qps     float64
+	burst   float64
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxQuotaClients bounds the bucket map: beyond it, the map is reset rather
+// than grown — a deliberate fail-open (brief over-admission) instead of an
+// unbounded-memory fail-closed under a client-id flood.
+const maxQuotaClients = 65536
+
+func newQuotas(qps, burst float64) *quotas {
+	if qps <= 0 {
+		return nil // quotas disabled: one nil check per request
+	}
+	if burst < 1 {
+		burst = math.Max(1, 2*qps)
+	}
+	return &quotas{
+		buckets: make(map[string]*bucket),
+		qps:     qps,
+		burst:   burst,
+		now:     time.Now,
+	}
+}
+
+// take spends one token from client's bucket. The second return is the time
+// until a token will be available when the bucket is drained (ok=false).
+// A nil *quotas admits everything.
+func (q *quotas) take(client string) (ok bool, retryIn time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[client]
+	if b == nil {
+		if len(q.buckets) >= maxQuotaClients {
+			q.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.qps)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.qps
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"saphyra"
+	"saphyra/internal/bicomp"
+	"saphyra/internal/faultinject"
+)
+
+// swapViewFile atomically replaces the view file's directory entry with
+// content, the way a (possibly buggy) publisher would: the server's mapped
+// inode is untouched — only the next open sees the new bytes.
+func swapViewFile(t *testing.T, path string, content []byte) {
+	t.Helper()
+	tmp := filepath.Join(filepath.Dir(path), "swap.tmp")
+	if err := os.WriteFile(tmp, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func adminReload(t *testing.T, h http.Handler) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/admin/reload", nil))
+	return w
+}
+
+// TestReloadFailurePaths: a reload that cannot open the new view — file
+// missing, header garbage, checksum mismatch — returns a clean 500, leaves
+// the old generation serving bit-identically, and leaks neither view
+// references nor mappings.
+func TestReloadFailurePaths(t *testing.T) {
+	baselineMappings := bicomp.OpenMappings()
+	g := saphyra.Generate.BarabasiAlbert(300, 3, 21)
+	s, ids := newTestServer(t, g, Config{DisablePrecompute: true})
+	good, err := os.ReadFile(s.viewPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := RankRequest{Method: MethodSaPHyRa, Targets: []int64{ids[5], ids[50]}, Eps: 0.1, Delta: 0.05, Seed: 4}
+	fresh, code := postRank(t, s.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("warmup: status %d", code)
+	}
+
+	checkStillServing := func(wantFailures int64) {
+		t.Helper()
+		if gen := s.Generation(); gen != 1 {
+			t.Fatalf("generation %d after failed reload, want 1", gen)
+		}
+		resp, code := postRank(t, s.Handler(), req)
+		if code != http.StatusOK {
+			t.Fatalf("old generation stopped serving: status %d", code)
+		}
+		for i := range fresh.Scores {
+			if resp.Scores[i] != fresh.Scores[i] {
+				t.Fatal("old generation changed bits after a failed reload")
+			}
+		}
+		if got := s.reloadFailures.Load(); got != wantFailures {
+			t.Errorf("reloadFailures = %d, want %d", got, wantFailures)
+		}
+		if got := bicomp.OpenMappings(); got != baselineMappings+1 {
+			t.Errorf("open mappings = %d, want %d (failed reload leaked a mapping)", got, baselineMappings+1)
+		}
+		if refs := s.cur.Load().handle.Refs(); refs != 0 {
+			t.Errorf("current handle holds %d references at idle", refs)
+		}
+	}
+
+	// Missing file.
+	if err := os.Remove(s.viewPath); err != nil {
+		t.Fatal(err)
+	}
+	if w := adminReload(t, s.Handler()); w.Code != http.StatusInternalServerError {
+		t.Fatalf("reload with missing file: status %d, want 500: %s", w.Code, w.Body.String())
+	}
+	checkStillServing(1)
+
+	// Garbage header.
+	swapViewFile(t, s.viewPath, []byte("this is not a view file"))
+	if w := adminReload(t, s.Handler()); w.Code != http.StatusInternalServerError {
+		t.Fatalf("reload with garbage file: status %d, want 500", w.Code)
+	}
+	checkStillServing(2)
+
+	// Bit rot: valid header, one flipped byte mid-file, stale checksum
+	// trailer. The open must fail on the checksum, not serve corrupt scores.
+	rotten := append([]byte(nil), good...)
+	rotten[len(rotten)/2] ^= 0x10
+	swapViewFile(t, s.viewPath, rotten)
+	w := adminReload(t, s.Handler())
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("reload with bit-rotted file: status %d, want 500", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "checksum") {
+		t.Errorf("bit-rot reload error does not mention the checksum: %s", w.Body.String())
+	}
+	checkStillServing(3)
+
+	// Injected open failure (the fault the chaos hammer leans on).
+	swapViewFile(t, s.viewPath, good)
+	faultinject.Set("serve.reload.open", faultinject.Fault{Err: os.ErrDeadlineExceeded})
+	faultinject.Enable()
+	if w := adminReload(t, s.Handler()); w.Code != http.StatusInternalServerError {
+		t.Fatalf("reload with injected open fault: status %d, want 500", w.Code)
+	}
+	faultinject.Reset()
+	checkStillServing(4)
+
+	// With the good bytes back, recovery is a plain reload.
+	w = adminReload(t, s.Handler())
+	if w.Code != http.StatusOK {
+		t.Fatalf("recovery reload: status %d: %s", w.Code, w.Body.String())
+	}
+	if gen := s.Generation(); gen != 2 {
+		t.Fatalf("generation %d after recovery, want 2", gen)
+	}
+	resp, code := postRank(t, s.Handler(), req)
+	if code != http.StatusOK || resp.Generation != 2 {
+		t.Fatalf("post-recovery request: code %d gen %d", code, resp.Generation)
+	}
+	for i := range fresh.Scores {
+		if resp.Scores[i] != fresh.Scores[i] {
+			t.Fatal("same file, different bits across generations")
+		}
+	}
+}
+
+// TestReloadFlappingUnderTraffic: reloads that alternate between failing and
+// succeeding, under concurrent traffic, never produce a wrong answer, a
+// generation gap, or a leaked reference — the serial-number bookkeeping and
+// the handle protocol hold when reloads flap.
+func TestReloadFlappingUnderTraffic(t *testing.T) {
+	defer faultinject.Reset()
+	baselineMappings := bicomp.OpenMappings()
+	g := saphyra.Generate.BarabasiAlbert(300, 3, 21)
+	s, ids := newTestServer(t, g, Config{DisablePrecompute: true, CacheEntries: 4})
+	req := RankRequest{Method: MethodSaPHyRa, Targets: []int64{ids[5], ids[50], ids[150]}, Eps: 0.1, Delta: 0.05, Seed: 4}
+	fresh, code := postRank(t, s.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("warmup: status %d", code)
+	}
+
+	// Prob 0.5: the reload sequence interleaves failures and successes.
+	faultinject.Set("serve.reload.open", faultinject.Fault{Err: os.ErrInvalid, Prob: 0.5, Seed: 23})
+	faultinject.Enable()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for h := 0; h < 3; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, code := postRank(t, s.Handler(), req)
+				if code != http.StatusOK {
+					t.Errorf("request under flapping reloads: status %d", code)
+					return
+				}
+				for i := range fresh.Scores {
+					if resp.Scores[i] != fresh.Scores[i] {
+						t.Error("bits changed under flapping reloads")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var succeeded, failed int64
+	for i := 0; i < 12; i++ {
+		switch w := adminReload(t, s.Handler()); w.Code {
+		case http.StatusOK:
+			succeeded++
+		case http.StatusInternalServerError:
+			failed++
+		default:
+			t.Fatalf("reload %d: status %d", i, w.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	faultinject.Reset()
+
+	if failed == 0 || succeeded == 0 {
+		t.Logf("flapping mix degenerate (%d ok, %d failed); invariants still checked", succeeded, failed)
+	}
+	if got, want := s.Generation(), uint64(1+succeeded); got != want {
+		t.Errorf("generation %d after %d successful reloads, want %d", got, succeeded, want)
+	}
+	if got := s.reloadFailures.Load(); got != failed {
+		t.Errorf("reloadFailures = %d, want %d", got, failed)
+	}
+	waitFor(t, 30*time.Second, "references and mappings to drain", func() bool {
+		return s.cur.Load().handle.Refs() == 0 && bicomp.OpenMappings() == baselineMappings+1
+	})
+}

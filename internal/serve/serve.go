@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"saphyra/internal/bicomp"
+	"saphyra/internal/faultinject"
 	"saphyra/internal/graph"
 	"saphyra/internal/params"
 	"saphyra/internal/query"
@@ -76,6 +77,39 @@ type Config struct {
 	RequestWorkers int
 	// CacheEntries bounds the result cache. Default 1024.
 	CacheEntries int
+
+	// FastLaneSlots is the compute-slot pool reserved for tiny queries (an
+	// estimated cost at most FastLaneCost, see queryCost): tiny queries try
+	// this pool first and fall back to the shared pool, while expensive
+	// queries never touch it — so a burst of full-network jobs saturating
+	// MaxInFlight cannot push tiny-query latency to the shed horizon.
+	// Default 2; negative disables the lane.
+	FastLaneSlots int
+	// FastLaneCost is the queryCost threshold below which a query is tiny.
+	// Default 1<<14.
+	FastLaneCost float64
+
+	// ClientQPS enables per-client token-bucket quotas: each Client-Id
+	// refills at ClientQPS tokens/second up to ClientBurst, one token per
+	// request. Zero (the default) disables quotas.
+	ClientQPS float64
+	// ClientBurst is the bucket capacity. Default max(1, 2*ClientQPS).
+	ClientBurst float64
+
+	// DegradeEpsFactor scales a request's epsilon for the coarsened-eps
+	// degradation rung (opt-in via the Degrade-Ms header): the degraded
+	// recompute runs at min(eps*DegradeEpsFactor, DegradeMaxEps). Default 4.
+	DegradeEpsFactor float64
+	// DegradeMaxEps caps the coarsened epsilon. Default 0.25.
+	DegradeMaxEps float64
+	// DefaultDegradeMs opts every rank request into the degradation ladder
+	// with this budget (milliseconds) when the request carries no Degrade-Ms
+	// header — the operator-side policy knob. Zero means degradation is
+	// purely request-driven.
+	DefaultDegradeMs int
+	// DisableStale removes the stale rung from the ladder: degraded requests
+	// then only ever get a coarsened recompute, never a prior generation.
+	DisableStale bool
 
 	// Request defaults, applied when a field is absent from the request.
 	DefaultEpsilon float64 // default 0.05
@@ -113,6 +147,21 @@ func (c *Config) setDefaults() {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1024
+	}
+	if c.FastLaneSlots == 0 {
+		c.FastLaneSlots = 2
+	}
+	if c.FastLaneSlots < 0 {
+		c.FastLaneSlots = 0 // explicit disable
+	}
+	if c.FastLaneCost <= 0 {
+		c.FastLaneCost = 1 << 14
+	}
+	if c.DegradeEpsFactor <= 1 {
+		c.DegradeEpsFactor = 4
+	}
+	if c.DegradeMaxEps <= 0 {
+		c.DegradeMaxEps = 0.25
 	}
 	if c.DefaultEpsilon == 0 {
 		c.DefaultEpsilon = 0.05
@@ -195,11 +244,18 @@ type Server struct {
 	cache  *cache
 	budget *sched.Budget
 	adm    *admission
+	quota  *quotas
 	mux    *http.ServeMux
 	start  time.Time
 
+	// computeEWMA is the exponentially weighted mean compute seconds
+	// (float64 bits), fed by every finished flight and read by the
+	// queue-depth-derived Retry-After.
+	computeEWMA atomic.Uint64
+
 	ranks, topks, reloads, badRequests, internalErrors, shed atomic.Int64
 	deadlines, canceled                                      atomic.Int64
+	quotaDenied, degraded, staleServed, reloadFailures       atomic.Int64
 }
 
 // New maps the view file, runs the per-process preprocessing, warms the
@@ -212,7 +268,8 @@ func New(viewPath string, cfg Config) (*Server, error) {
 		viewPath: viewPath,
 		cache:    newCache(cfg.CacheEntries),
 		budget:   sched.NewBudget(cfg.TotalWorkers, cfg.RequestWorkers),
-		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.FastLaneSlots),
+		quota:    newQuotas(cfg.ClientQPS, cfg.ClientBurst),
 		start:    time.Now(),
 	}
 	lv, err := s.load(1)
@@ -252,6 +309,9 @@ func (s *Server) Close() error {
 
 // load maps viewPath and builds the per-generation derived state.
 func (s *Server) load(gen uint64) (*loadedView, error) {
+	if err := faultinject.Fire("serve.reload.open"); err != nil {
+		return nil, err
+	}
 	m, err := bicomp.OpenMapped(s.viewPath)
 	if err != nil {
 		return nil, err
@@ -287,6 +347,7 @@ func (s *Server) Reload() (uint64, error) {
 	old := s.cur.Load()
 	lv, err := s.load(old.gen() + 1)
 	if err != nil {
+		s.reloadFailures.Add(1)
 		return old.gen(), fmt.Errorf("serve: reload failed, generation %d keeps serving: %w", old.gen(), err)
 	}
 	if !s.cfg.DisablePrecompute {
@@ -362,24 +423,65 @@ func (s *Server) buildQuery(lv *loadedView, method string, targets []int64, eps,
 	return q, nil
 }
 
+// queryCost estimates the compute mass of q for admission classing: the
+// sample-space footprint of the target set (Σ degree + |T|; the whole graph
+// for an empty set) scaled by the quadratic sample-count dependence on
+// epsilon, the same cost-model idiom sched.Bounds applies to chunks. The
+// estimate only needs to be monotone enough to separate "tiny" from
+// "expensive" — it never reaches a result bit.
+func queryCost(lv *loadedView, q query.Query) float64 {
+	var mass float64
+	if len(q.Targets) == 0 {
+		mass = float64(2*lv.g.NumEdges() + int64(lv.g.NumNodes()))
+	} else {
+		for _, t := range q.Targets {
+			mass += float64(lv.g.Degree(t))
+		}
+		mass += float64(len(q.Targets))
+	}
+	eps := q.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	r := 0.05 / eps
+	return mass * r * r
+}
+
 // lookup runs q through the cache, computing on a miss under admission
 // control and the worker budget. The computation runs on a detached flight
 // goroutine holding its own view pin (handle.Share), so it may outlive this
 // request — ctx abandoning the flight never leaves the engines on unmapped
-// pages.
+// pages. Tiny queries (queryCost at most FastLaneCost) are admitted through
+// the fast lane when it has a free slot.
 func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*payload, bool, error) {
+	tiny := queryCost(lv, q) <= s.cfg.FastLaneCost
 	// The extra reference is donated to the (possible) flight; if this call
 	// does not end up leading one, it is returned below.
 	lv.handle.Share()
 	p, led, err := s.cache.do(ctx, cacheKey{gen: lv.gen(), key: q.Key()}, func(fctx context.Context) (*payload, error) {
 		defer lv.handle.Release() // the flight owns the donated reference
-		if err := s.adm.enter(fctx); err != nil {
+		release, fast, err := s.adm.enter(fctx, tiny)
+		if err != nil {
 			return nil, err
 		}
-		defer s.adm.leave()
-		granted := s.budget.Acquire(0)
-		defer s.budget.Release(granted)
-		return s.compute(fctx, lv, q, granted)
+		defer release()
+		// A fast-lane computation runs with one guaranteed worker instead of
+		// waiting on the shared budget: with every shared slot busy the pool
+		// is typically drained too, and a reserved admission slot that then
+		// parks on Budget.Acquire would bound nothing. Tiny queries lose no
+		// meaningful parallelism, and the worker count never reaches the
+		// bits, so the lane's result is identical either way.
+		granted := 1
+		if !fast {
+			granted = s.budget.Acquire(0)
+			defer s.budget.Release(granted)
+		}
+		start := time.Now()
+		p, err := s.compute(fctx, lv, q, granted)
+		if err == nil {
+			s.observeCompute(time.Since(start))
+		}
+		return p, err
 	})
 	if !led {
 		lv.handle.Release()
@@ -387,10 +489,58 @@ func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*pa
 	return p, led, err
 }
 
+// observeCompute folds one successful compute duration into the EWMA behind
+// the Retry-After derivation. Alpha 1/8: a few requests move it, one outlier
+// does not.
+func (s *Server) observeCompute(d time.Duration) {
+	sec := d.Seconds()
+	for {
+		old := s.computeEWMA.Load()
+		cur := math.Float64frombits(old)
+		next := sec
+		if old != 0 {
+			next = cur + (sec-cur)/8
+		}
+		if s.computeEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from live state: the
+// backlog ahead of a new arrival (queued plus running computations) times
+// the mean compute time, spread over the compute slots — an estimate of when
+// the queue will have drained enough to admit it. Clamped to [1, 60] so a
+// cold EWMA still backs clients off and a deep queue cannot park them for
+// minutes.
+func (s *Server) retryAfterSeconds() int {
+	ewma := math.Float64frombits(s.computeEWMA.Load())
+	backlog := float64(s.adm.waitingNow() + int64(s.adm.inFlight()))
+	sec := int(math.Ceil(ewma * backlog / float64(s.cfg.MaxInFlight)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
 // compute runs the engines for q with the granted worker count. The worker
 // count affects latency only, never bits (DESIGN.md section 3), so the
 // grant does not appear in the cache key.
 func (s *Server) compute(ctx context.Context, lv *loadedView, q query.Query, workers int) (*payload, error) {
+	// Chaos hooks: serve.compute covers every computation (slow/panic/fail);
+	// serve.compute.full fires only for whole-network jobs, so the fault
+	// harness can saturate the shared pool without touching the fast lane.
+	if err := faultinject.Fire("serve.compute"); err != nil {
+		return nil, err
+	}
+	if len(q.Targets) == 0 {
+		if err := faultinject.Fire("serve.compute.full"); err != nil {
+			return nil, err
+		}
+	}
 	q.Workers = workers
 	res, err := lv.ranker.Rank(ctx, q)
 	if err != nil {
@@ -494,6 +644,14 @@ type RankResponse struct {
 	Nodes      []int64   `json:"nodes"`
 	Scores     []float64 `json:"scores"`
 	Ranks      []int     `json:"ranks"`
+
+	// Degraded marks a response served through the degradation ladder
+	// (Degrade-Ms opt-in) instead of the request's exact contract: either a
+	// coarsened-eps recompute — Eps then reports the achieved epsilon, not
+	// the requested one — or a prior-generation cache hit, with Generation
+	// reporting the generation actually served. A degraded result is still
+	// bitwise-deterministic for its own (generation, eps) contract.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // maxRankBody bounds a /v1/rank request body (16 MiB ≈ several hundred
@@ -511,6 +669,11 @@ const maxRankBody = 16 << 20
 // wrapped. The returned cancel must always be called.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
 	d := s.cfg.DefaultTimeout
+	if faultinject.Fire("serve.request.expire") != nil {
+		// Chaos hook: the request arrives effectively pre-expired, the
+		// shape of a deadline firing between admission and compute.
+		d = time.Nanosecond
+	}
 	if h := r.Header.Get("Timeout-Ms"); h != "" {
 		ms, err := strconv.ParseInt(h, 10, 64)
 		if err != nil || ms <= 0 {
@@ -532,11 +695,43 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return ctx, cancel, nil
 }
 
+// clientID identifies the requester for quota accounting: the Client-Id
+// header, or the shared anonymous bucket when absent.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("Client-Id"); id != "" {
+		return id
+	}
+	return "anonymous"
+}
+
+// checkQuota spends one token from the requester's bucket, writing the 429
+// (with the exact token-refill Retry-After) itself when the bucket is
+// drained. Reports whether the request may proceed.
+func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
+	ok, wait := s.quota.take(clientID(r))
+	if ok {
+		return true
+	}
+	s.quotaDenied.Add(1)
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error": fmt.Sprintf("serve: quota exhausted for client %q", clientID(r)),
+	})
+	return false
+}
+
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.ranks.Add(1)
 	var req RankRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRankBody)).Decode(&req); err != nil {
 		s.fail(w, params.Errorf("body", "bad JSON: %v", err))
+		return
+	}
+	if !s.checkQuota(w, r) {
 		return
 	}
 	ctx, cancel, err := s.requestCtx(r)
@@ -558,14 +753,96 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	p, led, err := s.lookup(ctx, lv, q)
 	if err != nil {
+		if resp := s.tryDegrade(r, lv, req.Method, q, err); resp != nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), req.Method, q, p, !led))
 }
 
+// degradable reports whether an error is the kind the degradation ladder
+// rescues: shed load and expired deadlines. A vanished client (bare
+// context.Canceled) gets nothing — nobody is listening.
+func degradable(err error) bool {
+	if errors.Is(err, errOverloaded) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	return false
+}
+
+// degradeBudget returns the request's degradation opt-in: the Degrade-Ms
+// header when present and valid, the operator's DefaultDegradeMs policy
+// otherwise. Zero means no opt-in.
+func (s *Server) degradeBudget(r *http.Request) time.Duration {
+	if h := r.Header.Get("Degrade-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0
+		}
+		return time.Duration(ms) * time.Millisecond
+	}
+	return time.Duration(s.cfg.DefaultDegradeMs) * time.Millisecond
+}
+
+// tryDegrade walks the degradation ladder for a request whose exact answer
+// failed with a degradable error. Rungs, cheapest first:
+//
+//  1. stale — the same query key answered by the last retired generation,
+//     free (no admission, no compute);
+//  2. coarse — a recompute at min(eps*DegradeEpsFactor, DegradeMaxEps)
+//     under the Degrade-Ms budget. The coarsened query is a DIFFERENT query
+//     with its own Query.Key: it lands in (and may be served from) its own
+//     cache line, so the bitwise-determinism contract is untouched — no key
+//     ever maps to two payloads.
+//
+// Returns nil when the ladder has nothing to offer; the caller then fails
+// with the original error.
+func (s *Server) tryDegrade(r *http.Request, lv *loadedView, method string, q query.Query, cause error) *RankResponse {
+	if !degradable(cause) {
+		return nil
+	}
+	budget := s.degradeBudget(r)
+	if budget <= 0 {
+		return nil
+	}
+	if !s.cfg.DisableStale {
+		if gen, p, ok := s.cache.staleGet(q.Key()); ok {
+			s.staleServed.Add(1)
+			resp := rankResponse(gen, method, q, p, true)
+			resp.Degraded = true
+			return resp
+		}
+	}
+	ceps := math.Min(q.Epsilon*s.cfg.DegradeEpsFactor, s.cfg.DegradeMaxEps)
+	if ceps <= q.Epsilon {
+		return nil // already coarser than the ladder's floor
+	}
+	cq := q
+	cq.Epsilon = ceps
+	cq = cq.Canonical()
+	// The degraded attempt runs under its own deadline derived from the
+	// live connection — the original request context has typically already
+	// expired.
+	dctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	p, led, err := s.lookup(dctx, lv, cq)
+	if err != nil {
+		return nil
+	}
+	s.degraded.Add(1)
+	resp := rankResponse(lv.gen(), method, cq, p, !led)
+	resp.Degraded = true
+	return resp
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.topks.Add(1)
+	if !s.checkQuota(w, r) {
+		return
+	}
 	qs := r.URL.Query()
 	k, err := queryInt(qs.Get("k"), 10)
 	if err != nil {
@@ -607,6 +884,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	p, led, err := s.lookup(ctx, lv, q)
 	if err != nil {
+		if resp := s.tryDegrade(r, lv, method, q, err); resp != nil {
+			if k < len(resp.Nodes) {
+				resp.Nodes, resp.Scores, resp.Ranks = resp.Nodes[:k], resp.Scores[:k], resp.Ranks[:k]
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		s.fail(w, err)
 		return
 	}
@@ -667,11 +951,22 @@ type Statusz struct {
 		TopK             int64 `json:"topk"`
 		BadRequest       int64 `json:"bad_request"`
 		Shed             int64 `json:"shed"`
+		QuotaDenied      int64 `json:"quota_denied"`
 		DeadlineExceeded int64 `json:"deadline_exceeded"`
 		Canceled         int64 `json:"canceled"`
 		InternalErrors   int64 `json:"internal_errors"`
 	} `json:"requests"`
-	Reloads int64 `json:"reloads"`
+	// Degraded counts coarsened-eps responses, StaleServed prior-generation
+	// cache responses (both flagged degraded on the wire); FastLaneAdmits
+	// counts computations admitted through the tiny-query fast lane.
+	Degraded       int64 `json:"degraded"`
+	StaleServed    int64 `json:"stale_served"`
+	FastLaneAdmits int64 `json:"fastlane_admits"`
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reload_failures"`
+	// OpenMappings is the process-wide count of live mmapped views — the
+	// refcount-leak canary (steady state: one per retained generation).
+	OpenMappings int64 `json:"open_mappings"`
 }
 
 func (s *Server) statusz() (*Statusz, error) {
@@ -702,9 +997,15 @@ func (s *Server) statusz() (*Statusz, error) {
 	st.Requests.TopK = s.topks.Load()
 	st.Requests.BadRequest = s.badRequests.Load()
 	st.Requests.Shed = s.shed.Load()
+	st.Requests.QuotaDenied = s.quotaDenied.Load()
 	st.Requests.DeadlineExceeded = s.deadlines.Load()
 	st.Requests.Canceled = s.canceled.Load()
 	st.Requests.InternalErrors = s.internalErrors.Load()
+	st.Degraded = s.degraded.Load()
+	st.StaleServed = s.staleServed.Load()
+	st.FastLaneAdmits = s.adm.fastAdmits()
+	st.ReloadFailures = s.reloadFailures.Load()
+	st.OpenMappings = bicomp.OpenMappings()
 	return st, nil
 }
 
@@ -742,6 +1043,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	counter("saphyra_request_errors_total", "Requests that did not return a ranking.",
 		`{reason="bad_request"}`, st.Requests.BadRequest,
 		`{reason="shed"}`, st.Requests.Shed,
+		`{reason="quota"}`, st.Requests.QuotaDenied,
 		`{reason="deadline"}`, st.Requests.DeadlineExceeded,
 		`{reason="canceled"}`, st.Requests.Canceled,
 		`{reason="internal"}`, st.Requests.InternalErrors)
@@ -749,7 +1051,12 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		`{kind="hit"}`, st.Cache.Hits,
 		`{kind="miss"}`, st.Cache.Misses,
 		`{kind="collapsed"}`, st.Cache.Collapsed)
+	counter("saphyra_degraded_total", "Responses served through the degradation ladder.",
+		`{rung="coarse"}`, st.Degraded,
+		`{rung="stale"}`, st.StaleServed)
+	counter("saphyra_fastlane_admits_total", "Computations admitted via the tiny-query fast lane.", "", st.FastLaneAdmits)
 	counter("saphyra_reloads_total", "Completed hot reloads.", "", st.Reloads)
+	counter("saphyra_reload_failures_total", "Hot reloads that failed (old generation kept serving).", "", st.ReloadFailures)
 	gauge("saphyra_generation", "Current view generation.", st.Generation)
 	gauge("saphyra_cache_entries", "Result cache entries resident.", st.Cache.Entries)
 	gauge("saphyra_cache_capacity", "Result cache capacity.", st.Cache.Capacity)
@@ -757,6 +1064,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	gauge("saphyra_waiting_computations", "Computations queued for an admission slot.", st.Waiting)
 	gauge("saphyra_workers_total", "Worker-slot pool size.", st.WorkersTotal)
 	gauge("saphyra_workers_per_request", "Per-computation worker-slot cap.", st.WorkersPerCall)
+	gauge("saphyra_open_mappings", "Live mmapped views in this process.", st.OpenMappings)
 	gauge("saphyra_view_nodes", "Nodes in the served view.", st.Nodes)
 	gauge("saphyra_view_edges", "Edges in the served view.", st.Edges)
 	gauge("saphyra_uptime_seconds", "Seconds since process start.", st.UptimeSeconds)
@@ -794,7 +1102,11 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 	case errors.Is(err, errOverloaded):
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// The hint is derived from live queue depth and the compute-time
+		// EWMA — an estimate of when the backlog will have drained — not a
+		// constant: under light overload clients come back quickly, under a
+		// deep queue they stay away proportionally longer.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
 	case params.IsCanceled(err), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -842,48 +1154,79 @@ func queryFloat(s string) (float64, error) {
 var errOverloaded = errors.New("serve: overloaded, try again later")
 
 // admission bounds concurrently running computations with a bounded wait
-// queue: slots hold the run capacity, waiting counts computations blocked
-// on a slot, and arrivals beyond maxWait are shed immediately — the queue
-// never grows without bound, so p99 under overload stays the service time
-// of the queue, not of the backlog.
+// queue plus a reserved fast lane: slots hold the shared run capacity,
+// fast holds slots only tiny queries may take, waiting counts computations
+// blocked on a shared slot, and arrivals beyond maxWait are shed immediately
+// — the queue never grows without bound, so p99 under overload stays the
+// service time of the queue, not of the backlog.
+//
+// The lanes are asymmetric by design: a tiny query tries the fast lane
+// first and falls back to the shared pool (it is never worse off than
+// before the lane existed), while an expensive query never touches the fast
+// lane — the reservation is what bounds tiny-query latency when
+// full-network jobs saturate the shared pool.
 type admission struct {
-	slots   chan struct{}
-	waiting atomic.Int64
-	maxWait int64
+	slots    chan struct{}
+	fast     chan struct{} // nil when the lane is disabled
+	waiting  atomic.Int64
+	maxWait  int64
+	fastHits atomic.Int64
 }
 
-func newAdmission(inFlight, maxWait int) *admission {
+func newAdmission(inFlight, maxWait, fastSlots int) *admission {
 	a := &admission{slots: make(chan struct{}, inFlight), maxWait: int64(maxWait)}
 	for i := 0; i < inFlight; i++ {
 		a.slots <- struct{}{}
 	}
+	if fastSlots > 0 {
+		a.fast = make(chan struct{}, fastSlots)
+		for i := 0; i < fastSlots; i++ {
+			a.fast <- struct{}{}
+		}
+	}
 	return a
 }
 
-// enter blocks for a compute slot until ctx is done: a canceled flight
-// leaves the wait queue immediately (freeing its queue position), so
-// deadline-exceeded requests never hold admission state for work that will
-// not run.
-func (a *admission) enter(ctx context.Context) error {
+// enter blocks for a compute slot until ctx is done, returning the release
+// for the slot it took and whether the grant came from the fast lane: a
+// canceled flight leaves the wait queue immediately (freeing its queue
+// position), so deadline-exceeded requests never hold admission state for
+// work that will not run. The release closes over the lane, so a fast-lane
+// grant can never be returned to the shared pool or vice versa.
+func (a *admission) enter(ctx context.Context, tiny bool) (release func(), fast bool, err error) {
+	if tiny && a.fast != nil {
+		select {
+		case <-a.fast:
+			a.fastHits.Add(1)
+			return func() { a.fast <- struct{}{} }, true, nil
+		default: // fast lane busy: fall through to the shared pool
+		}
+	}
+	releaseShared := func() { a.slots <- struct{}{} }
 	select {
 	case <-a.slots:
-		return nil
+		return releaseShared, false, nil
 	default:
 	}
 	if a.waiting.Add(1) > a.maxWait {
 		a.waiting.Add(-1)
-		return errOverloaded
+		return nil, false, errOverloaded
 	}
 	defer a.waiting.Add(-1)
 	select {
 	case <-a.slots:
-		return nil
+		return releaseShared, false, nil
 	case <-ctx.Done():
-		return &params.CanceledError{Cause: context.Cause(ctx)}
+		return nil, false, &params.CanceledError{Cause: context.Cause(ctx)}
 	}
 }
 
-func (a *admission) leave() { a.slots <- struct{}{} }
-
-func (a *admission) inFlight() int     { return cap(a.slots) - len(a.slots) }
-func (a *admission) waitingNow() int64 { return a.waiting.Load() }
+func (a *admission) inFlight() int {
+	n := cap(a.slots) - len(a.slots)
+	if a.fast != nil {
+		n += cap(a.fast) - len(a.fast)
+	}
+	return n
+}
+func (a *admission) waitingNow() int64  { return a.waiting.Load() }
+func (a *admission) fastAdmits() int64  { return a.fastHits.Load() }

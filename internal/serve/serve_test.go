@@ -327,26 +327,32 @@ func TestServeReloadSwapsGeneration(t *testing.T) {
 // TestAdmissionDeterministic drives the admission state machine directly:
 // one slot, one queue position, third caller shed.
 func TestAdmissionDeterministic(t *testing.T) {
-	a := newAdmission(1, 1)
-	if err := a.enter(context.Background()); err != nil {
+	a := newAdmission(1, 1, 0)
+	release, _, err := a.enter(context.Background(), false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if a.inFlight() != 1 {
 		t.Fatalf("inFlight = %d, want 1", a.inFlight())
 	}
 	waiterDone := make(chan error, 1)
-	go func() { waiterDone <- a.enter(context.Background()) }()
+	go func() {
+		r, _, err := a.enter(context.Background(), false)
+		if err == nil {
+			defer r()
+		}
+		waiterDone <- err
+	}()
 	for a.waitingNow() != 1 {
 		runtime.Gosched() // until the waiter is queued
 	}
-	if err := a.enter(context.Background()); err != errOverloaded {
+	if _, _, err := a.enter(context.Background(), false); err != errOverloaded {
 		t.Fatalf("third caller got %v, want overload shed", err)
 	}
-	a.leave()
+	release()
 	if err := <-waiterDone; err != nil {
 		t.Fatalf("queued caller got %v", err)
 	}
-	a.leave()
 	if a.inFlight() != 0 || a.waitingNow() != 0 {
 		t.Fatalf("state leaked: inflight %d waiting %d", a.inFlight(), a.waitingNow())
 	}
@@ -357,7 +363,7 @@ func TestAdmissionDeterministic(t *testing.T) {
 // — deterministically, by occupying the admission state from the test.
 func TestServeOverloadSheds(t *testing.T) {
 	g := saphyra.Generate.BarabasiAlbert(400, 3, 7)
-	s, ids := newTestServer(t, g, Config{MaxInFlight: 1, MaxQueue: 1, DisablePrecompute: true})
+	s, ids := newTestServer(t, g, Config{MaxInFlight: 1, MaxQueue: 1, FastLaneSlots: -1, DisablePrecompute: true})
 	mkReq := func(seed int64) RankRequest {
 		// distinct seeds defeat both the cache and singleflight
 		return RankRequest{
@@ -366,7 +372,8 @@ func TestServeOverloadSheds(t *testing.T) {
 		}
 	}
 
-	if err := s.adm.enter(context.Background()); err != nil { // the test holds the only compute slot
+	release, _, err := s.adm.enter(context.Background(), false) // the test holds the only compute slot
+	if err != nil {
 		t.Fatal(err)
 	}
 	type result struct {
@@ -389,7 +396,7 @@ func TestServeOverloadSheds(t *testing.T) {
 		t.Fatalf("shed counter = %d, want 1", s.shed.Load())
 	}
 
-	s.adm.leave() // the queued request now computes and must succeed
+	release() // the queued request now computes and must succeed
 	got := <-waiter
 	if got.code != http.StatusOK {
 		t.Fatalf("queued request got %d, want 200", got.code)

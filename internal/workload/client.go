@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saphyra/internal/serve"
+)
+
+// Client is the resilient HTTP client for the saphyrad ranking API — the
+// load-generation side of the overload experiments and the reference
+// implementation of how a well-behaved caller treats the service's
+// backpressure signals:
+//
+//   - 429/503 responses are retried, honoring the server's Retry-After
+//     header exactly when present (the service derives it from live queue
+//     depth or the token-refill horizon, so it is worth obeying) and
+//     falling back to jittered exponential backoff when absent;
+//   - a retry budget caps the total time spent waiting across one call, so
+//     a drained quota with a 1000-second refill horizon fails fast instead
+//     of parking the caller;
+//   - the Client-Id header attributes the traffic to a quota bucket, and
+//     Degrade-Ms/Timeout-Ms opt each request into the service's degradation
+//     ladder and deadline contract.
+//
+// The zero value plus Base is usable. A Client is safe for concurrent use.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:7171".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+
+	// MaxAttempts bounds tries per call (first attempt included). Default 4.
+	MaxAttempts int
+	// BaseBackoff is the first fallback backoff step. Default 100 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff step. Default 10 s.
+	MaxBackoff time.Duration
+	// RetryBudget caps the total wait across one call's retries; a
+	// Retry-After beyond the remaining budget fails immediately rather than
+	// sleeping toward a deadline it cannot meet. Default 30 s.
+	RetryBudget time.Duration
+
+	// ClientID is sent as the Client-Id header (quota identity) when set.
+	ClientID string
+	// DegradeMs, when positive, opts every request into the degradation
+	// ladder with this budget (the Degrade-Ms header).
+	DegradeMs int
+	// TimeoutMs, when positive, bounds each request's compute time (the
+	// Timeout-Ms header).
+	TimeoutMs int
+	// Seed seeds the backoff jitter stream; zero means 1. Fixed seeds make
+	// a driver's retry schedule reproducible.
+	Seed int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sleep func(time.Duration) // test hook; nil means time.Sleep
+
+	retries  atomic.Int64
+	waitedNs atomic.Int64
+}
+
+// ClientStats is a snapshot of a Client's retry behavior.
+type ClientStats struct {
+	Retries int64         // attempts beyond the first, across all calls
+	Waited  time.Duration // total backoff slept
+}
+
+// Stats returns the accumulated retry counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{Retries: c.retries.Load(), Waited: time.Duration(c.waitedNs.Load())}
+}
+
+// StatusError is a non-2xx service response that was not (or could no
+// longer be) retried.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After, 0 when absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("saphyrad: status %d: %s", e.Code, e.Message)
+}
+
+// Rank posts req to /v1/rank with retries and returns the decoded response.
+func (c *Client) Rank(ctx context.Context, req serve.RankRequest) (*serve.RankResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(ctx, "POST", "/v1/rank", body)
+}
+
+// TopK fetches /v1/topk for method with retries.
+func (c *Client) TopK(ctx context.Context, method string, k int) (*serve.RankResponse, error) {
+	return c.do(ctx, "GET", "/v1/topk?method="+method+"&k="+strconv.Itoa(k), nil)
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *Client) retryBudget() time.Duration {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 30 * time.Second
+}
+
+// backoff returns the jittered exponential fallback wait for attempt (0-based):
+// uniformly drawn from [d/2, d) with d = min(BaseBackoff<<attempt, MaxBackoff),
+// so synchronized clients that were shed together do not return together.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxStep := c.MaxBackoff
+	if maxStep <= 0 {
+		maxStep = 10 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxStep {
+		d = maxStep
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15))
+	}
+	j := c.rng.Float64()
+	c.mu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+// retryable reports whether a status is worth another attempt: shed load and
+// quota (429) and transient upstream states (502/503/504). 4xx contract
+// errors are final.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*serve.RankResponse, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	budget := c.retryBudget()
+	var waited time.Duration
+	var last error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.ClientID != "" {
+			req.Header.Set("Client-Id", c.ClientID)
+		}
+		if c.DegradeMs > 0 {
+			req.Header.Set("Degrade-Ms", strconv.Itoa(c.DegradeMs))
+		}
+		if c.TimeoutMs > 0 {
+			req.Header.Set("Timeout-Ms", strconv.Itoa(c.TimeoutMs))
+		}
+		resp, err := httpc.Do(req)
+		var wait time.Duration
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			last = err
+			wait = c.backoff(attempt)
+		} else {
+			if resp.StatusCode == http.StatusOK {
+				var out serve.RankResponse
+				err := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					return nil, fmt.Errorf("saphyrad: bad response body: %w", err)
+				}
+				return &out, nil
+			}
+			se := &StatusError{Code: resp.StatusCode}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil {
+				se.Message = e.Error
+			}
+			resp.Body.Close()
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					se.RetryAfter = time.Duration(secs) * time.Second
+				}
+			}
+			last = se
+			if !retryable(se.Code) {
+				return nil, se
+			}
+			// The server's hint is authoritative when present; the jittered
+			// fallback covers responses without one.
+			if se.RetryAfter > 0 {
+				wait = se.RetryAfter
+			} else {
+				wait = c.backoff(attempt)
+			}
+		}
+		if attempt == c.maxAttempts()-1 {
+			break // no point computing a wait that will not happen
+		}
+		if waited+wait > budget {
+			return nil, fmt.Errorf("saphyrad: retry budget %v exhausted (next wait %v after %v waited): %w",
+				budget, wait, waited, last)
+		}
+		waited += wait
+		c.retries.Add(1)
+		c.waitedNs.Add(int64(wait))
+		s := c.sleep
+		if s == nil {
+			s = time.Sleep
+		}
+		s(wait)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("saphyrad: %d attempts failed: %w", c.maxAttempts(), last)
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"saphyra/internal/serve"
+)
+
+func okBody(w http.ResponseWriter) {
+	json.NewEncoder(w).Encode(serve.RankResponse{
+		Generation: 1, Method: "saphyra", Eps: 0.1, Seed: 4,
+		Nodes: []int64{7, 9}, Scores: []float64{0.5, 0.25}, Ranks: []int{1, 2},
+	})
+}
+
+// fakeClock captures requested sleeps without sleeping.
+type fakeClock struct{ slept []time.Duration }
+
+func (f *fakeClock) sleep(d time.Duration) { f.slept = append(f.slept, d) }
+
+func newTestClient(base string) (*Client, *fakeClock) {
+	fc := &fakeClock{}
+	c := &Client{Base: base, ClientID: "test"}
+	c.sleep = fc.sleep
+	return c, fc
+}
+
+// TestClientHonorsRetryAfter: a 429 with Retry-After is retried after
+// exactly the server's hint — not the exponential fallback.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "quota exhausted"})
+			return
+		}
+		okBody(w)
+	}))
+	defer srv.Close()
+	c, fc := newTestClient(srv.URL)
+	resp, err := c.Rank(context.Background(), serve.RankRequest{Method: "saphyra", Targets: []int64{7, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Nodes) != 2 || resp.Nodes[0] != 7 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(fc.slept) != 2 || fc.slept[0] != 2*time.Second || fc.slept[1] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly [2s 2s] (the server's Retry-After)", fc.slept)
+	}
+	if st := c.Stats(); st.Retries != 2 || st.Waited != 4*time.Second {
+		t.Fatalf("stats %+v, want 2 retries / 4s waited", st)
+	}
+}
+
+// TestClientBackoffJitterGrows: without a Retry-After hint the waits follow
+// jittered exponential backoff — each draw inside [step/2, step), steps
+// doubling.
+func TestClientBackoffJitterGrows(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		okBody(w)
+	}))
+	defer srv.Close()
+	c, fc := newTestClient(srv.URL)
+	c.MaxAttempts = 5
+	c.BaseBackoff = 100 * time.Millisecond
+	if _, err := c.Rank(context.Background(), serve.RankRequest{Method: "saphyra", Targets: []int64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.slept) != 3 {
+		t.Fatalf("%d sleeps, want 3", len(fc.slept))
+	}
+	for i, d := range fc.slept {
+		step := c.BaseBackoff << uint(i)
+		if d < step/2 || d >= step {
+			t.Errorf("backoff %d = %v, want in [%v, %v)", i, d, step/2, step)
+		}
+	}
+}
+
+// TestClientRetryBudget: a Retry-After horizon beyond the remaining budget
+// fails immediately instead of sleeping toward an unreachable deadline.
+func TestClientRetryBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1000") // e.g. a drained 0.001-qps bucket
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c, fc := newTestClient(srv.URL)
+	c.RetryBudget = 5 * time.Second
+	_, err := c.Rank(context.Background(), serve.RankRequest{Method: "saphyra", Targets: []int64{7}})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want retry-budget exhaustion", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests || se.RetryAfter != 1000*time.Second {
+		t.Fatalf("cause = %v, want the 429 with its Retry-After", err)
+	}
+	if len(fc.slept) != 0 {
+		t.Fatalf("slept %v, want no sleeps", fc.slept)
+	}
+}
+
+// TestClientMaxAttempts: persistent overload exhausts the attempt bound and
+// surfaces the last typed error.
+func TestClientMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c, _ := newTestClient(srv.URL)
+	c.MaxAttempts = 3
+	c.BaseBackoff = time.Millisecond
+	_, err := c.Rank(context.Background(), serve.RankRequest{Method: "saphyra", Targets: []int64{7}})
+	var se *StatusError
+	if err == nil || !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=3", calls.Load())
+	}
+}
+
+// TestClientDoesNotRetryContractErrors: 4xx responses other than 429 are
+// the caller's fault; retrying them would just repeat the mistake.
+func TestClientDoesNotRetryContractErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "targets: empty target set"})
+	}))
+	defer srv.Close()
+	c, fc := newTestClient(srv.URL)
+	_, err := c.Rank(context.Background(), serve.RankRequest{Method: "saphyra"})
+	var se *StatusError
+	if err == nil || !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want immediate 400", err)
+	}
+	if !strings.Contains(se.Message, "empty target set") {
+		t.Errorf("typed error lost the server's message: %q", se.Message)
+	}
+	if calls.Load() != 1 || len(fc.slept) != 0 {
+		t.Fatalf("calls %d sleeps %v, want exactly one attempt", calls.Load(), fc.slept)
+	}
+}
+
+// TestClientSendsPolicyHeaders: identity, degradation opt-in, and deadline
+// all travel as headers.
+func TestClientSendsPolicyHeaders(t *testing.T) {
+	var gotID, gotDeg, gotTimeout string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = r.Header.Get("Client-Id")
+		gotDeg = r.Header.Get("Degrade-Ms")
+		gotTimeout = r.Header.Get("Timeout-Ms")
+		okBody(w)
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, ClientID: "experiment-7", DegradeMs: 1500, TimeoutMs: 250}
+	if _, err := c.TopK(context.Background(), "saphyra", 5); err != nil {
+		t.Fatal(err)
+	}
+	if gotID != "experiment-7" || gotDeg != "1500" || gotTimeout != "250" {
+		t.Fatalf("headers Client-Id=%q Degrade-Ms=%q Timeout-Ms=%q", gotID, gotDeg, gotTimeout)
+	}
+}
+
+// TestClientContextCancellation: a canceled context stops the retry loop.
+func TestClientContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{Base: srv.URL, BaseBackoff: time.Millisecond}
+	c.sleep = func(time.Duration) { cancel() } // cancel during the first backoff
+	_, err := c.Rank(ctx, serve.RankRequest{Method: "saphyra", Targets: []int64{7}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

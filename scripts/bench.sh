@@ -16,8 +16,11 @@ trap 'rm -f "$TMP"' EXIT
 # exact-phase microbenchmarks (view build + run-length engine vs legacy
 # reference), the k-path and closeness estimator rows (graph-served vs
 # view-served plus their isolated hot loops), the serving-layer rows
-# (cache-hit vs cache-miss requests/sec; the hit row must stay >= 10x the
-# miss row — TestServeHitAtLeast10xMiss enforces it), the Ranker/Query
+# (cache-hit vs cache-miss requests/sec — the hit row must stay >= 10x the
+# miss row, TestServeHitAtLeast10xMiss enforces it — plus the overload
+# rows: BenchmarkServeRankDegraded prices a stale-rung degraded answer and
+# BenchmarkServeRankOverload records the shed fast path's shed_rate and
+# p50_us/p99_us), the Ranker/Query
 # dispatch-overhead pair (ranker vs direct must stay within noise — the
 # unified API and its cancellation checkpoints may not tax the engines),
 # and the end-to-end Fig 3 timing rows.
