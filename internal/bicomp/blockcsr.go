@@ -45,6 +45,10 @@ type BlockCSR struct {
 	// values are always handled by pointer, so the mutex is never copied.
 	backfill sync.Mutex
 
+	// sketchState holds the lazily-built landmark distance sketches
+	// (sketch.go); same by-pointer-only discipline as backfill.
+	sketchState
+
 	// rFlat is the serialized out-reach table of a mapped view (persist.go
 	// flag bit 1): R flattened in (block, member) order, aliasing the mapped
 	// file. EnsureDecomposition rebuilds O from it in O(runs) instead of
@@ -225,6 +229,16 @@ func (a GroupedAdj) NumNodes() int { return a.V.G.NumNodes() }
 // Neighbors implements graph.Adjacency: u's neighbors in grouped order.
 func (a GroupedAdj) Neighbors(u graph.Node) []graph.Node {
 	return a.V.Nbr[a.V.G.AdjOffset(u):a.V.G.AdjOffset(u+1)]
+}
+
+// CSR exposes the grouped adjacency as raw CSR arrays: the graph's offsets
+// (runs tile the same per-node segments) over the view's block-grouped Nbr
+// array. This is the zero-dispatch form the msbfs engine streams — the
+// returned slices alias the view (possibly mmap-backed) and must not be
+// modified.
+func (a GroupedAdj) CSR() (offsets []int64, nbr []graph.Node) {
+	off, _ := a.V.G.CSR()
+	return off, a.V.Nbr
 }
 
 // BFSDistancesInto is graph.BFSDistancesAdj specialized to the grouped

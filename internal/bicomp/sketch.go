@@ -1,0 +1,42 @@
+package bicomp
+
+import (
+	"sync"
+
+	"saphyra/internal/msbfs"
+)
+
+// DistanceSketch returns the view's k-landmark distance sketch, building it
+// on first request with one MS-BFS pass over the grouped arrays and caching
+// it per k for the view's lifetime. Landmarks are a pure function of the
+// graph (top-k degree, ties by id), so every process sketching the same
+// view file computes identical rows. Safe for concurrent use; the common
+// pattern hands one mapped view to many goroutines.
+//
+// The only possible error is an armed "msbfs.run" fault; nothing is cached
+// then, and callers treat it as "no sketch" — the sketch only accelerates,
+// it never changes results.
+func (v *BlockCSR) DistanceSketch(k int) (*msbfs.Sketch, error) {
+	v.sketchMu.Lock()
+	defer v.sketchMu.Unlock()
+	if s, ok := v.sketches[k]; ok {
+		return s, nil
+	}
+	off, _ := v.G.CSR()
+	s, err := msbfs.NewSketch(off, v.Nbr, k)
+	if err != nil {
+		return nil, err
+	}
+	if v.sketches == nil {
+		v.sketches = make(map[int]*msbfs.Sketch, 1)
+	}
+	v.sketches[k] = s
+	return s, nil
+}
+
+// sketchState carries the lazily-built landmark sketches; split into its
+// own struct so BlockCSR's literal-free construction sites need no change.
+type sketchState struct {
+	sketchMu sync.Mutex
+	sketches map[int]*msbfs.Sketch
+}

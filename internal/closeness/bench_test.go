@@ -25,16 +25,19 @@ func benchTargets(g *graph.Graph, n int) []graph.Node {
 // not the Bernstein stopping point of one particular graph.
 var benchOpt = Options{Epsilon: 0.1, Delta: 0.1, Seed: 7, Workers: 4, MaxSamples: 2000}
 
-// BenchmarkCloseness measures the estimator end to end (virtual-worker BFS
-// pricing, deterministic merge) on the raw CSR — the row to compare
+// BenchmarkCloseness measures the estimator end to end (virtual-worker
+// MS-BFS pricing, deterministic merge) on the raw CSR in its serving
+// configuration — Engine built once, workspaces pooled — the row to compare
 // against BENCH_sampling.json history when the engine changes.
 func BenchmarkCloseness(b *testing.B) {
 	g := benchGraph()
 	targets := benchTargets(g, 50)
+	eng := NewEngine(g)
+	var res Result
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Estimate(context.Background(), g, targets, benchOpt); err != nil {
+		if err := eng.EstimateInto(context.Background(), targets, benchOpt, &res); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,22 +51,46 @@ func BenchmarkClosenessView(b *testing.B) {
 	d := bicomp.Decompose(g)
 	view := bicomp.NewBlockCSR(d, bicomp.NewOutReach(d))
 	targets := benchTargets(g, 50)
+	eng := NewEngineView(view)
+	var res Result
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimateView(context.Background(), view, targets, benchOpt); err != nil {
+		if err := eng.EstimateInto(context.Background(), targets, benchOpt, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosenessLegacy pins the pre-MS-BFS engine — one scalar BFS per
+// sampled source (legacy_test.go) — so the bit-parallel win stays
+// measurable in BENCH_sampling.json after the production code moved on.
+func BenchmarkClosenessLegacy(b *testing.B) {
+	g := benchGraph()
+	targets := benchTargets(g, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimateLegacy(context.Background(), g, targets, benchOpt); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkClosenessSampleBatch isolates the pricing hot loop: one stream,
-// one BFS per source, all targets priced per source.
+// sources priced 64 lanes per MS-BFS pass. Reported per sample.
 func BenchmarkClosenessSampleBatch(b *testing.B) {
 	g := benchGraph()
-	nodes := graph.DedupSorted(benchTargets(g, 50))
-	s := newSourceSampler(g, nodes, 1)
+	targets := benchTargets(g, 50)
+	eng := NewEngine(g)
+	nodes := graph.DedupSorted(targets)
+	sc := eng.acquire(nodes)
+	defer eng.release(sc, nodes)
+	s := sc.activate(eng, 0, benchOpt.Seed, len(nodes))
 	b.ReportAllocs()
 	b.ResetTimer()
-	s.sampleBatch(int64(b.N))
+	s.sampleBatch(eng, sc.aIndex, len(nodes), nil, int64(b.N))
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
 }

@@ -7,19 +7,25 @@
 // per-hypothesis loss for target v is 1/d(u, v) in [0, 1] -- a bounded but
 // non-binary loss, so this package runs its own progressive estimator with
 // empirical Bernstein stopping (per-target variance) instead of the 0/1
-// framework plumbing. One BFS per sample prices all targets at once, which
-// is what makes subset ranking cheap.
+// framework plumbing. One traversal per sample prices all targets at once,
+// which is what makes subset ranking cheap — and since distance labels are
+// all a sample needs, up to 64 samples per stream share one bit-parallel
+// MS-BFS pass (internal/msbfs): the adjacency is streamed once per level
+// for the whole batch instead of once per source.
 //
 // Determinism: sampling is driven through sched.VirtualWorkers fixed
 // per-stream RNGs with a deterministic quota split, and the per-stream
 // accumulators are merged in stream order — so for a fixed seed the
-// estimate is bitwise-identical for any Options.Workers value. The
-// estimator runs over any graph.Adjacency: Estimate prices targets on the
-// raw CSR, EstimateView on the block-grouped bicomp.BlockCSR arrays
-// (typically mmap-backed; see bicomp.OpenMapped). BFS distance labels are
-// neighbor-order invariant, so both paths produce bitwise-identical
-// results. See DESIGN.md sections 3 (determinism) and 7 (the shared view
-// layer).
+// estimate is bitwise-identical for any Options.Workers value. Batching
+// preserves the bits: each stream draws its sources in the same RNG order
+// as the scalar path, MS-BFS distance labels are neighbor-order invariant
+// (identical to per-source BFS), and the per-target accumulator adds run in
+// source order within each batch — the exact float operation sequence of
+// one BFS per sample. The estimator runs over any CSR-shaped adjacency:
+// Estimate prices targets on the raw CSR, EstimateView on the block-grouped
+// bicomp.BlockCSR arrays (typically mmap-backed; see bicomp.OpenMapped),
+// with bitwise-identical results. See DESIGN.md sections 3 (determinism),
+// 7 (the shared view layer), and 11 (MS-BFS).
 package closeness
 
 import (
@@ -27,11 +33,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
 	"runtime"
+	"slices"
+	"sync"
 
 	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
+	"saphyra/internal/msbfs"
 	"saphyra/internal/params"
 	"saphyra/internal/sched"
 	"saphyra/internal/stats"
@@ -58,6 +68,13 @@ func (o *Options) setDefaults() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Results are worker-count independent by contract, so oversubscribing
+	// the machine can only add goroutine churn — clamp instead of trusting
+	// the caller's guess. On a single-core box this selects the inline
+	// sched path, which allocates nothing.
+	if p := runtime.GOMAXPROCS(0); o.Workers > p {
+		o.Workers = p
+	}
 }
 
 // Result holds harmonic closeness estimates for the target set.
@@ -69,49 +86,93 @@ type Result struct {
 	StoppedEarly bool
 }
 
+// reset readies a Result for reuse, keeping the backing arrays.
+func (r *Result) reset() {
+	r.Nodes = r.Nodes[:0]
+	r.Closeness = r.Closeness[:0]
+	r.Samples = 0
+	r.Rounds = 0
+	r.StoppedEarly = false
+}
+
 // Estimate computes (eps, delta)-estimates of harmonic closeness for the
 // targets by source sampling over the graph's CSR adjacency. Cancellation
-// is polled between doubling rounds and between the per-round virtual
-// streams: a done ctx aborts with a *params.CanceledError, never a partial
-// estimate.
+// is polled between doubling rounds, between the per-round virtual streams,
+// and every few thousand scanned edges inside a traversal pass: a done ctx
+// aborts with a *params.CanceledError, never a partial estimate.
+//
+// One-shot convenience over NewEngine; serving paths that price many
+// queries against one graph should hold an Engine and call EstimateInto.
 func Estimate(ctx context.Context, g *graph.Graph, a []graph.Node, opt Options) (*Result, error) {
-	return estimate(ctx, g, a, opt)
+	return NewEngine(g).Estimate(ctx, a, opt)
 }
 
-// EstimateView is Estimate over a block-annotated adjacency view: the BFS
-// pricing streams the view's grouped neighbor arrays, so a view opened from
-// a serialized file (bicomp.OpenMapped) serves closeness queries without
-// touching — or even having — the original CSR pages. Results are
+// EstimateView is Estimate over a block-annotated adjacency view: the
+// traversals stream the view's grouped neighbor arrays, so a view opened
+// from a serialized file (bicomp.OpenMapped) serves closeness queries
+// without touching — or even having — the original CSR pages. Results are
 // bitwise-identical to Estimate on the graph the view was built from.
 func EstimateView(ctx context.Context, view *bicomp.BlockCSR, a []graph.Node, opt Options) (*Result, error) {
-	return estimate(ctx, bicomp.GroupedAdj{V: view}, a, opt)
+	return NewEngineView(view).Estimate(ctx, a, opt)
 }
 
-// adjacency is what the pricing engine needs from a graph representation:
-// a node count and a concrete BFS. Dispatch happens once per traversal —
-// *graph.Graph and bicomp.GroupedAdj both implement it with their inner
-// loops fully concrete, which keeps the per-node hot path free of interface
-// calls.
-type adjacency interface {
-	NumNodes() int
-	BFSDistancesInto(source graph.Node, dist []int32) []int32
+// Engine is a reusable closeness estimator bound to one adjacency. It owns
+// a pool of per-call workspaces (RNG streams, MS-BFS traversals, distance
+// rows, accumulators), so the steady state of EstimateInto allocates
+// nothing beyond the goroutines sched spins up: build one Engine per served
+// graph or view and share it across requests (safe for concurrent use).
+type Engine struct {
+	n   int
+	off []int64
+	nbr []graph.Node
+
+	mu   sync.Mutex
+	free []*callScratch
 }
 
-// estimate is the engine shared by the CSR and view paths.
-func estimate(ctx context.Context, adj adjacency, a []graph.Node, opt Options) (*Result, error) {
+// NewEngine returns an Engine pricing over the graph's sorted CSR arrays.
+func NewEngine(g *graph.Graph) *Engine {
+	off, nbr := g.CSR()
+	return &Engine{n: g.NumNodes(), off: off, nbr: nbr}
+}
+
+// NewEngineView returns an Engine streaming the view's block-grouped
+// arrays. BFS distance labels are neighbor-order invariant, so its results
+// are bitwise-identical to NewEngine on the graph the view was built from.
+func NewEngineView(view *bicomp.BlockCSR) *Engine {
+	off, nbr := bicomp.GroupedAdj{V: view}.CSR()
+	return &Engine{n: view.G.NumNodes(), off: off, nbr: nbr}
+}
+
+// Estimate allocates a fresh Result and delegates to EstimateInto.
+func (e *Engine) Estimate(ctx context.Context, a []graph.Node, opt Options) (*Result, error) {
+	res := &Result{}
+	if err := e.EstimateInto(ctx, a, opt, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// EstimateInto runs the estimator, writing into res (whose backing arrays
+// are reused across calls). On error res holds no partial estimate.
+func (e *Engine) EstimateInto(ctx context.Context, a []graph.Node, opt Options, res *Result) error {
 	opt.setDefaults()
-	n := adj.NumNodes()
+	n := e.n
 	if n < 2 {
-		return nil, errors.New("closeness: graph too small")
+		return errors.New("closeness: graph too small")
 	}
 	eps, delta := opt.Epsilon, opt.Delta
 	if err := params.CheckEpsDelta(eps, delta); err != nil {
-		return nil, fmt.Errorf("closeness: %w", err)
+		return fmt.Errorf("closeness: %w", err)
 	}
 	if err := params.CheckTargets(a, n); err != nil {
-		return nil, fmt.Errorf("closeness: %w", err)
+		return fmt.Errorf("closeness: %w", err)
 	}
-	nodes := graph.DedupSorted(a)
+	res.reset()
+	res.Nodes = append(res.Nodes, a...)
+	slices.Sort(res.Nodes)
+	res.Nodes = slices.Compact(res.Nodes)
+	nodes := res.Nodes
 	k := len(nodes)
 
 	n0 := int64(math.Ceil(stats.VCConstant / (eps * eps) * math.Log(1/delta)))
@@ -136,28 +197,22 @@ func estimate(ctx context.Context, adj adjacency, a []graph.Node, opt Options) (
 	}
 	deltaI := delta / (2 * float64(rounds) * float64(k))
 
-	res := &Result{Nodes: nodes}
-	accs := make([]stats.MeanVar, k)
+	sc := e.acquire(nodes)
+	defer e.release(sc, nodes)
+	// Sub-pass cancellation: the traversals poll this stop every few
+	// thousand edges, bounding time-to-cancel well below one MS-BFS pass.
+	// Non-cancellable contexts wire a nil Stop — zero setup, zero polling
+	// cost beyond a predicted branch.
+	stop, unwatch := sched.WatchStop(ctx)
+	defer unwatch()
+
+	accs := sc.accs
 	var drawn int64
 	target := n0
-	// One persistent sampler per virtual worker — a fixed count independent
-	// of Options.Workers, so the per-stream RNG sequences, and with them the
-	// estimate, depend only on the seed. Streams materialize lazily on first
-	// quota (mirroring core's samplerSet): a stream that never draws costs
-	// nothing, which matters when the O(n) BFS scratch is large. BFS
-	// distance scratch and rng live across rounds: the doubling loop
-	// allocates nothing per round.
-	samplers := make([]*sourceSampler, sched.VirtualWorkers)
-	mk := func(v int) *sourceSampler {
-		return newSourceSampler(adj, nodes, opt.Seed+int64(v+1)*612_361)
-	}
-	var quota []int64
 	for {
 		res.Rounds++
-		var err error
-		quota, err = batchParallel(ctx, samplers, mk, opt.Workers, target-drawn, quota, accs)
-		if err != nil {
-			return nil, fmt.Errorf("closeness: %w", err)
+		if err := e.batchParallel(ctx, sc, opt, stop, target-drawn, accs); err != nil {
+			return fmt.Errorf("closeness: %w", err)
 		}
 		drawn = target
 		worst := 0.0
@@ -179,100 +234,246 @@ func estimate(ctx context.Context, adj adjacency, a []graph.Node, opt Options) (
 		}
 	}
 	res.Samples = drawn
-	res.Closeness = make([]float64, k)
+	res.Closeness = resize(res.Closeness, k)
 	for i := range accs {
 		res.Closeness[i] = accs[i].Mean()
 	}
-	return res, nil
+	return nil
 }
 
-// sourceSampler is the closeness analogue of the core engine's batched
-// sampler: a per-virtual-worker workspace drawing uniform BFS sources and
-// pricing every target per source, with pooled scratch so the steady-state
-// loop is allocation-free.
-type sourceSampler struct {
-	adj   adjacency
-	nodes []graph.Node
-	rng   *rand.Rand
-	dist  []int32
-	local []stats.MeanVar
+// callScratch is one call's worth of workspace: the target index, the
+// deterministic quota split, the merged accumulators, and the
+// sched.VirtualWorkers sample streams. Pooled on the Engine; exactly one
+// call owns a callScratch at a time.
+type callScratch struct {
+	// aIndex[v] is v's position in the call's deduped target slice, -1 for
+	// non-targets. Maintained sparsely: acquire sets the k target entries,
+	// release clears exactly those, so the O(n) fill happens once per
+	// scratch lifetime, not per call.
+	aIndex []int32
+	quota  []int64
+	accs   []stats.MeanVar
+	// streams materialize lazily on their first non-zero quota (mirroring
+	// core's samplerSet); active[v] records which streams this call has
+	// initialized — a pooled stream's leftover state from the previous call
+	// is invisible until re-seeded, keeping "never-drawn stream" exactly
+	// equivalent to merging all-zero accumulators.
+	streams [sched.VirtualWorkers]*stream
+	active  [sched.VirtualWorkers]bool
 }
 
-func newSourceSampler(adj adjacency, nodes []graph.Node, seed int64) *sourceSampler {
-	return &sourceSampler{
-		adj:   adj,
-		nodes: nodes,
-		rng:   rand.New(rand.NewPCG(uint64(seed), 0xbb67ae8584caa73b)),
-		dist:  make([]int32, adj.NumNodes()),
-		local: make([]stats.MeanVar, len(nodes)),
+// acquire pops a pooled scratch (or builds one), sizes the per-call arrays
+// for k targets, and indexes the target set.
+func (e *Engine) acquire(nodes []graph.Node) *callScratch {
+	e.mu.Lock()
+	var sc *callScratch
+	if len(e.free) > 0 {
+		sc = e.free[len(e.free)-1]
+		e.free = e.free[:len(e.free)-1]
 	}
+	e.mu.Unlock()
+	if sc == nil {
+		sc = &callScratch{aIndex: make([]int32, e.n)}
+		for i := range sc.aIndex {
+			sc.aIndex[i] = -1
+		}
+	}
+	k := len(nodes)
+	sc.accs = resize(sc.accs, k)
+	for i := range sc.accs {
+		sc.accs[i] = stats.MeanVar{}
+	}
+	sc.active = [sched.VirtualWorkers]bool{}
+	for i, v := range nodes {
+		sc.aIndex[v] = int32(i)
+	}
+	return sc
 }
 
-// sampleBatch draws count sources, accumulating the per-target harmonic
-// terms into the sampler's persistent local accumulators.
-func (s *sourceSampler) sampleBatch(count int64) {
-	n := s.adj.NumNodes()
-	for j := int64(0); j < count; j++ {
-		u := graph.Node(s.rng.IntN(n))
-		s.dist = s.adj.BFSDistancesInto(u, s.dist)
-		for i, v := range s.nodes {
-			x := 0.0
-			if v != u && s.dist[v] > 0 {
-				x = 1 / float64(s.dist[v])
-			}
-			s.local[i].Add(x)
+// release undoes the k sparse aIndex writes and returns sc to the pool.
+// Runs on error paths too: a canceled or faulted call leaves the pool
+// clean, because every stream re-seeds on its first use per call.
+func (e *Engine) release(sc *callScratch, nodes []graph.Node) {
+	for _, v := range nodes {
+		sc.aIndex[v] = -1
+	}
+	e.mu.Lock()
+	e.free = append(e.free, sc)
+	e.mu.Unlock()
+}
+
+// stream is one virtual worker's sample stream: a seeded RNG drawing
+// sources, an MS-BFS traversal pricing them 64 at a time, per-target
+// distance rows for the current batch, and cumulative accumulators.
+type stream struct {
+	pcg   *rand.PCG
+	rng   *rand.Rand
+	trav  *msbfs.Traversal
+	local []stats.MeanVar // cumulative across rounds, reset per call
+	tdist []int32         // tdist[i*msbfs.MaxLanes+j]: dist(srcs[j], nodes[i])
+	srcs  [msbfs.MaxLanes]graph.Node
+	err   error
+}
+
+// resize returns s with length n, reusing the backing array when it fits.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// activate readies stream v for this call: created on first ever use,
+// re-seeded and zeroed on first use per call. The seed schedule is the
+// package contract: stream v draws from PCG(opt.Seed + (v+1)*612_361).
+func (sc *callScratch) activate(e *Engine, v int, seed0 int64, k int) *stream {
+	s := sc.streams[v]
+	if s == nil {
+		s = &stream{pcg: rand.NewPCG(0, 0)}
+		s.rng = rand.New(s.pcg)
+		s.trav = msbfs.New(e.n)
+		sc.streams[v] = s
+	}
+	if !sc.active[v] {
+		sc.active[v] = true
+		seed := seed0 + int64(v+1)*612_361
+		s.pcg.Seed(uint64(seed), 0xbb67ae8584caa73b)
+		s.local = resize(s.local, k)
+		for i := range s.local {
+			s.local[i] = stats.MeanVar{}
 		}
+		s.tdist = resize(s.tdist, k*msbfs.MaxLanes)
+		s.err = nil
+	}
+	return s
+}
+
+// sampleBatch draws count sources in RNG order and prices them against the
+// targets in MS-BFS batches of up to 64 lanes. The accumulator adds run
+// lane-by-lane (source order) with targets inner — element for element the
+// float sequence of the scalar one-BFS-per-sample loop, so the bits match.
+func (s *stream) sampleBatch(e *Engine, aIndex []int32, k int, stop *sched.Stop, count int64) {
+	n := e.n
+	tdist := s.tdist
+	onSettle := func(u graph.Node, lanes uint64, depth int32) {
+		ai := aIndex[u]
+		if ai < 0 {
+			return
+		}
+		row := tdist[int(ai)*msbfs.MaxLanes:]
+		for m := lanes; m != 0; m &= m - 1 {
+			row[bits.TrailingZeros64(m)] = depth
+		}
+	}
+	for count > 0 {
+		L := int(count)
+		if L > msbfs.MaxLanes {
+			L = msbfs.MaxLanes
+		}
+		srcs := s.srcs[:L]
+		for j := range srcs {
+			srcs[j] = graph.Node(s.rng.IntN(n))
+		}
+		for i := range tdist {
+			tdist[i] = -1
+		}
+		if err := s.trav.Run(e.off, e.nbr, srcs, stop, onSettle); err != nil {
+			s.err = err
+			return
+		}
+		// tdist[i][j] > 0 iff target i is reachable from source j and is not
+		// the source itself — exactly the scalar path's `v != u && dist[v] > 0`.
+		for j := 0; j < L; j++ {
+			for i := 0; i < k; i++ {
+				x := 0.0
+				if d := tdist[i*msbfs.MaxLanes+j]; d > 0 {
+					x = 1 / float64(d)
+				}
+				s.local[i].Add(x)
+			}
+		}
+		count -= int64(L)
 	}
 }
 
 // batchParallel distributes count samples across the virtual-worker streams
-// with a deterministic quota split and runs them on up to `workers`
-// goroutines (sched.Do work stealing — which goroutine runs which stream
-// never affects the streams themselves). Unmaterialized streams are built
-// by mk on their first non-zero quota; each slot is touched by exactly one
-// goroutine per round, with rounds separated by the Do barrier, so the
-// lazy writes need no locking. It returns the quota buffer for reuse
-// across rounds.
-func batchParallel(ctx context.Context, samplers []*sourceSampler, mk func(v int) *sourceSampler, workers int, count int64, quota []int64, accs []stats.MeanVar) ([]int64, error) {
+// with a deterministic quota split and runs them on up to opt.Workers
+// goroutines (sched work stealing — which goroutine runs which stream never
+// affects the streams themselves). Each stream slot is touched by exactly
+// one goroutine per round, with rounds separated by the DoCtx barrier, so
+// the lazy activation needs no locking. The per-stream accumulators are
+// cumulative across rounds; accs is rebuilt from scratch each round,
+// merging streams in stream order so the result is a pure function of the
+// seed — skipping a never-activated stream is bitwise-equivalent to merging
+// its (all-zero) accumulators.
+func (e *Engine) batchParallel(ctx context.Context, sc *callScratch, opt Options, stop *sched.Stop, count int64, accs []stats.MeanVar) error {
 	if count <= 0 {
-		return quota, nil
+		return nil
 	}
 	if err := params.Interrupted(ctx); err != nil {
-		return quota, err
+		return err
 	}
-	nv := len(samplers)
-	quota = sched.Split(count, nv, quota)
-	err := sched.DoCtx(ctx, nv, workers, func(v int) {
+	k := len(accs)
+	nv := sched.VirtualWorkers
+	sc.quota = sched.Split(count, nv, sc.quota)
+	quota := sc.quota
+	if opt.Workers <= 1 {
+		// Inline fast path with DoCtx's exact checkpoint semantics: ctx
+		// polled before each stream. Skipping the generic work-stealing
+		// machinery (and its escaping closure) keeps the single-worker
+		// steady state allocation-free.
+		for v := 0; v < nv; v++ {
+			if ctx.Err() != nil {
+				return &params.CanceledError{Cause: context.Cause(ctx)}
+			}
+			if quota[v] == 0 {
+				continue
+			}
+			s := sc.activate(e, v, opt.Seed, k)
+			if s.err != nil {
+				continue
+			}
+			s.sampleBatch(e, sc.aIndex, k, stop, quota[v])
+		}
+	} else if err := sched.DoCtx(ctx, nv, opt.Workers, func(v int) {
 		if quota[v] == 0 {
 			return
 		}
-		if samplers[v] == nil {
-			samplers[v] = mk(v)
+		s := sc.activate(e, v, opt.Seed, k)
+		if s.err != nil {
+			return // an earlier round aborted this stream; keep the first error
 		}
-		samplers[v].sampleBatch(quota[v])
-	})
-	if err != nil {
+		s.sampleBatch(e, sc.aIndex, k, stop, quota[v])
+	}); err != nil {
 		// All-or-nothing: a stream may have drawn while another never ran.
 		// The caller discards the whole estimate, so the polluted per-stream
-		// accumulators never surface.
-		return quota, &params.CanceledError{Cause: err}
+		// accumulators never surface (and release re-pools the scratch —
+		// streams re-seed on first use, so the pool is not poisoned).
+		return &params.CanceledError{Cause: err}
 	}
-	// The per-stream accumulators are cumulative across rounds: rebuild accs
-	// from scratch, merging in stream order so the result is a pure function
-	// of the seed. Skipping an unmaterialized stream is bitwise-equivalent
-	// to merging its (all-zero) accumulators.
+	for v := 0; v < nv; v++ {
+		s := sc.streams[v]
+		if s == nil || !sc.active[v] || s.err == nil {
+			continue
+		}
+		if errors.Is(s.err, msbfs.ErrStopped) {
+			return &params.CanceledError{Cause: context.Cause(ctx)}
+		}
+		return s.err
+	}
 	for i := range accs {
 		accs[i] = stats.MeanVar{}
 	}
-	for _, s := range samplers {
-		if s == nil {
+	for v := 0; v < nv; v++ {
+		if !sc.active[v] {
 			continue
 		}
+		local := sc.streams[v].local
 		for i := range accs {
-			accs[i].Merge(&s.local[i])
+			accs[i].Merge(&local[i])
 		}
 	}
-	return quota, nil
+	return nil
 }
 
 // Exact computes exact harmonic closeness for every node: c(v) =

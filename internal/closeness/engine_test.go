@@ -1,0 +1,165 @@
+package closeness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"saphyra/internal/faultinject"
+	"saphyra/internal/graph"
+	"saphyra/internal/params"
+)
+
+// TestEngineMatchesLegacyBitwise: the MS-BFS engine must reproduce the
+// pre-batching scalar estimator bit for bit — same samples, rounds, and
+// float closeness values — at every worker count. Sources are drawn in the
+// same per-stream RNG order, MS-BFS distance labels equal scalar BFS
+// labels, and the accumulator adds run in the same source order, so the
+// whole float pipeline is replayed exactly.
+func TestEngineMatchesLegacyBitwise(t *testing.T) {
+	old := runtime.GOMAXPROCS(8) // let the clamp keep multi-worker runs real
+	defer runtime.GOMAXPROCS(old)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", graph.BarabasiAlbert(400, 3, 6)},
+		{"road", graph.RoadNetwork(12, 12, 0.1, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := []graph.Node{0, 3, 17, 99, 120, 17}
+			opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 9}
+			want, err := estimateLegacy(context.Background(), tc.g, a, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewEngine(tc.g)
+			for _, workers := range []int{1, 2, 8} {
+				opt.Workers = workers
+				got, err := eng.Estimate(context.Background(), a, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Samples != want.Samples || got.Rounds != want.Rounds || got.StoppedEarly != want.StoppedEarly {
+					t.Fatalf("workers=%d: samples/rounds/early %d/%d/%v != %d/%d/%v", workers,
+						got.Samples, got.Rounds, got.StoppedEarly, want.Samples, want.Rounds, want.StoppedEarly)
+				}
+				if len(got.Nodes) != len(want.Nodes) {
+					t.Fatalf("workers=%d: %d nodes != %d", workers, len(got.Nodes), len(want.Nodes))
+				}
+				for i := range want.Closeness {
+					if got.Nodes[i] != want.Nodes[i] || got.Closeness[i] != want.Closeness[i] {
+						t.Fatalf("workers=%d: target %d: (%d, %v) != (%d, %v)", workers, i,
+							got.Nodes[i], got.Closeness[i], want.Nodes[i], want.Closeness[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEnginePoolReuse: pooled workspaces must not leak state across calls —
+// repeat calls, interleaved different-target calls, and reuse of one Result
+// all reproduce the first answer bit for bit.
+func TestEnginePoolReuse(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 8)
+	eng := NewEngine(g)
+	a := []graph.Node{1, 5, 42, 250}
+	opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 4, Workers: 2}
+
+	var ref, res Result
+	if err := eng.EstimateInto(context.Background(), a, opt, &ref); err != nil {
+		t.Fatal(err)
+	}
+	// Different target set, different seed: pollutes the pooled streams.
+	if err := eng.EstimateInto(context.Background(), []graph.Node{0, 7, 9}, Options{Epsilon: 0.1, Delta: 0.1, Seed: 99}, &res); err != nil {
+		t.Fatal(err)
+	}
+	for call := 0; call < 2; call++ {
+		if err := eng.EstimateInto(context.Background(), a, opt, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Samples != ref.Samples || res.Rounds != ref.Rounds {
+			t.Fatalf("call %d: samples/rounds drifted", call)
+		}
+		for i := range ref.Closeness {
+			if res.Closeness[i] != ref.Closeness[i] {
+				t.Fatalf("call %d: Closeness[%d] = %v, want %v", call, i, res.Closeness[i], ref.Closeness[i])
+			}
+		}
+	}
+}
+
+// TestEngineFaultedCallDoesNotPoisonPool: a call killed by an injected
+// mid-traversal fault returns a typed error and leaves the engine's pooled
+// workspaces clean — the next call reproduces a fresh engine's bits.
+func TestEngineFaultedCallDoesNotPoisonPool(t *testing.T) {
+	defer faultinject.Reset()
+	g := graph.BarabasiAlbert(300, 3, 8)
+	eng := NewEngine(g)
+	a := []graph.Node{1, 5, 42, 250}
+	opt := Options{Epsilon: 0.05, Delta: 0.05, Seed: 4, Workers: 2}
+
+	boom := errors.New("boom")
+	faultinject.Enable()
+	faultinject.Set("msbfs.run", faultinject.Fault{Err: boom, Times: 1})
+	if _, err := eng.Estimate(context.Background(), a, opt); !errors.Is(err, boom) {
+		t.Fatalf("faulted call: err = %v, want injected fault", err)
+	}
+	faultinject.Reset()
+
+	got, err := eng.Estimate(context.Background(), a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEngine(g).Estimate(context.Background(), a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples != want.Samples {
+		t.Fatalf("samples %d != %d after faulted call", got.Samples, want.Samples)
+	}
+	for i := range want.Closeness {
+		if got.Closeness[i] != want.Closeness[i] {
+			t.Fatalf("Closeness[%d] = %v, want %v: pool poisoned by faulted call", i, got.Closeness[i], want.Closeness[i])
+		}
+	}
+}
+
+// TestEngineCancellation: a canceled context yields *params.CanceledError —
+// immediately when pre-canceled, and promptly mid-run, where the in-pass
+// stop polls bound time-to-cancel below one MS-BFS pass (the msbfs package
+// proves the sub-pass bound; here the full estimator path is exercised).
+func TestEngineCancellation(t *testing.T) {
+	g := graph.RoadNetwork(100, 100, 0, 3)
+	eng := NewEngine(g)
+	a := []graph.Node{0, 500, 9000}
+	// Tight epsilon + huge cap: an uncanceled run would take many seconds.
+	opt := Options{Epsilon: 0.005, Delta: 0.01, Seed: 2, Workers: 2, MaxSamples: 1 << 40}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ce *params.CanceledError
+	if _, err := eng.Estimate(ctx, a, opt); !errors.As(err, &ce) {
+		t.Fatalf("pre-canceled: err = %v, want *params.CanceledError", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := eng.Estimate(ctx, a, opt)
+	elapsed := time.Since(start)
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-run: err = %v, want *params.CanceledError", err)
+	}
+	// Generous bound: a 10k-node road pass is ~hundreds of microseconds per
+	// poll stride; seconds would mean the cancel never cut into a pass.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v", elapsed)
+	}
+}

@@ -1,0 +1,178 @@
+package closeness
+
+// The pre-MS-BFS closeness engine, preserved verbatim (modulo Legacy
+// renames) from before the bit-parallel rewrite. It pins two contracts:
+// TestEngineMatchesLegacyBitwise proves the MS-BFS engine reproduces its
+// estimates bit for bit, and BenchmarkClosenessLegacy keeps the speedup
+// measurable after the production code moved on — the same discipline as
+// core's legacySampler.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"saphyra/internal/graph"
+	"saphyra/internal/params"
+	"saphyra/internal/sched"
+	"saphyra/internal/stats"
+)
+
+// legacyAdjacency is the old engine's adjacency seam: a node count and a
+// concrete scalar BFS.
+type legacyAdjacency interface {
+	NumNodes() int
+	BFSDistancesInto(source graph.Node, dist []int32) []int32
+}
+
+// estimateLegacy is the old engine: one scalar BFS per sampled source.
+func estimateLegacy(ctx context.Context, adj legacyAdjacency, a []graph.Node, opt Options) (*Result, error) {
+	opt.setDefaults()
+	n := adj.NumNodes()
+	if n < 2 {
+		return nil, errors.New("closeness: graph too small")
+	}
+	eps, delta := opt.Epsilon, opt.Delta
+	if err := params.CheckEpsDelta(eps, delta); err != nil {
+		return nil, fmt.Errorf("closeness: %w", err)
+	}
+	if err := params.CheckTargets(a, n); err != nil {
+		return nil, fmt.Errorf("closeness: %w", err)
+	}
+	nodes := graph.DedupSorted(a)
+	k := len(nodes)
+
+	n0 := int64(math.Ceil(stats.VCConstant / (eps * eps) * math.Log(1/delta)))
+	if n0 < 1 {
+		n0 = 1
+	}
+	nmax := stats.UnionSampleSize(eps, delta, k) * 4
+	if nmax < n0 {
+		nmax = n0
+	}
+	if opt.MaxSamples > 0 {
+		if nmax > opt.MaxSamples {
+			nmax = opt.MaxSamples
+		}
+		if n0 > nmax {
+			n0 = nmax
+		}
+	}
+	rounds := int64(1)
+	if nmax > n0 {
+		rounds = int64(math.Ceil(math.Log2(float64(nmax) / float64(n0))))
+	}
+	deltaI := delta / (2 * float64(rounds) * float64(k))
+
+	res := &Result{Nodes: nodes}
+	accs := make([]stats.MeanVar, k)
+	var drawn int64
+	target := n0
+	samplers := make([]*legacySourceSampler, sched.VirtualWorkers)
+	mk := func(v int) *legacySourceSampler {
+		return newLegacySourceSampler(adj, nodes, opt.Seed+int64(v+1)*612_361)
+	}
+	var quota []int64
+	for {
+		res.Rounds++
+		var err error
+		quota, err = legacyBatchParallel(ctx, samplers, mk, opt.Workers, target-drawn, quota, accs)
+		if err != nil {
+			return nil, fmt.Errorf("closeness: %w", err)
+		}
+		drawn = target
+		worst := 0.0
+		for i := range accs {
+			if e := stats.EpsilonBernstein(drawn, deltaI, accs[i].Variance()); e > worst {
+				worst = e
+			}
+		}
+		if worst <= eps {
+			res.StoppedEarly = true
+			break
+		}
+		if drawn >= nmax {
+			break
+		}
+		target = drawn * 2
+		if target > nmax {
+			target = nmax
+		}
+	}
+	res.Samples = drawn
+	res.Closeness = make([]float64, k)
+	for i := range accs {
+		res.Closeness[i] = accs[i].Mean()
+	}
+	return res, nil
+}
+
+type legacySourceSampler struct {
+	adj   legacyAdjacency
+	nodes []graph.Node
+	rng   *rand.Rand
+	dist  []int32
+	local []stats.MeanVar
+}
+
+func newLegacySourceSampler(adj legacyAdjacency, nodes []graph.Node, seed int64) *legacySourceSampler {
+	return &legacySourceSampler{
+		adj:   adj,
+		nodes: nodes,
+		rng:   rand.New(rand.NewPCG(uint64(seed), 0xbb67ae8584caa73b)),
+		dist:  make([]int32, adj.NumNodes()),
+		local: make([]stats.MeanVar, len(nodes)),
+	}
+}
+
+func (s *legacySourceSampler) sampleBatch(count int64) {
+	n := s.adj.NumNodes()
+	for j := int64(0); j < count; j++ {
+		u := graph.Node(s.rng.IntN(n))
+		s.dist = s.adj.BFSDistancesInto(u, s.dist)
+		for i, v := range s.nodes {
+			x := 0.0
+			if v != u && s.dist[v] > 0 {
+				x = 1 / float64(s.dist[v])
+			}
+			s.local[i].Add(x)
+		}
+	}
+}
+
+func legacyBatchParallel(ctx context.Context, samplers []*legacySourceSampler, mk func(v int) *legacySourceSampler, workers int, count int64, quota []int64, accs []stats.MeanVar) ([]int64, error) {
+	if count <= 0 {
+		return quota, nil
+	}
+	if err := params.Interrupted(ctx); err != nil {
+		return quota, err
+	}
+	nv := len(samplers)
+	quota = sched.Split(count, nv, quota)
+	err := sched.DoCtx(ctx, nv, workers, func(v int) {
+		if quota[v] == 0 {
+			return
+		}
+		if samplers[v] == nil {
+			samplers[v] = mk(v)
+		}
+		samplers[v].sampleBatch(quota[v])
+	})
+	if err != nil {
+		return quota, &params.CanceledError{Cause: err}
+	}
+	for i := range accs {
+		accs[i] = stats.MeanVar{}
+	}
+	for _, s := range samplers {
+		if s == nil {
+			continue
+		}
+		for i := range accs {
+			accs[i].Merge(&s.local[i])
+		}
+	}
+	return quota, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"saphyra/internal/graph"
+)
+
+// TestBCSketchBitwiseNeutral: the landmark sketch only short-circuits pairs
+// the adjacency scans would route to the BFS list anyway, so a sketched run
+// must be bitwise-identical to an unsketched one — on the high-diameter road
+// graph where the sketch actually fires on most pairs.
+func TestBCSketchBitwiseNeutral(t *testing.T) {
+	g := graph.RoadNetwork(18, 18, 0.05, 4)
+	a := []graph.Node{0, 9, 40, 123, 200, 301}
+	opt := BCOptions{Epsilon: 0.03, Delta: 0.1, Seed: 11, Workers: 2}
+
+	withSketch := PreprocessBC(g)
+	if withSketch.distanceSketch() == nil {
+		t.Fatal("gate rejected the road graph: the sketch path is untested")
+	}
+	noSketch := PreprocessBC(g)
+	noSketch.sketchOnce.Do(func() {}) // pre-fire the once: sketch stays nil
+
+	want, err := withSketch.EstimateBC(context.Background(), a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := noSketch.EstimateBC(context.Background(), a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Est.Samples != got.Est.Samples || want.Est.Rounds != got.Est.Rounds {
+		t.Fatalf("samples/rounds: sketched %d/%d, unsketched %d/%d",
+			want.Est.Samples, want.Est.Rounds, got.Est.Samples, got.Est.Rounds)
+	}
+	for i := range want.BC {
+		if want.BC[i] != got.BC[i] {
+			t.Fatalf("BC[%d]: sketched %v != unsketched %v", i, want.BC[i], got.BC[i])
+		}
+	}
+}
+
+// TestBCSketchGate: small or shallow graphs get no sketch.
+func TestBCSketchGate(t *testing.T) {
+	if s := PreprocessBC(graph.Path(20)).distanceSketch(); s != nil {
+		t.Fatal("sketch built for a 20-node graph (below one lane mask)")
+	}
+	// 500-node BA graph: big enough, but eccentricity ~4 from the hub.
+	if s := PreprocessBC(graph.BarabasiAlbert(500, 3, 5)).distanceSketch(); s != nil {
+		t.Fatal("sketch built for a shallow small-world graph")
+	}
+	if s := PreprocessBC(graph.RoadNetwork(18, 18, 0.05, 4)).distanceSketch(); s == nil {
+		t.Fatal("no sketch for a deep road grid")
+	}
+}

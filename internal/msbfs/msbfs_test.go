@@ -1,0 +1,258 @@
+package msbfs
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"saphyra/internal/faultinject"
+	"saphyra/internal/graph"
+	"saphyra/internal/sched"
+)
+
+// pendantGraph is a clique with a pendant path hanging off it — the shape
+// that exercises settled-node re-visits (the clique saturates in two
+// levels, the path drains one node per level).
+func pendantGraph() *graph.Graph {
+	b := graph.NewBuilder(0)
+	const k = 40
+	for i := graph.Node(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := graph.Node(k); i < k+30; i++ {
+		b.AddEdge(i-1, i)
+	}
+	return b.Build()
+}
+
+func testGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"ba":      graph.BarabasiAlbert(600, 3, 11),
+		"road":    graph.RoadNetwork(25, 24, 0.1, 5), // drop breaks it into components
+		"pendant": pendantGraph(),
+		"tree":    graph.RandomTree(500, 9),
+	}
+}
+
+// runDistances drives one pass and returns the per-lane distance arrays,
+// -1 for unreached.
+func runDistances(t *testing.T, tr *Traversal, g *graph.Graph, sources []graph.Node) [][]int32 {
+	t.Helper()
+	off, nbr := g.CSR()
+	n := g.NumNodes()
+	dist := make([][]int32, len(sources))
+	for j := range dist {
+		dist[j] = make([]int32, n)
+		for i := range dist[j] {
+			dist[j][i] = -1
+		}
+	}
+	err := tr.Run(off, nbr, sources, nil, func(u graph.Node, lanes uint64, depth int32) {
+		for m := lanes; m != 0; m &= m - 1 {
+			j := trailing(m)
+			if dist[j][u] != -1 {
+				t.Fatalf("lane %d settled node %d twice (depth %d and %d)", j, u, dist[j][u], depth)
+			}
+			dist[j][u] = depth
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist
+}
+
+func trailing(m uint64) int {
+	j := 0
+	for m&1 == 0 {
+		m >>= 1
+		j++
+	}
+	return j
+}
+
+// TestRunMatchesScalarBFS: every lane's distance labels must equal a scalar
+// BFS from that lane's source — on every graph shape, at 1, 7, and 64
+// lanes, including duplicate sources sharing a batch.
+func TestRunMatchesScalarBFS(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		n := g.NumNodes()
+		tr := New(n)
+		rng := rand.New(rand.NewPCG(42, 0))
+		for _, lanes := range []int{1, 7, 64} {
+			sources := make([]graph.Node, lanes)
+			for j := range sources {
+				sources[j] = graph.Node(rng.IntN(n))
+			}
+			if lanes >= 7 {
+				sources[lanes-1] = sources[0] // duplicate sources share lanes
+			}
+			got := runDistances(t, tr, g, sources)
+			want := make([]int32, n)
+			for j, s := range sources {
+				want = graph.BFSDistances(g, s, want)
+				for u := 0; u < n; u++ {
+					if got[j][u] != want[u] {
+						t.Fatalf("%s lanes=%d: dist[src %d][node %d] = %d, want %d",
+							name, lanes, s, u, got[j][u], want[u])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunGroupedViewMatches: the same pass over a BlockCSR-style permuted
+// neighbor array yields identical labels — exercised here with a reversed
+// per-node order, the adversarial case for order invariance.
+func TestRunPermutedAdjacencyMatches(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 3, 3)
+	off, nbr := g.CSR()
+	perm := make([]graph.Node, len(nbr))
+	for u := 0; u < g.NumNodes(); u++ {
+		lo, hi := off[u], off[u+1]
+		for i := lo; i < hi; i++ {
+			perm[i] = nbr[lo+hi-1-i]
+		}
+	}
+	n := g.NumNodes()
+	sources := []graph.Node{0, 17, 399, 17}
+	tr := New(n)
+	a := runDistances(t, tr, g, sources)
+	dist := make([][]int32, len(sources))
+	for j := range dist {
+		dist[j] = make([]int32, n)
+		for i := range dist[j] {
+			dist[j][i] = -1
+		}
+	}
+	if err := tr.Run(off, perm, sources, nil, func(u graph.Node, lanes uint64, depth int32) {
+		for m := lanes; m != 0; m &= m - 1 {
+			dist[trailing(m)][u] = depth
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for j := range sources {
+		for u := 0; u < n; u++ {
+			if a[j][u] != dist[j][u] {
+				t.Fatalf("permuted adjacency changed dist[%d][%d]: %d vs %d", j, u, a[j][u], dist[j][u])
+			}
+		}
+	}
+}
+
+// TestTraversalReuse: a workspace reused across passes — including after an
+// aborted pass left it mid-level — produces clean results.
+func TestTraversalReuse(t *testing.T) {
+	// Big enough that the poll stride fires mid-pass and actually aborts.
+	g := graph.RoadNetwork(100, 100, 0, 1)
+	off, nbr := g.CSR()
+	n := g.NumNodes()
+	tr := New(n)
+
+	// Abort a pass partway via a stop raised from the settle callback.
+	var stop sched.Stop
+	settled := 0
+	err := tr.Run(off, nbr, []graph.Node{0}, &stop, func(u graph.Node, lanes uint64, depth int32) {
+		settled++
+		if depth == 3 {
+			stop.Raise()
+		}
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+
+	// The next pass on the dirty workspace must match a fresh one.
+	a := runDistances(t, tr, g, []graph.Node{5, 250})
+	b := runDistances(t, New(n), g, []graph.Node{5, 250})
+	for j := range a {
+		for u := range a[j] {
+			if a[j][u] != b[j][u] {
+				t.Fatalf("reused workspace diverged at lane %d node %d", j, u)
+			}
+		}
+	}
+}
+
+// TestStopBoundsWork: a stop raised mid-pass aborts well before the pass
+// finishes — the poll stride bounds time-to-cancel below one full pass.
+func TestStopBoundsWork(t *testing.T) {
+	// Large road grid: ~10k nodes, ~200 levels, so one pass is much larger
+	// than the poll stride.
+	g := graph.RoadNetwork(100, 100, 0, 2)
+	off, nbr := g.CSR()
+	n := g.NumNodes()
+	tr := New(n)
+	var stop sched.Stop
+	settled := 0
+	err := tr.Run(off, nbr, []graph.Node{0}, &stop, func(u graph.Node, lanes uint64, depth int32) {
+		settled++
+		if depth == 2 {
+			stop.Raise()
+		}
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if settled >= n/2 {
+		t.Fatalf("settled %d of %d nodes after raise: poll stride did not bound the abort", settled, n)
+	}
+	if settled == 0 {
+		t.Fatal("no progress before the raise")
+	}
+	// Pre-raised stop: no expansion at all beyond the sources.
+	stop2 := &sched.Stop{}
+	stop2.Raise()
+	settled = 0
+	err = tr.Run(off, nbr, []graph.Node{0}, stop2, func(graph.Node, uint64, int32) { settled++ })
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("pre-raised: err = %v, want ErrStopped", err)
+	}
+	if settled > 1 {
+		t.Fatalf("pre-raised stop expanded %d settles", settled)
+	}
+}
+
+// TestRunFaultInjection: an armed msbfs.run fault surfaces as the fault
+// error, and disarming restores clean passes.
+func TestRunFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	g := graph.BarabasiAlbert(200, 3, 7)
+	off, nbr := g.CSR()
+	tr := New(g.NumNodes())
+	boom := errors.New("boom")
+	faultinject.Enable()
+	faultinject.Set("msbfs.run", faultinject.Fault{Err: boom, Times: 1})
+	err := tr.Run(off, nbr, []graph.Node{0, 1}, nil, func(graph.Node, uint64, int32) {})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	faultinject.Reset()
+	if err := tr.Run(off, nbr, []graph.Node{0, 1}, nil, func(graph.Node, uint64, int32) {}); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+// TestRunSourceLimits: >64 sources is an error; 0 sources is a no-op.
+func TestRunSourceLimits(t *testing.T) {
+	g := graph.Path(10)
+	off, nbr := g.CSR()
+	tr := New(g.NumNodes())
+	srcs := make([]graph.Node, MaxLanes+1)
+	if err := tr.Run(off, nbr, srcs, nil, func(graph.Node, uint64, int32) {}); err == nil {
+		t.Fatal("65 sources accepted")
+	}
+	if err := tr.Run(off, nbr, nil, nil, func(graph.Node, uint64, int32) {
+		t.Fatal("settle callback on empty source set")
+	}); err != nil {
+		t.Fatalf("empty sources: %v", err)
+	}
+	if err := tr.Run(off[:5], nbr, []graph.Node{0}, nil, func(graph.Node, uint64, int32) {}); err == nil {
+		t.Fatal("mismatched offsets accepted")
+	}
+}

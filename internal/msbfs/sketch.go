@@ -1,0 +1,147 @@
+// Landmark distance sketches: k high-degree landmarks, one MS-BFS pass,
+// and per-node distance rows that turn into triangle-inequality bounds on
+// any pair distance. The bc sampler uses the lower bound to pre-classify
+// sampled pairs as distance>3 without touching the graph, and the upper
+// bound to cap DAG truncation depth (DESIGN.md section 11).
+package msbfs
+
+import (
+	"math/bits"
+	"sort"
+
+	"saphyra/internal/graph"
+)
+
+// Unreached marks a (node, landmark) entry whose landmark lies in a
+// different connected component.
+const Unreached uint16 = 0xFFFF
+
+// capped marks a reachable entry whose true distance overflowed uint16;
+// such lanes carry no usable bound and are skipped. Depth 0xFFFE is beyond
+// any graph this repo serves, so the defensive cap costs nothing real.
+const capped uint16 = 0xFFFE
+
+// Sketch holds k landmark BFS distance labels per node, node-major:
+// Dist[int(u)*K+j] is the hop distance from node u to Landmarks[j].
+// uint16 rows keep the whole sketch at 2k bytes/node — for the default 16
+// lanes that is 32 bytes, one cache line per node lookup.
+type Sketch struct {
+	K         int
+	Landmarks []graph.Node
+	Dist      []uint16
+}
+
+// NewSketch builds a sketch over the CSR adjacency (off length n+1) with k
+// landmarks, clamped to [1, min(MaxLanes, n)]. Landmarks are the k
+// highest-degree nodes, ties broken by smaller id — a pure function of the
+// graph, so every process building a sketch for a view picks the same
+// landmarks. One MS-BFS pass fills all rows. The error can only be the
+// armed "msbfs.run" fault; callers treat a failed build as "no sketch"
+// (the sketch is a pure accelerator, never a correctness input).
+func NewSketch(off []int64, nbr []graph.Node, k int) (*Sketch, error) {
+	n := len(off) - 1
+	if n <= 0 {
+		return &Sketch{K: 0}, nil
+	}
+	if k > MaxLanes {
+		k = MaxLanes
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	landmarks := topDegree(off, k)
+
+	s := &Sketch{
+		K:         k,
+		Landmarks: landmarks,
+		Dist:      make([]uint16, n*k),
+	}
+	for i := range s.Dist {
+		s.Dist[i] = Unreached
+	}
+	t := New(n)
+	err := t.Run(off, nbr, landmarks, nil, func(u graph.Node, lanes uint64, depth int32) {
+		d := capped
+		if depth < int32(capped) {
+			d = uint16(depth)
+		}
+		row := s.Dist[int(u)*k : int(u)*k+k]
+		for m := lanes; m != 0; m &= m - 1 {
+			row[bits.TrailingZeros64(m)] = d
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// topDegree returns the k nodes with the largest CSR degree, ties broken by
+// smaller id, in that (degree desc, id asc) order.
+func topDegree(off []int64, k int) []graph.Node {
+	n := len(off) - 1
+	ids := make([]graph.Node, n)
+	for i := range ids {
+		ids[i] = graph.Node(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da := off[ids[a]+1] - off[ids[a]]
+		db := off[ids[b]+1] - off[ids[b]]
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids[:k:k]
+}
+
+// FarAtLeast reports whether the sketch proves dist(u, v) >= dmin. A lane
+// reaching exactly one endpoint proves the pair disconnected (infinitely
+// far); otherwise the best triangle lower bound max_j |d(u,lj) - d(v,lj)|
+// decides. False means "unknown", never "near".
+func (s *Sketch) FarAtLeast(u, v graph.Node, dmin int32) bool {
+	ru := s.Dist[int(u)*s.K : int(u)*s.K+s.K]
+	rv := s.Dist[int(v)*s.K : int(v)*s.K+s.K]
+	for j := 0; j < s.K; j++ {
+		du, dv := ru[j], rv[j]
+		if du == Unreached || dv == Unreached {
+			if du != dv {
+				return true // one side reached, one not: different components
+			}
+			continue
+		}
+		if du == capped || dv == capped {
+			continue
+		}
+		diff := int32(du) - int32(dv)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff >= dmin {
+			return true
+		}
+	}
+	return false
+}
+
+// UpperBound returns the best triangle upper bound min_j d(u,lj) + d(v,lj)
+// on dist(u, v), or -1 when no landmark reaches both endpoints (which
+// includes every disconnected pair).
+func (s *Sketch) UpperBound(u, v graph.Node) int32 {
+	ru := s.Dist[int(u)*s.K : int(u)*s.K+s.K]
+	rv := s.Dist[int(v)*s.K : int(v)*s.K+s.K]
+	best := int32(-1)
+	for j := 0; j < s.K; j++ {
+		du, dv := ru[j], rv[j]
+		if du >= capped || dv >= capped {
+			continue
+		}
+		if ub := int32(du) + int32(dv); best < 0 || ub < best {
+			best = ub
+		}
+	}
+	return best
+}

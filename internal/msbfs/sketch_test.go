@@ -1,0 +1,124 @@
+package msbfs
+
+import (
+	"testing"
+
+	"saphyra/internal/graph"
+)
+
+// TestSketchBoundsValid: on every graph shape, the sketch's lower and upper
+// bounds must bracket the true BFS distance for every sampled pair, and
+// FarAtLeast must never claim a near pair far.
+func TestSketchBoundsValid(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		off, nbr := g.CSR()
+		n := g.NumNodes()
+		s, err := NewSketch(off, nbr, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Landmarks) != s.K || len(s.Dist) != n*s.K {
+			t.Fatalf("%s: sketch shape K=%d landmarks=%d dist=%d", name, s.K, len(s.Landmarks), len(s.Dist))
+		}
+		dist := make([]int32, n)
+		for _, u := range []graph.Node{0, graph.Node(n / 3), graph.Node(n - 1)} {
+			dist = graph.BFSDistances(g, u, dist)
+			for v := graph.Node(0); int(v) < n; v += 7 {
+				d := dist[v]
+				ub := s.UpperBound(u, v)
+				if d >= 0 {
+					if ub >= 0 && ub < d {
+						t.Fatalf("%s: UpperBound(%d,%d) = %d < true %d", name, u, v, ub, d)
+					}
+					for dmin := int32(1); dmin <= d+2; dmin++ {
+						if s.FarAtLeast(u, v, dmin) && dmin > d {
+							t.Fatalf("%s: FarAtLeast(%d,%d,%d) true but true dist %d", name, u, v, dmin, d)
+						}
+					}
+				} else {
+					// Disconnected pair: the upper bound must not exist.
+					if ub >= 0 {
+						t.Fatalf("%s: UpperBound(%d,%d) = %d for disconnected pair", name, u, v, ub)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSketchDisconnectedFar: a landmark reaching one endpoint but not the
+// other proves the pair disconnected, so FarAtLeast holds at any bound.
+func TestSketchDisconnectedFar(t *testing.T) {
+	// Two disjoint cliques.
+	b := graph.NewBuilder(0)
+	for i := graph.Node(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(i+5, j+5)
+		}
+	}
+	g := b.Build()
+	off, nbr := g.CSR()
+	s, err := NewSketch(off, nbr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.FarAtLeast(0, 7, 1000) {
+		t.Fatal("disconnected pair not classified far")
+	}
+	if s.FarAtLeast(0, 3, 2) {
+		t.Fatal("same-clique pair (dist 1) classified far >= 2")
+	}
+}
+
+// TestSketchDeterministicLandmarks: landmark choice is a pure function of
+// the degree sequence — top-k by degree, ties by id.
+func TestSketchDeterministicLandmarks(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 13)
+	off, nbr := g.CSR()
+	a, err := NewSketch(off, nbr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSketch(off, nbr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Landmarks {
+		if a.Landmarks[j] != b.Landmarks[j] {
+			t.Fatalf("landmark %d differs: %d vs %d", j, a.Landmarks[j], b.Landmarks[j])
+		}
+		if j > 0 {
+			dj := off[a.Landmarks[j]+1] - off[a.Landmarks[j]]
+			dp := off[a.Landmarks[j-1]+1] - off[a.Landmarks[j-1]]
+			if dp < dj || (dp == dj && a.Landmarks[j-1] >= a.Landmarks[j]) {
+				t.Fatalf("landmarks not in (degree desc, id asc) order at %d", j)
+			}
+		}
+	}
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] {
+			t.Fatalf("sketch row entry %d differs", i)
+		}
+	}
+}
+
+// TestSketchClampsK: k is clamped to [1, min(MaxLanes, n)].
+func TestSketchClampsK(t *testing.T) {
+	g := graph.Path(5)
+	off, nbr := g.CSR()
+	s, err := NewSketch(off, nbr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K != 5 {
+		t.Fatalf("K = %d, want clamped to n = 5", s.K)
+	}
+	s, err = NewSketch(off, nbr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K != 1 {
+		t.Fatalf("K = %d, want clamped to 1", s.K)
+	}
+}

@@ -61,6 +61,7 @@ type Ranker struct {
 
 	mu sync.Mutex
 	bc *core.BCPreprocessed // lazy betweenness preprocessing
+	cl *closeness.Engine    // lazy closeness engine (pooled MS-BFS scratch)
 }
 
 // NewRanker returns a Ranker over an in-memory graph.
@@ -83,8 +84,11 @@ func (r *Ranker) NumNodes() int { return r.g.NumNodes() }
 // later Rank call pays for it — what a serving layer does at load time.
 // Measures without per-graph preprocessing are a no-op.
 func (r *Ranker) Prepare(m Measure) {
-	if m == Betweenness {
+	switch m {
+	case Betweenness:
 		r.bcPrep()
+	case Closeness:
+		r.clEngine()
 	}
 }
 
@@ -100,6 +104,23 @@ func (r *Ranker) bcPrep() *core.BCPreprocessed {
 		}
 	}
 	return r.bc
+}
+
+// clEngine returns the lazily-built closeness engine. Caching it across
+// queries is what keeps repeat closeness queries at the engine's pooled
+// zero-allocation steady state — the free-function path would rebuild the
+// MS-BFS workspaces per call.
+func (r *Ranker) clEngine() *closeness.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cl == nil {
+		if r.view != nil {
+			r.cl = closeness.NewEngineView(r.view)
+		} else {
+			r.cl = closeness.NewEngine(r.g)
+		}
+	}
+	return r.cl
 }
 
 // Rank estimates and ranks the query's targets (every node of the graph
@@ -191,13 +212,7 @@ func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
 			Epsilon: c.Epsilon, Delta: c.Delta,
 			Workers: c.Workers, Seed: c.Seed,
 		}
-		var res *closeness.Result
-		var err error
-		if r.view != nil {
-			res, err = closeness.EstimateView(ctx, r.view, targets, copt)
-		} else {
-			res, err = closeness.Estimate(ctx, r.g, targets, copt)
-		}
+		res, err := r.clEngine().Estimate(ctx, targets, copt)
 		if err != nil {
 			return nil, err
 		}

@@ -205,6 +205,23 @@ func (s *Stop) Watch(ctx context.Context) (release func() bool) {
 	return context.AfterFunc(ctx, s.Raise)
 }
 
+// noopRelease is the release returned by WatchStop for non-cancellable
+// contexts, shared so the fast path allocates nothing.
+func noopRelease() bool { return true }
+
+// WatchStop wires a fresh Stop to ctx, skipping all allocation when ctx can
+// never be canceled (Done() == nil, e.g. context.Background()): it then
+// returns a nil *Stop — permanently unstopped, valid to poll — and a no-op
+// release. Engines call this once per run so non-cancellable callers pay
+// neither the Stop nor the context.AfterFunc watcher.
+func WatchStop(ctx context.Context) (stop *Stop, release func() bool) {
+	if ctx.Done() == nil {
+		return nil, noopRelease
+	}
+	stop = &Stop{}
+	return stop, stop.Watch(ctx)
+}
+
 // Budget is a worker-goroutine pool shared by concurrent callers — the
 // serving layer's defense against one huge query starving everything else.
 // It holds `total` worker slots; each call Acquires up to `perCall` of them

@@ -160,6 +160,11 @@ func TestServeChaosHammer(t *testing.T) {
 	faultinject.Set("bicomp.openmapped", faultinject.Fault{Err: chaosErr, Prob: 0.3, Seed: 13})
 	faultinject.Set("bicomp.handle.acquire", faultinject.Fault{Err: chaosErr, Prob: 0.05, Seed: 17})
 	faultinject.Set("serve.request.expire", faultinject.Fault{Err: chaosErr, Prob: 0.15, Seed: 19})
+	// msbfs.run fires once per MS-BFS level, and a closeness estimate runs
+	// hundreds of levels — a small per-level probability still fails a
+	// healthy fraction of closeness requests mid-traversal while letting the
+	// rest complete (and demand bitwise-exact bits).
+	faultinject.Set("msbfs.run", faultinject.Fault{Err: chaosErr, Prob: 0.002, Seed: 23})
 	faultinject.Enable()
 
 	const (

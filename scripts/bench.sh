@@ -32,6 +32,13 @@ go test -run '^$' -bench 'BenchmarkKPath' -benchmem \
     -benchtime "$BENCHTIME" ./internal/kpath/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkCloseness' -benchmem \
     -benchtime "$BENCHTIME" ./internal/closeness/ | tee -a "$TMP"
+# The MS-BFS rows price the traversal engine itself: one 64-lane pass
+# (BenchmarkMSBFSPass, must stay 0 allocs/op) and one 16-landmark sketch
+# build (BenchmarkMSBFSSketch). BenchmarkCloseness above rides the engine;
+# BenchmarkClosenessLegacy records the retired scalar estimator for the
+# speedup ratio.
+go test -run '^$' -bench 'BenchmarkMSBFS' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/msbfs/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkServeRank' -benchmem \
     -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkRankerQueryOverhead' -benchmem \
