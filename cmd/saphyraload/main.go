@@ -1,0 +1,228 @@
+// Command saphyraload replays deterministic traffic mixes against the
+// saphyrad serving layer and gates the result on per-mix SLOs — the
+// load-generation half of the reproducible experiment harness
+// (internal/loadgen, DESIGN.md section 12).
+//
+// Two modes:
+//
+//	saphyraload -view net.sbcv                     # in-process server
+//	saphyraload -view net.sbcv -base http://host:8372   # live daemon
+//
+// With no -view, a deterministic synthetic network is built, so
+// `saphyraload` alone produces a meaningful serving benchmark. Each named
+// mix (hit-dominated, miss-heavy, reload-storm; -mix selects one, default
+// all) is expanded from one seed into a byte-identical open-loop request
+// schedule, replayed, and reported: p50/p99/p999 served latency, hit and
+// shed and error rates, and bitwise verification of every -verify-every'th
+// 200 against the library reference for its reported (eps, delta, seed)
+// contract. Results land in versioned JSON (-out, default
+// BENCH_serving.json; scripts/bench.sh uploads it in CI) and the exit
+// status is non-zero when any mix violates its SLO or any sampled response
+// is not bitwise-equal to the reference.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"saphyra"
+	"saphyra/internal/loadgen"
+	"saphyra/internal/serve"
+)
+
+type output struct {
+	Schema string `json:"schema"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	OS     string `json:"os"`
+	Arch   string `json:"arch"`
+	CPUs   int    `json:"cpus"`
+
+	View  string            `json:"view"`
+	Nodes int               `json:"nodes"`
+	Edges int64             `json:"edges"`
+	Seed  int64             `json:"seed"`
+	Mixes []*loadgen.Report `json:"mixes"`
+}
+
+func main() {
+	var (
+		viewPath    = flag.String("view", "", "serialized view file to load against (default: build a synthetic network)")
+		base        = flag.String("base", "", "base URL of a live daemon (default: serve -view in-process)")
+		mixName     = flag.String("mix", "all", "mix to replay: hit-dominated | miss-heavy | reload-storm | all")
+		rate        = flag.Float64("rate", 0, "override the mix's offered rate (req/s; 0 = mix default)")
+		duration    = flag.Duration("duration", 0, "override the mix's scheduled span (0 = mix default)")
+		seed        = flag.Int64("seed", 1, "schedule seed; one seed yields a byte-identical request schedule")
+		speed       = flag.Float64("speed", 1, "schedule-clock compression factor (2 = replay twice as fast)")
+		verifyEvery = flag.Int("verify-every", 8, "bitwise-verify every Nth scheduled request's 200 response (0 = off)")
+		noWarm      = flag.Bool("no-warm", false, "skip pre-firing the cacheable working set before the clock starts")
+		out         = flag.String("out", "BENCH_serving.json", "JSON report path (\"-\" = stdout)")
+
+		synthNodes  = flag.Int("synth-nodes", 2000, "synthetic network size when no -view is given")
+		maxInFlight = flag.Int("max-inflight", 0, "in-process server: concurrent computations admitted (0 = default)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "in-process server: default per-request compute deadline")
+	)
+	flag.Parse()
+	if err := run(*viewPath, *base, *mixName, *rate, *duration, *seed, *speed,
+		*verifyEvery, !*noWarm, *out, *synthNodes, *maxInFlight, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "saphyraload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(viewPath, base, mixName string, rate float64, duration time.Duration,
+	seed int64, speed float64, verifyEvery int, warm bool, out string,
+	synthNodes, maxInFlight int, timeout time.Duration) error {
+
+	// Resolve the view: given, or synthesized deterministically.
+	if viewPath == "" {
+		dir, err := os.MkdirTemp("", "saphyraload")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		viewPath = filepath.Join(dir, "synth.sbcv")
+		g := saphyra.Generate.BarabasiAlbert(synthNodes, 4, 7)
+		if err := saphyra.BuildView(g, nil).WriteFile(viewPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saphyraload: built synthetic view (%d nodes) at %s\n", synthNodes, viewPath)
+	}
+	view, err := saphyra.OpenView(viewPath)
+	if err != nil {
+		return err
+	}
+	ids := viewIDs(view)
+	nodes := view.Graph().NumNodes()
+	edges := view.Graph().NumEdges()
+	view.Close()
+
+	// Resolve the target: a live daemon, or an in-process server on a
+	// loopback listener (a real HTTP hop, so in-process numbers include the
+	// same transport cost the daemon pays).
+	if base == "" {
+		srv, err := serve.New(viewPath, serve.Config{
+			MaxInFlight:    maxInFlight,
+			DefaultTimeout: timeout,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "saphyraload: serving %s in-process on %s\n", viewPath, base)
+	}
+
+	var verifier *loadgen.Verifier
+	if verifyEvery > 0 {
+		if verifier, err = loadgen.NewVerifier(viewPath); err != nil {
+			return err
+		}
+		defer verifier.Close()
+	}
+
+	var mixes []loadgen.Mix
+	if mixName == "all" {
+		mixes = loadgen.Mixes()
+	} else {
+		m, err := loadgen.ByName(mixName)
+		if err != nil {
+			return err
+		}
+		mixes = []loadgen.Mix{m}
+	}
+
+	rep := &output{
+		Schema: "saphyra/bench-serving/v1",
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		View:   viewPath,
+		Nodes:  nodes,
+		Edges:  edges,
+		Seed:   seed,
+	}
+	failed := false
+	for _, m := range mixes {
+		m = m.Scale(rate, duration)
+		sched, err := loadgen.Build(m, ids, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saphyraload: %s: %d requests over %v (rate %.0f/s)\n",
+			m.Name, sched.Requests(), m.Duration, m.Rate)
+		r, err := loadgen.Run(context.Background(), sched, loadgen.Options{
+			Base: base, Speed: speed, Warm: warm,
+			VerifyEvery: verifyEvery, Verifier: verifier,
+		})
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", m.Name, err)
+		}
+		rep.Mixes = append(rep.Mixes, r)
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr,
+			"saphyraload: %s: %s  p50 %.2fms p99 %.2fms p999 %.2fms  hit %.0f%% shed %.1f%% degraded %.1f%% err %.1f%%  verified %d (%d failed)\n",
+			m.Name, status, r.P50Ms, r.P99Ms, r.P999Ms,
+			100*r.HitRate, 100*r.ShedRate, 100*r.DegradedRate, 100*r.ErrorRate,
+			r.Verified, r.VerifyFailed)
+		for _, v := range r.SLOViolations {
+			fmt.Fprintf(os.Stderr, "saphyraload: %s: SLO violation: %s\n", m.Name, v)
+		}
+		for _, v := range r.VerifyErrors {
+			fmt.Fprintf(os.Stderr, "saphyraload: %s: verify: %s\n", m.Name, v)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	} else {
+		fmt.Fprintf(os.Stderr, "saphyraload: wrote %s\n", out)
+	}
+	if failed {
+		return fmt.Errorf("one or more mixes failed their SLO or bitwise verification")
+	}
+	return nil
+}
+
+// viewIDs returns the view's original id space (identity when dense).
+func viewIDs(v *saphyra.View) []int64 {
+	if ids := v.IDs(); ids != nil {
+		out := make([]int64, len(ids))
+		copy(out, ids)
+		return out
+	}
+	n := v.Graph().NumNodes()
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}

@@ -96,4 +96,10 @@ func main() {
 	}
 	fmt.Printf("\nview round-trip: identical rankings served from %s (%d bytes, mmap-backed)\n",
 		filepath.Base(viewPath), st.Size())
+
+	// From here the production path is the CLIs: `saphyrad -view <file>`
+	// serves this view over HTTP, and `saphyraload -view <file>` replays
+	// deterministic traffic mixes against it, gating p99/p999, shed rate,
+	// and bitwise response correctness (DESIGN.md section 12).
+	fmt.Println("next: saphyrad -view <file> to serve it; saphyraload -view <file> to load-test it against SLOs")
 }

@@ -1,0 +1,168 @@
+package hist
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket layout: indices are monotone in the
+// value, every value lands in a bucket whose upper bound is >= the value,
+// and the bucket width obeys the advertised relative error.
+func TestBucketBoundaries(t *testing.T) {
+	if got := bucketOf(0); got != 0 {
+		t.Fatalf("bucketOf(0) = %d", got)
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Fatalf("bucketOf(-5) = %d, want clamp to 0", got)
+	}
+	prev := -1
+	for _, ns := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<62 + 12345} {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous bucket %d: not monotone", ns, b, prev)
+		}
+		prev = b
+		ub := upperBound(b)
+		if ub < ns {
+			t.Fatalf("upperBound(bucketOf(%d)) = %d < value", ns, ub)
+		}
+		// Width bound: the upper bound overshoots by at most 1/subBuckets of
+		// the value (plus 1ns granularity in the exact region).
+		if over := float64(ub-ns) / float64(max64(ns, 1)); over > RelativeError()+1e-9 && ub-ns > 1 {
+			t.Fatalf("value %d: upper bound %d overshoots by %.4f > %.4f", ns, ub, over, RelativeError())
+		}
+	}
+	// Exhaustive round-trip over the exact region and octave seams.
+	for ns := int64(0); ns < 4096; ns++ {
+		b := bucketOf(ns)
+		if upperBound(b) < ns {
+			t.Fatalf("upperBound(bucketOf(%d)) = %d < value", ns, upperBound(b))
+		}
+		if b > 0 && upperBound(b-1) >= ns {
+			t.Fatalf("value %d also fits bucket %d (ub %d): buckets overlap", ns, b-1, upperBound(b-1))
+		}
+	}
+}
+
+// TestQuantileMatchesSortedReference is the satellite acceptance test: on
+// random data the histogram quantile must match the exact sort-based order
+// statistic to within one bucket's relative error — the contract that let
+// the serving bench drop its sort-every-sample percentiles.
+func TestQuantileMatchesSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial, gen := range []func() int64{
+		func() int64 { return rng.Int64N(1000) },                    // tiny (exact region + low octaves)
+		func() int64 { return int64(rng.ExpFloat64() * 5e6) },       // exponential ~5ms
+		func() int64 { return 1000 + rng.Int64N(int64(time.Hour)) }, // huge range
+	} {
+		var h Histogram
+		vals := make([]int64, 20000)
+		for i := range vals {
+			vals[i] = gen()
+			h.Observe(time.Duration(vals[i]))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(float64(len(vals)) * q)
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			got := int64(h.Quantile(q))
+			if got < exact {
+				t.Errorf("trial %d q%.3f: histogram %d < exact %d (quantile must never understate)", trial, q, got, exact)
+			}
+			slack := int64(float64(exact)*RelativeError()) + 1
+			if got > exact+slack {
+				t.Errorf("trial %d q%.3f: histogram %d > exact %d + slack %d", trial, q, got, exact, slack)
+			}
+		}
+		if mean := h.Mean(); mean <= 0 {
+			t.Errorf("trial %d: mean %v", trial, mean)
+		}
+	}
+}
+
+// TestQuantileEdgeCases covers the empty histogram and q clamping.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	h.Observe(100)
+	if got, want := h.Quantile(-1), h.Quantile(0); got != want {
+		t.Fatalf("q=-1 gave %v, q=0 gave %v", got, want)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Fatalf("q=2 gave %v, q=1 gave %v", got, want)
+	}
+}
+
+// TestRecorderOutcomes pins the outcome bookkeeping: Served holds only
+// 200s, rates sum to 1, and out-of-range outcomes fold into Error.
+func TestRecorderOutcomes(t *testing.T) {
+	var r Recorder
+	r.Observe(OK, 10*time.Microsecond)
+	r.Observe(OK, 20*time.Microsecond)
+	r.Observe(Degraded, 30*time.Microsecond)
+	r.Observe(Shed, time.Microsecond)
+	r.Observe(Deadline, time.Second)
+	r.Observe(ClientClosed, time.Millisecond)
+	r.Observe(Outcome(99), time.Millisecond) // folds into Error
+	if got := r.Total(); got != 7 {
+		t.Fatalf("Total = %d", got)
+	}
+	if got := r.Served.Count(); got != 3 {
+		t.Fatalf("Served.Count = %d, want only ok+degraded", got)
+	}
+	want := map[Outcome]int64{OK: 2, Degraded: 1, Shed: 1, Deadline: 1, ClientClosed: 1, Error: 1}
+	var sum float64
+	for _, o := range Outcomes() {
+		if got := r.Count(o); got != want[o] {
+			t.Errorf("Count(%v) = %d, want %d", o, got, want[o])
+		}
+		sum += r.Rate(o)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("outcome rates sum to %v", sum)
+	}
+	if got := r.Count(Outcome(-1)); got != 0 {
+		t.Errorf("Count(-1) = %d", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; the
+// total and sum must be exact (the whole point of the atomic design), and
+// the run doubles as the -race exercise.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	wantSum := int64(workers*per) * int64(workers*per-1) / 2
+	if got := int64(h.Mean()) * int64(h.Count()); got < wantSum-int64(h.Count()) || got > wantSum {
+		t.Fatalf("Mean*Count = %d, want ~%d (sum must be exact up to division truncation)", got, wantSum)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"time"
+
+	"saphyra/internal/alias"
+)
+
+// EventKind distinguishes schedule entries.
+type EventKind uint8
+
+const (
+	// EventRank is a POST /v1/rank subset query.
+	EventRank EventKind = iota
+	// EventTopK is a GET /v1/topk full-network query.
+	EventTopK
+	// EventReload is a hot reload (POST /admin/reload or Server.Reload).
+	EventReload
+)
+
+// Event is one scheduled action. The full request contract is materialized
+// at build time — nothing about an event depends on run-time state, which
+// is what makes the schedule a pure function of (Mix, ids, seed).
+type Event struct {
+	// At is the offset from run start at which the event fires.
+	At time.Duration
+	// Kind selects the action; Class indexes Mix.Classes (-1 for reloads).
+	Kind  EventKind
+	Class int
+	// Seq is the event's index in the merged schedule, assigned after the
+	// deterministic sort — the verification sampler keys off it.
+	Seq int
+
+	// Request contract (EventRank / EventTopK).
+	Method  string
+	Targets []int64 // original node ids (EventRank)
+	TopK    int     // result rows requested (EventTopK)
+	Eps     float64
+	Delta   float64
+	K       int
+	Seed    int64
+
+	// Policy headers.
+	TimeoutMs int
+	DegradeMs int
+	ClientID  string
+}
+
+// Schedule is a fully materialized, deterministic request timeline.
+type Schedule struct {
+	Mix    Mix
+	Seed   int64
+	Events []Event
+}
+
+// topKRows is the k requested by full-network top-k events.
+const topKRows = 10
+
+// classRNG derives the dedicated PCG stream for class c of a build: streams
+// are independent per class, so adding a class never perturbs another
+// class's draws.
+func classRNG(seed int64, c int) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), uint64(c)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d))
+}
+
+// Build materializes the mix into a schedule over the given original node
+// ids, using one seed for every stochastic choice. Equal (mix, ids, seed)
+// yield byte-identical schedules (see Schedule.Encode); the determinism
+// test pins this.
+func Build(m Mix, ids []int64, seed int64) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("loadgen: no node ids")
+	}
+	type tagged struct {
+		ev    Event
+		class int
+		idx   int
+	}
+	var all []tagged
+	for ci := range m.Classes {
+		c := &m.Classes[ci]
+		rng := classRNG(seed, ci)
+		rate := c.Share * m.Rate
+
+		// The class's target-set pool, drawn before arrivals so pool shape
+		// and arrival process are independent choices of one stream.
+		setSize := c.Targets
+		if setSize > len(ids) {
+			setSize = len(ids)
+		}
+		var pool [][]int64
+		var zipf *alias.Table
+		if c.Targets > 0 {
+			pool = make([][]int64, c.Pool)
+			for p := range pool {
+				pool[p] = drawSet(rng, ids, setSize)
+			}
+			w := make([]float64, c.Pool)
+			for i := range w {
+				w[i] = math.Pow(float64(i+1), -c.ZipfS)
+			}
+			zipf = alias.New(w)
+		}
+
+		// Open-loop arrivals across the full span.
+		var t time.Duration
+		for i := 0; ; i++ {
+			switch c.Arrival {
+			case Poisson:
+				gap := -math.Log(1-rng.Float64()) / rate
+				t += time.Duration(gap * float64(time.Second))
+			default: // Constant
+				t = time.Duration((float64(i) + 0.5) / rate * float64(time.Second))
+			}
+			if t >= m.Duration {
+				break
+			}
+			ev := Event{
+				At: t, Class: ci, Method: c.Method,
+				Eps: c.Eps, Delta: c.Delta, K: c.K,
+				TimeoutMs: c.TimeoutMs, DegradeMs: c.DegradeMs, ClientID: c.ClientID,
+			}
+			if c.Targets == 0 {
+				ev.Kind = EventTopK
+				ev.TopK = topKRows
+				ev.Seed = c.Seed
+			} else {
+				ev.Kind = EventRank
+				p := zipf.Draw(rng.Float64())
+				ev.Targets = pool[p]
+				if c.FreshSeed {
+					ev.Seed = c.Seed + int64(i) + 1
+				} else {
+					ev.Seed = c.Seed + int64(p)
+				}
+			}
+			all = append(all, tagged{ev: ev, class: ci, idx: i})
+		}
+	}
+	for si, st := range m.Storms {
+		for i := 0; i < st.Count; i++ {
+			all = append(all, tagged{
+				ev:    Event{At: st.At + time.Duration(i)*st.Every, Kind: EventReload, Class: -1},
+				class: len(m.Classes) + si,
+				idx:   i,
+			})
+		}
+	}
+	// Deterministic merge: time order, ties broken by (class, index) so the
+	// schedule is a total order independent of append order.
+	slices.SortStableFunc(all, func(a, b tagged) int {
+		switch {
+		case a.ev.At != b.ev.At:
+			return int(a.ev.At - b.ev.At)
+		case a.class != b.class:
+			return a.class - b.class
+		default:
+			return a.idx - b.idx
+		}
+	})
+	s := &Schedule{Mix: m, Seed: seed, Events: make([]Event, len(all))}
+	for i := range all {
+		s.Events[i] = all[i].ev
+		s.Events[i].Seq = i
+	}
+	return s, nil
+}
+
+// drawSet picks size distinct ids by rejection, in draw order.
+func drawSet(rng *rand.Rand, ids []int64, size int) []int64 {
+	seen := make(map[int]struct{}, size)
+	out := make([]int64, 0, size)
+	for len(out) < size {
+		i := rng.IntN(len(ids))
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, ids[i])
+	}
+	return out
+}
+
+// Requests counts non-reload events.
+func (s *Schedule) Requests() int {
+	n := 0
+	for i := range s.Events {
+		if s.Events[i].Kind != EventReload {
+			n++
+		}
+	}
+	return n
+}
+
+// Encode serializes the schedule into a canonical byte string: every event
+// field in declaration order, fixed-width little-endian, strings
+// length-prefixed. Two schedules are the same run if and only if their
+// encodings are equal — the unit the determinism contract is stated (and
+// tested) in.
+func (s *Schedule) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString("saphyra.loadgen/v1\x00")
+	writeStr := func(v string) {
+		binary.Write(&b, binary.LittleEndian, int32(len(v)))
+		b.WriteString(v)
+	}
+	writeStr(s.Mix.Name)
+	binary.Write(&b, binary.LittleEndian, s.Seed)
+	binary.Write(&b, binary.LittleEndian, int64(len(s.Events)))
+	for i := range s.Events {
+		ev := &s.Events[i]
+		binary.Write(&b, binary.LittleEndian, int64(ev.At))
+		b.WriteByte(byte(ev.Kind))
+		binary.Write(&b, binary.LittleEndian, int32(ev.Class))
+		writeStr(ev.Method)
+		binary.Write(&b, binary.LittleEndian, int32(len(ev.Targets)))
+		for _, t := range ev.Targets {
+			binary.Write(&b, binary.LittleEndian, t)
+		}
+		binary.Write(&b, binary.LittleEndian, int32(ev.TopK))
+		binary.Write(&b, binary.LittleEndian, math.Float64bits(ev.Eps))
+		binary.Write(&b, binary.LittleEndian, math.Float64bits(ev.Delta))
+		binary.Write(&b, binary.LittleEndian, int32(ev.K))
+		binary.Write(&b, binary.LittleEndian, ev.Seed)
+		binary.Write(&b, binary.LittleEndian, int32(ev.TimeoutMs))
+		binary.Write(&b, binary.LittleEndian, int32(ev.DegradeMs))
+		writeStr(ev.ClientID)
+	}
+	return b.Bytes()
+}

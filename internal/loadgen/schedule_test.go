@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func testIDs(n int) []int64 {
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i*3 + 1) // sparse, like a real edge list
+	}
+	return ids
+}
+
+// TestScheduleDeterminism is the tentpole determinism contract: one seed
+// yields a byte-identical request schedule, and the seed actually matters.
+func TestScheduleDeterminism(t *testing.T) {
+	ids := testIDs(500)
+	for _, m := range Mixes() {
+		a, err := Build(m, ids, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		b, err := Build(m, ids, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if !bytes.Equal(a.Encode(), b.Encode()) {
+			t.Errorf("%s: same seed produced different schedules", m.Name)
+		}
+		c, err := Build(m, ids, 43)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if bytes.Equal(a.Encode(), c.Encode()) {
+			t.Errorf("%s: different seeds produced identical schedules", m.Name)
+		}
+	}
+}
+
+// TestScheduleShape checks structural invariants of a built schedule:
+// sorted arrivals inside the span, contiguous Seq, class shares near their
+// targets, storms fully materialized, and pool-backed classes drawing
+// distinct in-range targets.
+func TestScheduleShape(t *testing.T) {
+	ids := testIDs(500)
+	inIDs := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		inIDs[id] = true
+	}
+	m := ReloadStorm()
+	s, err := Build(m, ids, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCount := make([]int, len(m.Classes))
+	reloads := 0
+	for i, ev := range s.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if i > 0 && ev.At < s.Events[i-1].At {
+			t.Fatalf("event %d at %v before predecessor %v", i, ev.At, s.Events[i-1].At)
+		}
+		if ev.Kind == EventReload {
+			reloads++
+			continue
+		}
+		if ev.At < 0 || ev.At >= m.Duration {
+			t.Fatalf("event %d at %v outside [0, %v)", i, ev.At, m.Duration)
+		}
+		classCount[ev.Class]++
+		c := m.Classes[ev.Class]
+		if len(ev.Targets) != c.Targets {
+			t.Fatalf("event %d: %d targets, class wants %d", i, len(ev.Targets), c.Targets)
+		}
+		seen := make(map[int64]bool)
+		for _, id := range ev.Targets {
+			if !inIDs[id] {
+				t.Fatalf("event %d: target %d not an original id", i, id)
+			}
+			if seen[id] {
+				t.Fatalf("event %d: duplicate target %d", i, id)
+			}
+			seen[id] = true
+		}
+	}
+	if want := m.Storms[0].Count; reloads != want {
+		t.Fatalf("%d reload events, want %d", reloads, want)
+	}
+	total := s.Requests()
+	for ci, c := range m.Classes {
+		want := c.Share * float64(total)
+		got := float64(classCount[ci])
+		// Poisson classes fluctuate; 4-sigma around the binomial mean.
+		slack := 4*math.Sqrt(want) + 2
+		if math.Abs(got-want) > slack {
+			t.Errorf("class %s: %v events, want %v ± %v", c.Name, got, want, slack)
+		}
+	}
+}
+
+// TestZipfSkew is the satellite chi-squared bound: the empirical pool-entry
+// frequencies of a skewed class must match the target zipf law. The pool
+// entry behind an event is recoverable from its seed (Seed = base + entry).
+func TestZipfSkew(t *testing.T) {
+	const poolSize, zipfS = 16, 1.2
+	m := Mix{
+		Name: "zipf-test", Rate: 4000, Duration: 4 * time.Second,
+		Classes: []Class{{
+			Name: "z", Share: 1, Arrival: Constant, Method: "saphyra",
+			Targets: 3, Pool: poolSize, ZipfS: zipfS,
+			Eps: 0.1, Delta: 0.05, Seed: 1000,
+		}},
+	}
+	s, err := Build(m, testIDs(300), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, poolSize)
+	for _, ev := range s.Events {
+		p := ev.Seed - 1000
+		if p < 0 || p >= poolSize {
+			t.Fatalf("event seed %d outside the pool-derived range", ev.Seed)
+		}
+		counts[p]++
+	}
+	n := float64(len(s.Events))
+	if n < 10000 {
+		t.Fatalf("only %v draws", n)
+	}
+	var z float64
+	for i := 0; i < poolSize; i++ {
+		z += math.Pow(float64(i+1), -zipfS)
+	}
+	var chi2 float64
+	for i, c := range counts {
+		exp := n * math.Pow(float64(i+1), -zipfS) / z
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// df = 15; the 99.9% critical value is 37.7. The draw stream is
+	// deterministic, so a pass is stable; a bound this tight still fails
+	// loudly if the alias table or the weight law regresses.
+	if chi2 > 37.7 {
+		t.Errorf("chi-squared %v > 37.7: empirical frequencies do not match zipf(s=%v)", chi2, zipfS)
+	}
+	// Skew sanity: the hottest entry dominates, the law is monotone in rank.
+	if counts[0] < counts[poolSize-1]*2 {
+		t.Errorf("head %d not clearly hotter than tail %d", counts[0], counts[poolSize-1])
+	}
+}
+
+// TestFreshSeedUnique checks the miss-heavy knob: a FreshSeed class never
+// repeats a (seed, targets) pair, so no request can be a cache hit.
+func TestFreshSeedUnique(t *testing.T) {
+	m := Mix{
+		Name: "fresh", Rate: 500, Duration: time.Second,
+		Classes: []Class{{
+			Name: "f", Share: 1, Arrival: Poisson, Method: "saphyra",
+			Targets: 4, Pool: 8, ZipfS: 0.5, Eps: 0.1, Delta: 0.05, Seed: 1, FreshSeed: true,
+		}},
+	}
+	s, err := Build(m, testIDs(200), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, ev := range s.Events {
+		if seen[ev.Seed] {
+			t.Fatalf("seed %d repeats: FreshSeed class can hit the cache", ev.Seed)
+		}
+		seen[ev.Seed] = true
+	}
+}
+
+// TestMixValidate rejects malformed mixes.
+func TestMixValidate(t *testing.T) {
+	ids := testIDs(10)
+	bad := []Mix{
+		{Name: "no-rate", Duration: time.Second, Classes: []Class{{Share: 1, Targets: 1, Pool: 1}}},
+		{Name: "no-duration", Rate: 1, Classes: []Class{{Share: 1, Targets: 1, Pool: 1}}},
+		{Name: "no-classes", Rate: 1, Duration: time.Second},
+		{Name: "no-pool", Rate: 1, Duration: time.Second, Classes: []Class{{Share: 1, Targets: 2}}},
+		{Name: "over-share", Rate: 1, Duration: time.Second, Classes: []Class{{Share: 0.7, Targets: 1, Pool: 1}, {Share: 0.7, Targets: 1, Pool: 1}}},
+	}
+	for _, m := range bad {
+		if _, err := Build(m, ids, 1); err == nil {
+			t.Errorf("mix %q: Build accepted an invalid mix", m.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown mix")
+	}
+	for _, m := range Mixes() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("named mix %s invalid: %v", m.Name, err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package loadgen
+
+import "fmt"
+
+// SLO is the pass/fail contract evaluated over one run's Report. Zero
+// fields are unchecked, so a mix can gate only the dimensions it cares
+// about. Latency objectives apply to served responses (200s, exact or
+// degraded) — under heavy shedding the rejection fast path is
+// microseconds-cheap and would otherwise mask a slow serving path.
+type SLO struct {
+	// P99Ms / P999Ms bound the served-latency quantiles, in milliseconds.
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+	P999Ms float64 `json:"p999_ms,omitempty"`
+	// MaxShedRate bounds the fraction of requests answered 429 (admission
+	// shed or quota).
+	MaxShedRate float64 `json:"max_shed_rate,omitempty"`
+	// MaxErrorRate bounds the fraction answered 504, 499, or any other
+	// non-contract status/transport failure.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// Check returns the list of violated objectives, empty on a clean pass.
+func (s SLO) Check(r *Report) []string {
+	var v []string
+	if s.P99Ms > 0 && r.P99Ms > s.P99Ms {
+		v = append(v, fmt.Sprintf("served p99 %.2fms > %.0fms", r.P99Ms, s.P99Ms))
+	}
+	if s.P999Ms > 0 && r.P999Ms > s.P999Ms {
+		v = append(v, fmt.Sprintf("served p999 %.2fms > %.0fms", r.P999Ms, s.P999Ms))
+	}
+	if s.MaxShedRate > 0 && r.ShedRate > s.MaxShedRate {
+		v = append(v, fmt.Sprintf("shed rate %.4f > %.4f", r.ShedRate, s.MaxShedRate))
+	}
+	if s.MaxErrorRate > 0 && r.ErrorRate > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f > %.4f", r.ErrorRate, s.MaxErrorRate))
+	}
+	return v
+}

@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"sync"
+
+	"saphyra"
+	"saphyra/internal/serve"
+)
+
+// Verifier recomputes sampled 200 responses through the library and
+// demands bitwise equality. This is sound under load because every serve
+// result is a pure function of (view file, Query.Key): the response
+// reports its full achieved contract — method, eps, delta, seed, K, and
+// the canonical target set in Nodes — so the reference is reconstructible
+// from the response alone. Degraded responses verify the same way at
+// their own achieved (coarsened) eps, and reloads remap the same view
+// file, so stale-generation responses verify against the same bits.
+//
+// Verification runs after the replay finishes, never inline, so reference
+// recomputation cannot distort the measured latencies.
+type Verifier struct {
+	view   *saphyra.View
+	ranker *saphyra.Ranker
+	ids    []int64
+	pos    map[int64]saphyra.Node // original id -> dense node
+
+	mu    sync.Mutex
+	cache map[[sha256.Size]byte]*saphyra.Result
+}
+
+// NewVerifier opens the same view file the server serves. Close releases
+// the mapping.
+func NewVerifier(viewPath string) (*Verifier, error) {
+	view, err := saphyra.OpenView(viewPath)
+	if err != nil {
+		return nil, err
+	}
+	v := &Verifier{
+		view:   view,
+		ranker: view.Ranker(),
+		ids:    view.IDs(),
+		cache:  make(map[[sha256.Size]byte]*saphyra.Result),
+	}
+	if v.ids != nil {
+		v.pos = make(map[int64]saphyra.Node, len(v.ids))
+		for i, id := range v.ids {
+			v.pos[id] = saphyra.Node(i)
+		}
+	}
+	return v, nil
+}
+
+// Close releases the verifier's view mapping.
+func (v *Verifier) Close() error { return v.view.Close() }
+
+// original maps a dense node back to its original id.
+func (v *Verifier) original(n saphyra.Node) int64 {
+	if v.ids == nil {
+		return int64(n)
+	}
+	return v.ids[n]
+}
+
+// dense maps an original id to the view's dense node.
+func (v *Verifier) dense(id int64) (saphyra.Node, bool) {
+	if v.pos == nil {
+		n := saphyra.Node(id)
+		return n, id >= 0 && int64(int(n)) == id
+	}
+	n, ok := v.pos[id]
+	return n, ok
+}
+
+func measureOf(method string) (saphyra.Measure, error) {
+	switch method {
+	case serve.MethodSaPHyRa, "":
+		return saphyra.Betweenness, nil
+	case serve.MethodKPath:
+		return saphyra.KPath, nil
+	case serve.MethodCloseness:
+		return saphyra.Closeness, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown method %q", method)
+}
+
+// rank computes (or returns the cached) library reference for q.
+func (v *Verifier) rank(q saphyra.Query) (*saphyra.Result, error) {
+	key := q.Key()
+	v.mu.Lock()
+	r, ok := v.cache[key]
+	v.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := v.ranker.Rank(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	v.cache[key] = r
+	v.mu.Unlock()
+	return r, nil
+}
+
+// Check verifies one 200 response bitwise against the library reference
+// for its reported contract. kind distinguishes subset ranks from
+// full-network top-k responses (which are a rank-ordered prefix of the
+// full ranking).
+func (v *Verifier) Check(kind EventKind, resp *serve.RankResponse) error {
+	m, err := measureOf(resp.Method)
+	if err != nil {
+		return err
+	}
+	q := saphyra.Query{Measure: m, K: resp.K, Epsilon: resp.Eps, Delta: resp.Delta, Seed: resp.Seed}
+	if kind == EventTopK {
+		return v.checkTopK(q, resp)
+	}
+	// resp.Nodes is the canonical target set in original ids; the reference
+	// rows come back in the same canonical order.
+	targets := make([]saphyra.Node, len(resp.Nodes))
+	for i, id := range resp.Nodes {
+		n, ok := v.dense(id)
+		if !ok {
+			return fmt.Errorf("response node %d not in the view", id)
+		}
+		targets[i] = n
+	}
+	q.Targets = targets
+	ref, err := v.rank(q)
+	if err != nil {
+		return fmt.Errorf("reference rank: %w", err)
+	}
+	if len(resp.Scores) != len(ref.Scores) {
+		return fmt.Errorf("row count %d != reference %d", len(resp.Scores), len(ref.Scores))
+	}
+	for i := range ref.Scores {
+		if err := v.checkRow(resp, i, ref.Nodes[i], ref.Scores[i], ref.Rank[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTopK verifies a /v1/topk response as the rank-sorted prefix of the
+// full-network reference ranking.
+func (v *Verifier) checkTopK(q saphyra.Query, resp *serve.RankResponse) error {
+	ref, err := v.rank(q) // empty Targets = whole network
+	if err != nil {
+		return fmt.Errorf("reference rank: %w", err)
+	}
+	if len(resp.Scores) > len(ref.Scores) {
+		return fmt.Errorf("topk rows %d > network size %d", len(resp.Scores), len(ref.Scores))
+	}
+	byRank := make([]int, len(ref.Rank)) // byRank[rank-1] = reference row
+	for i, rk := range ref.Rank {
+		byRank[rk-1] = i
+	}
+	for i := range resp.Scores {
+		j := byRank[i]
+		if err := v.checkRow(resp, i, ref.Nodes[j], ref.Scores[j], i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRow compares one response row against one reference row, score
+// bits exactly.
+func (v *Verifier) checkRow(resp *serve.RankResponse, i int, node saphyra.Node, score float64, rank int) error {
+	if resp.Nodes[i] != v.original(node) {
+		return fmt.Errorf("row %d: node %d != reference %d (eps %v, seed %d)",
+			i, resp.Nodes[i], v.original(node), resp.Eps, resp.Seed)
+	}
+	if math.Float64bits(resp.Scores[i]) != math.Float64bits(score) {
+		return fmt.Errorf("row %d (node %d): score bits %x != reference %x (eps %v, degraded %v)",
+			i, resp.Nodes[i], math.Float64bits(resp.Scores[i]), math.Float64bits(score), resp.Eps, resp.Degraded)
+	}
+	if resp.Ranks[i] != rank {
+		return fmt.Errorf("row %d (node %d): rank %d != reference %d", i, resp.Nodes[i], resp.Ranks[i], rank)
+	}
+	return nil
+}

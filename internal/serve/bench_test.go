@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"testing"
 	"time"
 
 	"saphyra"
+	"saphyra/internal/loadgen/hist"
 )
 
 // benchServer builds a serving stack over a Fig-3-sized synthetic social
@@ -122,7 +122,9 @@ func BenchmarkServeRankDegraded(b *testing.B) {
 // lane saturated and no degradation opt-in, every fresh request is rejected
 // with 429 + Retry-After. Shedding must stay microseconds-cheap — an
 // overloaded server's survival depends on the cost of saying no. Reports the
-// per-request p50/p99 and the shed rate alongside ns/op.
+// per-request p50/p99 and the shed rate alongside ns/op, recorded through
+// the wait-free loadgen histogram (quantile error <= one bucket width, see
+// hist.RelativeError) instead of a sort over every sample.
 func BenchmarkServeRankOverload(b *testing.B) {
 	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
 	s, ids := newTestServer(b, g, Config{
@@ -134,26 +136,22 @@ func BenchmarkServeRankOverload(b *testing.B) {
 		Targets: []int64{ids[17], ids[99], ids[1024], ids[2048]},
 		Eps:     0.05, Delta: 0.05,
 	}
-	lat := make([]time.Duration, 0, b.N)
-	var shed int
+	var rec hist.Recorder
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := req
 		r.Seed = int64(1000 + i) // always a cache miss: must reach admission
 		start := time.Now()
 		w := doRank(b, s.Handler(), r, nil)
-		lat = append(lat, time.Since(start))
-		if w.Code == http.StatusTooManyRequests {
-			shed++
-		} else {
+		if w.Code != http.StatusTooManyRequests {
 			b.Fatalf("saturated server answered %d: %s", w.Code, w.Body.String())
 		}
+		rec.Observe(hist.Shed, time.Since(start))
 	}
 	b.StopTimer()
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	b.ReportMetric(float64(shed)/float64(b.N), "shed_rate")
-	b.ReportMetric(float64(lat[len(lat)/2].Microseconds()), "p50_us")
-	b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99_us")
+	b.ReportMetric(rec.Rate(hist.Shed), "shed_rate")
+	b.ReportMetric(float64(rec.All.Quantile(0.50).Microseconds()), "p50_us")
+	b.ReportMetric(float64(rec.All.Quantile(0.99).Microseconds()), "p99_us")
 }
 
 // TestServeHitAtLeast10xMiss enforces the acceptance criterion outside the

@@ -420,3 +420,89 @@ func TestDegradePolicyDefault(t *testing.T) {
 		t.Error("response not flagged degraded under DefaultDegradeMs policy")
 	}
 }
+
+// TestRetryAfterMonotoneInBacklog sweeps the backlog depth and asserts the
+// derived Retry-After is non-decreasing in it and clamped to [1, 60] at
+// every point: a deeper queue may never promise a sooner retry, and no
+// queue state may park a client for minutes or return a zero hint.
+func TestRetryAfterMonotoneInBacklog(t *testing.T) {
+	g := saphyra.Generate.BarabasiAlbert(300, 3, 21)
+	s, _ := newTestServer(t, g, Config{DisablePrecompute: true, MaxInFlight: 2, FastLaneSlots: -1})
+	// A mid-range EWMA so the sweep crosses both clamps: floor at depth 0,
+	// ceiling well before the deepest simulated queue.
+	s.observeCompute(800 * time.Millisecond)
+
+	prev := 0
+	for depth := 0; depth <= 400; depth++ {
+		got := s.retryAfterSeconds()
+		if got < 1 || got > 60 {
+			t.Fatalf("depth %d: Retry-After %d outside [1, 60]", depth, got)
+		}
+		if got < prev {
+			t.Fatalf("depth %d: Retry-After %d < %d at depth %d: not monotone in backlog", depth, got, prev, depth-1)
+		}
+		prev = got
+		s.adm.waiting.Add(1)
+	}
+	if prev != 60 {
+		t.Errorf("deepest queue: Retry-After %d, want ceiling 60", prev)
+	}
+	s.adm.waiting.Add(-401)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("drained queue: Retry-After %d, want floor 1", got)
+	}
+}
+
+// TestQuotaRefillHorizonExact drives the token bucket with an injected
+// clock and binary-fraction rates, so the refill arithmetic is exact in
+// float64: the denial's retryIn must equal (1 - tokens)/qps to the
+// nanosecond, and advancing the clock by exactly that horizon must yield a
+// token — no off-by-one second, no slack.
+func TestQuotaRefillHorizonExact(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newQuotas(0.5, 1) // one token per 2 s, capacity 1
+	q.now = func() time.Time { return now }
+
+	if ok, _ := q.take("c"); !ok {
+		t.Fatal("fresh bucket denied")
+	}
+	ok, retryIn := q.take("c")
+	if ok {
+		t.Fatal("drained bucket admitted")
+	}
+	if want := 2 * time.Second; retryIn != want {
+		t.Fatalf("empty bucket: retryIn %v, want exactly %v", retryIn, want)
+	}
+
+	// Half a token back: the horizon shrinks to exactly the remainder.
+	now = now.Add(time.Second)
+	if ok, retryIn = q.take("c"); ok {
+		t.Fatal("half-refilled bucket admitted")
+	}
+	if want := time.Second; retryIn != want {
+		t.Fatalf("half token: retryIn %v, want exactly %v", retryIn, want)
+	}
+
+	// Advancing by exactly the stated horizon yields exactly one token.
+	now = now.Add(retryIn)
+	if ok, _ = q.take("c"); !ok {
+		t.Fatal("token not available after the promised refill horizon")
+	}
+	if ok, retryIn = q.take("c"); ok {
+		t.Fatal("bucket should be empty again")
+	} else if want := 2 * time.Second; retryIn != want {
+		t.Fatalf("re-drained: retryIn %v, want %v", retryIn, want)
+	}
+
+	// Burst capacity caps the refill: a long idle stretch still admits only
+	// burst tokens, and the post-drain horizon is unchanged.
+	now = now.Add(time.Hour)
+	if ok, _ = q.take("c"); !ok {
+		t.Fatal("post-idle bucket denied")
+	}
+	if ok, retryIn = q.take("c"); ok {
+		t.Fatal("burst cap exceeded: more than burst tokens after idle")
+	} else if want := 2 * time.Second; retryIn != want {
+		t.Fatalf("post-idle drain: retryIn %v, want %v", retryIn, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,40 @@ func (c *Client) TopK(ctx context.Context, method string, k int) (*serve.RankRes
 	return c.do(ctx, "GET", "/v1/topk?method="+method+"&k="+strconv.Itoa(k), nil)
 }
 
+// RankOnce posts req to /v1/rank exactly once: no retries, no backoff, no
+// Retry-After obedience. A non-200 comes back as *StatusError. This is the
+// open-loop load-replay primitive (internal/loadgen): retrying inside the
+// client would couple the offered load to response outcomes and reintroduce
+// the coordinated-omission bias the open-loop schedule exists to avoid.
+func (c *Client) RankOnce(ctx context.Context, req serve.RankRequest) (*serve.RankResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.once(ctx, "POST", "/v1/rank", body)
+}
+
+// TopKOnce fetches /v1/topk exactly once with the full query contract
+// (method, k, eps, delta, seed, and the k-path walk length). See RankOnce.
+func (c *Client) TopKOnce(ctx context.Context, method string, k int, eps, delta float64, seed int64, walkK int) (*serve.RankResponse, error) {
+	q := url.Values{}
+	q.Set("method", method)
+	q.Set("k", strconv.Itoa(k))
+	if eps != 0 {
+		q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	}
+	if delta != 0 {
+		q.Set("delta", strconv.FormatFloat(delta, 'g', -1, 64))
+	}
+	if seed != 0 {
+		q.Set("seed", strconv.FormatInt(seed, 10))
+	}
+	if walkK != 0 {
+		q.Set("walk_k", strconv.Itoa(walkK))
+	}
+	return c.once(ctx, "GET", "/v1/topk?"+q.Encode(), nil)
+}
+
 func (c *Client) maxAttempts() int {
 	if c.MaxAttempts > 0 {
 		return c.MaxAttempts
@@ -162,6 +197,76 @@ func retryable(code int) bool {
 	return false
 }
 
+// newRequest builds one attempt's request with the client's policy headers.
+func (c *Client) newRequest(ctx context.Context, method, path string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ClientID != "" {
+		req.Header.Set("Client-Id", c.ClientID)
+	}
+	if c.DegradeMs > 0 {
+		req.Header.Set("Degrade-Ms", strconv.Itoa(c.DegradeMs))
+	}
+	if c.TimeoutMs > 0 {
+		req.Header.Set("Timeout-Ms", strconv.Itoa(c.TimeoutMs))
+	}
+	return req, nil
+}
+
+// decodeResponse consumes resp: a 200 decodes into a RankResponse, anything
+// else becomes a *StatusError with the Retry-After hint parsed.
+func decodeResponse(resp *http.Response) (*serve.RankResponse, error) {
+	if resp.StatusCode == http.StatusOK {
+		var out serve.RankResponse
+		err := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("saphyrad: bad response body: %w", err)
+		}
+		return &out, nil
+	}
+	se := &StatusError{Code: resp.StatusCode}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil {
+		se.Message = e.Error
+	}
+	resp.Body.Close()
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, se
+}
+
+// once performs a single attempt with no retry machinery.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) (*serve.RankResponse, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := c.newRequest(ctx, method, path, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(resp)
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*serve.RankResponse, error) {
 	httpc := c.HTTP
 	if httpc == nil {
@@ -171,25 +276,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*ser
 	var waited time.Duration
 	var last error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		req, err := c.newRequest(ctx, method, path, body)
 		if err != nil {
 			return nil, err
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		if c.ClientID != "" {
-			req.Header.Set("Client-Id", c.ClientID)
-		}
-		if c.DegradeMs > 0 {
-			req.Header.Set("Degrade-Ms", strconv.Itoa(c.DegradeMs))
-		}
-		if c.TimeoutMs > 0 {
-			req.Header.Set("Timeout-Ms", strconv.Itoa(c.TimeoutMs))
 		}
 		resp, err := httpc.Do(req)
 		var wait time.Duration
@@ -200,27 +289,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*ser
 			last = err
 			wait = c.backoff(attempt)
 		} else {
-			if resp.StatusCode == http.StatusOK {
-				var out serve.RankResponse
-				err := json.NewDecoder(resp.Body).Decode(&out)
-				resp.Body.Close()
-				if err != nil {
-					return nil, fmt.Errorf("saphyrad: bad response body: %w", err)
-				}
-				return &out, nil
+			out, derr := decodeResponse(resp)
+			if derr == nil {
+				return out, nil
 			}
-			se := &StatusError{Code: resp.StatusCode}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil {
-				se.Message = e.Error
-			}
-			resp.Body.Close()
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-					se.RetryAfter = time.Duration(secs) * time.Second
-				}
+			se, isStatus := derr.(*StatusError)
+			if !isStatus {
+				return nil, derr
 			}
 			last = se
 			if !retryable(se.Code) {

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Runs the sampling-engine benchmark suite and emits BENCH_sampling.json so
-# the perf trajectory of the hot path is recorded per commit.
+# the perf trajectory of the hot path is recorded per commit, then replays
+# the three named serving traffic mixes through cmd/saphyraload and emits
+# BENCH_serving.json (p50/p99/p999, hit/shed/degrade/error rates, bitwise
+# verification counts, SLO verdicts). A violated SLO or a failed bitwise
+# verification makes saphyraload — and this script — exit non-zero.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  go test -benchtime value (default 1s; use e.g. 30x for CI)
@@ -84,3 +88,10 @@ END {
 }' "$TMP" > "$OUT"
 
 echo "wrote $OUT"
+
+# Serving load replay: deterministic open-loop mixes against an in-process
+# server over a synthetic view (internal/loadgen). Every 8th 200 response
+# is recomputed through the library and compared bitwise; any SLO
+# violation or bit mismatch fails the script.
+go run ./cmd/saphyraload -out BENCH_serving.json
+echo "wrote BENCH_serving.json"
