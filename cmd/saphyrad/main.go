@@ -14,10 +14,20 @@
 //
 //	POST /v1/rank     {"method":"saphyra","targets":[17,99],"eps":0.05,"delta":0.01,"seed":1}
 //	GET  /v1/topk?method=closeness&k=10
-//	GET  /healthz
+//	GET  /healthz                                  # liveness: 200 while the process runs
+//	GET  /readyz                                   # readiness: 503 until a view generation serves
 //	GET  /statusz
 //	GET  /metricsz                                 # Prometheus text format
 //	POST /admin/reload                             # also: kill -HUP <pid>
+//
+// Telemetry: /metricsz exposes counters, gauges, and latency/cost histograms
+// from the internal/obs registry. `-slow-query-ms N` arms the slow-query
+// log — any request slower than N ms writes one structured JSON line to
+// stderr with its full span tree. A request carrying `?trace=1` or a
+// Trace-Id header gets its span breakdown back in the response envelope.
+// `-pprof-addr` serves net/http/pprof on a separate (loopback) listener,
+// kept off the public handler so profiling is never reachable from the
+// service port.
 //
 // Deadlines: -timeout sets a default compute deadline; a request may
 // tighten (never extend) it with a Timeout-Ms header. An expired request
@@ -58,6 +68,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -83,14 +94,17 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "default per-request compute deadline (e.g. 30s; 0 = none); a Timeout-Ms request header may tighten but never extend it. Expired requests get 504 and their computation is canceled")
 		noWarm      = flag.Bool("no-precompute", false, "skip warming the per-method top-k index at startup/reload")
 
-		fastSlots  = flag.Int("fastlane", 0, "admission slots reserved for tiny queries so they never queue behind full-network work (0 = default 2, negative = disabled)")
-		fastCost   = flag.Float64("fastlane-cost", 0, "cost threshold below which a query rides the fast lane (0 = default 16384; see internal/sched's chunk cost model)")
-		clientQPS  = flag.Float64("client-qps", 0, "per-client token-bucket refill rate keyed by the Client-Id header (0 = quotas disabled)")
-		clientBur  = flag.Float64("client-burst", 0, "per-client token-bucket capacity (0 = 2x client-qps, min 1)")
-		degradeMs  = flag.Int("default-degrade-ms", 0, "opt every rank request into the degradation ladder with this budget in ms when it sends no Degrade-Ms header (0 = request-driven only)")
-		degFactor  = flag.Float64("degrade-eps-factor", 0, "epsilon multiplier for the coarsened-recompute degradation rung (0 = default 4)")
-		degMaxEps  = flag.Float64("degrade-max-eps", 0, "cap on the coarsened epsilon (0 = default 0.25)")
-		noStale    = flag.Bool("no-stale", false, "remove the stale rung from the degradation ladder: degraded requests only ever get a coarsened recompute, never a prior generation's cache")
+		fastSlots = flag.Int("fastlane", 0, "admission slots reserved for tiny queries so they never queue behind full-network work (0 = default 2, negative = disabled)")
+		fastCost  = flag.Float64("fastlane-cost", 0, "cost threshold below which a query rides the fast lane (0 = default 16384; see internal/sched's chunk cost model)")
+		clientQPS = flag.Float64("client-qps", 0, "per-client token-bucket refill rate keyed by the Client-Id header (0 = quotas disabled)")
+		clientBur = flag.Float64("client-burst", 0, "per-client token-bucket capacity (0 = 2x client-qps, min 1)")
+		degradeMs = flag.Int("default-degrade-ms", 0, "opt every rank request into the degradation ladder with this budget in ms when it sends no Degrade-Ms header (0 = request-driven only)")
+		degFactor = flag.Float64("degrade-eps-factor", 0, "epsilon multiplier for the coarsened-recompute degradation rung (0 = default 4)")
+		degMaxEps = flag.Float64("degrade-max-eps", 0, "cap on the coarsened epsilon (0 = default 0.25)")
+		noStale   = flag.Bool("no-stale", false, "remove the stale rung from the degradation ladder: degraded requests only ever get a coarsened recompute, never a prior generation's cache")
+
+		slowMs    = flag.Int("slow-query-ms", 0, "log any request slower than this many ms as one structured JSON line on stderr, span tree included (0 = disabled)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (empty = disabled; keep it loopback-only)")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -101,25 +115,26 @@ func main() {
 
 	start := time.Now()
 	srv, err := serve.New(*viewPath, serve.Config{
-		MaxInFlight:       *maxInFlight,
-		MaxQueue:          *maxQueue,
-		TotalWorkers:      *workers,
-		RequestWorkers:    *reqWorkers,
-		CacheEntries:      *cacheSize,
-		DefaultEpsilon:    *eps,
-		DefaultDelta:      *delta,
-		DefaultSeed:       *seed,
-		DefaultK:          *kflag,
-		DefaultTimeout:    *timeout,
-		DisablePrecompute: *noWarm,
-		FastLaneSlots:     *fastSlots,
-		FastLaneCost:      *fastCost,
-		ClientQPS:         *clientQPS,
-		ClientBurst:       *clientBur,
-		DefaultDegradeMs:  *degradeMs,
-		DegradeEpsFactor:  *degFactor,
-		DegradeMaxEps:     *degMaxEps,
-		DisableStale:      *noStale,
+		MaxInFlight:        *maxInFlight,
+		MaxQueue:           *maxQueue,
+		TotalWorkers:       *workers,
+		RequestWorkers:     *reqWorkers,
+		CacheEntries:       *cacheSize,
+		DefaultEpsilon:     *eps,
+		DefaultDelta:       *delta,
+		DefaultSeed:        *seed,
+		DefaultK:           *kflag,
+		DefaultTimeout:     *timeout,
+		DisablePrecompute:  *noWarm,
+		FastLaneSlots:      *fastSlots,
+		FastLaneCost:       *fastCost,
+		ClientQPS:          *clientQPS,
+		ClientBurst:        *clientBur,
+		DefaultDegradeMs:   *degradeMs,
+		DegradeEpsFactor:   *degFactor,
+		DegradeMaxEps:      *degMaxEps,
+		DisableStale:       *noStale,
+		SlowQueryThreshold: time.Duration(*slowMs) * time.Millisecond,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saphyrad:", err)
@@ -139,6 +154,26 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// pprof gets its own listener and mux: importing net/http/pprof would
+	// register on http.DefaultServeMux, which the service handler never
+	// touches, so profiling stays unreachable from the service port and
+	// entirely off unless the flag is set.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			fmt.Fprintf(os.Stderr, "saphyrad: pprof on %s\n", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "saphyrad: pprof:", err)
+			}
+		}()
 	}
 
 	hup := make(chan os.Signal, 1)

@@ -69,10 +69,12 @@ func main() {
 		synthNodes  = flag.Int("synth-nodes", 2000, "synthetic network size when no -view is given")
 		maxInFlight = flag.Int("max-inflight", 0, "in-process server: concurrent computations admitted (0 = default)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "in-process server: default per-request compute deadline")
+		slowMs      = flag.Int("slow-query-ms", 0, "in-process server: log any request slower than this many ms as structured JSON on stderr (0 = disabled)")
 	)
 	flag.Parse()
 	if err := run(*viewPath, *base, *mixName, *rate, *duration, *seed, *speed,
-		*verifyEvery, !*noWarm, *out, *synthNodes, *maxInFlight, *timeout); err != nil {
+		*verifyEvery, !*noWarm, *out, *synthNodes, *maxInFlight, *timeout,
+		time.Duration(*slowMs)*time.Millisecond); err != nil {
 		fmt.Fprintln(os.Stderr, "saphyraload:", err)
 		os.Exit(1)
 	}
@@ -80,7 +82,7 @@ func main() {
 
 func run(viewPath, base, mixName string, rate float64, duration time.Duration,
 	seed int64, speed float64, verifyEvery int, warm bool, out string,
-	synthNodes, maxInFlight int, timeout time.Duration) error {
+	synthNodes, maxInFlight int, timeout, slowQuery time.Duration) error {
 
 	// Resolve the view: given, or synthesized deterministically.
 	if viewPath == "" {
@@ -110,8 +112,9 @@ func run(viewPath, base, mixName string, rate float64, duration time.Duration,
 	// same transport cost the daemon pays).
 	if base == "" {
 		srv, err := serve.New(viewPath, serve.Config{
-			MaxInFlight:    maxInFlight,
-			DefaultTimeout: timeout,
+			MaxInFlight:        maxInFlight,
+			DefaultTimeout:     timeout,
+			SlowQueryThreshold: slowQuery,
 		})
 		if err != nil {
 			return err

@@ -89,7 +89,7 @@ func BenchmarkClosenessSampleBatch(b *testing.B) {
 	s := sc.activate(eng, 0, benchOpt.Seed, len(nodes))
 	b.ReportAllocs()
 	b.ResetTimer()
-	s.sampleBatch(eng, sc.aIndex, len(nodes), nil, int64(b.N))
+	s.sampleBatch(context.Background(), eng, sc.aIndex, len(nodes), nil, int64(b.N))
 	if s.err != nil {
 		b.Fatal(s.err)
 	}

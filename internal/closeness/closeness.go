@@ -352,7 +352,7 @@ func (sc *callScratch) activate(e *Engine, v int, seed0 int64, k int) *stream {
 // targets in MS-BFS batches of up to 64 lanes. The accumulator adds run
 // lane-by-lane (source order) with targets inner — element for element the
 // float sequence of the scalar one-BFS-per-sample loop, so the bits match.
-func (s *stream) sampleBatch(e *Engine, aIndex []int32, k int, stop *sched.Stop, count int64) {
+func (s *stream) sampleBatch(ctx context.Context, e *Engine, aIndex []int32, k int, stop *sched.Stop, count int64) {
 	n := e.n
 	tdist := s.tdist
 	onSettle := func(u graph.Node, lanes uint64, depth int32) {
@@ -377,7 +377,7 @@ func (s *stream) sampleBatch(e *Engine, aIndex []int32, k int, stop *sched.Stop,
 		for i := range tdist {
 			tdist[i] = -1
 		}
-		if err := s.trav.Run(e.off, e.nbr, srcs, stop, onSettle); err != nil {
+		if err := s.trav.RunCtx(ctx, e.off, e.nbr, srcs, stop, onSettle); err != nil {
 			s.err = err
 			return
 		}
@@ -433,7 +433,7 @@ func (e *Engine) batchParallel(ctx context.Context, sc *callScratch, opt Options
 			if s.err != nil {
 				continue
 			}
-			s.sampleBatch(e, sc.aIndex, k, stop, quota[v])
+			s.sampleBatch(ctx, e, sc.aIndex, k, stop, quota[v])
 		}
 	} else if err := sched.DoCtx(ctx, nv, opt.Workers, func(v int) {
 		if quota[v] == 0 {
@@ -443,7 +443,7 @@ func (e *Engine) batchParallel(ctx context.Context, sc *callScratch, opt Options
 		if s.err != nil {
 			return // an earlier round aborted this stream; keep the first error
 		}
-		s.sampleBatch(e, sc.aIndex, k, stop, quota[v])
+		s.sampleBatch(ctx, e, sc.aIndex, k, stop, quota[v])
 	}); err != nil {
 		// All-or-nothing: a stream may have drawn while another never ran.
 		// The caller discards the whole estimate, so the polluted per-stream

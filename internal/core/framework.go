@@ -21,6 +21,7 @@ import (
 	"math"
 	"runtime"
 
+	"saphyra/internal/obs"
 	"saphyra/internal/params"
 	"saphyra/internal/sched"
 	"saphyra/internal/stats"
@@ -146,7 +147,9 @@ func Run(ctx context.Context, space Space, opt Options) (*Estimate, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	lambdaHat, exact, err := space.ExactPhase(ctx)
+	ectx, exactSpan := obs.StartSpan(ctx, "core.exact")
+	lambdaHat, exact, err := space.ExactPhase(ectx)
+	exactSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -199,8 +202,13 @@ func Run(ctx context.Context, space Space, opt Options) (*Estimate, error) {
 	// per-hypothesis variances, derive the per-hypothesis error-probability
 	// allocation delta_i (Eq 13), rescaled so sum_i 2 delta_i = delta/rounds.
 	pilotHits := make([]int64, k)
-	if err := drawParallel(ctx, space, opt.Seed+7_777_777, workers, n0, pilotHits); err != nil {
+	pctx, pilotSpan := obs.StartSpan(ctx, "core.pilot")
+	if err := drawParallel(pctx, space, opt.Seed+7_777_777, workers, n0, pilotHits); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if pilotSpan != nil {
+		pilotSpan.SetExtra(n0)
+		pilotSpan.End()
 	}
 	est.PilotN = n0
 	deltaBudget := opt.Delta / (2 * float64(rounds))
@@ -214,8 +222,14 @@ func Run(ctx context.Context, space Space, opt Options) (*Estimate, error) {
 	target := n0
 	for {
 		est.Rounds++
-		if err := drawParallelWith(ctx, samplers, workers, target-n, hits); err != nil {
+		rctx, roundSpan := obs.StartSpan(ctx, "core.round")
+		if err := drawParallelWith(rctx, samplers, workers, target-n, hits); err != nil {
+			roundSpan.End()
 			return nil, fmt.Errorf("core: %w", err)
+		}
+		if roundSpan != nil {
+			roundSpan.SetExtra(target - n)
+			roundSpan.End()
 		}
 		n = target
 		if !opt.DisableAdaptive {
@@ -350,6 +364,10 @@ func drawParallelWith(ctx context.Context, samplers *samplerSet, workers int, to
 		if quota[v] == 0 {
 			return
 		}
+		// Per-stream span: one DrawBatch group per virtual worker, Extra =
+		// the stream's quota. Observation only — which physical goroutine
+		// runs the stream is already scheduling-invisible.
+		drawSpan := obs.StartLeaf(ctx, "core.draw")
 		local := make([]int64, len(hits))
 		s := samplers.get(v)
 		if cs, ok := s.(stoppable); ok {
@@ -357,6 +375,10 @@ func drawParallelWith(ctx context.Context, samplers *samplerSet, workers int, to
 		}
 		drawInto(s, quota[v], local)
 		locals[v] = local
+		if drawSpan != nil {
+			drawSpan.SetExtra(quota[v])
+			drawSpan.End()
+		}
 	})
 	if err != nil {
 		return &params.CanceledError{Cause: err}

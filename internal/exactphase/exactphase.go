@@ -28,12 +28,14 @@ package exactphase
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"slices"
 	"sync"
 
 	"saphyra/internal/bicomp"
 	"saphyra/internal/graph"
+	"saphyra/internal/obs"
 	"saphyra/internal/params"
 	"saphyra/internal/sched"
 )
@@ -196,6 +198,11 @@ func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.N
 	rs := e.getRun()
 	defer e.putRun(rs)
 
+	// "exact.schedule" covers endpoint collection, the cost model, and the
+	// chunk bounds; "exact.run" the chunk execution + merge. Both are nil
+	// no-ops (one atomic load each) when no trace rides ctx.
+	schedSpan := obs.StartLeaf(ctx, "exact.schedule")
+
 	// Endpoint candidates: the distinct neighbors of A, sorted.
 	ep := rs.epEpochs.Next()
 	rs.endpoints = rs.endpoints[:0]
@@ -208,6 +215,7 @@ func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.N
 		}
 	}
 	if len(rs.endpoints) == 0 {
+		schedSpan.End()
 		return 0, nil
 	}
 	slices.Sort(rs.endpoints)
@@ -230,6 +238,7 @@ func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.N
 	}
 
 	if chunks == 1 {
+		schedSpan.End()
 		// Single chunk: no cost model, no partial buffers; accumulating
 		// straight into exact is bit-identical to merging one zeroed
 		// partial (0 + x == x exactly). The chunk runs whole, so the only
@@ -238,9 +247,15 @@ func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.N
 			clear(exact)
 			return 0, err
 		}
+		runSpan := obs.StartLeaf(ctx, "exact.run")
 		ws := e.getWorker()
 		lambdaHat := e.runChunk(rs.endpoints, aIndex, wA, exact, ws)
 		e.putWorker(ws)
+		if runSpan != nil {
+			runSpan.SetExtra(1)
+			runSpan.SetNote(fmt.Sprintf("endpoints=%d", len(rs.endpoints)))
+			runSpan.End()
+		}
 		return lambdaHat, nil
 	}
 
@@ -262,6 +277,10 @@ func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.N
 		}
 	}
 	rs.bounds = sched.Bounds(rs.cost, chunks, rs.bounds)
+	if schedSpan != nil {
+		schedSpan.SetExtra(int64(len(rs.endpoints)))
+		schedSpan.End()
+	}
 
 	// Per-chunk partial sums (zeroed; buffers reused across calls).
 	if len(rs.partials) < chunks {
@@ -275,7 +294,13 @@ func (e *Engine) RunInto(ctx context.Context, exact []float64, targets []graph.N
 	clear(rs.lambdas)
 
 	rs.aIndex, rs.wA = aIndex, wA
+	runSpan := obs.StartLeaf(ctx, "exact.run")
 	err := sched.DoWithCtx(ctx, chunks, workers, e.acquire, e.release, rs.chunkFn)
+	if runSpan != nil {
+		runSpan.SetExtra(int64(chunks))
+		runSpan.SetNote(fmt.Sprintf("endpoints=%d workers<=%d", len(rs.endpoints), workers))
+		runSpan.End()
+	}
 	rs.aIndex = nil // do not retain the caller's index map on the free list
 	if err != nil {
 		// All-or-nothing: some chunks never ran, so the partials are an

@@ -1,0 +1,46 @@
+package hist
+
+import (
+	"testing"
+	"time"
+
+	obshist "saphyra/internal/obs/hist"
+)
+
+// TestAliasIdentity is the compile-level half of the promotion contract:
+// the re-exported names are type aliases, not wrappers, so a *Histogram
+// from either import path is the same type and loadgen's behavior is
+// byte-identical to before the move. Cross-package assignments below fail
+// to compile if an alias silently becomes a distinct type.
+func TestAliasIdentity(t *testing.T) {
+	var h Histogram
+	var oh *obshist.Histogram = &h // compile-level: alias, not a new type
+	h.Observe(42 * time.Microsecond)
+	if oh.Count() != 1 || oh.Sum() != int64(42*time.Microsecond) {
+		t.Fatal("observation through the alias not visible through obs/hist")
+	}
+
+	var r Recorder
+	var or *obshist.Recorder = &r
+	r.Observe(OK, time.Millisecond)
+	if or.Count(obshist.OK) != 1 {
+		t.Fatal("Recorder alias diverged")
+	}
+
+	var o Outcome = Shed
+	if o != obshist.Shed {
+		t.Fatal("outcome constants diverged")
+	}
+	if RelativeError() != obshist.RelativeError() {
+		t.Fatal("RelativeError diverged")
+	}
+	a, b := Outcomes(), obshist.Outcomes()
+	if len(a) != len(b) {
+		t.Fatalf("Outcomes length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Outcomes[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

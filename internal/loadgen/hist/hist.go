@@ -1,197 +1,38 @@
-// Package hist is the lock-cheap latency recorder behind the load-replay
-// harness (internal/loadgen) and the serving benchmarks: a log-bucketed
-// histogram whose Observe is one atomic add on a statically indexed
-// counter — no mutex, no allocation, no sorting — plus per-outcome request
-// counters. Quantiles are read from cumulative bucket counts with a bounded
-// relative error (one part in 2^subBits per observation), which replaces
-// the sort-every-sample percentile idiom the serving bench used: a sorted
-// slice is exact but costs O(n log n) memory traffic at read time and a
-// per-observation append that cannot be shared across goroutines without a
-// lock, while the histogram is wait-free to write and O(buckets) to read.
+// Package hist re-exports internal/obs/hist at the path the load-replay
+// harness grew up importing. The histogram was promoted to the telemetry
+// subsystem (internal/obs) when the serving tier migrated its metrics onto
+// a registry with latency distributions; the implementation lives there
+// now, and these aliases keep loadgen and its callers compiling — and
+// producing byte-identical reports — unchanged. New code should import
+// saphyra/internal/obs/hist directly.
 package hist
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
-	"time"
+	obshist "saphyra/internal/obs/hist"
 )
 
-// Bucket layout: values are nanosecond durations. The first 1<<subBits
-// buckets are exact (one per nanosecond); above that, each power-of-two
-// octave splits into 1<<subBits log-linear sub-buckets, so a bucket's width
-// is at most its lower bound / 2^subBits. With subBits = 5 the relative
-// quantile error is <= 1/32 ≈ 3.2% — far below the run-to-run noise of any
-// latency measurement — and the whole histogram is 64 octaves x 32 buckets
-// of 8 bytes: 16 KiB of counters.
+// Histogram is the wait-free log-bucketed histogram of time.Duration
+// values. See internal/obs/hist.
+type Histogram = obshist.Histogram
+
+// Recorder couples the latency histogram with per-outcome counters.
+type Recorder = obshist.Recorder
+
+// Outcome classifies one load-replay response.
+type Outcome = obshist.Outcome
+
+// The response classes, unchanged from the original declaration.
 const (
-	subBits    = 5
-	subBuckets = 1 << subBits
-	numBuckets = (64 - subBits + 1) * subBuckets
+	OK           = obshist.OK
+	Degraded     = obshist.Degraded
+	Shed         = obshist.Shed
+	Deadline     = obshist.Deadline
+	ClientClosed = obshist.ClientClosed
+	Error        = obshist.Error
 )
 
-// Histogram is a wait-free log-bucketed histogram of time.Duration values.
-// The zero value is ready to use; all methods are safe for concurrent use.
-type Histogram struct {
-	counts [numBuckets]atomic.Int64
-	total  atomic.Int64
-	sum    atomic.Int64 // nanoseconds, for Mean
-}
+// RelativeError is the worst-case relative quantile overshoot.
+func RelativeError() float64 { return obshist.RelativeError() }
 
-// bucketOf maps a nanosecond value to its bucket index.
-func bucketOf(ns int64) int {
-	if ns < 0 {
-		ns = 0
-	}
-	if ns < subBuckets {
-		return int(ns) // exact region
-	}
-	// Octave = position of the top bit; sub-bucket = the next subBits bits.
-	octave := 63 - bits.LeadingZeros64(uint64(ns))
-	sub := (ns >> (uint(octave) - subBits)) & (subBuckets - 1)
-	return (octave-subBits+1)<<subBits + int(sub)
-}
-
-// upperBound returns the inclusive upper edge of bucket i — the value
-// Quantile reports, so reported quantiles never understate the truth.
-func upperBound(i int) int64 {
-	if i < subBuckets {
-		return int64(i)
-	}
-	octave := i>>subBits + subBits - 1
-	sub := int64(i&(subBuckets-1)) + 1
-	return (1 << uint(octave)) + sub<<(uint(octave)-subBits) - 1
-}
-
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	h.counts[bucketOf(int64(d))].Add(1)
-	h.total.Add(1)
-	h.sum.Add(int64(d))
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.total.Load() }
-
-// Mean returns the exact arithmetic mean of the observations.
-func (h *Histogram) Mean() time.Duration {
-	n := h.total.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Quantile returns the q-quantile (q in [0, 1]) as the upper bound of the
-// bucket holding the ceil(q*n)-th smallest observation, so the result is
-// within one bucket width above the exact order statistic. Returns 0 when
-// empty. Concurrent Observes may or may not be included; the read is
-// consistent enough for reporting, which is all a histogram promises.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.total.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(math.Ceil(q * float64(n)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			return time.Duration(upperBound(i))
-		}
-	}
-	return time.Duration(upperBound(numBuckets - 1))
-}
-
-// RelativeError is the worst-case relative quantile overshoot: a reported
-// quantile exceeds the exact order statistic by at most this fraction of
-// its value (plus one nanosecond in the exact region).
-func RelativeError() float64 { return 1.0 / subBuckets }
-
-// Outcome classifies one load-replay response for the per-outcome counters.
-type Outcome int
-
-// The response classes the serving layer can produce, one counter each:
-// 200 exact, 200 flagged degraded, 429 (shed or quota), 504 (deadline),
-// 499 (client disconnect), and anything else (transport errors, 4xx/5xx).
-const (
-	OK Outcome = iota
-	Degraded
-	Shed
-	Deadline
-	ClientClosed
-	Error
-	numOutcomes
-)
-
-var outcomeNames = [numOutcomes]string{"ok", "degraded", "shed", "deadline", "client_closed", "error"}
-
-func (o Outcome) String() string {
-	if o < 0 || o >= numOutcomes {
-		return "unknown"
-	}
-	return outcomeNames[o]
-}
-
-// Outcomes lists every outcome in declaration order, for report iteration.
-func Outcomes() []Outcome {
-	out := make([]Outcome, numOutcomes)
-	for i := range out {
-		out[i] = Outcome(i)
-	}
-	return out
-}
-
-// Recorder couples the latency histogram with per-outcome counters: one
-// Observe per completed request, wait-free, shared by every in-flight
-// request goroutine of a load run.
-type Recorder struct {
-	// All holds every response's latency; Served holds only 200s (exact or
-	// degraded) — the latency a satisfied client saw, unpolluted by the
-	// microseconds-cheap rejection fast paths.
-	All    Histogram
-	Served Histogram
-
-	counts [numOutcomes]atomic.Int64
-}
-
-// Observe records one completed request.
-func (r *Recorder) Observe(o Outcome, d time.Duration) {
-	if o < 0 || o >= numOutcomes {
-		o = Error
-	}
-	r.counts[o].Add(1)
-	r.All.Observe(d)
-	if o == OK || o == Degraded {
-		r.Served.Observe(d)
-	}
-}
-
-// Count returns the number of responses with outcome o.
-func (r *Recorder) Count(o Outcome) int64 {
-	if o < 0 || o >= numOutcomes {
-		return 0
-	}
-	return r.counts[o].Load()
-}
-
-// Total returns the number of observed responses.
-func (r *Recorder) Total() int64 { return r.All.Count() }
-
-// Rate returns Count(o)/Total(), 0 when empty.
-func (r *Recorder) Rate(o Outcome) float64 {
-	n := r.Total()
-	if n == 0 {
-		return 0
-	}
-	return float64(r.Count(o)) / float64(n)
-}
+// Outcomes lists every outcome in declaration order.
+func Outcomes() []Outcome { return obshist.Outcomes() }

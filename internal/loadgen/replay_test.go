@@ -1,14 +1,19 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"saphyra"
+	"saphyra/internal/loadgen/hist"
 	"saphyra/internal/serve"
 	"saphyra/internal/workload"
 )
@@ -123,6 +128,75 @@ func TestReplayReloadStorm(t *testing.T) {
 	}
 	if r.VerifyFailed > 0 {
 		t.Errorf("%d responses failed bitwise verification across reloads: %v", r.VerifyFailed, r.VerifyErrors)
+	}
+}
+
+// TestInstrumentationOverheadGate is the telemetry bench gate: the
+// cache-hit p99 of a server with tracing armed on every request (slow-query
+// log at an unreachable threshold — the worst production telemetry cost)
+// must stay within 20% of an uninstrumented server's. Requests go straight
+// into ServeHTTP so the gate measures the serving stack, not loopback
+// jitter; min-of-rounds p99 filters scheduler and GC noise from both sides.
+func TestInstrumentationOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	g := saphyra.Generate.BarabasiAlbert(2000, 4, 21)
+	viewPath := filepath.Join(t.TempDir(), "gate.sbcv")
+	if err := saphyra.BuildView(g, nil).WriteFile(viewPath); err != nil {
+		t.Fatal(err)
+	}
+	newSrv := func(cfg serve.Config) *serve.Server {
+		cfg.DisablePrecompute = true
+		srv, err := serve.New(viewPath, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	plain := newSrv(serve.Config{})
+	instr := newSrv(serve.Config{SlowQueryThreshold: time.Hour, SlowQueryLog: io.Discard})
+
+	body, err := json.Marshal(serve.RankRequest{
+		Method: serve.MethodSaPHyRa, Targets: []int64{17, 99, 512},
+		Eps: 0.1, Delta: 0.1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveOne := func(h http.Handler, rec *hist.Histogram) {
+		w := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/rank", bytes.NewReader(body)))
+		rec.Observe(time.Since(start))
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	// One round serves both handlers strictly interleaved, so scheduler and
+	// GC noise land on both sides of the comparison alike.
+	p99Pair := func(n int) (plainP99, instrP99 time.Duration) {
+		var rp, ri hist.Histogram
+		for i := 0; i < n; i++ {
+			serveOne(plain.Handler(), &rp)
+			serveOne(instr.Handler(), &ri)
+		}
+		return rp.Quantile(0.99), ri.Quantile(0.99)
+	}
+	p99Pair(100) // warm caches and page mappings
+
+	const rounds, per = 5, 2000
+	minPlain, minInstr := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < rounds; r++ {
+		p, i := p99Pair(per)
+		minPlain, minInstr = min(minPlain, p), min(minInstr, i)
+	}
+	ratio := float64(minInstr) / float64(minPlain)
+	t.Logf("cache-hit p99: uninstrumented %v, instrumented %v (%.2fx)", minPlain, minInstr, ratio)
+	if ratio > 1.20 {
+		t.Errorf("instrumented cache-hit p99 %v is %.2fx the uninstrumented %v, want <= 1.20x",
+			minInstr, ratio, minPlain)
 	}
 }
 

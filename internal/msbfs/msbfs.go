@@ -29,11 +29,13 @@
 package msbfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"saphyra/internal/faultinject"
 	"saphyra/internal/graph"
+	"saphyra/internal/obs"
 	"saphyra/internal/sched"
 )
 
@@ -72,6 +74,13 @@ type Traversal struct {
 	// grow them after New.
 	frontier []graph.Node
 	next     []graph.Node
+
+	// Levels and ScanLevels describe the most recent Run for telemetry:
+	// BFS levels expanded past the sources, and how many of them settled
+	// in scan mode (full visitNext sweep) rather than list mode. Pure
+	// observation — they feed trace spans, never the traversal itself.
+	Levels     int
+	ScanLevels int
 }
 
 // New returns a Traversal workspace for graphs of n nodes.
@@ -114,6 +123,7 @@ func (t *Traversal) Run(off []int64, nbr []graph.Node, sources []graph.Node, sto
 	clear(t.seen)
 	clear(t.visit)
 	clear(t.visitNext)
+	t.Levels, t.ScanLevels = 0, 0
 
 	fr, nx := t.frontier[:0], t.next[:0]
 	for i, s := range sources {
@@ -148,7 +158,9 @@ func (t *Traversal) Run(off []int64, nbr []graph.Node, sources []graph.Node, sto
 		// of visitNext, which at >= n/scanDiv frontier nodes is cheaper than
 		// the per-edge bookkeeping it replaces.
 		scan := len(fr) >= t.n/scanDiv
+		t.Levels++
 		if scan {
+			t.ScanLevels++
 			for _, u := range fr {
 				mu := t.visit[u]
 				lo, hi := off[u], off[u+1]
@@ -219,4 +231,20 @@ func (t *Traversal) Run(off []int64, nbr []graph.Node, sources []graph.Node, sto
 		fr, nx = nx2, fr
 	}
 	return nil
+}
+
+// RunCtx is Run wrapped in a "msbfs.pass" trace span: Extra = levels
+// expanded, note = lane count and scan-mode level split. The traversal
+// itself is byte-for-byte Run — ctx is consulted only for the trace, never
+// for cancellation (that remains stop's job, preserving the engines'
+// all-or-nothing contract).
+func (t *Traversal) RunCtx(ctx context.Context, off []int64, nbr []graph.Node, sources []graph.Node, stop *sched.Stop, onSettle func(u graph.Node, lanes uint64, depth int32)) error {
+	sp := obs.StartLeaf(ctx, "msbfs.pass")
+	err := t.Run(off, nbr, sources, stop, onSettle)
+	if sp != nil {
+		sp.SetExtra(int64(t.Levels))
+		sp.SetNote(fmt.Sprintf("lanes=%d scan_levels=%d/%d", len(sources), t.ScanLevels, t.Levels))
+		sp.End()
+	}
+	return err
 }

@@ -160,6 +160,60 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestSumExact pins Sum: exact under concurrency-free observation (the
+// concurrent case is covered via Mean in TestHistogramConcurrent, which
+// reads the same atomic).
+func TestSumExact(t *testing.T) {
+	var h Histogram
+	var want int64
+	for _, v := range []int64{0, 1, 31, 1000, 1 << 30} {
+		h.Observe(time.Duration(v))
+		want += v
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+// TestCumulativeAt pins the coalescing contract the Prometheus renderer
+// builds on: out[i] counts observations whose fine bucket's upper bound is
+// <= edges[i], cumulatives are monotone, and the returned total drains
+// every bucket — including those past the last edge — so the renderer's
+// "+Inf == _count" invariant holds by construction.
+func TestCumulativeAt(t *testing.T) {
+	var h Histogram
+	// Exact-region values (ns < 2^subBits octaves are bucket-exact), one
+	// mid-range value, one past the last edge.
+	for _, v := range []int64{1, 1, 5, 10, 1000, 1 << 40} {
+		h.Observe(time.Duration(v))
+	}
+	edges := []int64{1, 8, 2000, 1 << 20}
+	out := make([]int64, len(edges))
+	total := h.CumulativeAt(edges, out)
+	if total != h.Count() {
+		t.Fatalf("total %d != Count %d", total, h.Count())
+	}
+	// 1,1 <= 1; +5 <= 8; +10,1000 <= 2000 (1000 rounds up within one
+	// relative-error bucket, still far below 2000); nothing new <= 1<<20.
+	want := []int64{2, 3, 5, 5}
+	for i := range edges {
+		if out[i] != want[i] {
+			t.Errorf("cum[%d] (edge %d) = %d, want %d", i, edges[i], out[i], want[i])
+		}
+		if i > 0 && out[i] < out[i-1] {
+			t.Errorf("cumulative decreased at edge %d", edges[i])
+		}
+	}
+	if out[len(out)-1] > total {
+		t.Error("last cumulative exceeds the drained total")
+	}
+
+	// Empty edge list still drains the total.
+	if got := h.CumulativeAt(nil, nil); got != h.Count() {
+		t.Errorf("CumulativeAt(nil) = %d, want %d", got, h.Count())
+	}
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a

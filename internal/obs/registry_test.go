@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCounterGaugeRender pins the exact exposition shape for scalar
+// families: HELP/TYPE header once per family, one line per series in
+// registration order, integers rendered without an exponent or trailing
+// zeros.
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "Requests.", `endpoint="rank"`)
+	c.Add(2)
+	r.Counter("t_requests_total", "Requests.", `endpoint="topk"`).Inc()
+	g := r.Gauge("t_depth", "Depth.", "")
+	g.Set(3)
+	r.GaugeFunc("t_uptime", "Up.", "", func() float64 { return 1.5 })
+	r.CounterFunc("t_hits_total", "Hits.", `kind="hit"`, func() float64 { return 9 })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP t_requests_total Requests.\n# TYPE t_requests_total counter\n",
+		"t_requests_total{endpoint=\"rank\"} 2\n",
+		"t_requests_total{endpoint=\"topk\"} 1\n",
+		"# TYPE t_depth gauge\n",
+		"t_depth 3\n",
+		"t_uptime 1.5\n",
+		"t_hits_total{kind=\"hit\"} 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if c.Value() != 2 {
+		t.Errorf("Counter.Value = %d", c.Value())
+	}
+	if g.Value() != 3 {
+		t.Errorf("Gauge.Value = %v", g.Value())
+	}
+}
+
+// TestRegistryReusesSeries pins that registering the same (name, labels)
+// twice returns the same underlying series, and that a kind clash panics
+// instead of silently corrupting the family.
+func TestRegistryReusesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_total", "h", "")
+	b := r.Counter("t_total", "h", "")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registration returned a distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("t_total", "h", "")
+}
+
+// TestHistogramRenderInvariants is the registry-level half of the
+// exposition lint: bucket cumulatives are monotone, the +Inf bucket equals
+// _count exactly, and _sum matches the observations (seconds families
+// divide nanoseconds out).
+func TestHistogramRenderInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "Latency.", "", UnitSeconds)
+	var wantSum time.Duration
+	for _, d := range []time.Duration{time.Microsecond, 30 * time.Microsecond,
+		2 * time.Millisecond, 900 * time.Millisecond, time.Minute} {
+		h.Observe(d)
+		wantSum += d
+	}
+	n := r.Histogram("t_fanin", "Fan-in.", "", UnitCount)
+	for i := int64(1); i <= 100; i++ {
+		n.ObserveN(i)
+	}
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	for _, fam := range []struct {
+		name  string
+		count int64
+	}{{"t_seconds", 5}, {"t_fanin", 100}} {
+		prev := int64(-1)
+		var inf, cnt int64 = -1, -1
+		for _, line := range strings.Split(sb.String(), "\n") {
+			switch {
+			case strings.HasPrefix(line, fam.name+"_bucket{le=\"+Inf\"}"):
+				inf = mustInt(t, line)
+			case strings.HasPrefix(line, fam.name+"_bucket"):
+				v := mustInt(t, line)
+				if v < prev {
+					t.Errorf("%s: bucket cumulative decreased: %s", fam.name, line)
+				}
+				prev = v
+			case strings.HasPrefix(line, fam.name+"_count"):
+				cnt = mustInt(t, line)
+			}
+		}
+		if inf != fam.count || cnt != fam.count {
+			t.Errorf("%s: +Inf %d, _count %d, want both %d", fam.name, inf, cnt, fam.count)
+		}
+	}
+	wantSumLine := "t_seconds_sum " + fmtVal(wantSum.Seconds()) + "\n"
+	if !strings.Contains(sb.String(), wantSumLine) {
+		t.Errorf("missing %q", wantSumLine)
+	}
+	// The quantile companion family is a gauge, not part of the histogram.
+	if !strings.Contains(sb.String(), "# TYPE t_seconds_quantile gauge\n") {
+		t.Error("quantile companion family missing or mistyped")
+	}
+	if !strings.Contains(sb.String(), `t_seconds_quantile{quantile="0.99"}`) {
+		t.Error("p99 quantile series missing")
+	}
+}
+
+// TestHistogramEdgesStrictlyIncreasing guards the two coalesced ladders
+// the renderer trusts to be sorted.
+func TestHistogramEdgesStrictlyIncreasing(t *testing.T) {
+	for name, edges := range map[string][]int64{"seconds": secondsEdges, "count": countEdges} {
+		for i := 1; i < len(edges); i++ {
+			if edges[i] <= edges[i-1] {
+				t.Errorf("%s edges not strictly increasing at %d: %d <= %d", name, i, edges[i], edges[i-1])
+			}
+		}
+	}
+	if got := secondsEdges[len(secondsEdges)-1]; got != int64(25*time.Second) {
+		t.Errorf("last seconds edge = %v, want 25s", time.Duration(got))
+	}
+}
+
+func mustInt(t *testing.T, line string) int64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	return v
+}

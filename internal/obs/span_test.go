@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestStartSpanDisabled pins the disabled fast path: with no trace live
+// anywhere in the process, StartSpan returns the context unchanged and a
+// nil span whose methods are all no-ops — and allocates nothing.
+func TestStartSpanDisabled(t *testing.T) {
+	if Enabled() {
+		t.Fatal("a trace is live at test start")
+	}
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, "x")
+	if got != ctx {
+		t.Error("disabled StartSpan returned a derived context")
+	}
+	if sp != nil {
+		t.Fatal("disabled StartSpan returned a non-nil span")
+	}
+	// nil-span methods must be callable.
+	sp.SetExtra(1)
+	sp.SetNote("n")
+	sp.End()
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		_, s := StartSpan(ctx, "hot")
+		s.End()
+	}); allocs != 0 {
+		t.Errorf("disabled StartSpan allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestSpanTreeSnapshot exercises the whole lifecycle: nested spans land as
+// a tree, siblings under the right parent, extras and notes published at
+// End, and a still-open span reports so-far duration with Unfinished set.
+func TestSpanTreeSnapshot(t *testing.T) {
+	tr := NewTrace("t1")
+	defer tr.Unref()
+	if !Enabled() {
+		t.Fatal("Enabled() = false with a live trace")
+	}
+	ctx := ContextWithTrace(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "request")
+	cctx, compute := StartSpan(ctx, "compute")
+	_, draw := StartSpan(cctx, "draw")
+	draw.SetExtra(64)
+	draw.SetNote("stream=3")
+	draw.End()
+	compute.End()
+	_, open := StartSpan(ctx, "flight") // sibling of compute, never ended
+	_ = open
+	root.End()
+
+	js := tr.Snapshot()
+	if js.ID != "t1" {
+		t.Errorf("ID = %q", js.ID)
+	}
+	if len(js.Spans) != 1 || js.Spans[0].Name != "request" {
+		t.Fatalf("want one root span 'request', got %+v", js.Spans)
+	}
+	r := js.Spans[0]
+	if len(r.Children) != 2 {
+		t.Fatalf("root has %d children, want compute+flight", len(r.Children))
+	}
+	comp, flight := r.Children[0], r.Children[1]
+	if comp.Name != "compute" || flight.Name != "flight" {
+		t.Fatalf("children = %q, %q", comp.Name, flight.Name)
+	}
+	if len(comp.Children) != 1 || comp.Children[0].Name != "draw" {
+		t.Fatalf("compute children = %+v", comp.Children)
+	}
+	d := comp.Children[0]
+	if d.Extra != 64 || d.Note != "stream=3" {
+		t.Errorf("draw extra=%d note=%q", d.Extra, d.Note)
+	}
+	if !flight.Unfinished {
+		t.Error("open span not marked Unfinished")
+	}
+	if flight.DurUs <= 0 {
+		t.Error("open span has no so-far duration")
+	}
+	if r.Unfinished || r.DurUs <= 0 {
+		t.Errorf("root: unfinished=%v dur=%v", r.Unfinished, r.DurUs)
+	}
+}
+
+// TestSpanEndIdempotent pins the first-End-wins contract serveTimed's
+// defensive root.End relies on.
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("")
+	defer tr.Unref()
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "s")
+	sp.End()
+	end := sp.end
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.end != end {
+		t.Error("second End moved the end timestamp")
+	}
+}
+
+// TestSpanArenaCap claims past maxSpans: excess claims return nil spans,
+// are counted as dropped, and never corrupt the arena.
+func TestSpanArenaCap(t *testing.T) {
+	tr := NewTrace("")
+	defer tr.Unref()
+	ctx := ContextWithTrace(context.Background(), tr)
+	for i := 0; i < maxSpans; i++ {
+		_, sp := StartSpan(ctx, "s")
+		if sp == nil {
+			t.Fatalf("span %d nil before the cap", i)
+		}
+		sp.End()
+	}
+	for i := 0; i < 7; i++ {
+		if _, sp := StartSpan(ctx, "over"); sp != nil {
+			t.Fatal("span past the cap is non-nil")
+		}
+	}
+	js := tr.Snapshot()
+	if js.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7", js.Dropped)
+	}
+	if len(js.Spans) != maxSpans {
+		t.Errorf("rendered %d roots, want %d", len(js.Spans), maxSpans)
+	}
+}
+
+// TestTransplant moves a trace onto a fresh context the way a detached
+// cache flight does: spans started under the transplanted context must
+// attribute to the original trace, parented under the span current at
+// transplant time.
+func TestTransplant(t *testing.T) {
+	tr := NewTrace("")
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "request")
+
+	fctx, ftr := Transplant(context.Background(), ctx)
+	if ftr != tr {
+		t.Fatal("Transplant returned a different trace")
+	}
+	ftr.Ref()
+	_, child := StartSpan(fctx, "flight")
+	child.End()
+	root.End()
+	tr.Unref() // handler's reference
+
+	js := ftr.Snapshot() // flight's reference still holds the arena
+	if len(js.Spans) != 1 || len(js.Spans[0].Children) != 1 || js.Spans[0].Children[0].Name != "flight" {
+		t.Fatalf("flight span not parented under request: %+v", js.Spans)
+	}
+	ftr.Unref()
+
+	// No trace on src: dst passes through untouched.
+	bg := context.Background()
+	dst, got := Transplant(bg, context.Background())
+	if dst != bg || got != nil {
+		t.Error("Transplant invented a trace")
+	}
+}
+
+// TestTracePoolRecycle pins that Unref clears and pools the arena: a
+// recycled trace starts empty regardless of what the previous request
+// recorded.
+func TestTracePoolRecycle(t *testing.T) {
+	tr := NewTrace("old")
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "stale")
+	sp.End()
+	tr.Unref()
+
+	tr2 := NewTrace("new")
+	defer tr2.Unref()
+	js := tr2.Snapshot()
+	if len(js.Spans) != 0 || js.Dropped != 0 || js.ID != "new" {
+		t.Errorf("recycled trace not clean: %+v", js)
+	}
+}
+
+// BenchmarkStartSpanDisabled pins the disabled-path cost the package doc
+// advertises: one atomic load and a return.
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "hot")
+		sp.End()
+	}
+}
+
+// BenchmarkStartSpan is the enabled path: arena claim, two clock reads,
+// one context allocation.
+func BenchmarkStartSpan(b *testing.B) {
+	tr := NewTrace("")
+	defer tr.Unref()
+	ctx := ContextWithTrace(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%maxSpans == 0 { // stay inside the arena
+			tr.n.Store(0)
+		}
+		_, sp := StartSpan(ctx, "hot")
+		sp.End()
+	}
+}

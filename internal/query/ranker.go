@@ -8,11 +8,12 @@ import (
 
 	"saphyra/internal/baselines"
 	"saphyra/internal/bicomp"
-	"saphyra/internal/faultinject"
 	"saphyra/internal/closeness"
 	"saphyra/internal/core"
+	"saphyra/internal/faultinject"
 	"saphyra/internal/graph"
 	"saphyra/internal/kpath"
+	"saphyra/internal/obs"
 	"saphyra/internal/params"
 	"saphyra/internal/rank"
 )
@@ -93,15 +94,22 @@ func (r *Ranker) Prepare(m Measure) {
 }
 
 // bcPrep returns the lazily-built betweenness preprocessing.
-func (r *Ranker) bcPrep() *core.BCPreprocessed {
+func (r *Ranker) bcPrep() *core.BCPreprocessed { return r.bcPrepCtx(context.Background()) }
+
+// bcPrepCtx is bcPrep with a "rank.prep.betweenness" span covering the
+// build when this call is the one that pays for it (later calls hit the
+// cache inside the mutex and produce no span).
+func (r *Ranker) bcPrepCtx(ctx context.Context) *core.BCPreprocessed {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.bc == nil {
+		sp := obs.StartLeaf(ctx, "rank.prep.betweenness")
 		if r.view != nil {
 			r.bc = core.PreprocessBCFromView(r.view)
 		} else {
 			r.bc = core.PreprocessBC(r.g)
 		}
+		sp.End()
 	}
 	return r.bc
 }
@@ -110,15 +118,19 @@ func (r *Ranker) bcPrep() *core.BCPreprocessed {
 // queries is what keeps repeat closeness queries at the engine's pooled
 // zero-allocation steady state — the free-function path would rebuild the
 // MS-BFS workspaces per call.
-func (r *Ranker) clEngine() *closeness.Engine {
+func (r *Ranker) clEngine() *closeness.Engine { return r.clEngineCtx(context.Background()) }
+
+func (r *Ranker) clEngineCtx(ctx context.Context) *closeness.Engine {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cl == nil {
+		sp := obs.StartLeaf(ctx, "rank.prep.closeness")
 		if r.view != nil {
 			r.cl = closeness.NewEngineView(r.view)
 		} else {
 			r.cl = closeness.NewEngine(r.g)
 		}
+		sp.End()
 	}
 	return r.cl
 }
@@ -141,6 +153,8 @@ func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	ctx, rankSpan := obs.StartSpan(ctx, "rank")
+	defer rankSpan.End()
 	c := q.Canonical()
 	if err := c.validateCanonical(r.g.NumNodes()); err != nil {
 		return nil, fmt.Errorf("saphyra: %w", err)
@@ -158,7 +172,10 @@ func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
 	case Betweenness:
 		switch c.Algorithm {
 		case AlgSaPHyRa:
-			res, err := r.bcPrep().EstimateBC(ctx, targets, core.BCOptions{
+			if rankSpan != nil {
+				rankSpan.SetNote("betweenness/saphyra")
+			}
+			res, err := r.bcPrepCtx(ctx).EstimateBC(ctx, targets, core.BCOptions{
 				Epsilon: c.Epsilon, Delta: c.Delta,
 				Workers: c.Workers, Seed: c.Seed,
 			})
@@ -192,6 +209,9 @@ func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
 			return buildResult(targets, scores, res.Samples, time.Since(start)), nil
 		}
 	case KPath:
+		if rankSpan != nil {
+			rankSpan.SetNote("kpath")
+		}
 		kopt := kpath.Options{
 			K: c.K, Epsilon: c.Epsilon, Delta: c.Delta,
 			Workers: c.Workers, Seed: c.Seed,
@@ -208,11 +228,14 @@ func (r *Ranker) Rank(ctx context.Context, q Query) (*Result, error) {
 		}
 		return buildResult(res.Nodes, res.KPath, res.Est.Samples, time.Since(start)), nil
 	case Closeness:
+		if rankSpan != nil {
+			rankSpan.SetNote("closeness")
+		}
 		copt := closeness.Options{
 			Epsilon: c.Epsilon, Delta: c.Delta,
 			Workers: c.Workers, Seed: c.Seed,
 		}
-		res, err := r.clEngine().Estimate(ctx, targets, copt)
+		res, err := r.clEngineCtx(ctx).Estimate(ctx, targets, copt)
 		if err != nil {
 			return nil, err
 		}

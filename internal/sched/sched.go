@@ -27,6 +27,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"saphyra/internal/obs"
 )
 
 // VirtualWorkers is the fixed number of independent sampler streams driven
@@ -275,6 +277,21 @@ func (b *Budget) Acquire(want int) int {
 		default:
 			return granted
 		}
+	}
+	return granted
+}
+
+// AcquireCtx is Acquire with a "sched.budget.wait" trace span covering the
+// blocking wait, Extra = slots granted. The grant itself is byte-for-byte
+// Acquire — the span only observes how long this caller queued for a
+// worker slot, which is exactly the signal an operator needs when a shared
+// daemon budget is the bottleneck.
+func (b *Budget) AcquireCtx(ctx context.Context, want int) int {
+	sp := obs.StartLeaf(ctx, "sched.budget.wait")
+	granted := b.Acquire(want)
+	if sp != nil {
+		sp.SetExtra(int64(granted))
+		sp.End()
 	}
 	return granted
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"saphyra/internal/obs"
 	"saphyra/internal/params"
 )
 
@@ -50,7 +51,8 @@ type flight struct {
 	done    chan struct{}
 	p       *payload
 	err     error
-	waiters int // guarded by cache.mu
+	waiters int   // guarded by cache.mu
+	joined  int64 // guarded by cache.mu: total requesters ever (fan-in)
 	cancel  context.CancelCauseFunc
 }
 
@@ -72,6 +74,10 @@ type cache struct {
 	hits      atomic.Int64 // served straight from the LRU
 	misses    atomic.Int64 // flights created (singleflight leaders)
 	collapsed atomic.Int64 // waited on another request's computation
+
+	// onFlight, when set, observes each settled flight's total requester
+	// count (leader plus collapsed followers) — the fan-in histogram.
+	onFlight func(joined int64)
 }
 
 // staleEntry is a retired-generation result retained for degraded serving.
@@ -121,6 +127,7 @@ func (c *cache) do(ctx context.Context, key cacheKey, fn func(ctx context.Contex
 		}
 		if f, ok := c.inflight[key]; ok {
 			f.waiters++
+			f.joined++
 			c.mu.Unlock()
 			c.collapsed.Add(1)
 			p, err, retry := c.wait(ctx, f, false)
@@ -130,12 +137,20 @@ func (c *cache) do(ctx context.Context, key cacheKey, fn func(ctx context.Contex
 			return p, led, err
 		}
 		fctx, cancel := context.WithCancelCause(context.Background())
-		f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		// The flight context is deliberately detached from the leader's
+		// deadline, but its trace (and the leader's current span, as the
+		// parent) ride along with their own reference: span writes from a
+		// flight that outlives a 504'd leader land in a still-live arena.
+		fctx, ftr := obs.Transplant(fctx, ctx)
+		if ftr != nil {
+			ftr.Ref()
+		}
+		f := &flight{done: make(chan struct{}), waiters: 1, joined: 1, cancel: cancel}
 		c.inflight[key] = f
 		c.mu.Unlock()
 		c.misses.Add(1)
 		led = true
-		go c.run(key, f, fctx, fn)
+		go c.run(key, f, fctx, ftr, fn)
 		p, err, _ := c.wait(ctx, f, true)
 		return p, led, err
 	}
@@ -177,7 +192,7 @@ func (c *cache) wait(ctx context.Context, f *flight, leader bool) (p *payload, e
 // the process (this goroutine has no net/http recovery above it), and
 // without the defer it would strand the inflight entry and park every
 // future request for this key forever.
-func (c *cache) run(key cacheKey, f *flight, fctx context.Context, fn func(ctx context.Context) (*payload, error)) {
+func (c *cache) run(key cacheKey, f *flight, fctx context.Context, ftr *obs.Trace, fn func(ctx context.Context) (*payload, error)) {
 	defer func() {
 		if r := recover(); r != nil {
 			f.p, f.err = nil, fmt.Errorf("serve: computation panicked: %v", r)
@@ -191,8 +206,15 @@ func (c *cache) run(key cacheKey, f *flight, fctx context.Context, fn func(ctx c
 		if f.err == nil {
 			c.insertLocked(key, f.p)
 		}
+		joined := f.joined
 		c.mu.Unlock()
 		close(f.done)
+		if c.onFlight != nil {
+			c.onFlight(joined)
+		}
+		if ftr != nil {
+			ftr.Unref() // after the last span write: the arena may now recycle
+		}
 	}()
 	f.p, f.err = fn(fctx)
 }

@@ -284,7 +284,7 @@ func TestServeChaosHammer(t *testing.T) {
 	if got, want := s.Generation(), uint64(1+counts[0]); got != want {
 		t.Errorf("generation %d after %d successful reloads, want %d", got, counts[0], want)
 	}
-	if got := s.reloadFailures.Load(); got != counts[1] {
+	if got := s.m.reloadFailures.Value(); got != counts[1] {
 		t.Errorf("reloadFailures counter %d, want %d", got, counts[1])
 	}
 

@@ -48,7 +48,7 @@ func TestServeDeadline504(t *testing.T) {
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("deadline request got %d, want 504 (%s)", w.Code, w.Body.String())
 	}
-	if got := s.deadlines.Load(); got != 1 {
+	if got := s.m.deadlines.Value(); got != 1 {
 		t.Fatalf("deadline counter = %d, want 1", got)
 	}
 

@@ -124,7 +124,7 @@ func TestClientQuota(t *testing.T) {
 	if w := doRank(t, s.Handler(), req, nil); w.Code != http.StatusOK {
 		t.Errorf("anonymous client: status %d", w.Code)
 	}
-	if got := s.quotaDenied.Load(); got != 1 {
+	if got := s.m.quotaDenied.Value(); got != 1 {
 		t.Errorf("quotaDenied = %d, want 1", got)
 	}
 }
@@ -326,7 +326,7 @@ func TestDegradeStaleRung(t *testing.T) {
 			t.Fatalf("stale row %d differs from the generation-1 answer", i)
 		}
 	}
-	if got := s.staleServed.Load(); got != 1 {
+	if got := s.m.staleServed.Value(); got != 1 {
 		t.Errorf("staleServed = %d, want 1", got)
 	}
 }
@@ -376,7 +376,7 @@ func TestDegradeCoarseRung(t *testing.T) {
 	if resp.Generation != 1 {
 		t.Errorf("degraded generation = %d, want current generation 1", resp.Generation)
 	}
-	if got := s.degraded.Load(); got != 1 {
+	if got := s.m.degraded.Value(); got != 1 {
 		t.Errorf("degraded counter = %d, want 1", got)
 	}
 

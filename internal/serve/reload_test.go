@@ -68,7 +68,7 @@ func TestReloadFailurePaths(t *testing.T) {
 				t.Fatal("old generation changed bits after a failed reload")
 			}
 		}
-		if got := s.reloadFailures.Load(); got != wantFailures {
+		if got := s.m.reloadFailures.Value(); got != wantFailures {
 			t.Errorf("reloadFailures = %d, want %d", got, wantFailures)
 		}
 		if got := bicomp.OpenMappings(); got != baselineMappings+1 {
@@ -204,7 +204,7 @@ func TestReloadFlappingUnderTraffic(t *testing.T) {
 	if got, want := s.Generation(), uint64(1+succeeded); got != want {
 		t.Errorf("generation %d after %d successful reloads, want %d", got, succeeded, want)
 	}
-	if got := s.reloadFailures.Load(); got != failed {
+	if got := s.m.reloadFailures.Value(); got != failed {
 		t.Errorf("reloadFailures = %d, want %d", got, failed)
 	}
 	waitFor(t, 30*time.Second, "references and mappings to drain", func() bool {

@@ -33,9 +33,20 @@
 //     in-flight query on it drains, per the mmap lifetime rules of
 //     DESIGN.md section 7.
 //
+// Telemetry rides on internal/obs: every counter lives in a metrics
+// Registry rendered by /metricsz (Prometheus text format, with latency and
+// cost histograms), request handlers thread trace spans through admission,
+// cache, flight, and the compute layers (returned in the response envelope
+// on ?trace=1 or a Trace-Id header), and requests slower than
+// Config.SlowQueryThreshold emit a structured JSON slow-query line with
+// the full span tree. Instrumentation is strictly read-only: spans never
+// reach a result bit, and with no trace active each instrumented site is
+// one atomic load.
+//
 // The API surface is JSON over HTTP: POST /v1/rank, GET /v1/topk,
-// GET /healthz, GET /statusz, GET /metricsz (Prometheus text format),
-// POST /admin/reload.
+// GET /healthz (liveness: 200 once listening), GET /readyz (readiness:
+// 503 until a view generation is loaded), GET /statusz, GET /metricsz
+// (Prometheus text format), POST /admin/reload.
 package serve
 
 import (
@@ -43,12 +54,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +68,7 @@ import (
 	"saphyra/internal/bicomp"
 	"saphyra/internal/faultinject"
 	"saphyra/internal/graph"
+	"saphyra/internal/obs"
 	"saphyra/internal/params"
 	"saphyra/internal/query"
 	"saphyra/internal/sched"
@@ -130,6 +143,17 @@ type Config struct {
 	// and reload time; the index is then built lazily by the first
 	// /v1/topk request per method.
 	DisablePrecompute bool
+
+	// SlowQueryThreshold arms the slow-query log: every request whose wall
+	// time meets or exceeds it emits one structured JSON line (span tree,
+	// query key, generation, outcome) to SlowQueryLog. Zero (the default)
+	// disables the log — and with it the per-request tracing it requires,
+	// so the zero-config server records no spans at all.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (one JSON object per line).
+	// Defaults to os.Stderr when SlowQueryThreshold is set. Writes are
+	// serialized by the server.
+	SlowQueryLog io.Writer
 }
 
 func (c *Config) setDefaults() {
@@ -174,6 +198,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.DefaultK == 0 {
 		c.DefaultK = 3
+	}
+	if c.SlowQueryThreshold > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
 	}
 }
 
@@ -253,9 +280,10 @@ type Server struct {
 	// queue-depth-derived Retry-After.
 	computeEWMA atomic.Uint64
 
-	ranks, topks, reloads, badRequests, internalErrors, shed atomic.Int64
-	deadlines, canceled                                      atomic.Int64
-	quotaDenied, degraded, staleServed, reloadFailures       atomic.Int64
+	// m holds every request counter and histogram, registered on an
+	// obs.Registry rendered by /metricsz (see metrics.go).
+	m      *metrics
+	slowMu sync.Mutex // serializes slow-query log writes
 }
 
 // New maps the view file, runs the per-process preprocessing, warms the
@@ -272,6 +300,8 @@ func New(viewPath string, cfg Config) (*Server, error) {
 		quota:    newQuotas(cfg.ClientQPS, cfg.ClientBurst),
 		start:    time.Now(),
 	}
+	s.m = newMetrics(s)
+	s.cache.onFlight = func(joined int64) { s.m.flightFanIn.ObserveN(joined) }
 	lv, err := s.load(1)
 	if err != nil {
 		return nil, err
@@ -284,6 +314,7 @@ func New(viewPath string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -344,10 +375,11 @@ func (s *Server) load(gen uint64) (*loadedView, error) {
 func (s *Server) Reload() (uint64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	reloadStart := time.Now()
 	old := s.cur.Load()
 	lv, err := s.load(old.gen() + 1)
 	if err != nil {
-		s.reloadFailures.Add(1)
+		s.m.reloadFailures.Inc()
 		return old.gen(), fmt.Errorf("serve: reload failed, generation %d keeps serving: %w", old.gen(), err)
 	}
 	if !s.cfg.DisablePrecompute {
@@ -358,7 +390,8 @@ func (s *Server) Reload() (uint64, error) {
 	s.cur.Store(lv)
 	old.handle.Retire()
 	s.cache.purgeOtherGens(lv.gen())
-	s.reloads.Add(1)
+	s.m.reloads.Inc()
+	s.m.reloadSeconds.Observe(time.Since(reloadStart))
 	return lv.gen(), nil
 }
 
@@ -454,13 +487,29 @@ func queryCost(lv *loadedView, q query.Query) float64 {
 // pages. Tiny queries (queryCost at most FastLaneCost) are admitted through
 // the fast lane when it has a free slot.
 func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*payload, bool, error) {
-	tiny := queryCost(lv, q) <= s.cfg.FastLaneCost
+	cost := queryCost(lv, q)
+	if h := s.m.costFor(q.Measure); h != nil {
+		h.ObserveN(int64(cost))
+	}
+	tiny := cost <= s.cfg.FastLaneCost
+	ctx, cacheSpan := obs.StartSpan(ctx, "cache")
 	// The extra reference is donated to the (possible) flight; if this call
 	// does not end up leading one, it is returned below.
 	lv.handle.Share()
 	p, led, err := s.cache.do(ctx, cacheKey{gen: lv.gen(), key: q.Key()}, func(fctx context.Context) (*payload, error) {
 		defer lv.handle.Release() // the flight owns the donated reference
+		fctx, flightSpan := obs.StartSpan(fctx, "flight")
+		defer flightSpan.End()
+		admSpan := obs.StartLeaf(fctx, "admission")
+		enterStart := time.Now()
 		release, fast, err := s.adm.enter(fctx, tiny)
+		s.m.queueWait.Observe(time.Since(enterStart))
+		if admSpan != nil {
+			if fast {
+				admSpan.SetNote("fastlane")
+			}
+			admSpan.End()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -473,16 +522,31 @@ func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*pa
 		// bits, so the lane's result is identical either way.
 		granted := 1
 		if !fast {
-			granted = s.budget.Acquire(0)
+			granted = s.budget.AcquireCtx(fctx, 0)
 			defer s.budget.Release(granted)
 		}
 		start := time.Now()
-		p, err := s.compute(fctx, lv, q, granted)
+		cctx, computeSpan := obs.StartSpan(fctx, "compute")
+		p, err := s.compute(cctx, lv, q, granted)
+		computeSpan.End()
 		if err == nil {
-			s.observeCompute(time.Since(start))
+			d := time.Since(start)
+			s.observeCompute(d)
+			s.m.computeSeconds.Observe(d)
 		}
 		return p, err
 	})
+	if cacheSpan != nil {
+		switch {
+		case err != nil:
+			cacheSpan.SetNote("error")
+		case led:
+			cacheSpan.SetNote("miss")
+		default:
+			cacheSpan.SetNote("hit")
+		}
+		cacheSpan.End()
+	}
 	if !led {
 		lv.handle.Release()
 	}
@@ -652,6 +716,11 @@ type RankResponse struct {
 	// reporting the generation actually served. A degraded result is still
 	// bitwise-deterministic for its own (generation, eps) contract.
 	Degraded bool `json:"degraded,omitempty"`
+
+	// Trace is the request's span tree, present only when the client asked
+	// for it (?trace=1 or a Trace-Id header). Purely observational — the
+	// ranking fields are bitwise-identical with and without it.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // maxRankBody bounds a /v1/rank request body (16 MiB ≈ several hundred
@@ -712,7 +781,7 @@ func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
 	if ok {
 		return true
 	}
-	s.quotaDenied.Add(1)
+	s.m.quotaDenied.Inc()
 	secs := int(math.Ceil(wait.Seconds()))
 	if secs < 1 {
 		secs = 1
@@ -725,42 +794,63 @@ func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	s.ranks.Add(1)
+	s.m.ranks.Inc()
+	s.serveTimed(w, r, "rank", s.rankRequest)
+}
+
+// rankRequest is the POST /v1/rank body handler, returning the request's
+// outcome label for the per-outcome latency histogram.
+func (s *Server) rankRequest(w http.ResponseWriter, r *http.Request, st *reqState) string {
 	var req RankRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRankBody)).Decode(&req); err != nil {
-		s.fail(w, params.Errorf("body", "bad JSON: %v", err))
-		return
+		return s.fail(w, params.Errorf("body", "bad JSON: %v", err))
 	}
-	if !s.checkQuota(w, r) {
-		return
+	st.method = req.Method
+	if !s.quotaSpanned(w, r) {
+		return outcomeQuota
 	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
 	defer cancel()
 	lv, err := s.acquire()
 	if err != nil {
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
 	defer lv.handle.Release()
+	st.gen = lv.gen()
 	q, err := s.buildQuery(lv, req.Method, req.Targets, req.Eps, req.Delta, req.K, req.Seed, false)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
+	st.key, st.hasKey = q.Key(), true
 	p, led, err := s.lookup(ctx, lv, q)
 	if err != nil {
 		if resp := s.tryDegrade(r, lv, req.Method, q, err); resp != nil {
+			st.attachTrace(resp)
 			writeJSON(w, http.StatusOK, resp)
-			return
+			return outcomeDegraded
 		}
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
-	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), req.Method, q, p, !led))
+	resp := rankResponse(lv.gen(), req.Method, q, p, !led)
+	st.attachTrace(resp)
+	writeJSON(w, http.StatusOK, resp)
+	return outcomeOK
+}
+
+// quotaSpanned is checkQuota under a "quota" span.
+func (s *Server) quotaSpanned(w http.ResponseWriter, r *http.Request) bool {
+	sp := obs.StartLeaf(r.Context(), "quota")
+	ok := s.checkQuota(w, r)
+	if sp != nil {
+		if !ok {
+			sp.SetNote("denied")
+		}
+		sp.End()
+	}
+	return ok
 }
 
 // degradable reports whether an error is the kind the degradation ladder
@@ -809,8 +899,11 @@ func (s *Server) tryDegrade(r *http.Request, lv *loadedView, method string, q qu
 		return nil
 	}
 	if !s.cfg.DisableStale {
-		if gen, p, ok := s.cache.staleGet(q.Key()); ok {
-			s.staleServed.Add(1)
+		staleSpan := obs.StartLeaf(r.Context(), "degrade.stale")
+		gen, p, ok := s.cache.staleGet(q.Key())
+		staleSpan.End()
+		if ok {
+			s.m.staleServed.Inc()
 			resp := rankResponse(gen, method, q, p, true)
 			resp.Degraded = true
 			return resp
@@ -828,77 +921,84 @@ func (s *Server) tryDegrade(r *http.Request, lv *loadedView, method string, q qu
 	// expired.
 	dctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
+	dctx, coarseSpan := obs.StartSpan(dctx, "degrade.coarse")
 	p, led, err := s.lookup(dctx, lv, cq)
+	coarseSpan.End()
 	if err != nil {
 		return nil
 	}
-	s.degraded.Add(1)
+	s.m.degraded.Inc()
 	resp := rankResponse(lv.gen(), method, cq, p, !led)
 	resp.Degraded = true
 	return resp
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	s.topks.Add(1)
-	if !s.checkQuota(w, r) {
-		return
+	s.m.topks.Inc()
+	s.serveTimed(w, r, "topk", s.topkRequest)
+}
+
+// topkRequest is the GET /v1/topk handler, returning the outcome label.
+func (s *Server) topkRequest(w http.ResponseWriter, r *http.Request, st *reqState) string {
+	if !s.quotaSpanned(w, r) {
+		return outcomeQuota
 	}
 	qs := r.URL.Query()
 	k, err := queryInt(qs.Get("k"), 10)
 	if err != nil {
-		s.fail(w, params.Errorf("k", "%v", err))
-		return
+		return s.fail(w, params.Errorf("k", "%v", err))
 	}
 	if k < 1 {
-		s.fail(w, params.Errorf("k", "must be >= 1, got %d", k))
-		return
+		return s.fail(w, params.Errorf("k", "must be >= 1, got %d", k))
 	}
 	eps, err1 := queryFloat(qs.Get("eps"))
 	delta, err2 := queryFloat(qs.Get("delta"))
 	seed, err3 := queryInt64(qs.Get("seed"))
 	walkK, err4 := queryInt(qs.Get("walk_k"), 0)
 	if err := errors.Join(err1, err2, err3, err4); err != nil {
-		s.fail(w, params.Errorf("query", "%v", err))
-		return
+		return s.fail(w, params.Errorf("query", "%v", err))
 	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
 	defer cancel()
 	lv, err := s.acquire()
 	if err != nil {
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
 	defer lv.handle.Release()
+	st.gen = lv.gen()
 	method := qs.Get("method")
 	if method == "" {
 		method = MethodSaPHyRa
 	}
+	st.method = method
 	q, err := s.buildQuery(lv, method, nil, eps, delta, walkK, seed, true)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
+	st.key, st.hasKey = q.Key(), true
 	p, led, err := s.lookup(ctx, lv, q)
 	if err != nil {
 		if resp := s.tryDegrade(r, lv, method, q, err); resp != nil {
 			if k < len(resp.Nodes) {
 				resp.Nodes, resp.Scores, resp.Ranks = resp.Nodes[:k], resp.Scores[:k], resp.Ranks[:k]
 			}
+			st.attachTrace(resp)
 			writeJSON(w, http.StatusOK, resp)
-			return
+			return outcomeDegraded
 		}
-		s.fail(w, err)
-		return
+		return s.fail(w, err)
 	}
 	if k > len(p.nodes) {
 		k = len(p.nodes)
 	}
 	top := &payload{nodes: p.nodes[:k], scores: p.scores[:k], ranks: p.ranks[:k], samples: p.samples}
-	writeJSON(w, http.StatusOK, rankResponse(lv.gen(), method, q, top, !led))
+	resp := rankResponse(lv.gen(), method, q, top, !led)
+	st.attachTrace(resp)
+	writeJSON(w, http.StatusOK, resp)
+	return outcomeOK
 }
 
 func rankResponse(gen uint64, method string, q query.Query, p *payload, cached bool) *RankResponse {
@@ -917,13 +1017,29 @@ func rankResponse(gen uint64, method string, q query.Query, p *payload, cached b
 	}
 }
 
+// handleHealthz is LIVENESS: 200 from the moment the mux answers, no
+// matter what is (or is not) loaded — a router restarts a live-but-stuck
+// process on /healthz, it routes traffic on /readyz. The split matters
+// during startup and botched reloads: a process relinking its view must
+// not be killed for being temporarily unservable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"status": "ok"}
+	if lv := s.cur.Load(); lv != nil {
+		resp["generation"] = lv.gen()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReadyz is READINESS: 503 until a view generation is loaded and
+// servable. A failed reload keeps readiness green — the old generation
+// still answers every query (Reload swaps only on success).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	lv := s.cur.Load()
 	if lv == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": lv.gen()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "generation": lv.gen()})
 }
 
 // Statusz is the GET /statusz body: operational counters for dashboards
@@ -986,25 +1102,25 @@ func (s *Server) statusz() (*Statusz, error) {
 		Waiting:        s.adm.waitingNow(),
 		WorkersTotal:   s.cfg.TotalWorkers,
 		WorkersPerCall: s.cfg.RequestWorkers,
-		Reloads:        s.reloads.Load(),
+		Reloads:        s.m.reloads.Value(),
 	}
 	st.Cache.Entries = s.cache.len()
 	st.Cache.Capacity = s.cfg.CacheEntries
 	st.Cache.Hits = s.cache.hits.Load()
 	st.Cache.Misses = s.cache.misses.Load()
 	st.Cache.Collapsed = s.cache.collapsed.Load()
-	st.Requests.Rank = s.ranks.Load()
-	st.Requests.TopK = s.topks.Load()
-	st.Requests.BadRequest = s.badRequests.Load()
-	st.Requests.Shed = s.shed.Load()
-	st.Requests.QuotaDenied = s.quotaDenied.Load()
-	st.Requests.DeadlineExceeded = s.deadlines.Load()
-	st.Requests.Canceled = s.canceled.Load()
-	st.Requests.InternalErrors = s.internalErrors.Load()
-	st.Degraded = s.degraded.Load()
-	st.StaleServed = s.staleServed.Load()
+	st.Requests.Rank = s.m.ranks.Value()
+	st.Requests.TopK = s.m.topks.Value()
+	st.Requests.BadRequest = s.m.badRequests.Value()
+	st.Requests.Shed = s.m.shed.Value()
+	st.Requests.QuotaDenied = s.m.quotaDenied.Value()
+	st.Requests.DeadlineExceeded = s.m.deadlines.Value()
+	st.Requests.Canceled = s.m.canceled.Value()
+	st.Requests.InternalErrors = s.m.internalErrors.Value()
+	st.Degraded = s.m.degraded.Value()
+	st.StaleServed = s.m.staleServed.Value()
 	st.FastLaneAdmits = s.adm.fastAdmits()
-	st.ReloadFailures = s.reloadFailures.Load()
+	st.ReloadFailures = s.m.reloadFailures.Value()
 	st.OpenMappings = bicomp.OpenMappings()
 	return st, nil
 }
@@ -1018,65 +1134,25 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleMetricsz exposes the /statusz counters in the Prometheus text
-// exposition format (one scrape target per daemon), including the
-// deadline/cancellation counters the context plumbing added.
+// handleMetricsz renders the obs.Registry in the Prometheus text
+// exposition format: every counter family the pre-registry handler
+// emitted (same names and labels), the operational gauges — now including
+// the compute EWMA and queue depth behind Retry-After — and the latency /
+// cost histograms with `_bucket` series plus companion quantile gauges.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	st, err := s.statusz()
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	var b strings.Builder
-	counter := func(name, help string, pairs ...any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for i := 0; i+1 < len(pairs); i += 2 {
-			fmt.Fprintf(&b, "%s%s %d\n", name, pairs[i], pairs[i+1])
-		}
-	}
-	gauge := func(name, help string, v any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
-	}
-	counter("saphyra_requests_total", "Requests received by endpoint.",
-		`{endpoint="rank"}`, st.Requests.Rank,
-		`{endpoint="topk"}`, st.Requests.TopK)
-	counter("saphyra_request_errors_total", "Requests that did not return a ranking.",
-		`{reason="bad_request"}`, st.Requests.BadRequest,
-		`{reason="shed"}`, st.Requests.Shed,
-		`{reason="quota"}`, st.Requests.QuotaDenied,
-		`{reason="deadline"}`, st.Requests.DeadlineExceeded,
-		`{reason="canceled"}`, st.Requests.Canceled,
-		`{reason="internal"}`, st.Requests.InternalErrors)
-	counter("saphyra_cache_events_total", "Result cache events.",
-		`{kind="hit"}`, st.Cache.Hits,
-		`{kind="miss"}`, st.Cache.Misses,
-		`{kind="collapsed"}`, st.Cache.Collapsed)
-	counter("saphyra_degraded_total", "Responses served through the degradation ladder.",
-		`{rung="coarse"}`, st.Degraded,
-		`{rung="stale"}`, st.StaleServed)
-	counter("saphyra_fastlane_admits_total", "Computations admitted via the tiny-query fast lane.", "", st.FastLaneAdmits)
-	counter("saphyra_reloads_total", "Completed hot reloads.", "", st.Reloads)
-	counter("saphyra_reload_failures_total", "Hot reloads that failed (old generation kept serving).", "", st.ReloadFailures)
-	gauge("saphyra_generation", "Current view generation.", st.Generation)
-	gauge("saphyra_cache_entries", "Result cache entries resident.", st.Cache.Entries)
-	gauge("saphyra_cache_capacity", "Result cache capacity.", st.Cache.Capacity)
-	gauge("saphyra_inflight_computations", "Computations holding an admission slot.", st.InFlight)
-	gauge("saphyra_waiting_computations", "Computations queued for an admission slot.", st.Waiting)
-	gauge("saphyra_workers_total", "Worker-slot pool size.", st.WorkersTotal)
-	gauge("saphyra_workers_per_request", "Per-computation worker-slot cap.", st.WorkersPerCall)
-	gauge("saphyra_open_mappings", "Live mmapped views in this process.", st.OpenMappings)
-	gauge("saphyra_view_nodes", "Nodes in the served view.", st.Nodes)
-	gauge("saphyra_view_edges", "Edges in the served view.", st.Edges)
-	gauge("saphyra_uptime_seconds", "Seconds since process start.", st.UptimeSeconds)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	w.Write([]byte(b.String()))
+	s.m.reg.WritePrometheus(w)
 }
+
+// Registry exposes the server's metrics registry (for embedding servers
+// that surface their own /metricsz, and for the exposition tests).
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	gen, err := s.Reload()
 	if err != nil {
-		s.internalErrors.Add(1)
+		s.m.internalErrors.Inc()
 		writeJSON(w, http.StatusInternalServerError, map[string]any{
 			"error": err.Error(), "generation": gen,
 		})
@@ -1094,31 +1170,35 @@ const StatusClientClosedRequest = 499
 // fail classifies err and writes the matching status: typed parameter
 // errors are the caller's fault (400), shed load is 429 with a Retry-After
 // hint, a deadline expiry is 504, a client disconnect 499, anything else a
-// 500.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+// 500. Returns the outcome label for the per-outcome latency histogram.
+func (s *Server) fail(w http.ResponseWriter, err error) string {
 	switch {
 	case params.IsBadInput(err):
-		s.badRequests.Add(1)
+		s.m.badRequests.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return outcomeBadRequest
 	case errors.Is(err, errOverloaded):
-		s.shed.Add(1)
+		s.m.shed.Inc()
 		// The hint is derived from live queue depth and the compute-time
 		// EWMA — an estimate of when the backlog will have drained — not a
 		// constant: under light overload clients come back quickly, under a
 		// deep queue they stay away proportionally longer.
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+		return outcomeShed
 	case params.IsCanceled(err), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.deadlines.Add(1)
+			s.m.deadlines.Inc()
 			writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": err.Error()})
-		} else {
-			s.canceled.Add(1)
-			writeJSON(w, StatusClientClosedRequest, map[string]any{"error": err.Error()})
+			return outcomeDeadline
 		}
+		s.m.canceled.Inc()
+		writeJSON(w, StatusClientClosedRequest, map[string]any{"error": err.Error()})
+		return outcomeClientClosed
 	default:
-		s.internalErrors.Add(1)
+		s.m.internalErrors.Inc()
 		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return outcomeInternal
 	}
 }
 
@@ -1228,5 +1308,5 @@ func (a *admission) inFlight() int {
 	}
 	return n
 }
-func (a *admission) waitingNow() int64  { return a.waiting.Load() }
-func (a *admission) fastAdmits() int64  { return a.fastHits.Load() }
+func (a *admission) waitingNow() int64 { return a.waiting.Load() }
+func (a *admission) fastAdmits() int64 { return a.fastHits.Load() }

@@ -392,8 +392,8 @@ func TestServeOverloadSheds(t *testing.T) {
 	if _, code := postRank(t, s.Handler(), mkReq(101)); code != http.StatusTooManyRequests {
 		t.Fatalf("request beyond the queue bound got %d, want 429", code)
 	}
-	if s.shed.Load() != 1 {
-		t.Fatalf("shed counter = %d, want 1", s.shed.Load())
+	if s.m.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.m.shed.Value())
 	}
 
 	release() // the queued request now computes and must succeed

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"saphyra/internal/obs"
+)
+
+// reqState carries one request's telemetry through its handler: the trace
+// (nil unless debug-requested or slow-query logging is armed), identity
+// captured as the handler learns it (method, query key, generation), and
+// the outcome-independent timing anchor is the wrapper's, not ours.
+type reqState struct {
+	endpoint string
+	method   string
+	key      [sha256.Size]byte
+	hasKey   bool
+	gen      uint64
+
+	trace *obs.Trace
+	root  *obs.Span
+	debug bool // return the span tree in the response envelope
+}
+
+// serveTimed wraps one request handler with the whole telemetry lifecycle:
+// trace creation, the root span, the per-outcome latency observation, and
+// the slow-query log. fn returns the request's outcome label.
+func (s *Server) serveTimed(w http.ResponseWriter, r *http.Request, endpoint string,
+	fn func(http.ResponseWriter, *http.Request, *reqState) string) {
+	start := time.Now()
+	st := &reqState{endpoint: endpoint}
+	r = s.beginTrace(r, st)
+	outcome := fn(w, r, st)
+	st.root.End() // no-op if attachTrace already closed it
+	d := time.Since(start)
+	s.m.latencyFor(outcome).Observe(d)
+	if st.trace != nil {
+		s.logSlow(st, outcome, d)
+		st.trace.Unref()
+	}
+}
+
+// beginTrace decides whether this request records spans: always when the
+// client asked for a trace back (?trace=1 or a Trace-Id header), and
+// whenever the slow-query log is armed — a request only known to be slow
+// after the fact must have been recording all along. The common untraced
+// request pays two header lookups and returns r unchanged; every
+// obs.StartSpan below it is then a single atomic load.
+func (s *Server) beginTrace(r *http.Request, st *reqState) *http.Request {
+	id := r.Header.Get("Trace-Id")
+	debug := id != ""
+	if !debug && r.URL.RawQuery != "" {
+		debug = r.URL.Query().Get("trace") == "1"
+	}
+	if !debug && s.cfg.SlowQueryThreshold <= 0 {
+		return r
+	}
+	tr := obs.NewTrace(id)
+	st.trace, st.debug = tr, debug
+	ctx, root := obs.StartSpanIn(r.Context(), tr, "request")
+	st.root = root
+	return r.WithContext(ctx)
+}
+
+// attachTrace ends the root span and embeds the span tree into a response
+// when the client asked for it. Called just before writeJSON on success
+// paths; error bodies stay trace-free (the slow-query log still captures
+// them).
+func (st *reqState) attachTrace(resp *RankResponse) {
+	if !st.debug || st.trace == nil {
+		return
+	}
+	st.root.End()
+	resp.Trace = st.trace.Snapshot()
+}
+
+// slowQueryEntry is one line of the slow-query log: structured JSON, one
+// object per line, schema documented in DESIGN.md section 13.
+type slowQueryEntry struct {
+	Time       string         `json:"time"`
+	Endpoint   string         `json:"endpoint"`
+	Method     string         `json:"method,omitempty"`
+	Outcome    string         `json:"outcome"`
+	DurationMs float64        `json:"duration_ms"`
+	Generation uint64         `json:"generation,omitempty"`
+	QueryKey   string         `json:"query_key,omitempty"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	Trace      *obs.TraceJSON `json:"trace"`
+}
+
+// logSlow emits one slow-query line when the request's wall time crossed
+// the configured threshold. The span tree is snapshotted after the root
+// span ended, so it accounts for the request end to end — a detached
+// flight still running for other waiters shows up as an unfinished span
+// with its duration so far.
+func (s *Server) logSlow(st *reqState, outcome string, d time.Duration) {
+	if s.cfg.SlowQueryThreshold <= 0 || d < s.cfg.SlowQueryThreshold || s.cfg.SlowQueryLog == nil {
+		return
+	}
+	e := slowQueryEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Endpoint:   st.endpoint,
+		Method:     st.method,
+		Outcome:    outcome,
+		DurationMs: float64(d) / float64(time.Millisecond),
+		Generation: st.gen,
+		TraceID:    st.trace.ID(),
+		Trace:      st.trace.Snapshot(),
+	}
+	if st.hasKey {
+		e.QueryKey = hex.EncodeToString(st.key[:])
+	}
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.slowMu.Lock()
+	s.cfg.SlowQueryLog.Write(b)
+	s.slowMu.Unlock()
+}

@@ -24,7 +24,10 @@ trap 'rm -f "$TMP"' EXIT
 # miss row, TestServeHitAtLeast10xMiss enforces it — plus the overload
 # rows: BenchmarkServeRankDegraded prices a stale-rung degraded answer and
 # BenchmarkServeRankOverload records the shed fast path's shed_rate and
-# p50_us/p99_us), the Ranker/Query
+# p50_us/p99_us, and BenchmarkServeRankCacheHitInstrumented prices the
+# same hit with per-request tracing armed — it must stay within 20% of
+# the uninstrumented row, TestInstrumentationOverheadGate enforces the
+# p99 version), the Ranker/Query
 # dispatch-overhead pair (ranker vs direct must stay within noise — the
 # unified API and its cancellation checkpoints may not tax the engines),
 # and the end-to-end Fig 3 timing rows.
@@ -45,6 +48,11 @@ go test -run '^$' -bench 'BenchmarkMSBFS' -benchmem \
     -benchtime "$BENCHTIME" ./internal/msbfs/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkServeRank' -benchmem \
     -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$TMP"
+# The telemetry rows pin the span tracer's two unit costs: the disabled
+# path (one atomic load — BenchmarkStartSpanDisabled must stay ~ns and
+# 0 allocs/op) and the armed path (arena claim + one context node).
+go test -run '^$' -bench 'BenchmarkStartSpan' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/obs/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkRankerQueryOverhead' -benchmem \
     -benchtime "$BENCHTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkFig3Time' -benchmem \
