@@ -60,6 +60,17 @@
 // Hot reload: SIGHUP or POST /admin/reload re-maps the view file under the
 // next generation. In-flight queries finish on the old mapping before it is
 // released; new queries see the new generation immediately.
+//
+// Clustering: -peers (with -peer-self) joins this process to a peer
+// cache-fill ring — on a local cache miss it first asks the key's
+// consistent-hash home replica via GET /internal/cache and adopts the
+// entry instead of recomputing, sound because responses are bitwise
+// reproducible and generation-tagged. Front a fleet of such daemons with
+// cmd/saphyrarouter, and roll new views across it with its -rollout mode
+// (DESIGN.md section 14):
+//
+//	saphyrad -view net.sbcv -addr :8372 \
+//	    -peers http://a:8372,http://b:8372 -peer-self 0
 package main
 
 import (
@@ -72,9 +83,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"saphyra/internal/cluster"
 	"saphyra/internal/serve"
 )
 
@@ -105,12 +118,39 @@ func main() {
 
 		slowMs    = flag.Int("slow-query-ms", 0, "log any request slower than this many ms as one structured JSON line on stderr, span tree included (0 = disabled)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (empty = disabled; keep it loopback-only)")
+
+		peersFlag   = flag.String("peers", "", "comma-separated ordered replica base URLs of the whole fleet, including this process — joins the peer cache-fill ring (every replica must be given the SAME ordered list; empty = no peer fill)")
+		peerSelf    = flag.Int("peer-self", -1, "this replica's index in -peers (required with -peers)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "bound on one peer cache probe (0 = default)")
 	)
 	flag.Parse()
 	if *viewPath == "" {
 		fmt.Fprintln(os.Stderr, "saphyrad: -view is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Peer cache fill: on a local miss, ask the key's home peer for its
+	// cached entry before computing — sound to adopt because responses are
+	// bitwise reproducible and generation-tagged (DESIGN.md section 14).
+	var peerFill func(ctx context.Context, gen uint64, key [32]byte) (*serve.RankResponse, bool)
+	if *peersFlag != "" {
+		var urls []string
+		for _, u := range strings.Split(*peersFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if *peerSelf < 0 || *peerSelf >= len(urls) {
+			fmt.Fprintf(os.Stderr, "saphyrad: -peer-self %d is not an index into the %d -peers entries\n", *peerSelf, len(urls))
+			os.Exit(2)
+		}
+		peers, err := cluster.NewPeers(urls, *peerSelf, 0, &http.Client{}, *peerTimeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "saphyrad:", err)
+			os.Exit(2)
+		}
+		peerFill = peers.Fill
 	}
 
 	start := time.Now()
@@ -135,6 +175,7 @@ func main() {
 		DegradeMaxEps:      *degMaxEps,
 		DisableStale:       *noStale,
 		SlowQueryThreshold: time.Duration(*slowMs) * time.Millisecond,
+		PeerFill:           peerFill,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saphyrad:", err)

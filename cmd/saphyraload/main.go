@@ -19,21 +19,34 @@
 // BENCH_serving.json; scripts/bench.sh uploads it in CI) and the exit
 // status is non-zero when any mix violates its SLO or any sampled response
 // is not bitwise-equal to the reference.
+//
+// -cluster N additionally boots an in-process N-replica fleet behind a
+// consistent-hash router (internal/cluster: peer cache fill wired, rolling
+// reload via the router) over the same view, replays the
+// cluster-hit-dominated mix through the router under the same SLO and
+// bitwise gates, and records two cluster microbenchmark rows — the
+// full route-hit path and one peer cache-fill round trip — in the same
+// JSON under "cluster".
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"saphyra"
+	"saphyra/internal/cluster"
 	"saphyra/internal/loadgen"
 	"saphyra/internal/serve"
 )
@@ -51,6 +64,23 @@ type output struct {
 	Edges int64             `json:"edges"`
 	Seed  int64             `json:"seed"`
 	Mixes []*loadgen.Report `json:"mixes"`
+
+	Cluster *clusterReport `json:"cluster,omitempty"`
+}
+
+// clusterReport records the -cluster fleet's microbenchmark rows; the
+// cluster mix replay itself lands in Mixes like any other mix.
+type clusterReport struct {
+	Replicas   int        `json:"replicas"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+type benchRow struct {
+	Name   string  `json:"name"`
+	N      int     `json:"n"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
 }
 
 func main() {
@@ -66,6 +96,7 @@ func main() {
 		noWarm      = flag.Bool("no-warm", false, "skip pre-firing the cacheable working set before the clock starts")
 		out         = flag.String("out", "BENCH_serving.json", "JSON report path (\"-\" = stdout)")
 
+		clusterN    = flag.Int("cluster", 0, "also boot an in-process N-replica fleet behind a consistent-hash router, replay the cluster-hit-dominated mix through it, and record the cluster benchmark rows (0 = no cluster section)")
 		synthNodes  = flag.Int("synth-nodes", 2000, "synthetic network size when no -view is given")
 		maxInFlight = flag.Int("max-inflight", 0, "in-process server: concurrent computations admitted (0 = default)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "in-process server: default per-request compute deadline")
@@ -73,7 +104,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*viewPath, *base, *mixName, *rate, *duration, *seed, *speed,
-		*verifyEvery, !*noWarm, *out, *synthNodes, *maxInFlight, *timeout,
+		*verifyEvery, !*noWarm, *out, *clusterN, *synthNodes, *maxInFlight, *timeout,
 		time.Duration(*slowMs)*time.Millisecond); err != nil {
 		fmt.Fprintln(os.Stderr, "saphyraload:", err)
 		os.Exit(1)
@@ -82,7 +113,10 @@ func main() {
 
 func run(viewPath, base, mixName string, rate float64, duration time.Duration,
 	seed int64, speed float64, verifyEvery int, warm bool, out string,
-	synthNodes, maxInFlight int, timeout, slowQuery time.Duration) error {
+	clusterN, synthNodes, maxInFlight int, timeout, slowQuery time.Duration) error {
+	if clusterN > 0 && base != "" {
+		return fmt.Errorf("-cluster boots its own in-process fleet; it cannot be combined with -base")
+	}
 
 	// Resolve the view: given, or synthesized deterministically.
 	if viewPath == "" {
@@ -197,6 +231,14 @@ func run(viewPath, base, mixName string, rate float64, duration time.Duration,
 		}
 	}
 
+	if clusterN > 0 {
+		if err := runCluster(rep, &failed, viewPath, ids, clusterN, rate, duration,
+			seed, speed, verifyEvery, warm, verifier,
+			maxInFlight, timeout, slowQuery); err != nil {
+			return err
+		}
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -213,6 +255,228 @@ func run(viewPath, base, mixName string, rate float64, duration time.Duration,
 		return fmt.Errorf("one or more mixes failed their SLO or bitwise verification")
 	}
 	return nil
+}
+
+// runCluster is the -cluster section: boot an in-process fleet over the
+// same view, replay the cluster-hit-dominated mix through the router under
+// the same SLO and bitwise gates as the single-box mixes, then measure the
+// two cluster microbenchmark rows. The replay report is appended to Mixes
+// (it is a mix like any other); only the bench rows land under "cluster".
+func runCluster(rep *output, failed *bool, viewPath string, ids []int64,
+	clusterN int, rate float64, duration time.Duration, seed int64,
+	speed float64, verifyEvery int, warm bool, verifier *loadgen.Verifier,
+	maxInFlight int, timeout, slowQuery time.Duration) error {
+	f, err := cluster.StartFleet(viewPath, cluster.FleetConfig{
+		Replicas: clusterN,
+		Serve: serve.Config{
+			MaxInFlight:        maxInFlight,
+			DefaultTimeout:     timeout,
+			SlowQueryThreshold: slowQuery,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(os.Stderr, "saphyraload: cluster: %d replicas behind router %s\n",
+		clusterN, f.RouterURL)
+
+	m := loadgen.ClusterHitDominated().Scale(rate, duration)
+	sched, err := loadgen.Build(m, ids, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "saphyraload: %s: %d requests over %v (rate %.0f/s)\n",
+		m.Name, sched.Requests(), m.Duration, m.Rate)
+	r, err := loadgen.Run(context.Background(), sched, loadgen.Options{
+		Base: f.RouterURL, Speed: speed, Warm: warm,
+		VerifyEvery: verifyEvery, Verifier: verifier,
+	})
+	if err != nil {
+		return fmt.Errorf("mix %s: %w", m.Name, err)
+	}
+	rep.Mixes = append(rep.Mixes, r)
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+		*failed = true
+	}
+	fmt.Fprintf(os.Stderr,
+		"saphyraload: %s: %s  p50 %.2fms p99 %.2fms p999 %.2fms  hit %.0f%% shed %.1f%% degraded %.1f%% err %.1f%%  verified %d (%d failed)\n",
+		m.Name, status, r.P50Ms, r.P99Ms, r.P999Ms,
+		100*r.HitRate, 100*r.ShedRate, 100*r.DegradedRate, 100*r.ErrorRate,
+		r.Verified, r.VerifyFailed)
+	for _, v := range r.SLOViolations {
+		fmt.Fprintf(os.Stderr, "saphyraload: %s: SLO violation: %s\n", m.Name, v)
+	}
+	for _, v := range r.VerifyErrors {
+		fmt.Fprintf(os.Stderr, "saphyraload: %s: verify: %s\n", m.Name, v)
+	}
+
+	rows, err := clusterBenchRows(f, ids)
+	if err != nil {
+		return err
+	}
+	rep.Cluster = &clusterReport{Replicas: clusterN, Benchmarks: rows}
+	for _, row := range rows {
+		fmt.Fprintf(os.Stderr, "saphyraload: cluster: %s  n=%d mean %.0fµs p50 %.0fµs p99 %.0fµs\n",
+			row.Name, row.N, row.MeanUs, row.P50Us, row.P99Us)
+	}
+	return nil
+}
+
+// clusterBenchRows measures the two distributed-tier microbenchmarks
+// (mirrors internal/cluster's BenchmarkClusterRouteHit / BenchmarkPeerFill,
+// but as measured rows in the JSON report so CI trends them):
+//
+//   - ClusterRouteHit: a cache hit through the whole cluster path — client
+//     hop to the router, ring placement, router hop to the replica, replica
+//     cache hit, two relays back.
+//   - PeerFill: one peer cache-fill round trip — the GET /internal/cache
+//     probe plus envelope decode against the replica that owns the entry.
+func clusterBenchRows(f *cluster.Fleet, ids []int64) ([]benchRow, error) {
+	n := len(ids)
+	if n < 4 {
+		return nil, fmt.Errorf("cluster bench: view too small (%d nodes)", n)
+	}
+	targets := []int64{ids[17%n], ids[99%n], ids[n/3], ids[2*n/3]}
+	body, err := json.Marshal(serve.RankRequest{
+		Method: serve.MethodSaPHyRa, Targets: targets,
+		Eps: 0.05, Delta: 0.05, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	routerURL := f.RouterURL + "/v1/rank"
+
+	// Warm the entry at its route home and capture the response: its
+	// reported contract reconstructs the canonical cache key for the
+	// peer-fill row.
+	var resp *serve.RankResponse
+	{
+		r, err := client.Post(routerURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("cluster bench warm: status %d", r.StatusCode)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			return nil, err
+		}
+	}
+
+	const reps = 1000
+	routeHit, err := measureRow("ClusterRouteHit", reps, func() error {
+		return postDiscard(client, routerURL, body)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Peer fill: warm the entry at its TRUE ring home (the router's
+	// placement is affinity only), then probe from outside the fleet
+	// (self = -1 probes whoever owns the key).
+	key, err := canonicalKey(resp, ids)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := cluster.NewRing(f.ReplicaURLs, 0)
+	if err != nil {
+		return nil, err
+	}
+	home := ring.Owner(cluster.KeyHash(key))
+	if err := postDiscard(client, f.ReplicaURLs[home]+"/v1/rank", body); err != nil {
+		return nil, err
+	}
+	peers, err := cluster.NewPeers(f.ReplicaURLs, -1, 0, client, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	peerFill, err := measureRow("PeerFill", reps, func() error {
+		if _, ok := peers.Fill(ctx, resp.Generation, key); !ok {
+			return fmt.Errorf("cluster bench: peer fill missed a warmed entry")
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []benchRow{routeHit, peerFill}, nil
+}
+
+// measureRow times n sequential runs of fn and folds them into one report
+// row (mean/p50/p99 in microseconds).
+func measureRow(name string, n int, fn func() error) (benchRow, error) {
+	lat := make([]time.Duration, 0, n)
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return benchRow{}, err
+		}
+		d := time.Since(t0)
+		lat = append(lat, d)
+		total += d
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return benchRow{
+		Name:   name,
+		N:      n,
+		MeanUs: us(total / time.Duration(n)),
+		P50Us:  us(lat[n/2]),
+		P99Us:  us(lat[n*99/100]),
+	}, nil
+}
+
+func postDiscard(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster bench: status %d from %s", resp.StatusCode, url)
+	}
+	return nil
+}
+
+// canonicalKey rebuilds the canonical cache key from a response's reported
+// contract: the response echoes every result-relevant field (measure,
+// canonical target set as original ids, K, eps, delta, seed), and
+// saphyra.Query.Key canonicalizes identically on every replica.
+func canonicalKey(resp *serve.RankResponse, ids []int64) ([sha256.Size]byte, error) {
+	var m saphyra.Measure
+	switch resp.Method {
+	case serve.MethodSaPHyRa:
+		m = saphyra.Betweenness
+	case serve.MethodKPath:
+		m = saphyra.KPath
+	case serve.MethodCloseness:
+		m = saphyra.Closeness
+	default:
+		return [sha256.Size]byte{}, fmt.Errorf("cluster bench: unknown method %q", resp.Method)
+	}
+	pos := make(map[int64]saphyra.Node, len(ids))
+	for i, id := range ids {
+		pos[id] = saphyra.Node(i)
+	}
+	targets := make([]saphyra.Node, len(resp.Nodes))
+	for i, id := range resp.Nodes {
+		nd, ok := pos[id]
+		if !ok {
+			return [sha256.Size]byte{}, fmt.Errorf("cluster bench: response node %d not in the view", id)
+		}
+		targets[i] = nd
+	}
+	q := saphyra.Query{Measure: m, Targets: targets, K: resp.K,
+		Epsilon: resp.Eps, Delta: resp.Delta, Seed: resp.Seed}
+	return q.Key(), nil
 }
 
 // viewIDs returns the view's original id space (identity when dense).

@@ -1,0 +1,155 @@
+// Cluster demonstrates the distributed serving tier (DESIGN.md
+// section 14) in one process: a 3-replica fleet behind the consistent-hash
+// router, driven through the full lifecycle — routed requests with cache
+// affinity, a peer cache fill that warms the whole fleet from one
+// computation, a rolling reload gated on each replica's reported
+// generation, and a hard replica kill absorbed by the router's hop retry.
+// Every answer along the way is bitwise-identical for its (generation,
+// query) contract: that determinism is what makes each step sound.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"saphyra"
+	"saphyra/internal/cluster"
+	"saphyra/internal/serve"
+)
+
+func main() {
+	// Build once: the same view artifact every replica will serve. One
+	// file, N replicas — since every result is a pure function of
+	// (generation, canonical query key), replicas serving the same bytes
+	// hold interchangeable caches.
+	g := saphyra.Generate.PowerLawCluster(3000, 4, 0.2, 11)
+	dir, err := os.MkdirTemp("", "saphyra-cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	viewPath := filepath.Join(dir, "net.sbcv")
+	if err := saphyra.BuildView(g, nil).WriteFile(viewPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built view: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// The fleet: three serve.Servers on loopback listeners wired into a
+	// peer-fill ring, fronted by one router — the same wiring
+	// cmd/saphyrarouter + N cmd/saphyrad processes have in production.
+	f, err := cluster.StartFleet(viewPath, cluster.FleetConfig{Replicas: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Printf("router %s fronting %d replicas\n\n", f.RouterURL, len(f.ReplicaURLs))
+
+	req := serve.RankRequest{
+		Method:  "saphyra",
+		Targets: []int64{17, 99, 1024, 2048},
+		Eps:     0.05, Delta: 0.05, Seed: 7,
+	}
+	body, _ := json.Marshal(req)
+
+	// Through the router: the first request computes on whichever replica
+	// the router's affinity hash picks; the repeat hits that replica's
+	// cache. X-Saphyra-Replica names who answered.
+	first, via := post(f.RouterURL+"/v1/rank", body)
+	again, _ := post(f.RouterURL+"/v1/rank", body)
+	fmt.Printf("via router:  computed on %s (cached=%v, %d samples)\n", via, first.Cached, first.Samples)
+	fmt.Printf("repeat:      cached=%v, bitwise identical: %v\n\n", again.Cached, sameBits(first, again))
+
+	// Peer cache fill: warm the key's TRUE ring home (placement by the
+	// canonical query key — the router's wire-field hash is affinity only),
+	// then ask the other replicas directly. Each finds a local miss, probes
+	// the home peer via GET /internal/cache, and adopts the entry instead
+	// of recomputing: one computation warms the fleet. Adoption is sound
+	// only because responses are bitwise reproducible — the adopted bytes
+	// are exactly the bytes the replica would have computed.
+	key := saphyra.Query{Measure: saphyra.Betweenness,
+		Targets: []saphyra.Node{17, 99, 1024, 2048},
+		Epsilon: req.Eps, Delta: req.Delta, Seed: req.Seed}.Key()
+	ring, err := cluster.NewRing(f.ReplicaURLs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	home := ring.Owner(cluster.KeyHash(key))
+	homeResp, _ := post(f.ReplicaURLs[home]+"/v1/rank", body)
+	fmt.Printf("ring home for this query: replica %d (cached=%v)\n", home, homeResp.Cached)
+	for i, url := range f.ReplicaURLs {
+		if i == home {
+			continue
+		}
+		r, _ := post(url+"/v1/rank", body)
+		fmt.Printf("replica %d:   cached=%v (peer fill), bitwise identical: %v\n",
+			i, r.Cached, sameBits(homeResp, r))
+	}
+
+	// Rolling reload: the router pushes /admin/reload across the fleet one
+	// replica at a time, gating each step on /readyz reporting the new
+	// generation. Mid-roll the fleet serves mixed generations — safe,
+	// because the generation is part of every cache key and every response
+	// envelope: entries from different views can never alias.
+	resp, err := http.Post(f.RouterURL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rl serve.ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	reloaded, _ := post(f.RouterURL+"/v1/rank", body)
+	fmt.Printf("\nrolling reload: fleet at generation %d (was %d)\n", rl.Generation, first.Generation)
+	fmt.Printf("same query:  generation %d, scores unchanged: %v\n\n",
+		reloaded.Generation, sameBits(first, reloaded))
+
+	// Kill the home replica mid-service. The router's hop retry walks to
+	// the next ring owner; the health EWMA marks the dead replica down
+	// after two failed hops. The survivor recomputes (its dead peer cannot
+	// donate) — and lands on exactly the same bits, because the bits never
+	// depended on which replica ran the computation.
+	f.KillReplica(home)
+	after, survivor := post(f.RouterURL+"/v1/rank", body)
+	fmt.Printf("killed replica %d; router rerouted to %s\n", home, survivor)
+	fmt.Printf("same query:  200, bitwise identical: %v\n", sameBits(first, after))
+}
+
+// post sends one rank request and returns the decoded response plus the
+// replica that answered (the router's X-Saphyra-Replica header).
+func post(url string, body []byte) (*serve.RankResponse, string) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	var r serve.RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		log.Fatal(err)
+	}
+	return &r, resp.Header.Get("X-Saphyra-Replica")
+}
+
+// sameBits reports whether two responses carry identical ranking bytes —
+// the bitwise determinism check every cluster hop relies on.
+func sameBits(a, b *serve.RankResponse) bool {
+	if len(a.Scores) != len(b.Scores) || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Scores {
+		if a.Nodes[i] != b.Nodes[i] || a.Scores[i] != b.Scores[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -56,6 +56,13 @@ type BlockCSR struct {
 	// section (and for in-memory builds, which carry O directly).
 	rFlat []int64
 
+	// dFlat is the serialized decomposition section of a mapped view
+	// (persist.go flag bit 3), aliasing the mapped file.
+	// EnsureDecomposition rebuilds D from it via NewDecompositionFromView
+	// instead of rerunning the Decompose DFS; nil for views from files
+	// without the section (and for in-memory builds, which carry D).
+	dFlat *decompFlat
+
 	// Nbr is the grouped adjacency: node u's neighbors, permuted block by
 	// block. RNbr[i] = r_b(Nbr[i]) for the block b of the run containing i.
 	Nbr  []graph.Node
@@ -189,17 +196,27 @@ func (v *BlockCSR) Runs(u graph.Node) (lo, hi int64) {
 // view was opened from a file (mapped views never carry them in memory —
 // no engine consuming the view needs them; see persist.go). Decompose is a
 // deterministic function of the graph, so the recomputed block ids agree
-// with the serialized annotations. Files written with the out-reach section
-// (persist.go flag bit 1) skip the NewOutReach block-cut-tree DP: the
-// tables are rebuilt from the serialized r-values in O(runs), with a
-// Claim 9 consistency check guarding against a corrupt section (falling
-// back to the recomputation on mismatch). Safe for concurrent use: the
-// common serving pattern hands one mapped view to many goroutines.
+// with the serialized annotations. Files written with the decomposition
+// section (persist.go flag bit 3) skip the O(n+m) Decompose DFS entirely:
+// the tables are reconstructed from the section and the run arrays in
+// O(n + runs) via NewDecompositionFromView, and files with the out-reach
+// section (flag bit 1) likewise skip the NewOutReach block-cut-tree DP,
+// rebuilding from the serialized r-values in O(runs) with a Claim 9
+// consistency check. Either section failing validation falls back to the
+// recomputation — a corrupt section costs cold-start time, never
+// correctness. Safe for concurrent use: the common serving pattern hands
+// one mapped view to many goroutines.
 func (v *BlockCSR) EnsureDecomposition() (*Decomposition, *OutReach) {
 	v.backfill.Lock()
 	defer v.backfill.Unlock()
 	if v.D == nil || v.O == nil {
-		d := Decompose(v.G)
+		var d *Decomposition
+		if v.dFlat != nil {
+			d, _ = NewDecompositionFromView(v)
+		}
+		if d == nil {
+			d = Decompose(v.G)
+		}
 		var o *OutReach
 		if v.rFlat != nil {
 			o, _ = NewOutReachFromFlat(d, v.rFlat)

@@ -1,0 +1,145 @@
+package bicomp
+
+import (
+	"fmt"
+
+	"saphyra/internal/graph"
+)
+
+// decompFlat is the raw decomposition section of a mapped view (persist.go
+// flag bit 3). The slices alias the mapped file and must be treated as
+// read-only. Together with the run arrays already in the view it determines
+// the full Decomposition: NodeBlocks[u] is RunBlock over u's run range,
+// Blocks inverts it, and IsCut falls out of the per-node run count.
+type decompFlat struct {
+	numBlocks int64
+	numComps  int64
+	edgeBlock []int32 // len 2m, original-CSR edge index -> block id
+	compLabel []int32 // len n, node -> connected-component label
+	compSize  []int64 // len numComps
+}
+
+// NewDecompositionFromView reconstructs the Decomposition of a view opened
+// from a file written with the decomposition section, without rerunning the
+// Decompose DFS. NodeBlocks alias the view's RunBlock array and EdgeBlock /
+// CompLabel / CompSize alias the mapped section directly, so the only
+// allocations are the Blocks inversion and the IsCut bitmap — O(n + runs)
+// work versus the O(n + m) Hopcroft–Tarjan pass.
+//
+// The section is validated against the structurally-verified run arrays
+// before use: every run's block id must be in range, no block may be empty,
+// each node's per-block edge counts in EdgeBlock must match its run lengths,
+// and the component labeling must recount to CompSize exactly. Any mismatch
+// returns an error and the caller (EnsureDecomposition) falls back to the
+// recomputation — a corrupt section degrades cold-start time, never answers.
+func NewDecompositionFromView(v *BlockCSR) (*Decomposition, error) {
+	f := v.dFlat
+	if f == nil {
+		return nil, fmt.Errorf("bicomp: view has no decomposition section")
+	}
+	g := v.G
+	n := g.NumNodes()
+	m2 := int64(2 * g.NumEdges())
+	if int64(len(f.edgeBlock)) != m2 || int64(len(f.compLabel)) != int64(n) ||
+		int64(len(f.compSize)) != f.numComps {
+		return nil, fmt.Errorf("bicomp: decomposition section shape mismatch (%d edge blocks, %d labels, %d sizes)",
+			len(f.edgeBlock), len(f.compLabel), len(f.compSize))
+	}
+	numBlocks := f.numBlocks
+	if numBlocks < 0 || numBlocks > int64(len(v.RunBlock)) {
+		return nil, fmt.Errorf("bicomp: implausible block count %d for %d runs", numBlocks, len(v.RunBlock))
+	}
+
+	// Invert the runs into Blocks: count, place, fill. Nodes are visited in
+	// ascending order, so each member list comes out sorted exactly as
+	// Decompose emits it. The same pass rejects out-of-range and empty
+	// blocks.
+	counts := make([]int64, numBlocks)
+	for _, b := range v.RunBlock {
+		if int64(b) < 0 || int64(b) >= numBlocks {
+			return nil, fmt.Errorf("bicomp: run block id %d outside [0,%d)", b, numBlocks)
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("bicomp: serialized block %d has no members", b)
+		}
+	}
+	members := make([]graph.Node, len(v.RunBlock))
+	blocks := make([][]graph.Node, numBlocks)
+	var at int64
+	for b := range blocks {
+		blocks[b] = members[at : at : at+counts[b]]
+		at += counts[b]
+	}
+	d := &Decomposition{
+		G:          g,
+		NumBlocks:  int(numBlocks),
+		EdgeBlock:  f.edgeBlock,
+		Blocks:     blocks,
+		NodeBlocks: make([][]int32, n),
+		IsCut:      make([]bool, n),
+		CompLabel:  f.compLabel,
+		CompSize:   f.compSize,
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := v.RunOff[u], v.RunOff[u+1]
+		d.NodeBlocks[u] = v.RunBlock[lo:hi:hi]
+		d.IsCut[u] = hi-lo >= 2
+		for j := lo; j < hi; j++ {
+			b := v.RunBlock[j]
+			blocks[b] = append(blocks[b], graph.Node(u))
+		}
+	}
+
+	// Cross-check EdgeBlock against the run layout: node u's CSR segment of
+	// EdgeBlock must assign exactly RunStart[j+1]-RunStart[j] edges to the
+	// block of each run j, and nothing to any other block. Runs per node are
+	// tiny (barely above 1 on real networks), so the inner scan is O(deg).
+	for u := 0; u < n; u++ {
+		lo, hi := v.RunOff[u], v.RunOff[u+1]
+		base := g.AdjOffset(graph.Node(u))
+		deg := int64(g.Degree(graph.Node(u)))
+		remaining := int64(0)
+		for j := lo; j < hi; j++ {
+			counts[v.RunBlock[j]] = v.RunStart[j+1] - v.RunStart[j]
+			remaining += v.RunStart[j+1] - v.RunStart[j]
+		}
+		if remaining != deg {
+			return nil, fmt.Errorf("bicomp: node %d runs cover %d edges, degree %d", u, remaining, deg)
+		}
+		for i := base; i < base+deg; i++ {
+			b := f.edgeBlock[i]
+			if int64(b) < 0 || int64(b) >= numBlocks {
+				return nil, fmt.Errorf("bicomp: edge %d assigned to block %d outside [0,%d)", i, b, numBlocks)
+			}
+			ok := false
+			for j := lo; j < hi; j++ {
+				if v.RunBlock[j] == b {
+					ok = counts[b] > 0
+					counts[b]--
+					break
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("bicomp: node %d edge %d assigned to block %d, disagrees with run layout", u, i-base, b)
+			}
+		}
+	}
+
+	// Recount the component labeling against the serialized sizes.
+	recount := make([]int64, f.numComps)
+	for u, c := range f.compLabel {
+		if int64(c) < 0 || int64(c) >= f.numComps {
+			return nil, fmt.Errorf("bicomp: node %d component label %d outside [0,%d)", u, c, f.numComps)
+		}
+		recount[c]++
+	}
+	for c, got := range recount {
+		if got != f.compSize[c] {
+			return nil, fmt.Errorf("bicomp: component %d recounts to %d nodes, section says %d", c, got, f.compSize[c])
+		}
+	}
+	return d, nil
+}

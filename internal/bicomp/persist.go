@@ -11,7 +11,8 @@
 //	[24:32) m     — number of undirected edges (int64)
 //	[32:40) runs  — number of neighbor runs (int64)
 //	[40:48) flags (int64; bit 0: original-id map section present;
-//	        bit 1: out-reach section present; bit 2: checksum trailer)
+//	        bit 1: out-reach section present; bit 2: checksum trailer;
+//	        bit 3: decomposition section present)
 //	[48:56) total file size in bytes (int64; truncation check)
 //	offsets   int64[n+1]     graph CSR offsets
 //	adj       int32[2m]      graph CSR adjacency (sorted per node)
@@ -25,6 +26,10 @@
 //	RunStart  int64[runs+1]  edge range per run
 //	RunDegSum int64[runs]    neighbor degree mass per run
 //	outreach  int64[runs]    r_b(v) per (block, member) pair (flags bit 1)
+//	decomp    (flags bit 3)  numBlocks int64; numComps int64;
+//	          EdgeBlock  int32[2m]       block id per directed CSR edge
+//	          CompLabel  int32[n]        component label per node (padded)
+//	          CompSize   int64[numComps] nodes per component
 //	ids       int64[n]       original node ids (flags bit 0)
 //	checksum  uint64         crc64/ECMA of all preceding bytes (flags bit 2)
 //
@@ -44,6 +49,20 @@
 // since silently ignoring it would be correct but was never exercised by
 // those builds.
 //
+// The optional decomposition section (flag bit 3) carries the parts of the
+// biconnected decomposition that the view's own arrays cannot reproduce:
+// the per-directed-edge block map, the connected-component labeling, and
+// the block count. Everything else in a *Decomposition derives from the
+// view in O(runs + members) — NodeBlocks[u] IS RunBlock[RunOff[u]:
+// RunOff[u+1]], Blocks inverts it, IsCut[u] is "two or more runs" — so
+// NewDecompositionFromView reconstructs the full decomposition without the
+// O(n+m) Hopcroft–Tarjan DFS of Decompose. Combined with the out-reach
+// section this makes a replica cold-start (EnsureDecomposition) section
+// reads plus validation instead of two linear passes over the graph —
+// the difference that matters when a fleet cold-starts many replicas from
+// one file. Same upgrade semantics as the other sections: readers
+// predating the flag reject files carrying it via the unknown-flag check.
+//
 // Native byte order makes the read path a straight reinterpretation of the
 // mapped pages — the probe field turns a cross-endian file into a clean
 // error instead of garbage. The embedded graph CSR makes the file
@@ -51,10 +70,10 @@
 // offsets/adj sections, so the exact-phase, k-path, and closeness engines
 // run directly off the file with no per-process copy of the adjacency.
 //
-// The decomposition and out-reach tables are NOT serialized: the engines
-// above never consult them (the view's annotations carry everything), and
-// consumers that do need them (the bc sampler's alias tables, bca terms)
-// recompute them from the embedded graph — see core.PreprocessBCFromView.
+// Files written without the optional sections keep working: consumers that
+// need the decomposition or out-reach tables (the bc sampler's alias
+// tables, bca terms) recompute them from the embedded graph — see
+// EnsureDecomposition and core.PreprocessBCFromView.
 package bicomp
 
 import (
@@ -88,8 +107,14 @@ const (
 	// estimates. Readers predating the flag reject checksummed files via the
 	// unknown-flag check — same upgrade semantics as the out-reach section.
 	flagChecksum = int64(4)
+	// flagDecomp marks the presence of the serialized decomposition section
+	// (EdgeBlock, component labeling, block count) — the companion of the
+	// out-reach section that lets EnsureDecomposition skip the O(n+m)
+	// Decompose DFS on a mapped view. Same upgrade semantics: readers
+	// predating the flag reject files carrying it.
+	flagDecomp = int64(8)
 	// knownFlags is the union of every flag bit this build understands.
-	knownFlags = flagIDs | flagOutReach | flagChecksum
+	knownFlags = flagIDs | flagOutReach | flagChecksum | flagDecomp
 	// maxDim rejects absurd header values before any size arithmetic, so a
 	// corrupted header cannot overflow the expected-size computation.
 	maxDim = int64(1) << 40
@@ -98,8 +123,28 @@ const (
 // crcTable is the CRC-64/ECMA table used for the checksum trailer.
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
-// persistSize returns the total file size for the given dimensions.
-func persistSize(n, m, runs int64, hasIDs, hasOutReach, hasChecksum bool) int64 {
+// persistSize returns the total file size for the given dimensions. comps
+// is the connected-component count of the decomposition section; it only
+// contributes when hasDecomp is set (pass 0 otherwise).
+func persistSize(n, m, runs, comps int64, hasIDs, hasOutReach, hasDecomp, hasChecksum bool) int64 {
+	size := decompOffset(n, m, runs, hasOutReach)
+	if hasDecomp {
+		size += decompSectionSize(n, m, comps)
+	}
+	if hasIDs {
+		size += n * 8 // ids
+	}
+	if hasChecksum {
+		size += 8 // crc64 trailer
+	}
+	return size
+}
+
+// decompOffset is the byte offset of the decomposition section's prelude
+// (equivalently: the size of everything through the out-reach section).
+// decodeView needs it before the total-size check, because the section's
+// length depends on the component count stored in its own prelude.
+func decompOffset(n, m, runs int64, hasOutReach bool) int64 {
 	size := int64(headerSize)
 	size += (n + 1) * 8    // offsets
 	size += 2 * m * 4      // adj (2m int32 = 8m bytes, always 8-aligned)
@@ -115,13 +160,14 @@ func persistSize(n, m, runs int64, hasIDs, hasOutReach, hasChecksum bool) int64 
 	if hasOutReach {
 		size += runs * 8 // outreach
 	}
-	if hasIDs {
-		size += n * 8 // ids
-	}
-	if hasChecksum {
-		size += 8 // crc64 trailer
-	}
 	return size
+}
+
+// decompSectionSize is the decomposition section's byte length: the 16-byte
+// prelude (numBlocks, numComps), EdgeBlock (2m int32 = 8m bytes, always
+// 8-aligned), CompLabel (n int32, padded), and CompSize (comps int64).
+func decompSectionSize(n, m, comps int64) int64 {
+	return 16 + 2*m*4 + pad8(n*4) + comps*8
 }
 
 func pad8(b int64) int64 { return (b + 7) &^ 7 }
@@ -177,6 +223,29 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 		}
 		flags |= flagOutReach
 	}
+	// Decomposition section: same source preference as out-reach — a
+	// validated in-memory D over the raw mapped section (dFlat may be the
+	// very bytes a reconstruction rejected), so mapped views stay
+	// re-serializable without ever propagating a section a validated D
+	// would contradict.
+	dSec := v.dFlat
+	if v.D != nil {
+		dSec = &decompFlat{
+			numBlocks: int64(v.D.NumBlocks),
+			numComps:  int64(len(v.D.CompSize)),
+			edgeBlock: v.D.EdgeBlock,
+			compLabel: v.D.CompLabel,
+			compSize:  v.D.CompSize,
+		}
+	}
+	if dSec != nil {
+		if int64(len(dSec.edgeBlock)) != 2*m || int64(len(dSec.compLabel)) != n ||
+			int64(len(dSec.compSize)) != dSec.numComps {
+			return 0, fmt.Errorf("bicomp: decomposition section shape mismatch (|EdgeBlock|=%d for 2m=%d, |CompLabel|=%d for n=%d, |CompSize|=%d for %d components)",
+				len(dSec.edgeBlock), 2*m, len(dSec.compLabel), n, len(dSec.compSize), dSec.numComps)
+		}
+		flags |= flagDecomp
+	}
 	flags |= flagChecksum
 
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -200,7 +269,11 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 	binary.NativeEndian.PutUint64(hdr[24:32], uint64(m))
 	binary.NativeEndian.PutUint64(hdr[32:40], uint64(runs))
 	binary.NativeEndian.PutUint64(hdr[40:48], uint64(flags))
-	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, ids != nil, rFlat != nil, true)))
+	var comps int64
+	if dSec != nil {
+		comps = dSec.numComps
+	}
+	binary.NativeEndian.PutUint64(hdr[48:56], uint64(persistSize(n, m, runs, comps, ids != nil, rFlat != nil, dSec != nil, true)))
 	if err := put(hdr[:]); err != nil {
 		return written, err
 	}
@@ -243,6 +316,23 @@ func (v *BlockCSR) writeTo(w io.Writer, ids []int64) (int64, error) {
 	}
 	if rFlat != nil {
 		if err := put(int64Bytes(rFlat)); err != nil {
+			return written, err
+		}
+	}
+	if dSec != nil {
+		var prelude [16]byte
+		binary.NativeEndian.PutUint64(prelude[0:8], uint64(dSec.numBlocks))
+		binary.NativeEndian.PutUint64(prelude[8:16], uint64(dSec.numComps))
+		if err := put(prelude[:]); err != nil {
+			return written, err
+		}
+		if err := put(int32Bytes(dSec.edgeBlock)); err != nil {
+			return written, err
+		}
+		if err := putPadded32(dSec.compLabel); err != nil {
+			return written, err
+		}
+		if err := put(int64Bytes(dSec.compSize)); err != nil {
 			return written, err
 		}
 	}
@@ -361,7 +451,24 @@ func decodeView(data []byte) (view *BlockCSR, ids []int64, err error) {
 	hasIDs := flags&flagIDs != 0
 	hasOutReach := flags&flagOutReach != 0
 	hasChecksum := flags&flagChecksum != 0
-	if want := persistSize(n, m, runs, hasIDs, hasOutReach, hasChecksum); total != want || int64(len(data)) != want {
+	hasDecomp := flags&flagDecomp != 0
+	// The decomposition section's length depends on the component count in
+	// its own prelude, so that prelude must be read (bounds-checked against
+	// the raw buffer) before the total-size check can run.
+	var numBlocks, numComps int64
+	if hasDecomp {
+		off := decompOffset(n, m, runs, hasOutReach)
+		if off+16 > int64(len(data)) {
+			return nil, nil, fmt.Errorf("bicomp: view file size %d, decomposition prelude at %d — truncated or corrupt", len(data), off)
+		}
+		numBlocks = int64(binary.NativeEndian.Uint64(data[off : off+8]))
+		numComps = int64(binary.NativeEndian.Uint64(data[off+8 : off+16]))
+		if numBlocks < 0 || numBlocks > runs || numComps < 0 || numComps > n {
+			return nil, nil, fmt.Errorf("bicomp: implausible decomposition section: %d blocks for %d runs, %d components for %d nodes",
+				numBlocks, runs, numComps, n)
+		}
+	}
+	if want := persistSize(n, m, runs, numComps, hasIDs, hasOutReach, hasDecomp, hasChecksum); total != want || int64(len(data)) != want {
 		return nil, nil, fmt.Errorf("bicomp: view file size %d (header says %d), want %d — truncated or corrupt", len(data), total, want)
 	}
 	if hasChecksum {
@@ -388,6 +495,16 @@ func decodeView(data []byte) (view *BlockCSR, ids []int64, err error) {
 	}
 	if hasOutReach {
 		view.rFlat = r.i64(runs)
+	}
+	if hasDecomp {
+		r.off += 16 // prelude: already decoded above
+		view.dFlat = &decompFlat{
+			numBlocks: numBlocks,
+			numComps:  numComps,
+			edgeBlock: r.i32(2*m, false),
+			compLabel: r.i32(n, true),
+			compSize:  r.i64(numComps),
+		}
 	}
 	if hasIDs {
 		ids = r.i64(n)

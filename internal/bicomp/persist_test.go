@@ -86,9 +86,12 @@ func TestPersistWriteToDeterministic(t *testing.T) {
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("WriteTo is not deterministic")
 	}
-	// In-memory builds carry O, so WriteTo always emits the out-reach section.
-	if int64(a.Len()) != persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true, true) {
-		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)), false, true, true))
+	// In-memory builds carry D and O, so WriteTo always emits the
+	// decomposition and out-reach sections.
+	want := persistSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.RunBlock)),
+		int64(len(v.D.CompSize)), false, true, true, true)
+	if int64(a.Len()) != want {
+		t.Fatalf("written %d bytes, persistSize says %d", a.Len(), want)
 	}
 }
 
@@ -206,7 +209,7 @@ func TestOpenMappedRejectsUnknownFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b[40] |= 0x08 // set an undefined flag bit (0x01 = ids, 0x02 = out-reach, 0x04 = checksum)
+	b[40] |= 0x10 // set an undefined flag bit (0x01 = ids, 0x02 = out-reach, 0x04 = checksum, 0x08 = decomposition)
 	reseal(b)
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
@@ -216,14 +219,14 @@ func TestOpenMappedRejectsUnknownFlags(t *testing.T) {
 	}
 }
 
-// legacyWrite serializes v without the out-reach section, producing the byte
-// layout a pre-section build wrote (O and rFlat are stripped for the write
-// and restored after).
+// legacyWrite serializes v without the out-reach and decomposition
+// sections, producing the byte layout a pre-section build wrote (D, O and
+// the flat mirrors are stripped for the write and restored after).
 func legacyWrite(t *testing.T, v *BlockCSR, path string) {
 	t.Helper()
-	o, rf := v.O, v.rFlat
-	v.O, v.rFlat = nil, nil
-	defer func() { v.O, v.rFlat = o, rf }()
+	d, o, df, rf := v.D, v.O, v.dFlat, v.rFlat
+	v.D, v.O, v.dFlat, v.rFlat = nil, nil, nil, nil
+	defer func() { v.D, v.O, v.dFlat, v.rFlat = d, o, df, rf }()
 	if err := v.WriteFile(path, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -334,10 +337,12 @@ func TestPersistOutReachCorruptSectionFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	runs := int64(len(v.RunBlock))
-	// The section sits right before the checksum trailer (no ids section
-	// was written). Reseal so the corruption models a buggy writer rather
-	// than bit rot — the open-time checksum must not be the only defense.
-	sectionOff := int64(len(b)) - 8 - runs*8
+	// The out-reach section sits before the decomposition section, which
+	// sits before the checksum trailer (no ids section was written). Reseal
+	// so the corruption models a buggy writer rather than bit rot — the
+	// open-time checksum must not be the only defense.
+	dsz := decompSectionSize(int64(v.G.NumNodes()), v.G.NumEdges(), int64(len(v.D.CompSize)))
+	sectionOff := int64(len(b)) - 8 - dsz - runs*8
 	b[sectionOff] ^= 0x5a
 	reseal(b)
 	if err := os.WriteFile(path, b, 0o644); err != nil {
@@ -359,5 +364,172 @@ func TestPersistOutReachCorruptSectionFallsBack(t *testing.T) {
 	_, o := m.View.EnsureDecomposition()
 	if !sameOutReach(o, v.O) {
 		t.Fatal("fallback after corrupt section differs from the in-memory build")
+	}
+}
+
+func sameDecomposition(a, b *Decomposition) bool {
+	if a.NumBlocks != b.NumBlocks ||
+		!slices.Equal(a.EdgeBlock, b.EdgeBlock) ||
+		!slices.Equal(a.IsCut, b.IsCut) ||
+		!slices.Equal(a.CompLabel, b.CompLabel) ||
+		!slices.Equal(a.CompSize, b.CompSize) ||
+		len(a.Blocks) != len(b.Blocks) || len(a.NodeBlocks) != len(b.NodeBlocks) {
+		return false
+	}
+	for i := range a.Blocks {
+		if !slices.Equal(a.Blocks[i], b.Blocks[i]) {
+			return false
+		}
+	}
+	for i := range a.NodeBlocks {
+		if !slices.Equal(a.NodeBlocks[i], b.NodeBlocks[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPersistDecompRoundTrip: the decomposition section (flag bit 3) lets
+// EnsureDecomposition reconstruct the full Decomposition from the file
+// without rerunning the O(n+m) Decompose DFS, bitwise-identical to the
+// in-memory build — the fleet cold-start path; files without the section
+// keep working through the recompute fallback.
+func TestPersistDecompRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", graph.BarabasiAlbert(400, 3, 13)},
+		{"road", graph.RoadNetwork(12, 12, 0.1, 5)},
+		{"tree", graph.RandomTree(150, 9)}, // every internal node is a cutpoint
+		{"path", graph.Path(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v := buildView(t, tc.g)
+			dir := t.TempDir()
+
+			path := filepath.Join(dir, "v3.sbcv")
+			if err := v.WriteFile(path, nil); err != nil {
+				t.Fatal(err)
+			}
+			m, err := OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if m.View.dFlat == nil {
+				t.Fatal("mapped view carries no decomposition section")
+			}
+			d, err := NewDecompositionFromView(m.View)
+			if err != nil {
+				t.Fatalf("NewDecompositionFromView: %v", err)
+			}
+			if !sameDecomposition(d, v.D) {
+				t.Fatal("decomposition reconstructed from the section differs from the in-memory build")
+			}
+			// The reconstructed decomposition must also satisfy the
+			// out-reach section's Claim 9 check and the full cross-check.
+			dd, oo := m.View.EnsureDecomposition()
+			if !sameDecomposition(dd, v.D) || !sameOutReach(oo, v.O) {
+				t.Fatal("EnsureDecomposition over both sections differs from the in-memory build")
+			}
+			if err := m.View.Validate(); err != nil {
+				t.Fatalf("cross-check of reconstructed tables: %v", err)
+			}
+
+			legacy := filepath.Join(dir, "v2.sbcv")
+			legacyWrite(t, v, legacy)
+			ml, err := OpenMapped(legacy)
+			if err != nil {
+				t.Fatalf("sectionless layout rejected: %v", err)
+			}
+			defer ml.Close()
+			if ml.View.dFlat != nil {
+				t.Fatal("sectionless file decoded with a decomposition section")
+			}
+			dl, _ := ml.View.EnsureDecomposition()
+			if !sameDecomposition(dl, v.D) {
+				t.Fatal("fallback recompute differs from the in-memory build")
+			}
+		})
+	}
+}
+
+// TestPersistDecompCorruptSectionFallsBack: garbage in the decomposition
+// section must not poison the tables — NewDecompositionFromView rejects it
+// against the structurally-verified run arrays and EnsureDecomposition falls
+// back to the Decompose recomputation. A mutated prelude (which changes the
+// implied section size) is caught at open time.
+func TestPersistDecompCorruptSectionFallsBack(t *testing.T) {
+	g := graph.RandomTree(100, 4)
+	v := buildView(t, g)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.sbcv")
+	if err := v.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decomposition section sits right before the checksum trailer (no
+	// ids section was written); its EdgeBlock table starts 16 bytes in,
+	// after the numBlocks/numComps prelude.
+	dsz := decompSectionSize(int64(g.NumNodes()), g.NumEdges(), int64(len(v.D.CompSize)))
+	sectionOff := int64(len(good)) - 8 - dsz
+
+	b := append([]byte(nil), good...)
+	b[sectionOff+16] ^= 0x5a // first EdgeBlock entry: now disagrees with the run layout
+	reseal(b)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err) // content corruption is caught lazily, not at open
+	}
+	defer m.Close()
+	if _, err := NewDecompositionFromView(m.View); err == nil {
+		t.Fatal("corrupt decomposition section accepted")
+	}
+	d, o := m.View.EnsureDecomposition()
+	if !sameDecomposition(d, v.D) || !sameOutReach(o, v.O) {
+		t.Fatal("fallback after corrupt section differs from the in-memory build")
+	}
+
+	// Mutating the prelude changes the section size the header implies:
+	// rejected by the open-time size check, not decoded.
+	b2 := append([]byte(nil), good...)
+	b2[sectionOff+8]++ // numComps low byte
+	reseal(b2)
+	badPrelude := filepath.Join(dir, "prelude.sbcv")
+	if err := os.WriteFile(badPrelude, b2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(badPrelude); err == nil {
+		t.Fatal("mutated decomposition prelude accepted")
+	}
+
+	// An out-of-range component label passes the size check but fails the
+	// lazy recount validation.
+	b3 := append([]byte(nil), good...)
+	labelOff := sectionOff + 16 + 2*g.NumEdges()*4 // CompLabel follows EdgeBlock
+	binary.NativeEndian.PutUint32(b3[labelOff:], uint32(len(v.D.CompSize)+7))
+	reseal(b3)
+	badLabel := filepath.Join(dir, "label.sbcv")
+	if err := os.WriteFile(badLabel, b3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ml, err := OpenMapped(badLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ml.Close()
+	if _, err := NewDecompositionFromView(ml.View); err == nil {
+		t.Fatal("out-of-range component label accepted")
+	}
+	dl, _ := ml.View.EnsureDecomposition()
+	if !sameDecomposition(dl, v.D) {
+		t.Fatal("fallback after corrupt labels differs from the in-memory build")
 	}
 }

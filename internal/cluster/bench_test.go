@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+
+	"saphyra"
+	"saphyra/internal/serve"
+)
+
+// benchFleet boots the benchmark fleet over a Fig-3-sized synthetic social
+// graph — the same graph shape the single-box serving benchmarks use, so
+// the route-hit row is directly comparable to BenchmarkServeRankCacheHit.
+func benchFleet(b *testing.B) (*Fleet, []int64) {
+	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i)*3 + 1
+	}
+	path := b.TempDir() + "/bench.sbcv"
+	if err := saphyra.BuildView(g, ids).WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	f, err := StartFleet(path, FleetConfig{
+		Replicas: 3,
+		Serve:    serve.Config{DisablePrecompute: true, CacheEntries: 1 << 16},
+		Router:   RouterConfig{ProbeInterval: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(f.Close)
+	return f, ids
+}
+
+func benchRankBody(b *testing.B, ids []int64) []byte {
+	body, err := json.Marshal(serve.RankRequest{
+		Method:  serve.MethodSaPHyRa,
+		Targets: []int64{ids[17], ids[99], ids[1024], ids[2048]},
+		Eps:     0.05, Delta: 0.05, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func postOnce(b *testing.B, client *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkClusterRouteHit is the steady-state cost of a cache hit through
+// the whole cluster path: client HTTP hop to the router, ring placement,
+// router HTTP hop to the replica, replica cache hit, two relays back. The
+// single-box baseline is BenchmarkServeRankCacheHit (internal/serve);
+// TestClusterRouteHitLatencyGate holds the p99 ratio.
+func BenchmarkClusterRouteHit(b *testing.B) {
+	f, ids := benchFleet(b)
+	client := &http.Client{}
+	body := benchRankBody(b, ids)
+	url := f.RouterURL + "/v1/rank"
+	postOnce(b, client, url, body) // warm the entry at its route home
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postOnce(b, client, url, body)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkPeerFill is the cost of one peer cache-fill round trip: the
+// GET /internal/cache probe plus envelope decode against a peer that holds
+// the entry — the price a non-home replica pays to skip a recompute.
+func BenchmarkPeerFill(b *testing.B) {
+	f, ids := benchFleet(b)
+	client := &http.Client{}
+	body := benchRankBody(b, ids)
+	pos := make(map[int64]saphyra.Node, len(ids))
+	for i, id := range ids {
+		pos[id] = saphyra.Node(i)
+	}
+
+	// Warm the entry at its TRUE ring home (direct request), then probe it
+	// from outside the fleet (self = -1 probes whoever owns the key).
+	var resp *serve.RankResponse
+	{
+		r, err := client.Post(f.RouterURL+"/v1/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Body.Close()
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	key := canonicalKeyOf(b, resp, pos)
+	ring, err := NewRing(f.ReplicaURLs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	home := ring.Owner(KeyHash(key))
+	postOnce(b, client, f.ReplicaURLs[home]+"/v1/rank", body)
+
+	peers, err := NewPeers(f.ReplicaURLs, -1, 0, client, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, ok := peers.Fill(ctx, resp.Generation, key); !ok {
+		b.Fatal("warmed entry not fillable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := peers.Fill(ctx, resp.Generation, key); !ok {
+			b.Fatal("peer fill missed")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "fill/s")
+}
+
+// measureHitP99 issues n sequential cache-hit requests and returns the p99
+// latency.
+func measureHitP99(t testing.TB, client *http.Client, url string, body []byte, n int) time.Duration {
+	t.Helper()
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return lat[n*99/100]
+}
+
+// TestClusterRouteHitLatencyGate is the distributed tier's latency
+// acceptance bar: a cache hit through the router must stay within 5x the
+// p99 of the same hit against a single replica over the same transport
+// (one HTTP hop to a lone server on a loopback listener). The comparison
+// is like for like — both sides pay a real HTTP round trip — so the gate
+// prices exactly what the cluster adds: ring placement, the second hop,
+// and the relay. A floor absorbs loopback scheduling noise when the
+// single-box p99 lands in the sub-millisecond range.
+func TestClusterRouteHitLatencyGate(t *testing.T) {
+	g := saphyra.Generate.BarabasiAlbert(4000, 5, 42)
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i)*3 + 1
+	}
+	path := t.TempDir() + "/gate.sbcv"
+	if err := saphyra.BuildView(g, ids).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.RankRequest{
+		Method:  serve.MethodSaPHyRa,
+		Targets: []int64{ids[17], ids[99], ids[1024], ids[2048]},
+		Eps:     0.05, Delta: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{}
+	const n = 1200
+
+	// Single box over a real loopback listener.
+	single, err := serve.New(path, serve.Config{DisablePrecompute: true, CacheEntries: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: single.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	singleURL := "http://" + ln.Addr().String() + "/v1/rank"
+	postOnceT(t, client, singleURL, body)
+	singleP99 := measureHitP99(t, client, singleURL, body, n)
+
+	f, err := StartFleet(path, FleetConfig{
+		Replicas: 3,
+		Serve:    serve.Config{DisablePrecompute: true, CacheEntries: 1 << 16},
+		Router:   RouterConfig{ProbeInterval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	routerURL := f.RouterURL + "/v1/rank"
+	postOnceT(t, client, routerURL, body)
+	clusterP99 := measureHitP99(t, client, routerURL, body, n)
+
+	floor := 500 * time.Microsecond
+	budget := 5 * max(singleP99, floor)
+	t.Logf("single-box hit p99 %v, cluster hit p99 %v, budget %v", singleP99, clusterP99, budget)
+	if clusterP99 > budget {
+		t.Fatalf("cluster cache-hit p99 %v exceeds 5x single-box p99 %v (budget %v)",
+			clusterP99, singleP99, budget)
+	}
+}
+
+func postOnceT(t testing.TB, client *http.Client, url string, body []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

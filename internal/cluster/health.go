@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// healthState is one replica's passive health estimate: an EWMA of request
+// outcomes (1 = success, 0 = connect failure or 5xx) starting optimistic at
+// 1.0. Forwarded traffic feeds it on every hop and the router's active
+// /readyz probe loop feeds it between requests, so a dead replica decays
+// below the routing threshold within a few observations even on an idle
+// router, and a recovered one climbs back as probes succeed — no explicit
+// membership change either way.
+type healthState struct {
+	bits atomic.Uint64 // float64 EWMA of success (init 1.0)
+}
+
+// healthAlpha is the EWMA step: two consecutive failures take a replica
+// from 1.0 to 0.49, just below the routing threshold.
+const healthAlpha = 0.3
+
+// healthyThreshold is the score at or above which the router prefers a
+// replica. Below it the replica is only tried after every healthy owner.
+const healthyThreshold = 0.5
+
+func newHealthState() *healthState {
+	h := &healthState{}
+	h.bits.Store(math.Float64bits(1.0))
+	return h
+}
+
+func (h *healthState) observe(ok bool) {
+	x := 0.0
+	if ok {
+		x = 1.0
+	}
+	for {
+		old := h.bits.Load()
+		next := math.Float64frombits(old)*(1-healthAlpha) + x*healthAlpha
+		if h.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (h *healthState) score() float64 { return math.Float64frombits(h.bits.Load()) }
+func (h *healthState) healthy() bool  { return h.score() >= healthyThreshold }
+
+// probe issues one active readiness check against base and folds the result
+// into the EWMA. Any 200 /readyz counts as healthy; a connect failure or
+// non-200 (including 503 "loading") counts against.
+func (h *healthState) probe(ctx context.Context, client *http.Client, base string, timeout time.Duration) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		h.observe(false)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		h.observe(false)
+		return
+	}
+	drain(resp)
+	h.observe(resp.StatusCode == http.StatusOK)
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"saphyra/internal/obs"
+	"saphyra/internal/serve"
+)
+
+// Peers is a replica's client side of the cluster cache-fill tier: on a
+// local cache miss it asks the key's home peer (by ring placement over the
+// TRUE canonical Query.Key, which only replicas can compute — they hold the
+// view) for its cached entry before computing. One computation on the home
+// replica thereby warms any replica the router fans the key to, at the cost
+// of one small GET instead of a full recompute.
+//
+// Wire a Peers into serve.Config.PeerFill; the serving layer calls Fill
+// inside its singleflight flight (one probe per cold key, not per request)
+// and validates the generation and shape of whatever comes back before
+// adopting it. Exchanging entries as the canonical response envelope is
+// sound only because responses are bitwise reproducible — the peer's bytes
+// ARE the bytes the local engines would produce.
+type Peers struct {
+	self    int // index of the owning replica in urls; -1 for none
+	urls    []string
+	ring    *Ring
+	client  *http.Client
+	timeout time.Duration
+}
+
+// DefaultPeerTimeout bounds one cache probe. A peer slower than this is
+// slower than many local computes — give up and compute.
+const DefaultPeerTimeout = 250 * time.Millisecond
+
+// NewPeers builds the fill client for the replica at index self of urls
+// (the same ordered list, and the same vnodes, the router was given — ring
+// agreement is positional). self = -1 means "not a fleet member" (probe
+// everyone). A nil client uses http.DefaultClient; timeout <= 0 means
+// DefaultPeerTimeout.
+func NewPeers(urls []string, self int, vnodes int, client *http.Client, timeout time.Duration) (*Peers, error) {
+	ring, err := NewRing(urls, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	return &Peers{
+		self:    self,
+		urls:    append([]string(nil), urls...),
+		ring:    ring,
+		client:  client,
+		timeout: timeout,
+	}, nil
+}
+
+// Fill implements serve.Config.PeerFill: probe the key's home peer's
+// /internal/cache. Misses of every kind — the key's home is this replica,
+// the peer is down, the peer has not cached the key — report ok=false and
+// cost at most one bounded round-trip; the serving layer then computes
+// locally. The caller validates generation and shape before adopting.
+func (p *Peers) Fill(ctx context.Context, gen uint64, key [sha256.Size]byte) (*serve.RankResponse, bool) {
+	home := p.ring.Owner(KeyHash(key))
+	if home == p.self {
+		return nil, false // we ARE the home: compute, everyone else fills from us
+	}
+	pctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	pctx, span := obs.StartSpan(pctx, "cluster.fill")
+	defer func() {
+		if span != nil {
+			span.End()
+		}
+	}()
+	url := fmt.Sprintf("%s/internal/cache?gen=%d&key=%s", p.urls[home], gen, hex.EncodeToString(key[:]))
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var out serve.RankResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRelayBody)).Decode(&out); err != nil {
+		return nil, false
+	}
+	if span != nil {
+		span.SetNote("hit")
+	}
+	return &out, true
+}
+
+// drain consumes and closes a response body so the transport can reuse the
+// connection.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

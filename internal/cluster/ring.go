@@ -1,0 +1,128 @@
+// Package cluster is the distributed serving tier over internal/serve
+// (DESIGN.md section 14): a consistent-hash router that places queries on a
+// fleet of replicas, a peer cache-fill client that lets one computation warm
+// every replica, and the rolling-reload protocol that moves a fleet to a
+// new view generation one replica at a time.
+//
+// Everything in this package is a routing and placement optimization, never
+// a correctness mechanism: each replica alone answers any query correctly,
+// because every result is a pure function of (view generation, Query.Key)
+// and bitwise worker-count independent. That determinism is what makes the
+// tier sound — a retried hop, an adopted peer cache entry, and a locally
+// computed result are the same bytes, so no cross-replica coordination
+// (locks, leases, versions) is needed beyond the generation tag that rides
+// in every response.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over an ordered replica list. Each replica
+// owns VNodes points (virtual nodes) so the key space splits evenly even
+// for small fleets; a key belongs to the replica owning the first point at
+// or after the key's hash, wrapping around. Removing one replica moves only
+// that replica's arcs to their successors — the property that keeps the
+// rest of a fleet's caches warm across a membership change.
+//
+// The ring is a pure function of the ordered replica name list and the
+// vnode count: the router and every replica's peer-fill client build it
+// from the same list, so they agree on every key's home without talking to
+// each other.
+type Ring struct {
+	names  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// DefaultVNodes balances a handful of replicas to within a few percent.
+const DefaultVNodes = 64
+
+// NewRing builds the ring. vnodes <= 0 means DefaultVNodes.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: empty replica list")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for i, name := range names {
+		for j := 0; j < vnodes; j++ {
+			r.points = append(r.points, ringPoint{
+				hash:    Hash64(name, "#", strconv.Itoa(j)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break by replica index so the
+		// ring stays a deterministic function of the list.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// Size returns the replica count.
+func (r *Ring) Size() int { return len(r.names) }
+
+// Owner returns the replica index owning hash h.
+func (r *Ring) Owner(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].replica
+}
+
+// Owners returns up to n distinct replica indices in ring order starting at
+// hash h: the key's home first, then the successors a router hops to when
+// the home fails. n > Size() is clamped.
+func (r *Ring) Owners(h uint64, n int) []int {
+	if n > len(r.names) {
+		n = len(r.names)
+	}
+	out := make([]int, 0, n)
+	seen := make([]bool, len(r.names))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// Hash64 is the ring's hash: FNV-1a over the concatenated parts. Stable
+// across processes and architectures (unlike hash/maphash), which the
+// router/replica ring agreement depends on.
+func Hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}
+
+// KeyHash places a canonical query key (query.Query.Key) on the ring: the
+// digest's first eight bytes are already uniform, no rehash needed.
+func KeyHash(key [sha256.Size]byte) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}

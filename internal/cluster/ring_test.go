@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndPositional(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		h := Hash64("key-", strconv.Itoa(i))
+		if r1.Owner(h) != r2.Owner(h) {
+			t.Fatalf("rings over the same list disagree at key %d", i)
+		}
+	}
+	// Reordering the list must not move any key by NAME (the ring hashes
+	// names, not positions) — but indices shift, which is why every fleet
+	// member must receive the same ordered list: Peers.self is an index.
+	r3, err := NewRing([]string{names[1], names[0], names[2]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 10000; i++ {
+		h := Hash64("key-", strconv.Itoa(i))
+		if names[r1.Owner(h)] != []string{names[1], names[0], names[2]}[r3.Owner(h)] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("reordering the list moved %d keys by NAME; ring should hash names, not positions", moved)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(Hash64("key-", strconv.Itoa(i)))]++
+	}
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("replica %d owns %.1f%% of keys; vnode balance is off (counts %v)", i, 100*share, counts)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndOrdered(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		h := Hash64("k", strconv.Itoa(i))
+		owners := r.Owners(h, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(h, 3) = %v", owners)
+		}
+		if owners[0] != r.Owner(h) {
+			t.Fatalf("Owners first entry %d != Owner %d", owners[0], r.Owner(h))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner in %v", owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners(42, 99); len(got) != 4 {
+		t.Fatalf("Owners clamps to fleet size; got %v", got)
+	}
+}
+
+// TestRingRemovalMovesOnlyTheRemoved pins the consistent-hashing property
+// the peer-fill tier's cache warmth depends on: dropping one replica from
+// the list leaves every key owned by a surviving replica exactly where it
+// was, because the survivors' ring points are unchanged.
+func TestRingRemovalMovesOnlyTheRemoved(t *testing.T) {
+	full, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		h := Hash64("key-", strconv.Itoa(i))
+		if o := full.Owner(h); o != 2 && sub.Owner(h) != o {
+			t.Fatalf("key %d moved from replica %d without its owner leaving", i, o)
+		}
+	}
+}
+
+func TestRingErrorsAndHashStability(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) should fail")
+	}
+	// FNV-1a is a cross-process, cross-architecture contract; pin it.
+	if got := Hash64("a"); got != 0xaf63dc4c8601ec8c {
+		t.Fatalf("Hash64(a) = %#x; the ring hash must never change", got)
+	}
+	var key [sha256.Size]byte
+	key[0], key[7] = 0x01, 0xff
+	if got := KeyHash(key); got != 0x01000000000000ff {
+		t.Fatalf("KeyHash = %#x, want big-endian first 8 bytes", got)
+	}
+}
+
+func TestHealthEWMA(t *testing.T) {
+	h := newHealthState()
+	if !h.healthy() {
+		t.Fatal("fresh state should start optimistic")
+	}
+	h.observe(false)
+	if !h.healthy() {
+		t.Fatalf("one failure (score %.3f) should not yet cross the threshold", h.score())
+	}
+	h.observe(false)
+	if h.healthy() {
+		t.Fatalf("two consecutive failures should mark unhealthy; score %.3f", h.score())
+	}
+	for i := 0; i < 3; i++ {
+		h.observe(true)
+	}
+	if !h.healthy() {
+		t.Fatalf("successes should recover health; score %.3f", h.score())
+	}
+}
+
+func TestHealthProbe(t *testing.T) {
+	h := newHealthState()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ok.Close()
+	h.probe(context.Background(), ok.Client(), ok.URL, time.Second)
+	if !h.healthy() {
+		t.Fatal("200 probe should keep health up")
+	}
+
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	downURL := down.URL
+	down.Close()
+	for i := 0; i < 4; i++ {
+		h.probe(context.Background(), http.DefaultClient, downURL, 100*time.Millisecond)
+	}
+	if h.healthy() {
+		t.Fatalf("probes against a dead replica should decay health; score %.3f", h.score())
+	}
+}
+
+func TestPushViewAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.sbcv")
+	dst := filepath.Join(dir, "dst.sbcv")
+	want := strings.Repeat("new view bytes ", 1000)
+	if err := os.WriteFile(src, []byte(want), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, []byte("old view"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := PushView(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatal("dst does not match src after push")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".push-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if err := PushView(filepath.Join(dir, "missing"), dst); err == nil {
+		t.Fatal("pushing a missing source should fail")
+	}
+}

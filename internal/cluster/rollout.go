@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"saphyra/internal/serve"
+)
+
+// PushView atomically replaces dst with the view file at src: write to a
+// temp file in dst's directory, fsync, rename over dst, fsync the
+// directory. A replica reloading mid-push therefore maps either the old
+// bytes or the new bytes, never a torn mix — the same crash-safety contract
+// bicomp.WriteFile gives the writer, extended to the distribution step.
+func PushView(src, dst string) (err error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("cluster: push: %w", err)
+	}
+	defer in.Close()
+	dir := filepath.Dir(dst)
+	tmp, err := os.CreateTemp(dir, ".push-*.sbcv")
+	if err != nil {
+		return fmt.Errorf("cluster: push: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = io.Copy(tmp, in); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: push: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: push: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("cluster: push: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("cluster: push: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// reloadGateTimeout bounds the per-replica wait for a reloaded generation
+// to appear on /readyz.
+const reloadGateTimeout = 30 * time.Second
+
+// RollingReload reloads each replica in order, strictly one at a time,
+// gating every step on the replica reporting the reloaded generation on
+// /readyz before the next replica is touched. The generation invariant this
+// preserves: at any instant the fleet serves at most two adjacent
+// generations, every response says which one it carries, and the
+// per-(generation, key) cache/peer-fill discipline keeps the two from ever
+// mixing for one key. A failed step aborts the roll — replicas before it
+// serve gen G+1, replicas after it keep serving G, and both keep answering
+// correctly, so an aborted roll degrades freshness, never correctness.
+//
+// Returns the generation each replica reported, in replica order (on error:
+// the generations achieved so far).
+func RollingReload(ctx context.Context, client *http.Client, replicas []string) ([]uint64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	gens := make([]uint64, 0, len(replicas))
+	for _, base := range replicas {
+		gen, err := reloadOne(ctx, client, base)
+		if err != nil {
+			return gens, fmt.Errorf("cluster: rolling reload aborted at %s (after %d of %d): %w",
+				base, len(gens), len(replicas), err)
+		}
+		gens = append(gens, gen)
+	}
+	return gens, nil
+}
+
+// reloadOne reloads a single replica and blocks until /readyz reports the
+// new generation.
+func reloadOne(ctx context.Context, client *http.Client, base string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/admin/reload", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var rr serve.ReloadResponse
+	derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr)
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		if rr.Error != "" {
+			return 0, fmt.Errorf("reload: status %d: %s", resp.StatusCode, rr.Error)
+		}
+		return 0, fmt.Errorf("reload: status %d", resp.StatusCode)
+	}
+	if derr != nil {
+		return 0, fmt.Errorf("reload: decoding response: %w", derr)
+	}
+	if err := awaitGeneration(ctx, client, base, rr.Generation); err != nil {
+		return 0, err
+	}
+	return rr.Generation, nil
+}
+
+// awaitGeneration polls /readyz until it reports gen (or newer — another
+// driver may have rolled past us) and a ready status.
+func awaitGeneration(ctx context.Context, client *http.Client, base string, gen uint64) error {
+	ctx, cancel := context.WithTimeout(ctx, reloadGateTimeout)
+	defer cancel()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			var ready serve.ReadyzResponse
+			derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ready)
+			drain(resp)
+			if derr == nil && resp.StatusCode == http.StatusOK && ready.Generation >= gen {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("replica did not become ready at generation %d: %w", gen, context.Cause(ctx))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -218,16 +218,32 @@ func ReloadStorm() Mix {
 	return m
 }
 
-// Mixes returns the named acceptance mixes in reporting order.
+// ClusterHitDominated is the hit-dominated mix aimed at a cluster router
+// (internal/cluster) instead of a single replica: the same traffic, with
+// the latency SLO widened for the extra proxy hop every request pays and
+// the peer-fill round-trip a cold key may pay. Everything else — shed,
+// error, and bitwise-verification gates — is identical: the router is a
+// placement layer, not a correctness layer, so the cluster must meet the
+// same contract a single box does.
+func ClusterHitDominated() Mix {
+	m := HitDominated()
+	m.Name = "cluster-hit-dominated"
+	m.SLO = SLO{P99Ms: 250, P999Ms: 1000, MaxShedRate: 0.01, MaxErrorRate: 0.01}
+	return m
+}
+
+// Mixes returns the named single-box acceptance mixes in reporting order.
+// ClusterHitDominated is not in this list — it needs a router in front of a
+// fleet (cmd/saphyraload -cluster), not a lone server.
 func Mixes() []Mix { return []Mix{HitDominated(), MissHeavy(), ReloadStorm()} }
 
 // ByName returns the named mix ("hit-dominated" | "miss-heavy" |
-// "reload-storm").
+// "reload-storm" | "cluster-hit-dominated").
 func ByName(name string) (Mix, error) {
-	for _, m := range Mixes() {
+	for _, m := range append(Mixes(), ClusterHitDominated()) {
 		if m.Name == name {
 			return m, nil
 		}
 	}
-	return Mix{}, fmt.Errorf("loadgen: unknown mix %q (want hit-dominated | miss-heavy | reload-storm)", name)
+	return Mix{}, fmt.Errorf("loadgen: unknown mix %q (want hit-dominated | miss-heavy | reload-storm | cluster-hit-dominated)", name)
 }

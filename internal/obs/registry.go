@@ -196,6 +196,29 @@ func (r *Registry) Histogram(name, help, labels string, unit Unit) *Hist {
 	return &Hist{r.ser(name, help, KindHistogram, unit, labels)}
 }
 
+// Label renders one label pair for the Counter/Gauge/Histogram labels
+// argument, escaping the value per the Prometheus text exposition rules
+// (backslash, double quote, newline). Static label sets are written as
+// literals (`endpoint="rank"`); Label is for values that arrive at runtime
+// — replica URLs, file paths — where unescaped quotes would corrupt the
+// exposition.
+func Label(k, v string) string {
+	var b []byte
+	b = append(b, k...)
+	b = append(b, '=', '"')
+	for _, c := range []byte(v) {
+		switch c {
+		case '\\', '"':
+			b = append(b, '\\', c)
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(append(b, '"'))
+}
+
 // fmtVal renders a float the way the pre-registry /metricsz rendered
 // integers: %g, so `saphyra_generation 1` stays exactly that.
 func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -145,3 +145,35 @@ func mustInt(t *testing.T, line string) int64 {
 	}
 	return v
 }
+
+// TestLabelEscaping pins the runtime-value label helper against the
+// Prometheus text exposition escaping rules: backslash, double quote, and
+// newline are escaped, everything else passes through byte-for-byte. The
+// cluster router feeds replica URLs through this — an unescaped quote in a
+// hostile replica name would otherwise corrupt the whole /metricsz body.
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct{ k, v, want string }{
+		{"replica", "http://127.0.0.1:8372", `replica="http://127.0.0.1:8372"`},
+		{"path", `C:\views\net.sbcv`, `path="C:\\views\\net.sbcv"`},
+		{"name", `say "hi"`, `name="say \"hi\""`},
+		{"note", "line1\nline2", `note="line1\nline2"`},
+		{"empty", "", `empty=""`},
+	}
+	for _, c := range cases {
+		if got := Label(c.k, c.v); got != c.want {
+			t.Errorf("Label(%q, %q) = %s, want %s", c.k, c.v, got, c.want)
+		}
+	}
+
+	// A labeled series built with Label must render as a parseable line:
+	// the lint in serve's metricsz test covers the full body; here just
+	// check the rendered line carries the escaped value verbatim.
+	r := NewRegistry()
+	r.Counter("t_total", "test.", Label("replica", `a"b\c`)).Add(1)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `t_total{replica="a\"b\\c"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("rendered body missing %q:\n%s", want, sb.String())
+	}
+}

@@ -35,6 +35,7 @@ type payload struct {
 	scores  []float64 // aligned with nodes
 	ranks   []int     // aligned with nodes (topk: 1..len)
 	samples int64
+	adopted bool // filled from a peer's cache, not computed here (cluster tier)
 }
 
 // flight is one in-progress computation. The computation runs on its own
@@ -268,6 +269,20 @@ func (c *cache) staleGet(key [sha256.Size]byte) (uint64, *payload, bool) {
 		return 0, nil, false
 	}
 	return e.gen, e.p, true
+}
+
+// peek returns the cached payload for key without joining a flight,
+// bumping the hit counters, or touching the LRU order — the passive read
+// behind GET /internal/cache, where a peer asks "do you already have this?"
+// and a miss must not distort this server's own cache statistics or
+// recency (peer probes are not local demand).
+func (c *cache) peek(key cacheKey) (*payload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*centry).p, true
+	}
+	return nil, false
 }
 
 func (c *cache) len() int {

@@ -46,6 +46,13 @@ type metrics struct {
 	degraded, staleServed          *obs.Counter
 	reloads, reloadFailures        *obs.Counter
 
+	// Cluster tier: peerFill* count this server's outbound home-peer
+	// probes on cache misses (hit = adopted the peer's bytes, rejected =
+	// the peer answered but failed validation); internalCache* count the
+	// inbound side, peers probing this server's GET /internal/cache.
+	peerFillHits, peerFillMisses, peerFillRejected *obs.Counter
+	internalCacheHits, internalCacheMisses         *obs.Counter
+
 	latency        map[string]*obs.Hist // per-outcome request wall time
 	computeSeconds *obs.Hist            // successful flight compute time
 	queueWait      *obs.Hist            // admission wait inside a flight
@@ -80,6 +87,14 @@ func newMetrics(s *Server) *metrics {
 	const degradeHelp = "Responses served through the degradation ladder."
 	m.degraded = reg.Counter("saphyra_degraded_total", degradeHelp, `rung="coarse"`)
 	m.staleServed = reg.Counter("saphyra_degraded_total", degradeHelp, `rung="stale"`)
+
+	const fillHelp = "Home-peer cache probes issued on local misses."
+	m.peerFillHits = reg.Counter("saphyra_peer_fill_total", fillHelp, `result="hit"`)
+	m.peerFillMisses = reg.Counter("saphyra_peer_fill_total", fillHelp, `result="miss"`)
+	m.peerFillRejected = reg.Counter("saphyra_peer_fill_total", fillHelp, `result="rejected"`)
+	const internalHelp = "Peer probes served by GET /internal/cache."
+	m.internalCacheHits = reg.Counter("saphyra_internal_cache_total", internalHelp, `result="hit"`)
+	m.internalCacheMisses = reg.Counter("saphyra_internal_cache_total", internalHelp, `result="miss"`)
 
 	reg.CounterFunc("saphyra_fastlane_admits_total", "Computations admitted via the tiny-query fast lane.", "",
 		func() float64 { return float64(s.adm.fastAdmits()) })

@@ -51,6 +51,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -154,6 +156,20 @@ type Config struct {
 	// Defaults to os.Stderr when SlowQueryThreshold is set. Writes are
 	// serialized by the server.
 	SlowQueryLog io.Writer
+
+	// PeerFill, when set, is consulted on a cache miss before computing:
+	// the cluster tier's hook for asking the key's home peer whether it
+	// already holds the result (GET /internal/cache on the peer). It runs
+	// inside the singleflight flight — so a cold key costs at most one peer
+	// round-trip per flight, never per request — and before admission,
+	// because adopting a peer's bytes needs no compute slot. Returning a
+	// response with the right generation and aligned ranking arrays
+	// short-circuits the computation; anything else (miss, wrong
+	// generation, malformed shape) falls through to the local engines.
+	// Sharing bytes across replicas is sound for exactly one reason: every
+	// result is a pure function of (generation, Query.Key), so the peer's
+	// bytes are the bytes this server would have computed.
+	PeerFill func(ctx context.Context, gen uint64, key [sha256.Size]byte) (*RankResponse, bool)
 }
 
 func (c *Config) setDefaults() {
@@ -318,6 +334,7 @@ func New(viewPath string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	s.mux.HandleFunc("GET /internal/cache", s.handleInternalCache)
 	return s, nil
 }
 
@@ -493,13 +510,38 @@ func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*pa
 	}
 	tiny := cost <= s.cfg.FastLaneCost
 	ctx, cacheSpan := obs.StartSpan(ctx, "cache")
+	ck := cacheKey{gen: lv.gen(), key: q.Key()}
 	// The extra reference is donated to the (possible) flight; if this call
 	// does not end up leading one, it is returned below.
 	lv.handle.Share()
-	p, led, err := s.cache.do(ctx, cacheKey{gen: lv.gen(), key: q.Key()}, func(fctx context.Context) (*payload, error) {
+	p, led, err := s.cache.do(ctx, ck, func(fctx context.Context) (*payload, error) {
 		defer lv.handle.Release() // the flight owns the donated reference
 		fctx, flightSpan := obs.StartSpan(fctx, "flight")
 		defer flightSpan.End()
+		// Peer fill runs before admission: adopting a peer's cached bytes
+		// needs no compute slot, and because it runs inside the flight a
+		// cold key costs at most one peer round-trip no matter how many
+		// requests collapse onto it. The adopted payload is cached exactly
+		// as a computed one would be (cache.run inserts on success).
+		if s.cfg.PeerFill != nil {
+			fillSpan := obs.StartLeaf(fctx, "peerfill")
+			resp, ok := s.cfg.PeerFill(fctx, ck.gen, ck.key)
+			p, err := adoptPeerResponse(resp, ok, ck.gen)
+			if fillSpan != nil {
+				if p != nil {
+					fillSpan.SetNote("hit")
+				}
+				fillSpan.End()
+			}
+			if err != nil {
+				s.m.peerFillRejected.Inc()
+			} else if p != nil {
+				s.m.peerFillHits.Inc()
+				return p, nil
+			} else {
+				s.m.peerFillMisses.Inc()
+			}
+		}
 		admSpan := obs.StartLeaf(fctx, "admission")
 		enterStart := time.Now()
 		release, fast, err := s.adm.enter(fctx, tiny)
@@ -551,6 +593,34 @@ func (s *Server) lookup(ctx context.Context, lv *loadedView, q query.Query) (*pa
 		lv.handle.Release()
 	}
 	return p, led, err
+}
+
+// adoptPeerResponse validates a peer's cache entry before this server
+// adopts it as its own: the generation must be the one this flight is
+// computing for (a peer mid-rollout may serve another generation; adopting
+// it would poison the (gen, key) line), and the ranking arrays must be
+// aligned and non-empty. ok=false (a clean peer miss) returns (nil, nil);
+// a malformed or wrong-generation response returns an error so the caller
+// can count it — either way the flight falls through to the local engines.
+func adoptPeerResponse(resp *RankResponse, ok bool, gen uint64) (*payload, error) {
+	if !ok || resp == nil {
+		return nil, nil
+	}
+	if resp.Generation != gen {
+		return nil, fmt.Errorf("serve: peer fill generation %d, want %d", resp.Generation, gen)
+	}
+	n := len(resp.Nodes)
+	if n == 0 || len(resp.Scores) != n || len(resp.Ranks) != n || resp.Samples < 0 {
+		return nil, fmt.Errorf("serve: peer fill arrays misaligned (%d nodes, %d scores, %d ranks)",
+			n, len(resp.Scores), len(resp.Ranks))
+	}
+	return &payload{
+		nodes:   resp.Nodes,
+		scores:  resp.Scores,
+		ranks:   resp.Ranks,
+		samples: resp.Samples,
+		adopted: true,
+	}, nil
 }
 
 // observeCompute folds one successful compute duration into the EWMA behind
@@ -1002,6 +1072,10 @@ func (s *Server) topkRequest(w http.ResponseWriter, r *http.Request, st *reqStat
 }
 
 func rankResponse(gen uint64, method string, q query.Query, p *payload, cached bool) *RankResponse {
+	// A payload adopted from a peer's cache was served, not computed, even
+	// when this request led the flight — clients (and hit-rate accounting)
+	// see a cache answer either way.
+	cached = cached || p.adopted
 	return &RankResponse{
 		Generation: gen,
 		Method:     method,
@@ -1030,16 +1104,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ReadyzResponse is the GET /readyz body. Generation is the view the
+// replica currently serves — the rollout driver gates each step on it.
+type ReadyzResponse struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation,omitempty"`
+}
+
 // handleReadyz is READINESS: 503 until a view generation is loaded and
 // servable. A failed reload keeps readiness green — the old generation
 // still answers every query (Reload swaps only on success).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	lv := s.cur.Load()
 	if lv == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+		writeJSON(w, http.StatusServiceUnavailable, &ReadyzResponse{Status: "loading"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "generation": lv.gen()})
+	writeJSON(w, http.StatusOK, &ReadyzResponse{Status: "ready", Generation: lv.gen()})
 }
 
 // Statusz is the GET /statusz body: operational counters for dashboards
@@ -1149,16 +1230,70 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 // that surface their own /metricsz, and for the exposition tests).
 func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
+// ReloadResponse is the POST /admin/reload body. Generation reports the
+// generation now serving: the NEW one on success, the RETAINED one on
+// failure (a failed reload never unseats the current view). The rollout
+// driver (internal/cluster) gates each step of a rolling reload on the
+// success generation instead of polling /statusz.
+type ReloadResponse struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	gen, err := s.Reload()
 	if err != nil {
 		s.m.internalErrors.Inc()
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"error": err.Error(), "generation": gen,
+		writeJSON(w, http.StatusInternalServerError, &ReloadResponse{
+			Status: "failed", Generation: gen, Error: err.Error(),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "generation": gen})
+	writeJSON(w, http.StatusOK, &ReloadResponse{Status: "reloaded", Generation: gen})
+}
+
+// handleInternalCache is GET /internal/cache?gen=&key=: the peer side of
+// the cluster cache-fill tier. It answers purely from the local LRU
+// (cache.peek — no flight join, no computation, no recency or counter
+// side effects), 404 on a miss, so a probing peer can fall through to its
+// own engines immediately. The body is the canonical RankResponse
+// envelope; only the ranking payload fields are populated — the requester
+// knows its own method and options, and validates generation and shape
+// before adopting (adoptPeerResponse).
+func (s *Server) handleInternalCache(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	gen, err := strconv.ParseUint(qs.Get("gen"), 10, 64)
+	if err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "gen: must be a uint64"})
+		return
+	}
+	raw, err := hex.DecodeString(qs.Get("key"))
+	if err != nil || len(raw) != sha256.Size {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("key: want %d hex chars", 2*sha256.Size),
+		})
+		return
+	}
+	ck := cacheKey{gen: gen}
+	copy(ck.key[:], raw)
+	p, ok := s.cache.peek(ck)
+	if !ok {
+		s.m.internalCacheMisses.Inc()
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "serve: not cached"})
+		return
+	}
+	s.m.internalCacheHits.Inc()
+	writeJSON(w, http.StatusOK, &RankResponse{
+		Generation: gen,
+		Cached:     true,
+		Samples:    p.samples,
+		Nodes:      p.nodes,
+		Scores:     p.scores,
+		Ranks:      p.ranks,
+	})
 }
 
 // StatusClientClosedRequest is the nginx-convention status for a request

@@ -88,9 +88,18 @@ type StatusError struct {
 	Code       int
 	Message    string
 	RetryAfter time.Duration // parsed Retry-After, 0 when absent
+	// Replica is the fleet member that produced the terminal status, from
+	// the router's X-Saphyra-Replica response header; empty when talking to
+	// a single replica directly (or when the router itself answered, e.g. a
+	// hops-exhausted 503). With it, "which box returned 500" survives into
+	// the error a driver logs instead of dying at the router hop.
+	Replica string
 }
 
 func (e *StatusError) Error() string {
+	if e.Replica != "" {
+		return fmt.Sprintf("saphyrad: status %d from %s: %s", e.Code, e.Replica, e.Message)
+	}
 	return fmt.Sprintf("saphyrad: status %d: %s", e.Code, e.Message)
 }
 
@@ -234,7 +243,10 @@ func decodeResponse(resp *http.Response) (*serve.RankResponse, error) {
 		}
 		return &out, nil
 	}
-	se := &StatusError{Code: resp.StatusCode}
+	se := &StatusError{
+		Code:    resp.StatusCode,
+		Replica: resp.Header.Get("X-Saphyra-Replica"),
+	}
 	var e struct {
 		Error string `json:"error"`
 	}

@@ -199,3 +199,67 @@ func TestClientContextCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestClient503HonorsRetryAfterAndSurfacesReplica: a router-relayed 503
+// carries the same Retry-After contract as a 429 — the client obeys the
+// hint exactly — and when the terminal attempt still fails, the replica
+// that produced it (the router's X-Saphyra-Replica header) survives into
+// the returned *StatusError so drivers can log WHICH box was sick, not just
+// that the fleet was.
+func TestClient503HonorsRetryAfterAndSurfacesReplica(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.Header().Set("X-Saphyra-Replica", "http://replica-2:8372")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "loading view"})
+	}))
+	defer srv.Close()
+	c, fc := newTestClient(srv.URL)
+	_, err := c.Rank(context.Background(), serve.RankRequest{Method: "saphyra", Targets: []int64{7}})
+	if err == nil {
+		t.Fatal("want error after exhausting attempts on 503")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError in chain, got %v", err)
+	}
+	if se.Code != http.StatusServiceUnavailable || se.RetryAfter != 3*time.Second {
+		t.Fatalf("got %+v, want 503 with 3s Retry-After parsed", se)
+	}
+	if se.Replica != "http://replica-2:8372" {
+		t.Fatalf("Replica = %q, want the X-Saphyra-Replica header value", se.Replica)
+	}
+	if !strings.Contains(err.Error(), "from http://replica-2:8372") {
+		t.Fatalf("error text should name the terminal replica: %v", err)
+	}
+	for i, d := range fc.slept {
+		if d != 3*time.Second {
+			t.Fatalf("sleep %d was %v, want the server's 3s hint (same contract as 429)", i, d)
+		}
+	}
+	if len(fc.slept) != c.maxAttempts()-1 {
+		t.Fatalf("slept %d times, want %d (one per retry)", len(fc.slept), c.maxAttempts()-1)
+	}
+}
+
+// TestClientReplicaEmptyDirect: direct single-replica errors carry no
+// replica attribution and the error text stays in its original shape.
+func TestClientReplicaEmptyDirect(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown method"})
+	}))
+	defer srv.Close()
+	c, _ := newTestClient(srv.URL)
+	_, err := c.Rank(context.Background(), serve.RankRequest{Method: "nope"})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %v", err)
+	}
+	if se.Replica != "" {
+		t.Fatalf("Replica = %q, want empty without the header", se.Replica)
+	}
+	if want := "saphyrad: status 400: unknown method"; err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}

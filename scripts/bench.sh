@@ -100,6 +100,9 @@ echo "wrote $OUT"
 # Serving load replay: deterministic open-loop mixes against an in-process
 # server over a synthetic view (internal/loadgen). Every 8th 200 response
 # is recomputed through the library and compared bitwise; any SLO
-# violation or bit mismatch fails the script.
-go run ./cmd/saphyraload -out BENCH_serving.json
+# violation or bit mismatch fails the script. -cluster 3 additionally boots
+# a 3-replica fleet behind the consistent-hash router, replays the
+# cluster-hit-dominated mix through it under the same gates, and records
+# the ClusterRouteHit / PeerFill rows in the report's "cluster" section.
+go run ./cmd/saphyraload -cluster 3 -out BENCH_serving.json
 echo "wrote BENCH_serving.json"
